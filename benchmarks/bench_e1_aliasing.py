@@ -1,0 +1,24 @@
+"""E1 (extension) — MISR signature aliasing rate vs register width.
+
+Expected shape: the measured aliasing rate tracks the theoretical ``2^-k``
+and becomes negligible by 12–16 bits, validating the compaction substrate
+used by the BIST architecture model.
+"""
+
+from repro.analysis import run_e1_misr_aliasing
+
+WIDTHS = (2, 3, 4, 6, 8, 12, 16)
+
+
+def bench_e1_misr_aliasing(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_e1_misr_aliasing,
+        kwargs={"widths": WIDTHS, "n_patterns": 128},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rates = [row[4] for row in result.rows]
+    # Wide registers must alias (much) less than 2-bit ones.
+    assert rates[-1] <= rates[0]
+    assert rates[-1] < 0.01

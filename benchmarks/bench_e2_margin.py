@@ -1,0 +1,27 @@
+"""E2 (extension) — DP planning margin ablation.
+
+Expected shape: tiny margins risk continuous-model rejection of the
+quantized plan; margins ≥ ~1.5 are continuously valid at modest extra
+cost, locating the recommended default.
+"""
+
+from repro.analysis import run_e2_margin_ablation
+
+MARGINS = (1.0, 1.25, 1.5, 2.0, 3.0)
+
+
+def bench_e2_margin_ablation(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_e2_margin_ablation,
+        kwargs={"margins": MARGINS, "tree_gates": 60, "seed": 9},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Generous margins must be continuously feasible.
+    by_margin = {row[0]: row for row in result.rows}
+    assert by_margin[2.0][3] and by_margin[3.0][3]
+    # Cost is monotone (weakly) in the margin: stricter planning targets
+    # can only cost more.
+    costs = [row[1] for row in result.rows]
+    assert all(a <= b + 1e-9 for a, b in zip(costs, costs[1:]))

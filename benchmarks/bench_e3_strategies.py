@@ -1,0 +1,25 @@
+"""E3 (extension) — fix the patterns (ATPG top-off) vs fix the circuit (TPI).
+
+Expected shape: random alone stalls on the RPR suite; both remedies reach
+(near-)complete coverage — top-off pays in stored deterministic patterns,
+TPI pays in a handful of test points.
+"""
+
+from repro.analysis import run_e3_strategy_comparison
+
+E3_NAMES = ["eqcmp12", "wand16", "corridor12", "rprmix"]
+
+
+def bench_e3_strategy_comparison(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_e3_strategy_comparison,
+        kwargs={"names": E3_NAMES, "n_patterns": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    for row in result.rows:
+        name, random_cov, topoff_cov, _cubes, tpi_cov, _points = row
+        assert topoff_cov >= random_cov - 1e-9, name
+        assert topoff_cov > 0.99, name
+        assert tpi_cov > 0.97, name

@@ -1,0 +1,25 @@
+"""E4 (extension) — always-random vs multi-phase fixed-value control points.
+
+Expected shape: a handful of fixed-value phases matches the coverage of
+independent random drivers — few of the exponentially many control-value
+combinations matter, which is the premise of the multi-phase successor
+work.
+"""
+
+from repro.analysis import run_e4_multiphase
+
+E4_NAMES = ["wand16", "wor16", "rprmix", "eqcmp12"]
+
+
+def bench_e4_multiphase(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_e4_multiphase,
+        kwargs={"names": E4_NAMES, "n_patterns": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    for row in result.rows:
+        name, _points, random_cov, n_phases, phased_cov = row
+        assert n_phases <= 6, name
+        assert phased_cov >= random_cov - 0.03, name

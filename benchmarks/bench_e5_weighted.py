@@ -1,0 +1,27 @@
+"""E5 (extension) — weighted-random patterns vs test point insertion.
+
+Expected shape: weighted random rescues excitation-limited circuits (wide
+AND/OR cones) but cannot manufacture input correlations (equality
+comparator) — where TPI still reaches full coverage.
+"""
+
+from repro.analysis import run_e5_weighted_random
+
+E5_NAMES = ["wand16", "wor16", "eqcmp12", "rprmix"]
+
+
+def bench_e5_weighted_random(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_e5_weighted_random,
+        kwargs={"names": E5_NAMES, "n_patterns": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rows = {row[0]: row for row in result.rows}
+    # Excitation-limited: weighting wins big.
+    assert rows["wand16"][2] > rows["wand16"][1] + 0.3
+    # Correlation-limited: weighting is stuck, TPI is not.
+    assert rows["eqcmp12"][2] < rows["eqcmp12"][4] - 0.1
+    # TPI reaches (near-)complete coverage everywhere.
+    assert all(row[4] > 0.97 for row in result.rows)

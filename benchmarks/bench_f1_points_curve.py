@@ -1,0 +1,21 @@
+"""F1 — measured coverage vs number of inserted test points.
+
+Reproduces the "each point buys coverage" figure: prefixes of the DP
+heuristic placement are inserted one point at a time.  Expected shape: a
+rising series from the baseline to ≈100% at the full placement.
+"""
+
+from repro.analysis import run_f1_points_curve
+
+
+def bench_f1_points_curve(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_f1_points_curve,
+        kwargs={"name": "rprmix", "n_patterns": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    coverages = [row[2] for row in result.rows]
+    assert coverages[-1] > 0.97
+    assert coverages[-1] > coverages[0]

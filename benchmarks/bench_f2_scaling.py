@@ -1,0 +1,32 @@
+"""F2 — runtime scaling: polynomial DP vs exponential exhaustive search.
+
+Expected shape: DP time grows smoothly with tree size (low-degree
+polynomial); exhaustive search is only viable on the smallest entries and
+already dominates the DP there.
+"""
+
+from repro.analysis import run_f2_runtime_scaling
+
+TREE_SIZES = (5, 8, 10, 20, 40, 80, 120)
+
+
+def bench_f2_runtime_scaling(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_f2_runtime_scaling,
+        kwargs={
+            "tree_sizes": TREE_SIZES,
+            "threshold": 0.02,
+            "exhaustive_limit": 10,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    dp_seconds = [row[1] for row in result.rows]
+    # Polynomial shape check: over a size ratio R the runtime must stay
+    # within R² (quadratic) — an exponential algorithm would exceed this
+    # by hundreds of orders of magnitude at these sizes.  The bound is
+    # deliberately loose against machine-load timing noise.
+    size_ratio = TREE_SIZES[-1] / TREE_SIZES[0]
+    assert dp_seconds[-1] < (size_ratio**2) * max(dp_seconds[0], 1e-2)
+    assert all(row[2] is not None for row in result.rows)

@@ -1,0 +1,21 @@
+"""F3 — coverage vs test length, before and after insertion.
+
+Reproduces the classic BIST curve-shift figure.  Expected shape: the
+with-test-points series dominates the baseline everywhere past the first
+few patterns and reaches its plateau orders of magnitude earlier.
+"""
+
+from repro.analysis import run_f3_testlength_curves
+
+
+def bench_f3_testlength_curves(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_f3_testlength_curves,
+        kwargs={"name": "eqcmp12", "n_patterns": 8192},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    final = result.rows[-1]
+    assert final[2] >= final[1]  # modified dominates at full length
+    assert final[2] > 0.99

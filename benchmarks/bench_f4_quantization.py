@@ -1,0 +1,27 @@
+"""F4 — ablation: probability-grid density vs DP cost and runtime.
+
+The DP's only approximation knob is the quantization grid.  Expected
+shape: cost is flat or improving as the grid refines (a plateau by
+ratio ≈ 2), runtime grows with grid size — justifying the default.
+"""
+
+from repro.analysis import run_f4_quantization_ablation
+
+
+def bench_f4_quantization_ablation(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_f4_quantization_ablation,
+        kwargs={
+            "tree_gates": 40,
+            "seed": 2,
+            "threshold": 0.01,
+            "ratios": (4.0, 2.0, 1.5, 1.25),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    costs = [row[2] for row in result.rows]
+    sizes = [row[1] for row in result.rows]
+    assert sizes == sorted(sizes)
+    assert costs[-1] <= costs[0] + 1e-9

@@ -1,0 +1,45 @@
+"""T1 — benchmark circuit characteristics and baseline LFSR coverage.
+
+Reproduces the evaluation's workload table: size, depth, fanout structure,
+collapsed fault count, and unmodified random-pattern coverage per circuit.
+The timed kernel is the fault simulation of the full suite at 1k patterns.
+"""
+
+from repro.analysis import run_t1_circuit_characteristics
+
+#: Everything in the registry except the two large random DAGs (they are
+#: covered by F2-style scaling; keeping T1 fast keeps the harness usable).
+T1_NAMES = [
+    "c17",
+    "parity16",
+    "rca8",
+    "mult4",
+    "eqcmp12",
+    "magcmp8",
+    "mux16",
+    "dec4",
+    "alu4",
+    "wand16",
+    "wand20",
+    "wor16",
+    "corridor8",
+    "corridor12",
+    "rprmix",
+    "rprmix_big",
+    "rtree60",
+]
+
+
+def bench_t1_circuit_characteristics(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_t1_circuit_characteristics,
+        kwargs={"names": T1_NAMES, "n_patterns": 1024},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == len(T1_NAMES)
+    # Shape claim: the RPR stress circuits sit well below full coverage.
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["wand16"][-1] < 0.5
+    assert by_name["parity16"][-1] == 1.0

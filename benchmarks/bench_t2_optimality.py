@@ -1,0 +1,19 @@
+"""T2 — DP optimality against exhaustive search (the core claim).
+
+Both solvers score feasibility in the identical quantized probability
+algebra; the table must show "match = yes" on every row.  The timed kernel
+is the DP half of the comparison (the exhaustive half is the slow oracle).
+"""
+
+from repro.analysis import run_t2_dp_optimality
+
+
+def bench_t2_dp_optimality(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_t2_dp_optimality,
+        kwargs={"n_trees": 8, "tree_gates": 6, "thresholds": (0.02, 0.05, 0.10)},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert all(row[-1] for row in result.rows), "DP returned a suboptimal cost"

@@ -1,0 +1,26 @@
+"""T3 — DP vs greedy vs random cost on fanout-free circuits.
+
+Reproduces the solver-comparison table.  Expected shape: the DP's cost is
+never above greedy's by more than its safety margin implies, and random
+placement (when it terminates at all) is far more expensive.
+"""
+
+from repro.analysis import run_t3_tree_solver_comparison
+
+TREE_SPECS = [(20, 0), (20, 1), (40, 2), (40, 3), (60, 4), (80, 5)]
+
+
+def bench_t3_tree_solver_comparison(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_t3_tree_solver_comparison,
+        kwargs={"tree_specs": TREE_SPECS, "n_patterns": 4096},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert len(result.rows) == len(TREE_SPECS)
+    for row in result.rows:
+        _name, _gates, dp_cost, greedy_cost, random_cost, dp_ok, greedy_ok = row
+        assert dp_ok and greedy_ok
+        if random_cost is not None:
+            assert random_cost >= min(dp_cost, greedy_cost)

@@ -1,0 +1,32 @@
+"""Shared plumbing for the table/figure reproduction harness.
+
+Every ``bench_*`` module reproduces one table or figure of the
+reconstructed evaluation (DESIGN.md §5).  The rendered table is printed
+(visible with ``-s``) and archived under ``benchmarks/results/`` so the
+numbers survive the pytest capture; pytest-benchmark times the
+computational kernel of each experiment.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Return a callable persisting an ExperimentResult to disk + stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result) -> None:
+        text = result.render()
+        (RESULTS_DIR / f"{result.experiment_id.lower()}.txt").write_text(
+            text + "\n"
+        )
+        print("\n" + text, file=sys.stderr)
+
+    return _record

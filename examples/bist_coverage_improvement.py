@@ -1,0 +1,64 @@
+"""Scenario: making a reconvergent, random-pattern-resistant design BIST-ready.
+
+Run with::
+
+    python examples/bist_coverage_improvement.py
+
+The workload is ``rprmix_big`` — wide AND cones feeding low-observability
+corridors, XOR-mixed, with reconvergent fanout — the kind of logic whose
+stuck-at coverage stalls far below target under pseudo-random patterns.
+The script compares the DP-on-regions heuristic against the classic greedy
+baseline, then prints the measured coverage-vs-test-length series for the
+chosen placement (the paper's curve-shift figure).
+"""
+
+from repro.circuit import benchmark
+from repro.core import (
+    TPIProblem,
+    evaluate_solution,
+    solve_dp_heuristic,
+    solve_greedy,
+)
+
+N_PATTERNS = 8192
+
+
+def main() -> None:
+    circuit = benchmark("rprmix_big")
+    print(f"circuit: {circuit!r}")
+    problem = TPIProblem.from_test_length(
+        circuit, n_patterns=N_PATTERNS, escape_budget=0.001
+    )
+
+    print("\n--- DP-on-regions heuristic (the paper's approach) ---")
+    dp_solution = solve_dp_heuristic(problem)
+    print(dp_solution.describe())
+    dp_report = evaluate_solution(problem, dp_solution, N_PATTERNS)
+
+    print("\n--- greedy baseline ---")
+    greedy_solution = solve_greedy(problem)
+    print(
+        f"greedy: feasible={greedy_solution.feasible} "
+        f"cost={greedy_solution.cost:g} points={len(greedy_solution.points)}"
+    )
+    greedy_report = evaluate_solution(problem, greedy_solution, N_PATTERNS)
+
+    print("\n--- measured coverage ---")
+    header = f"{'method':12s} {'#CP':>4s} {'#OP':>4s} {'before':>8s} {'after':>8s}"
+    print(header)
+    for label, report in (("dp-regions", dp_report), ("greedy", greedy_report)):
+        print(
+            f"{label:12s} {report.n_control:4d} {report.n_observation:4d} "
+            f"{100 * report.baseline_coverage:7.2f}% "
+            f"{100 * report.modified_coverage:7.2f}%"
+        )
+
+    print("\n--- coverage vs test length (dp-regions placement) ---")
+    modified = dict(dp_report.modified_curve)
+    print(f"{'patterns':>9s} {'baseline':>9s} {'with TPs':>9s}")
+    for n, base in dp_report.baseline_curve:
+        print(f"{n:9d} {100 * base:8.2f}% {100 * modified[n]:8.2f}%")
+
+
+if __name__ == "__main__":
+    main()

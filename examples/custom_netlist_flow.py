@@ -1,0 +1,77 @@
+"""Scenario: bringing your own netlist through the full DFT flow.
+
+Run with::
+
+    python examples/custom_netlist_flow.py
+
+Builds a custom datapath-ish block with the fluent builder (a comparator
+gating a corridor — deliberately hard for random patterns), round-trips it
+through the ISCAS ``.bench`` interchange format, identifies its
+random-pattern-resistant faults analytically, and fixes them with the
+DP-on-regions heuristic.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.circuit import CircuitBuilder, parse_bench_file, write_bench_file
+from repro.core import (
+    TPIProblem,
+    evaluate_solution,
+    prepare_for_tpi,
+    solve_dp_heuristic,
+)
+from repro.testability import detection_probabilities, random_pattern_resistant_faults
+
+
+def build_block():
+    """An 8-bit equality check gating a 5-deep enable corridor."""
+    b = CircuitBuilder("match_gate")
+    a = b.inputs(*[f"a{i}" for i in range(8)])
+    c = b.inputs(*[f"b{i}" for i in range(8)])
+    eqs = [b.xnor(a[i], c[i], name=f"eq{i}") for i in range(8)]
+    match = b.and_(*eqs, name="match")
+    cur = match
+    for i in range(5):
+        en = b.input(f"en{i}")
+        cur = b.and_(cur, en, name=f"gate{i}")
+    b.output(cur)
+    b.output(b.or_(a[0], c[0], name="alive"))
+    return b.build()
+
+
+def main() -> None:
+    circuit = build_block()
+    print(f"built: {circuit!r}")
+
+    # Round-trip through the interchange format, as a real flow would.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "match_gate.bench"
+        write_bench_file(circuit, path)
+        circuit = parse_bench_file(path)
+    print(f"reloaded from .bench: {circuit!r}")
+
+    # Planning requires 2-input gates (the wide AND is decomposed).
+    circuit = prepare_for_tpi(circuit)
+    problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+
+    rpr = random_pattern_resistant_faults(circuit, problem.threshold)
+    probs = detection_probabilities(circuit)
+    print(f"\nrandom-pattern-resistant faults at θ={problem.threshold:.5f}: {len(rpr)}")
+    worst = sorted(rpr, key=lambda f: probs[f])[:5]
+    for fault in worst:
+        print(f"  {fault.describe():24s} detection ≈ {probs[fault]:.2e}")
+
+    solution = solve_dp_heuristic(problem)
+    print(f"\n{solution.describe()}")
+
+    report = evaluate_solution(problem, solution, 4096)
+    print(
+        f"\nmeasured coverage: {100 * report.baseline_coverage:.2f}% -> "
+        f"{100 * report.modified_coverage:.2f}% "
+        f"({report.n_control} CP + {report.n_observation} OP)"
+    )
+
+
+if __name__ == "__main__":
+    main()

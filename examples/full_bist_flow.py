@@ -1,0 +1,76 @@
+"""Scenario: the complete self-test story, end to end.
+
+Run with::
+
+    python examples/full_bist_flow.py
+
+Chains every subsystem the way a production BIST insertion flow would:
+
+1. analyze a random-pattern-resistant design;
+2. insert test points with the DP heuristic;
+3. run the full BIST loop (LFSR stimulus → modified CUT → MISR signature)
+   and report coverage *as the BIST controller sees it*, aliasing included;
+4. top off the last stragglers with deterministic PODEM cubes.
+"""
+
+from repro.atpg import top_off
+from repro.bist import BISTArchitecture, run_bist
+from repro.circuit import benchmark
+from repro.core import (
+    TPIProblem,
+    apply_test_points,
+    prepare_for_tpi,
+    solve_dp_heuristic,
+)
+from repro.sim import LFSRSource
+
+N_PATTERNS = 4096
+
+
+def main() -> None:
+    # 1. The design under test.
+    circuit = prepare_for_tpi(benchmark("rprmix"))
+    print(f"design: {circuit!r}")
+
+    arch = BISTArchitecture(
+        n_patterns=N_PATTERNS,
+        misr_width=16,
+        source=LFSRSource(degree=24, seed=0xBEEF),
+    )
+
+    baseline = run_bist(circuit, arch)
+    print(
+        f"\nunmodified BIST run: output coverage "
+        f"{100 * baseline.output_coverage:.2f}%, signature coverage "
+        f"{100 * baseline.signature_coverage:.2f}% "
+        f"(golden signature 0x{baseline.golden_signature:04x})"
+    )
+
+    # 2. Insert test points.
+    problem = TPIProblem.from_test_length(
+        circuit, n_patterns=N_PATTERNS, escape_budget=0.001
+    )
+    solution = solve_dp_heuristic(problem)
+    print(f"\ninserted {len(solution.points)} test points "
+          f"(cost {solution.cost:g}):")
+    for point in solution.points:
+        print(f"  {point.describe()}")
+    insertion = apply_test_points(circuit, solution.points)
+
+    # 3. BIST run on the modified design, over the original fault universe.
+    live_faults = [m for m in insertion.fault_map.values() if m is not None]
+    modified = run_bist(insertion.circuit, arch, faults=live_faults)
+    print(
+        f"\nmodified BIST run: output coverage "
+        f"{100 * modified.output_coverage:.2f}%, signature coverage "
+        f"{100 * modified.signature_coverage:.2f}%, "
+        f"aliased faults: {len(modified.aliased)}"
+    )
+
+    # 4. Deterministic top-off for anything left.
+    report = top_off(insertion.circuit, n_random_patterns=N_PATTERNS)
+    print(f"\ntop-off on the modified design: {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

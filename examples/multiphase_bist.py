@@ -1,0 +1,75 @@
+"""Scenario: multi-phase fixed-value control points (the extension).
+
+Run with::
+
+    python examples/multiphase_bist.py
+
+The 1987 scheme drives every control point from its own pseudo-random
+scan cell.  The extension implemented in ``repro.core.phases`` (the
+direction that became multi-phase TPI in the later literature) drives
+AND/OR-type points with *fixed values*, grouped into phases enabled by a
+phase decoder — far cheaper hardware.  This script plans a placement,
+schedules it into phases, checks every fault's escape probability
+analytically, and confirms the measured coverage of the phased test.
+"""
+
+from repro.circuit import benchmark
+from repro.core import (
+    TestPointType,
+    TPIProblem,
+    evaluate_solution,
+    measure_phase_coverage,
+    phase_escape_probabilities,
+    prepare_for_tpi,
+    schedule_phases,
+    solve_dp_heuristic,
+)
+
+N_PATTERNS = 4096
+FIXED_TYPES = (
+    TestPointType.OBSERVATION,
+    TestPointType.CONTROL_AND,
+    TestPointType.CONTROL_OR,
+)
+
+
+def main() -> None:
+    circuit = prepare_for_tpi(benchmark("rprmix_big"))
+    print(f"design: {circuit!r}")
+    problem = TPIProblem.from_test_length(
+        circuit, n_patterns=N_PATTERNS, allowed_types=FIXED_TYPES
+    )
+
+    solution = solve_dp_heuristic(problem)
+    print(f"\nplacement ({len(solution.points)} points, cost {solution.cost:g}):")
+    for point in solution.points:
+        print(f"  {point.describe()}")
+
+    plan = schedule_phases(problem, solution.points, n_patterns=N_PATTERNS)
+    print(f"\n{plan.describe()}")
+
+    escapes = phase_escape_probabilities(problem, plan, N_PATTERNS)
+    worst = max(escapes.values())
+    at_risk = sum(1 for e in escapes.values() if e > 0.001)
+    print(
+        f"\nanalytic check: worst per-fault escape probability "
+        f"{worst:.2e}; {at_risk}/{len(escapes)} faults above the 0.1% budget"
+    )
+
+    phased = measure_phase_coverage(problem, plan, N_PATTERNS)
+    random_driven = evaluate_solution(problem, solution, N_PATTERNS)
+    print(
+        f"\nmeasured coverage: unmodified "
+        f"{100 * random_driven.baseline_coverage:.2f}% | "
+        f"random-driven CPs {100 * random_driven.modified_coverage:.2f}% | "
+        f"fixed-value {plan.n_phases}-phase test {100 * phased:.2f}%"
+    )
+    print(
+        "\nTake-away: a couple of fixed-value phases recover the coverage "
+        "of fully\nrandom control points — with a phase decoder instead of "
+        "a scan cell per point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Scenario: why the DP stops at fanout-free circuits — SAT in disguise.
+
+Run with::
+
+    python examples/np_hardness_demo.py
+
+The paper's complexity result says optimal test point insertion is
+NP-complete once fanout reconverges.  This demo makes the reduction
+tangible: a CNF formula becomes a netlist whose reconvergent variable
+stems encode the formula's consistency constraints, and deciding whether
+ONE fault of that netlist is excitable is exactly deciding satisfiability.
+The script cross-checks the testability oracle against brute-force SAT on
+random 3-CNF instances near the phase transition.
+"""
+
+from repro.core import (
+    brute_force_sat,
+    cnf_to_circuit,
+    is_satisfiable_via_testability,
+    random_cnf,
+)
+from repro.circuit import reconvergent_stems
+
+
+def show(cnf) -> str:
+    return " ∧ ".join(
+        "(" + " ∨ ".join((f"x{l}" if l > 0 else f"¬x{-l}") for l in c) + ")"
+        for c in cnf
+    )
+
+
+def main() -> None:
+    print("Tiny worked example:")
+    cnf = [[1, 2], [-1, 2], [1, -2]]
+    circuit = cnf_to_circuit(cnf)
+    print(f"  formula: {show(cnf)}")
+    print(f"  netlist: {circuit!r}")
+    print(f"  reconvergent stems: {reconvergent_stems(circuit)}")
+    print(f"  'sat' s-a-0 excitable?  {is_satisfiable_via_testability(cnf)}")
+    print(f"  brute-force SAT?        {brute_force_sat(cnf) is not None}")
+
+    print("\nRandom 3-CNF sweep (n=6 variables, 26 clauses ≈ phase transition):")
+    agree = 0
+    for seed in range(16):
+        cnf = random_cnf(6, 26, seed=seed)
+        via_fault = is_satisfiable_via_testability(cnf)
+        via_search = brute_force_sat(cnf) is not None
+        agree += via_fault == via_search
+        print(
+            f"  seed {seed:2d}: testability says {str(via_fault):5s} "
+            f"| SAT search says {str(via_search):5s}"
+        )
+    print(f"\nagreement: {agree}/16 (must be 16 — the reduction is exact)")
+    print(
+        "\nMoral: exact testability analysis on reconvergent circuits "
+        "decides SAT,\nso no polynomial TPI planner can be exact there — "
+        "the DP earns its\noptimality guarantee precisely on fanout-free "
+        "structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

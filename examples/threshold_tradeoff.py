@@ -1,0 +1,50 @@
+"""Scenario: exploring the test-length / hardware-cost trade-off.
+
+Run with::
+
+    python examples/threshold_tradeoff.py
+
+The detection threshold θ ties pattern budget to hardware: a shorter test
+demands a higher θ, which demands more test points.  This script sweeps
+the pattern budget on a fanout-free RPR circuit and reports, for each
+budget, the DP's minimum hardware cost and the placement mix — the curve a
+DFT engineer actually negotiates with.
+"""
+
+from repro.circuit import benchmark
+from repro.core import TPIProblem, solve_tree
+from repro.testability import required_threshold
+
+PATTERN_BUDGETS = [256, 1024, 4096, 16384, 65536]
+ESCAPE = 0.001
+
+
+def main() -> None:
+    # A fanout-free RPR circuit, so the exact DP applies directly.
+    circuit = benchmark("wand16")
+    print(f"circuit: {circuit!r}, escape budget {ESCAPE}")
+    print(
+        f"{'patterns':>9s} {'theta':>10s} {'cost':>6s} {'#CP':>4s} "
+        f"{'#OP':>4s} {'feasible':>9s}"
+    )
+    for n_patterns in PATTERN_BUDGETS:
+        problem = TPIProblem.from_test_length(
+            circuit, n_patterns=n_patterns, escape_budget=ESCAPE
+        )
+        solution = solve_tree(problem, margin=1.5)
+        theta = required_threshold(n_patterns, ESCAPE)
+        print(
+            f"{n_patterns:9d} {theta:10.6f} {solution.cost:6g} "
+            f"{len(solution.control_points()):4d} "
+            f"{len(solution.observation_points()):4d} "
+            f"{str(solution.feasible):>9s}"
+        )
+    print(
+        "\nShape to expect: tighter pattern budgets (higher θ) force more "
+        "hardware;\ngenerous budgets let the circuit pass with fewer or "
+        "zero test points."
+    )
+
+
+if __name__ == "__main__":
+    main()

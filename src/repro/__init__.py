@@ -1,0 +1,38 @@
+"""repro — dynamic-programming test point insertion, reproduced end to end.
+
+A production-style reproduction of B. Krishnamurthy, *"A Dynamic
+Programming Approach to the Test Point Insertion Problem"* (DAC 1987),
+together with every substrate the system needs: a gate-level netlist model,
+pattern-parallel logic and fault simulation, COP/SCOAP testability
+analysis, and a benchmark circuit suite.
+
+Quick start::
+
+    from repro.circuit import benchmark
+    from repro.core import TPIProblem, solve_tree, evaluate_solution
+
+    circuit = benchmark("wand16")                 # fanout-free RPR circuit
+    problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+    solution = solve_tree(problem)                # the paper's DP
+    report = evaluate_solution(problem, solution, n_patterns=4096)
+    print(report.row())
+
+Packages: :mod:`repro.circuit` (netlists), :mod:`repro.sim` (simulation),
+:mod:`repro.testability` (COP/SCOAP), :mod:`repro.core` (the TPI
+algorithms), :mod:`repro.analysis` (experiment harness).
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, atpg, bist, circuit, core, sim, testability
+
+__all__ = [
+    "analysis",
+    "atpg",
+    "bist",
+    "circuit",
+    "core",
+    "sim",
+    "testability",
+    "__version__",
+]

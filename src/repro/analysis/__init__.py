@@ -1,0 +1,41 @@
+"""Experiment harness and reporting for the reconstructed evaluation."""
+
+from .experiments import (
+    ExperimentResult,
+    run_e1_misr_aliasing,
+    run_e2_margin_ablation,
+    run_e3_strategy_comparison,
+    run_e4_multiphase,
+    run_e5_weighted_random,
+    run_f1_points_curve,
+    run_f2_runtime_scaling,
+    run_f3_testlength_curves,
+    run_f4_quantization_ablation,
+    run_t1_circuit_characteristics,
+    run_t2_dp_optimality,
+    run_t3_tree_solver_comparison,
+    run_t4_coverage_improvement,
+)
+from .report import TestabilityReport, testability_report
+from .tables import Table, format_value
+
+__all__ = [
+    "Table",
+    "format_value",
+    "TestabilityReport",
+    "testability_report",
+    "ExperimentResult",
+    "run_t1_circuit_characteristics",
+    "run_t2_dp_optimality",
+    "run_t3_tree_solver_comparison",
+    "run_t4_coverage_improvement",
+    "run_f1_points_curve",
+    "run_f2_runtime_scaling",
+    "run_f3_testlength_curves",
+    "run_f4_quantization_ablation",
+    "run_e1_misr_aliasing",
+    "run_e2_margin_ablation",
+    "run_e3_strategy_comparison",
+    "run_e4_multiphase",
+    "run_e5_weighted_random",
+]

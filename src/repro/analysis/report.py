@@ -1,0 +1,159 @@
+"""Per-circuit testability profile reports.
+
+:func:`testability_report` condenses everything an engineer asks about a
+netlist before deciding on DFT insertion: structure, fault population,
+COP/SCOAP extremes, the random-pattern-resistant fault list at a given
+test length, and the fanout-free region decomposition the DP heuristic
+will plan over.  Rendered by the CLI's ``report`` subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.analysis import fanout_free_regions, reconvergent_stems
+from ..circuit.netlist import Circuit
+from ..sim.faults import Fault, collapse_faults, testable_stuck_at_faults
+from ..testability.cop import cop_measures
+from ..testability.detection import detection_probabilities
+from ..testability.scoap import scoap_measures
+from ..testability.testlength import required_test_length, required_threshold
+from .tables import Table
+
+__all__ = ["TestabilityReport", "testability_report"]
+
+
+@dataclass
+class TestabilityReport:
+    """Structured testability profile of one circuit.
+
+    Attributes
+    ----------
+    circuit_name:
+        Profiled netlist.
+    stats:
+        Structural statistics (gates, depth, stems, …).
+    n_faults / n_collapsed:
+        Full and equivalence-collapsed stuck-at counts.
+    n_regions / largest_region / n_reconvergent_stems:
+        Decomposition facts driving solver choice.
+    threshold:
+        θ implied by the profiled test length and escape budget.
+    rpr_faults:
+        Faults below θ, hardest first, with model detection probability.
+    hardest_test_length:
+        Patterns the hardest fault needs for 99.9% confidence.
+    skewed_nodes:
+        The most probability-skewed internal nodes (control-point bait).
+    blind_nodes:
+        The least observable nodes (observation-point bait).
+    """
+
+    circuit_name: str
+    stats: Dict[str, int]
+    n_faults: int
+    n_collapsed: int
+    n_regions: int
+    largest_region: int
+    n_reconvergent_stems: int
+    threshold: float
+    rpr_faults: List[Tuple[Fault, float]] = field(default_factory=list)
+    hardest_test_length: float = 0.0
+    skewed_nodes: List[Tuple[str, float]] = field(default_factory=list)
+    blind_nodes: List[Tuple[str, float]] = field(default_factory=list)
+
+    def render(self, max_rows: int = 10) -> str:
+        """Human-readable multi-section report."""
+        lines = [f"Testability report — {self.circuit_name}", ""]
+        for key, value in self.stats.items():
+            lines.append(f"  {key:12s} {value}")
+        lines.append(f"  {'faults':12s} {self.n_faults} "
+                     f"({self.n_collapsed} collapsed)")
+        lines.append(
+            f"  {'regions':12s} {self.n_regions} "
+            f"(largest {self.largest_region} gates, "
+            f"{self.n_reconvergent_stems} reconvergent stems)"
+        )
+        lines.append("")
+        lines.append(
+            f"Random-pattern-resistant faults at θ = {self.threshold:.6f}: "
+            f"{len(self.rpr_faults)}"
+        )
+        if self.rpr_faults:
+            t = Table(["fault", "detection prob", "patterns for 99.9%"], precision=6)
+            for fault, d in self.rpr_faults[:max_rows]:
+                t.add_row(
+                    [
+                        fault.describe(),
+                        d,
+                        required_test_length(d, 0.999)
+                        if d > 0
+                        else float("inf"),
+                    ]
+                )
+            lines.append(t.render())
+            if len(self.rpr_faults) > max_rows:
+                lines.append(f"  … and {len(self.rpr_faults) - max_rows} more")
+        lines.append("")
+        if self.skewed_nodes:
+            lines.append("Most probability-skewed nodes (control-point candidates):")
+            for name, p in self.skewed_nodes[:max_rows]:
+                lines.append(f"  {name:20s} P[1] = {p:.5f}")
+        if self.blind_nodes:
+            lines.append("Least observable nodes (observation-point candidates):")
+            for name, obs in self.blind_nodes[:max_rows]:
+                lines.append(f"  {name:20s} obs = {obs:.6f}")
+        return "\n".join(lines)
+
+
+def testability_report(
+    circuit: Circuit,
+    n_patterns: int = 4096,
+    escape_budget: float = 0.001,
+    top_k: int = 20,
+) -> TestabilityReport:
+    """Profile ``circuit`` for a given BIST budget."""
+    circuit.validate()
+    theta = required_threshold(n_patterns, escape_budget)
+    faults = testable_stuck_at_faults(circuit)
+    collapsed = collapse_faults(circuit)
+    cop = cop_measures(circuit)
+    probs = detection_probabilities(circuit, faults=faults, cop=cop)
+    rpr = sorted(
+        ((f, d) for f, d in probs.items() if d < theta),
+        key=lambda fd: (fd[1], fd[0].sort_key()),
+    )
+    regions = fanout_free_regions(circuit)
+    hardest = min(probs.values(), default=1.0)
+
+    internal = [n.name for n in circuit.gates]
+    skewed = sorted(
+        ((n, cop.probability[n]) for n in internal),
+        key=lambda np_: (-abs(np_[1] - 0.5), np_[0]),
+    )[:top_k]
+    blind = sorted(
+        ((n, cop.observability[n]) for n in internal),
+        key=lambda no: (no[1], no[0]),
+    )[:top_k]
+
+    # SCOAP is computed for its side effect of validating on the netlist
+    # and to fail fast on unsupported structures.
+    scoap_measures(circuit)
+
+    return TestabilityReport(
+        circuit_name=circuit.name,
+        stats=circuit.stats(),
+        n_faults=len(faults),
+        n_collapsed=collapsed.size(),
+        n_regions=len(regions),
+        largest_region=max((r.size() for r in regions), default=0),
+        n_reconvergent_stems=len(reconvergent_stems(circuit)),
+        threshold=theta,
+        rpr_faults=rpr,
+        hardest_test_length=(
+            required_test_length(hardest, 0.999) if hardest > 0 else float("inf")
+        ),
+        skewed_nodes=skewed,
+        blind_nodes=blind,
+    )

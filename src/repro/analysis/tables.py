@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints paper-style tables; this module owns the
+formatting so every experiment renders consistently (fixed-width columns,
+deterministic ordering, optional markdown flavor).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+__all__ = ["Table", "format_value"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, None an em-dash."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["circuit", "cost"])
+    >>> t.add_row(["c17", 1.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], precision: int = 3) -> None:
+        self.headers = list(headers)
+        self.precision = precision
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Cell]) -> None:
+        """Append one row (cells are formatted immediately)."""
+        row = [format_value(c, self.precision) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Render the table as aligned plain text."""
+        widths = self._widths()
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self, title: Optional[str] = None) -> str:
+        """Render the table as GitHub-flavored markdown."""
+        lines: List[str] = []
+        if title:
+            lines.append(f"### {title}")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Deterministic test generation (PODEM) and the random+top-off flow."""
+
+from .podem import ATPGResult, ATPGStatus, Podem
+from .topoff import TopOffReport, top_off
+from .values import X, is_binary, ternary_gate_eval
+
+__all__ = [
+    "Podem",
+    "ATPGResult",
+    "ATPGStatus",
+    "TopOffReport",
+    "top_off",
+    "X",
+    "is_binary",
+    "ternary_gate_eval",
+]

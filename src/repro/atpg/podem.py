@@ -1,0 +1,321 @@
+"""PODEM: path-oriented decision making for combinational ATPG.
+
+PODEM (Goel 1981) searches over primary-input assignments only: pick an
+*objective* (a node/value pair that advances fault excitation or
+propagation), *backtrace* it to an unassigned input, assign, imply, and
+backtrack on dead ends.  Because the decision space is exactly the input
+cube, exhausting it **proves a fault untestable** — which is how the
+library identifies redundant faults.
+
+Used here as the deterministic *top-off* companion to test point
+insertion: after random patterns (with or without inserted points) plateau,
+PODEM generates compact test cubes for the stragglers
+(:mod:`repro.atpg.topoff`).
+
+The implementation keeps two ternary machines — good and faulty — instead
+of a fused five-valued algebra; a fault effect exists on a node when both
+machines are binary and disagree (the D/D̄ of the classic notation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.gates import GateType, controlling_value
+from ..circuit.netlist import Circuit
+from ..sim.faults import Fault
+from ..testability.scoap import SCOAPResult, scoap_measures
+from .values import X, is_binary, ternary_gate_eval
+
+__all__ = ["ATPGStatus", "ATPGResult", "Podem"]
+
+
+class ATPGStatus(enum.Enum):
+    """Outcome of one test-generation attempt."""
+
+    TESTABLE = "testable"
+    UNTESTABLE = "untestable"  # decision space exhausted: redundant fault
+    ABORTED = "aborted"  # backtrack limit hit: status unknown
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class ATPGResult:
+    """One fault's test-generation outcome.
+
+    Attributes
+    ----------
+    fault:
+        The targeted fault.
+    status:
+        Testable / untestable / aborted.
+    cube:
+        For testable faults: a map input → 0/1 covering only the assigned
+        inputs (unassigned inputs are don't-cares).
+    backtracks:
+        Search effort spent.
+    """
+
+    fault: Fault
+    status: ATPGStatus
+    cube: Optional[Dict[str, int]] = None
+    backtracks: int = 0
+
+
+@dataclass
+class _Decision:
+    """One PI decision on the implicit search stack."""
+
+    input_name: str
+    value: int
+    flipped: bool = False
+
+
+class Podem:
+    """PODEM test generator bound to one circuit.
+
+    Parameters
+    ----------
+    circuit:
+        Combinational netlist (any gate arity).
+    backtrack_limit:
+        Abort threshold per fault; exhausted search below the limit proves
+        untestability.
+    """
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 5000) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self._order = circuit.topological_order()
+        self._out_set = set(circuit.outputs)
+        self._scoap: SCOAPResult = scoap_measures(circuit)
+
+    # ------------------------------------------------------------------
+    # Ternary simulation of good + faulty machines
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, fault: Fault, assignment: Dict[str, int]
+    ) -> Tuple[Dict[str, Optional[int]], Dict[str, Optional[int]]]:
+        good: Dict[str, Optional[int]] = {}
+        faulty: Dict[str, Optional[int]] = {}
+        for name in self._order:
+            node = self.circuit.node(name)
+            if node.is_input:
+                g = assignment.get(name, X)
+                f = g
+            else:
+                g = ternary_gate_eval(
+                    node.gate_type, [good[fi] for fi in node.fanins]
+                )
+                fanin_f = []
+                for pin, fi in enumerate(node.fanins):
+                    v = faulty[fi]
+                    if fault.branch == (name, pin):
+                        v = fault.value
+                    fanin_f.append(v)
+                f = ternary_gate_eval(node.gate_type, fanin_f)
+            if fault.branch is None and name == fault.node:
+                f = fault.value
+            good[name] = g
+            faulty[name] = f
+        return good, faulty
+
+    @staticmethod
+    def _has_effect(g: Optional[int], f: Optional[int]) -> bool:
+        return is_binary(g) and is_binary(f) and g != f
+
+    def _detected(self, good, faulty) -> bool:
+        return any(
+            self._has_effect(good[po], faulty[po]) for po in self._out_set
+        )
+
+    # ------------------------------------------------------------------
+    # Objective selection
+    # ------------------------------------------------------------------
+    def _excitation_objective(
+        self, fault: Fault, good, faulty
+    ) -> Optional[Tuple[str, int]]:
+        """Set the fault site's good value opposite the stuck value."""
+        site_good = good[fault.node]
+        if site_good is X:
+            return (fault.node, fault.value ^ 1)
+        if site_good == fault.value:
+            return None  # good value equals stuck value: conflict
+        return "excited"  # type: ignore[return-value]
+
+    def _d_frontier(self, fault: Fault, good, faulty) -> List[str]:
+        """Gates with a fault effect on some input and an X output."""
+        frontier = []
+        for name in self._order:
+            node = self.circuit.node(name)
+            if not node.is_gate or not node.fanins:
+                continue
+            if good[name] is not X or faulty[name] is not X:
+                # Effect already propagated or blocked here.
+                if self._has_effect(good[name], faulty[name]):
+                    continue
+                if good[name] is not X and faulty[name] is not X:
+                    continue
+            has_input_effect = False
+            for pin, fi in enumerate(node.fanins):
+                gv, fv = good[fi], faulty[fi]
+                if fault.branch == (name, pin):
+                    fv = fault.value
+                if self._has_effect(gv, fv):
+                    has_input_effect = True
+                    break
+            if has_input_effect and (good[name] is X or faulty[name] is X):
+                frontier.append(name)
+        return frontier
+
+    def _propagation_objective(
+        self, fault: Fault, good, faulty
+    ) -> Optional[Tuple[str, int]]:
+        """Drive a side input of the closest-to-output D-frontier gate."""
+        frontier = self._d_frontier(fault, good, faulty)
+        if not frontier:
+            return None
+        levels = self.circuit.levels()
+        # Prefer frontier gates with the cheapest remaining observability.
+        frontier.sort(key=lambda n: (self._scoap.co.get(n, 0), -levels[n], n))
+        for gate_name in frontier:
+            node = self.circuit.node(gate_name)
+            nc = controlling_value(node.gate_type)
+            for fi in node.fanins:
+                if good[fi] is X:
+                    if nc is None:
+                        return (fi, 0)  # XOR side input: either value works
+                    return (fi, nc ^ 1)  # non-controlling value
+        return None
+
+    # ------------------------------------------------------------------
+    # Backtrace
+    # ------------------------------------------------------------------
+    def _backtrace(
+        self, objective: Tuple[str, int], good
+    ) -> Optional[Tuple[str, int]]:
+        """Walk the objective to an unassigned primary input."""
+        name, value = objective
+        guard = 0
+        while True:
+            guard += 1
+            if guard > len(self._order) + 4:
+                return None  # defensive: malformed walk
+            node = self.circuit.node(name)
+            if node.is_input:
+                if good[name] is not X:
+                    return None
+                return (name, value)
+            gt = node.gate_type
+            if gt in (GateType.CONST0, GateType.CONST1):
+                return None
+            if gt is GateType.NOT:
+                name, value = node.fanins[0], value ^ 1
+                continue
+            if gt is GateType.BUF:
+                name = node.fanins[0]
+                continue
+            inverted = gt in (GateType.NAND, GateType.NOR, GateType.XNOR)
+            want = value ^ 1 if inverted else value
+            x_inputs = [fi for fi in node.fanins if good[fi] is X]
+            if not x_inputs:
+                return None
+            cv = controlling_value(gt)
+            if gt in (GateType.XOR, GateType.XNOR):
+                # Parity: fix all-but-one X input to 0, steer the last one.
+                name, value = x_inputs[0], want if len(x_inputs) == 1 else 0
+                continue
+            if want == (cv ^ 1):
+                # All inputs must be non-controlling: pick the hardest X
+                # input first (classic heuristic: fail fast).
+                name = max(
+                    x_inputs,
+                    key=lambda fi: self._hardness(fi, cv ^ 1),
+                )
+                value = cv ^ 1
+            else:
+                # One controlling input suffices: pick the easiest.
+                name = min(x_inputs, key=lambda fi: self._hardness(fi, cv))
+                value = cv
+        # unreachable
+
+    def _hardness(self, name: str, value: int) -> int:
+        return self._scoap.cc1[name] if value else self._scoap.cc0[name]
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def generate(self, fault: Fault) -> ATPGResult:
+        """Attempt to generate a test cube for ``fault``."""
+        assignment: Dict[str, int] = {}
+        stack: List[_Decision] = []
+        backtracks = 0
+
+        while True:
+            good, faulty = self._simulate(fault, assignment)
+            if self._detected(good, faulty):
+                return ATPGResult(
+                    fault=fault,
+                    status=ATPGStatus.TESTABLE,
+                    cube=dict(assignment),
+                    backtracks=backtracks,
+                )
+
+            objective: Optional[Tuple[str, int]]
+            excitation = self._excitation_objective(fault, good, faulty)
+            if excitation is None:
+                objective = None  # conflict at the site
+            elif excitation == "excited":
+                objective = self._propagation_objective(fault, good, faulty)
+            else:
+                objective = excitation
+
+            move: Optional[Tuple[str, int]] = None
+            if objective is not None:
+                move = self._backtrace(objective, good)
+
+            if move is not None:
+                pi, value = move
+                assignment[pi] = value
+                stack.append(_Decision(pi, value))
+                continue
+
+            # Dead end: backtrack.
+            backtracks += 1
+            if backtracks > self.backtrack_limit:
+                return ATPGResult(
+                    fault=fault, status=ATPGStatus.ABORTED, backtracks=backtracks
+                )
+            while stack and stack[-1].flipped:
+                dead = stack.pop()
+                del assignment[dead.input_name]
+            if not stack:
+                return ATPGResult(
+                    fault=fault,
+                    status=ATPGStatus.UNTESTABLE,
+                    backtracks=backtracks,
+                )
+            top = stack[-1]
+            top.value ^= 1
+            top.flipped = True
+            assignment[top.input_name] = top.value
+
+    # ------------------------------------------------------------------
+    def generate_all(
+        self, faults: Sequence[Fault]
+    ) -> Dict[Fault, ATPGResult]:
+        """Run :meth:`generate` over a fault list."""
+        return {f: self.generate(f) for f in faults}
+
+    def untestable_faults(self, faults: Sequence[Fault]) -> List[Fault]:
+        """Faults *proven* untestable (aborted faults are not included)."""
+        return [
+            f
+            for f, r in self.generate_all(faults).items()
+            if r.status is ATPGStatus.UNTESTABLE
+        ]

@@ -1,0 +1,149 @@
+"""Deterministic top-off: ATPG cubes for the faults random patterns miss.
+
+The classic production flow this library supports end to end:
+
+1. apply a pseudo-random pattern budget (optionally after test point
+   insertion) and fault simulate;
+2. hand the surviving faults to PODEM;
+3. fill each cube's don't-cares randomly and append the deterministic
+   patterns, re-simulating to confirm the kill.
+
+The result separates *proven redundant* faults (PODEM exhausted the input
+space) from aborts, so the reported "coverage of detectable faults" is
+exact — the number the literature quotes for circuits with redundancy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..circuit.netlist import Circuit
+from ..sim.fault_sim import FaultSimulator
+from ..sim.faults import Fault, collapse_faults
+from ..sim.patterns import PatternSource, UniformRandomSource
+from .podem import ATPGStatus, Podem
+
+__all__ = ["TopOffReport", "top_off"]
+
+
+@dataclass
+class TopOffReport:
+    """Outcome of the random-then-deterministic flow.
+
+    Attributes
+    ----------
+    n_random_patterns / n_deterministic_patterns:
+        Budget split between the two phases.
+    random_coverage:
+        Collapsed coverage after the random phase alone.
+    final_coverage:
+        Coverage after appending the deterministic patterns.
+    detectable_coverage:
+        Final coverage over detectable faults only (redundant faults
+        excluded from the denominator).
+    cubes:
+        The generated test cubes (input → 0/1, don't-cares absent).
+    redundant / aborted:
+        Faults proven untestable / abandoned at the backtrack limit.
+    """
+
+    n_random_patterns: int
+    n_deterministic_patterns: int = 0
+    random_coverage: float = 0.0
+    final_coverage: float = 0.0
+    detectable_coverage: float = 0.0
+    cubes: List[Dict[str, int]] = field(default_factory=list)
+    redundant: List[Fault] = field(default_factory=list)
+    aborted: List[Fault] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        return (
+            f"random {self.n_random_patterns} patterns: "
+            f"{100 * self.random_coverage:.2f}% | "
+            f"+{self.n_deterministic_patterns} deterministic: "
+            f"{100 * self.final_coverage:.2f}% "
+            f"({100 * self.detectable_coverage:.2f}% of detectable; "
+            f"{len(self.redundant)} redundant, {len(self.aborted)} aborted)"
+        )
+
+
+def top_off(
+    circuit: Circuit,
+    n_random_patterns: int,
+    source: Optional[PatternSource] = None,
+    faults: Optional[Sequence[Fault]] = None,
+    backtrack_limit: int = 5000,
+    fill_seed: int = 0,
+) -> TopOffReport:
+    """Run the random-then-deterministic flow on ``circuit``.
+
+    Parameters
+    ----------
+    n_random_patterns:
+        Pseudo-random budget for phase one.
+    source:
+        Pattern source (default seeded uniform).
+    faults:
+        Fault list (default: collapsed stuck-at representatives).
+    backtrack_limit:
+        PODEM effort cap per fault.
+    fill_seed:
+        Seed for don't-care filling in the deterministic patterns.
+    """
+    source = source or UniformRandomSource(seed=1)
+    if faults is None:
+        faults = collapse_faults(circuit).representatives
+    sim = FaultSimulator(circuit)
+    stimulus = source.generate(circuit.inputs, n_random_patterns)
+    random_result = sim.run(stimulus, n_random_patterns, faults=faults)
+    survivors = random_result.undetected_faults()
+
+    podem = Podem(circuit, backtrack_limit=backtrack_limit)
+    cubes: List[Dict[str, int]] = []
+    redundant: List[Fault] = []
+    aborted: List[Fault] = []
+    for fault in survivors:
+        result = podem.generate(fault)
+        if result.status is ATPGStatus.TESTABLE:
+            cubes.append(result.cube or {})
+        elif result.status is ATPGStatus.UNTESTABLE:
+            redundant.append(fault)
+        else:
+            aborted.append(fault)
+
+    # Phase two: append the filled cubes and re-simulate the survivors.
+    rng = random.Random(fill_seed)
+    extra = len(cubes)
+    detected_extra = set()
+    if extra:
+        words = {pi: 0 for pi in circuit.inputs}
+        for p, cube in enumerate(cubes):
+            for pi in circuit.inputs:
+                bit = cube.get(pi)
+                if bit is None:
+                    bit = rng.getrandbits(1)
+                if bit:
+                    words[pi] |= 1 << p
+        det_result = sim.run(words, extra, faults=survivors)
+        detected_extra = {
+            f for f in survivors if det_result.detection_word[f]
+        }
+
+    detected_total = len(random_result.detected_faults()) + len(detected_extra)
+    n_faults = len(faults)
+    n_detectable = n_faults - len(redundant)
+    return TopOffReport(
+        n_random_patterns=n_random_patterns,
+        n_deterministic_patterns=extra,
+        random_coverage=random_result.coverage(),
+        final_coverage=detected_total / n_faults if n_faults else 1.0,
+        detectable_coverage=(
+            detected_total / n_detectable if n_detectable else 1.0
+        ),
+        cubes=cubes,
+        redundant=redundant,
+        aborted=aborted,
+    )

@@ -1,0 +1,72 @@
+"""Three-valued (0/1/X) scalar logic for the ATPG engine.
+
+PODEM reasons about partially assigned circuits, so every signal carries a
+ternary value; the composite five-valued D-algebra (0, 1, X, D, D̄) is
+represented as a *pair* of ternary values — one for the good machine, one
+for the faulty machine — which keeps the gate evaluation tables tiny and
+the fault-effect bookkeeping explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuit.gates import GateType
+
+__all__ = ["X", "ternary_gate_eval", "is_binary"]
+
+#: The unknown value. 0 and 1 are plain ints; X is None.
+X = None
+
+Ternary = Optional[int]
+
+
+def is_binary(value: Ternary) -> bool:
+    """True for a fully assigned (0/1) value."""
+    return value is not None
+
+
+def ternary_gate_eval(gate_type: GateType, inputs: Sequence[Ternary]) -> Ternary:
+    """Evaluate one gate over ternary inputs.
+
+    Controlling values decide outputs even when other inputs are X (the
+    property PODEM's implication step relies on).
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        if any(v == 0 for v in inputs):
+            out: Ternary = 0
+        elif all(v == 1 for v in inputs):
+            out = 1
+        else:
+            out = X
+        if gate_type is GateType.NAND and out is not X:
+            out ^= 1
+        return out
+    if gate_type in (GateType.OR, GateType.NOR):
+        if any(v == 1 for v in inputs):
+            out = 1
+        elif all(v == 0 for v in inputs):
+            out = 0
+        else:
+            out = X
+        if gate_type is GateType.NOR and out is not X:
+            out ^= 1
+        return out
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        if any(v is X for v in inputs):
+            return X
+        out = 0
+        for v in inputs:
+            out ^= v
+        if gate_type is GateType.XNOR:
+            out ^= 1
+        return out
+    if gate_type is GateType.NOT:
+        return X if inputs[0] is X else inputs[0] ^ 1
+    if gate_type is GateType.BUF:
+        return inputs[0]
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return 1
+    raise ValueError(f"unknown gate type {gate_type!r}")

@@ -1,0 +1,12 @@
+"""Scan-based BIST substrate: signature compaction and the self-test loop."""
+
+from .architecture import BISTArchitecture, BISTRunReport, run_bist
+from .misr import MISR, signature_of_responses
+
+__all__ = [
+    "MISR",
+    "signature_of_responses",
+    "BISTArchitecture",
+    "BISTRunReport",
+    "run_bist",
+]

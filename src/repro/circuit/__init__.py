@@ -1,0 +1,64 @@
+"""Gate-level netlist substrate: model, construction, I/O, analysis.
+
+Public surface:
+
+* :class:`~repro.circuit.netlist.Circuit` / :class:`~repro.circuit.netlist.Node`
+  — the netlist DAG;
+* :class:`~repro.circuit.builder.CircuitBuilder` — fluent construction;
+* :mod:`~repro.circuit.bench_io` — ISCAS ``.bench`` round-trip;
+* :mod:`~repro.circuit.generators` / :mod:`~repro.circuit.library`
+  — the benchmark workload suite;
+* :mod:`~repro.circuit.transforms` — function-preserving rewrites;
+* :mod:`~repro.circuit.analysis` — fanout-free regions and reconvergence.
+"""
+
+from .analysis import (
+    FanoutFreeRegion,
+    fanout_free_regions,
+    has_reconvergent_fanout,
+    is_fanout_free,
+    reconvergent_stems,
+)
+from .bench_io import parse_bench, parse_bench_file, write_bench, write_bench_file
+from .builder import CircuitBuilder
+from .gates import GateType
+from .library import BENCHMARKS, benchmark, benchmark_names, benchmark_suite
+from .netlist import Circuit, CircuitError, Node
+from .transforms import collapse_buffers, factorize_to_two_input, sweep_dead_logic
+from .verify import EquivalenceResult, check_equivalence
+from .verilog_io import (
+    parse_verilog,
+    parse_verilog_file,
+    write_verilog,
+    write_verilog_file,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitError",
+    "Node",
+    "GateType",
+    "CircuitBuilder",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "write_bench_file",
+    "factorize_to_two_input",
+    "sweep_dead_logic",
+    "collapse_buffers",
+    "is_fanout_free",
+    "has_reconvergent_fanout",
+    "reconvergent_stems",
+    "FanoutFreeRegion",
+    "fanout_free_regions",
+    "BENCHMARKS",
+    "benchmark",
+    "benchmark_names",
+    "benchmark_suite",
+    "EquivalenceResult",
+    "check_equivalence",
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "write_verilog_file",
+]

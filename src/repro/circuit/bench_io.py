@@ -1,0 +1,156 @@
+"""ISCAS-85 ``.bench`` netlist reader and writer.
+
+``.bench`` was the interchange format of the 1985/1989 ISCAS benchmark
+releases — the circuits a 1987 DAC paper would have been evaluated on.
+Grammar (case-insensitive keywords, ``#`` comments)::
+
+    # comment
+    INPUT(a)
+    OUTPUT(y)
+    n1 = NAND(a, b)
+    y  = NOT(n1)
+
+Supported cell names map 1:1 onto :class:`~repro.circuit.gates.GateType`,
+plus ``BUFF`` / ``DFF`` aliases (a DFF is treated as a pseudo input/output
+pair boundary when ``scan=True``, matching the "full-scan version" treatment
+of sequential benchmarks used throughout the TPI literature).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "write_bench_file"]
+
+_TYPE_ALIASES: Dict[str, GateType] = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(([^)]*)\)$")
+
+
+def parse_bench(text: str, name: str = "bench", scan: bool = True) -> Circuit:
+    """Parse ``.bench`` source text into a :class:`Circuit`.
+
+    Parameters
+    ----------
+    text:
+        The file contents.
+    name:
+        Name given to the resulting circuit.
+    scan:
+        When True, ``DFF`` cells are broken into a pseudo primary output
+        (the D pin) and a pseudo primary input (the Q pin) — the standard
+        full-scan abstraction.  When False, DFFs raise an error.
+    """
+    inputs: List[str] = []
+    outputs: List[str] = []
+    gates: List[Tuple[str, str, List[str]]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        m = _IO_RE.match(line)
+        if m:
+            keyword, signal = m.group(1).upper(), m.group(2)
+            (inputs if keyword == "INPUT" else outputs).append(signal)
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            out, cell, arg_text = m.group(1), m.group(2).upper(), m.group(3)
+            fanins = [a.strip() for a in arg_text.split(",") if a.strip()]
+            gates.append((out, cell, fanins))
+            continue
+        raise CircuitError(f"unparseable .bench line: {raw_line!r}")
+
+    circuit = Circuit(name)
+    for pi in inputs:
+        circuit.add_input(pi)
+
+    # DFFs under the scan abstraction: Q becomes a pseudo-PI, D a pseudo-PO.
+    pending = list(gates)
+    for out, cell, fanins in list(pending):
+        if cell == "DFF":
+            if not scan:
+                raise CircuitError(
+                    "sequential cell DFF found; pass scan=True for the "
+                    "full-scan combinational abstraction"
+                )
+            if len(fanins) != 1:
+                raise CircuitError(f"DFF {out!r} must have exactly one input")
+            circuit.add_input(out)
+
+    # Insert combinational gates in dependency order (bench files are
+    # unordered, so iterate until fixpoint).
+    remaining = [(o, c, f) for (o, c, f) in pending if c != "DFF"]
+    scan_pos = [f[0] for (_o, c, f) in pending if c == "DFF"]
+    while remaining:
+        progressed = False
+        deferred: List[Tuple[str, str, List[str]]] = []
+        for out, cell, fanins in remaining:
+            if all(fi in circuit for fi in fanins):
+                gate_type = _TYPE_ALIASES.get(cell)
+                if gate_type is None:
+                    raise CircuitError(f"unknown .bench cell type {cell!r}")
+                circuit.add_gate(out, gate_type, fanins)
+                progressed = True
+            else:
+                deferred.append((out, cell, fanins))
+        if not progressed:
+            missing = sorted(
+                {fi for _o, _c, fs in deferred for fi in fs if fi not in circuit}
+            )
+            raise CircuitError(
+                f"undriven signals or combinational cycle: {missing[:5]}"
+            )
+        remaining = deferred
+
+    for po in outputs + scan_pos:
+        circuit.mark_output(po)
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path: Union[str, Path], scan: bool = True) -> Circuit:
+    """Read and parse a ``.bench`` file; the circuit is named after the file."""
+    path = Path(path)
+    return parse_bench(path.read_text(), name=path.stem, scan=scan)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit to ``.bench`` text (round-trips with the parser)."""
+    lines = [f"# {circuit.name}"]
+    for pi in circuit.inputs:
+        lines.append(f"INPUT({pi})")
+    for po in circuit.outputs:
+        lines.append(f"OUTPUT({po})")
+    lines.append("")
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.is_input:
+            continue
+        args = ", ".join(node.fanins)
+        lines.append(f"{name} = {node.gate_type.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write the circuit to ``path`` in ``.bench`` format."""
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,111 @@
+"""Fluent programmatic netlist construction.
+
+:class:`CircuitBuilder` wraps :class:`~repro.circuit.netlist.Circuit` with
+auto-named gate helpers so tests, generators and examples can express logic
+as nested expressions::
+
+    b = CircuitBuilder("demo")
+    a, c = b.inputs("a", "c")
+    y = b.and_(a, b.not_(c))
+    b.output(y)
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .gates import GateType
+from .netlist import Circuit
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Incremental builder with automatic gate naming.
+
+    Gate names are generated as ``<type><counter>`` (e.g. ``and3``) unless an
+    explicit ``name=`` is given; primary inputs always use caller names.
+    """
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        """Declare one primary input."""
+        return self._circuit.add_input(name)
+
+    def inputs(self, *names: str) -> List[str]:
+        """Declare several primary inputs at once."""
+        return [self._circuit.add_input(n) for n in names]
+
+    def output(self, *names: str) -> None:
+        """Mark nodes as primary outputs."""
+        for n in names:
+            self._circuit.mark_output(n)
+
+    def gate(
+        self, gate_type: GateType, fanins: Sequence[str], name: Optional[str] = None
+    ) -> str:
+        """Add a gate of arbitrary type; returns the new node name."""
+        if name is None:
+            self._counter += 1
+            name = self._circuit.fresh_name(
+                f"{gate_type.value.lower()}{self._counter}"
+            )
+        return self._circuit.add_gate(name, gate_type, fanins)
+
+    # Typed helpers -----------------------------------------------------
+    def and_(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Add an AND gate."""
+        return self.gate(GateType.AND, fanins, name)
+
+    def or_(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Add an OR gate."""
+        return self.gate(GateType.OR, fanins, name)
+
+    def nand(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Add a NAND gate."""
+        return self.gate(GateType.NAND, fanins, name)
+
+    def nor(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Add a NOR gate."""
+        return self.gate(GateType.NOR, fanins, name)
+
+    def xor(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Add an XOR gate."""
+        return self.gate(GateType.XOR, fanins, name)
+
+    def xnor(self, *fanins: str, name: Optional[str] = None) -> str:
+        """Add an XNOR gate."""
+        return self.gate(GateType.XNOR, fanins, name)
+
+    def not_(self, fanin: str, name: Optional[str] = None) -> str:
+        """Add an inverter."""
+        return self.gate(GateType.NOT, [fanin], name)
+
+    def buf(self, fanin: str, name: Optional[str] = None) -> str:
+        """Add a buffer."""
+        return self.gate(GateType.BUF, [fanin], name)
+
+    def const0(self, name: Optional[str] = None) -> str:
+        """Add a constant-0 tie cell."""
+        return self.gate(GateType.CONST0, [], name)
+
+    def const1(self, name: Optional[str] = None) -> str:
+        """Add a constant-1 tie cell."""
+        return self.gate(GateType.CONST1, [], name)
+
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> Circuit:
+        """The circuit under construction (not yet validated)."""
+        return self._circuit
+
+    def build(self, validate: bool = True) -> Circuit:
+        """Finish construction, optionally validating, and return the circuit."""
+        if validate:
+            self._circuit.validate()
+        return self._circuit

@@ -1,0 +1,264 @@
+"""Gate primitives: types, Boolean semantics, and probability algebra.
+
+This module is the single source of truth for what a gate *means*.  Every
+other layer (simulation, testability analysis, the dynamic program) consumes
+gate semantics through the functions defined here, so the three views of a
+gate — bitwise evaluation on packed pattern vectors, signal-probability
+propagation, and controlling/non-controlling value structure — can never
+drift apart.
+
+Packed evaluation convention: a *word* is an arbitrary-precision Python
+integer whose bit ``i`` holds the value of the signal under pattern ``i``.
+All patterns are therefore simulated in a single pass of Python-level
+operations (the C bignum kernel does the per-bit work).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "GateType",
+    "INVERTING_TYPES",
+    "SYMMETRIC_TYPES",
+    "evaluate_gate",
+    "gate_function",
+    "controlling_value",
+    "controlled_response",
+    "inversion_parity",
+    "output_probability",
+    "side_input_sensitization_probability",
+    "is_monotone",
+    "supported_fanin",
+]
+
+
+class GateType(enum.Enum):
+    """Enumeration of supported combinational gate types.
+
+    ``BUF`` and ``NOT`` are unary; ``CONST0``/``CONST1`` are nullary tie
+    cells; all remaining types accept two or more inputs.
+    """
+
+    AND = "AND"
+    OR = "OR"
+    NAND = "NAND"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    NOT = "NOT"
+    BUF = "BUF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Gate types whose output inverts the "base" (AND/OR/XOR/identity) function.
+INVERTING_TYPES = frozenset(
+    {GateType.NAND, GateType.NOR, GateType.XNOR, GateType.NOT}
+)
+
+#: Gate types invariant under input permutation.
+SYMMETRIC_TYPES = frozenset(
+    {
+        GateType.AND,
+        GateType.OR,
+        GateType.NAND,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+    }
+)
+
+_MIN_FANIN: Dict[GateType, int] = {
+    GateType.AND: 2,
+    GateType.OR: 2,
+    GateType.NAND: 2,
+    GateType.NOR: 2,
+    GateType.XOR: 2,
+    GateType.XNOR: 2,
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+
+def supported_fanin(gate_type: GateType) -> Tuple[int, Optional[int]]:
+    """Return the inclusive ``(min, max)`` fan-in range for ``gate_type``.
+
+    ``max`` is ``None`` for gates with unbounded fan-in (the symmetric
+    types); unary and nullary gates have ``max == min``.
+    """
+    lo = _MIN_FANIN[gate_type]
+    if gate_type in SYMMETRIC_TYPES:
+        return lo, None
+    return lo, lo
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate ``gate_type`` on packed pattern words.
+
+    ``inputs`` holds one packed word per fan-in; ``mask`` has a 1-bit for
+    every valid pattern position and bounds the result (needed because
+    inversion on Python ints would otherwise produce an infinite string of
+    leading ones).
+    """
+    if gate_type is GateType.AND:
+        acc = mask
+        for word in inputs:
+            acc &= word
+        return acc
+    if gate_type is GateType.OR:
+        acc = 0
+        for word in inputs:
+            acc |= word
+        return acc
+    if gate_type is GateType.NAND:
+        acc = mask
+        for word in inputs:
+            acc &= word
+        return acc ^ mask
+    if gate_type is GateType.NOR:
+        acc = 0
+        for word in inputs:
+            acc |= word
+        return acc ^ mask
+    if gate_type is GateType.XOR:
+        acc = 0
+        for word in inputs:
+            acc ^= word
+        return acc & mask
+    if gate_type is GateType.XNOR:
+        acc = 0
+        for word in inputs:
+            acc ^= word
+        return (acc ^ mask) & mask
+    if gate_type is GateType.NOT:
+        return inputs[0] ^ mask
+    if gate_type is GateType.BUF:
+        return inputs[0] & mask
+    if gate_type is GateType.CONST0:
+        return 0
+    if gate_type is GateType.CONST1:
+        return mask
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def gate_function(gate_type: GateType) -> Callable[[Sequence[int]], int]:
+    """Return the scalar Boolean function of ``gate_type`` on 0/1 ints."""
+
+    def fn(bits: Sequence[int]) -> int:
+        return evaluate_gate(gate_type, bits, 1)
+
+    return fn
+
+
+def controlling_value(gate_type: GateType) -> Optional[int]:
+    """Return the controlling input value of ``gate_type``, if one exists.
+
+    A controlling value on any single input fully determines the output.
+    AND/NAND are controlled by 0, OR/NOR by 1; XOR/XNOR, BUF and NOT have
+    no controlling value (``None``).
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        return 0
+    if gate_type in (GateType.OR, GateType.NOR):
+        return 1
+    return None
+
+
+def controlled_response(gate_type: GateType) -> Optional[int]:
+    """Return the output value produced when a controlling input is present."""
+    cv = controlling_value(gate_type)
+    if cv is None:
+        return None
+    base = cv  # AND outputs 0 on a 0; OR outputs 1 on a 1
+    if gate_type in INVERTING_TYPES:
+        return base ^ 1
+    return base
+
+
+def inversion_parity(gate_type: GateType) -> int:
+    """Return 1 if the gate inverts the propagated fault polarity, else 0.
+
+    For XOR/XNOR the parity of a single sensitized path depends on the side
+    inputs; this function reports the *structural* inversion (XNOR and the
+    inverting basic gates count as inverting).
+    """
+    return 1 if gate_type in INVERTING_TYPES else 0
+
+
+def is_monotone(gate_type: GateType) -> bool:
+    """Return True for gates monotone in every input (AND/OR/BUF/consts)."""
+    return gate_type in (
+        GateType.AND,
+        GateType.OR,
+        GateType.BUF,
+        GateType.CONST0,
+        GateType.CONST1,
+    )
+
+
+def output_probability(gate_type: GateType, probs: Sequence[float]) -> float:
+    """Propagate independent signal probabilities through one gate.
+
+    ``probs[i]`` is ``P[input_i = 1]``; the return value is ``P[output = 1]``
+    under the assumption that the inputs are statistically independent (exact
+    on fanout-free circuits — the COP assumption the DP relies on).
+    """
+    if gate_type is GateType.AND or gate_type is GateType.NAND:
+        p = 1.0
+        for q in probs:
+            p *= q
+        return 1.0 - p if gate_type is GateType.NAND else p
+    if gate_type is GateType.OR or gate_type is GateType.NOR:
+        p = 1.0
+        for q in probs:
+            p *= 1.0 - q
+        return p if gate_type is GateType.NOR else 1.0 - p
+    if gate_type is GateType.XOR or gate_type is GateType.XNOR:
+        # P[odd number of ones]; combine pairwise: p ⊕ q = p(1-q) + q(1-p).
+        p = 0.0
+        for q in probs:
+            p = p * (1.0 - q) + q * (1.0 - p)
+        return 1.0 - p if gate_type is GateType.XNOR else p
+    if gate_type is GateType.NOT:
+        return 1.0 - probs[0]
+    if gate_type is GateType.BUF:
+        return probs[0]
+    if gate_type is GateType.CONST0:
+        return 0.0
+    if gate_type is GateType.CONST1:
+        return 1.0
+    raise ValueError(f"unknown gate type: {gate_type!r}")
+
+
+def side_input_sensitization_probability(
+    gate_type: GateType, side_probs: Sequence[float]
+) -> float:
+    """Probability that the side inputs let a change on one input through.
+
+    For AND/NAND every side input must be 1; for OR/NOR every side input
+    must be 0; XOR/XNOR always propagate (probability 1); unary gates have
+    no side inputs (probability 1).  This is the COP observability transfer
+    term for a single gate.
+    """
+    if gate_type in (GateType.AND, GateType.NAND):
+        p = 1.0
+        for q in side_probs:
+            p *= q
+        return p
+    if gate_type in (GateType.OR, GateType.NOR):
+        p = 1.0
+        for q in side_probs:
+            p *= 1.0 - q
+        return p
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        return 1.0
+    if gate_type in (GateType.NOT, GateType.BUF):
+        return 1.0
+    raise ValueError(f"gate type {gate_type!r} has no observability transfer")

@@ -1,0 +1,67 @@
+"""Named benchmark suite used throughout the evaluation.
+
+:func:`benchmark_suite` returns the fixed, seeded circuit set referenced by
+the experiment tables (T1–T4).  Each entry is generated on demand so the
+repository ships no binary netlists; real ISCAS ``.bench`` files, when
+available, can be loaded with :func:`repro.circuit.bench_io.parse_bench_file`
+and dropped into the same pipelines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import generators as g
+from .netlist import Circuit
+
+__all__ = ["BENCHMARKS", "benchmark", "benchmark_suite", "benchmark_names"]
+
+#: Registry: name → zero-argument constructor.
+BENCHMARKS: Dict[str, Callable[[], Circuit]] = {
+    "c17": g.c17,
+    "parity16": lambda: g.parity_tree(16),
+    "rca8": lambda: g.ripple_carry_adder(8),
+    "mult4": lambda: g.array_multiplier(4),
+    "eqcmp12": lambda: g.equality_comparator(12),
+    "magcmp8": lambda: g.magnitude_comparator(8),
+    "mux16": lambda: g.mux_tree(4),
+    "dec4": lambda: g.decoder(4),
+    "alu4": lambda: g.alu_slice(4),
+    "wand16": lambda: g.wide_and_cone(16),
+    "wor16": lambda: g.wide_or_cone(16),
+    "corridor8": lambda: g.rpr_corridor(8),
+    "corridor12": lambda: g.rpr_corridor(12),
+    "wand20": lambda: g.wide_and_cone(20),
+    "rprmix": lambda: g.rpr_mixed(cone_width=8, corridor_length=6, n_blocks=2),
+    "rprmix_big": lambda: g.rpr_mixed(cone_width=12, corridor_length=8, n_blocks=3),
+    "rdag200": lambda: g.random_dag(24, 200, seed=7),
+    "rdag500": lambda: g.random_dag(32, 500, seed=11),
+    "rtree60": lambda: g.random_tree(60, seed=3),
+    "bshift8": lambda: g.barrel_shifter(3),
+    "prio8": lambda: g.priority_encoder(8),
+    "popcnt8": lambda: g.popcount_tree(8),
+    "gray8": lambda: g.gray_to_binary(8),
+}
+
+
+def benchmark_names() -> List[str]:
+    """Names of all registered benchmark circuits, in table order."""
+    return list(BENCHMARKS)
+
+
+def benchmark(name: str) -> Circuit:
+    """Construct the benchmark circuit registered under ``name``."""
+    try:
+        ctor = BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {benchmark_names()}"
+        ) from None
+    return ctor()
+
+
+def benchmark_suite(names: List[str] = None) -> Dict[str, Circuit]:
+    """Construct several benchmarks (default: the full registry)."""
+    if names is None:
+        names = benchmark_names()
+    return {n: benchmark(n) for n in names}

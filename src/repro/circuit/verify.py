@@ -1,0 +1,91 @@
+"""Functional equivalence checking between two netlists.
+
+Used by the transform tests and available to users validating their own
+rewrites (factorization, buffer cleanup, externally edited ``.bench``
+files).  Two strategies:
+
+* **exhaustive** for small input counts — a proof;
+* **random vectors** beyond that — a strong probabilistic check (any
+  detected mismatch comes with a counterexample pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.logic_sim import LogicSimulator
+from ..sim.patterns import ExhaustiveSource, UniformRandomSource
+from .netlist import Circuit
+
+__all__ = ["EquivalenceResult", "check_equivalence"]
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check.
+
+    Attributes
+    ----------
+    equivalent:
+        Verdict under the executed strategy.
+    exhaustive:
+        True when every input combination was simulated (a proof).
+    n_patterns:
+        Patterns compared.
+    counterexample:
+        For mismatches: an input assignment and the first differing output.
+    """
+
+    equivalent: bool
+    exhaustive: bool
+    n_patterns: int
+    counterexample: Optional[Tuple[Dict[str, int], str]] = None
+
+
+def check_equivalence(
+    left: Circuit,
+    right: Circuit,
+    exhaustive_limit: int = 14,
+    n_random: int = 4096,
+    seed: int = 0,
+) -> EquivalenceResult:
+    """Compare two circuits with identical input/output interfaces.
+
+    Raises ``ValueError`` when the interfaces differ (that is a design
+    mismatch, not a functional one).
+    """
+    if left.inputs != right.inputs:
+        raise ValueError("input interfaces differ")
+    if left.outputs != right.outputs:
+        raise ValueError("output interfaces differ")
+
+    n_inputs = len(left.inputs)
+    exhaustive = n_inputs <= exhaustive_limit
+    if exhaustive:
+        n_patterns = 1 << n_inputs
+        stimulus = ExhaustiveSource().generate(left.inputs, n_patterns)
+    else:
+        n_patterns = n_random
+        stimulus = UniformRandomSource(seed=seed).generate(
+            left.inputs, n_patterns
+        )
+
+    values_left = LogicSimulator(left).run(stimulus, n_patterns)
+    values_right = LogicSimulator(right).run(stimulus, n_patterns)
+    for po in left.outputs:
+        diff = values_left[po] ^ values_right[po]
+        if diff:
+            p = (diff & -diff).bit_length() - 1
+            assignment = {
+                pi: (stimulus[pi] >> p) & 1 for pi in left.inputs
+            }
+            return EquivalenceResult(
+                equivalent=False,
+                exhaustive=exhaustive,
+                n_patterns=n_patterns,
+                counterexample=(assignment, po),
+            )
+    return EquivalenceResult(
+        equivalent=True, exhaustive=exhaustive, n_patterns=n_patterns
+    )

@@ -1,0 +1,203 @@
+"""Structural Verilog (gate-primitive subset) reader and writer.
+
+Many gate-level netlists circulate as structural Verilog rather than
+``.bench``.  This module round-trips the primitive subset every synthesis
+tool can emit::
+
+    module c17 (G1, G2, G3, G6, G7, G22, G23);
+      input G1, G2, G3, G6, G7;
+      output G22, G23;
+      wire G10, G11, G16, G19;
+      nand g0 (G10, G1, G3);
+      nand g1 (G11, G3, G6);
+      ...
+    endmodule
+
+Supported primitives: ``and or nand nor xor xnor not buf`` (output port
+first, as in the Verilog standard).  One module per file; no behavioral
+constructs, parameters, or vectors — this is a netlist interchange path,
+not a Verilog front end.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from .gates import GateType
+from .netlist import Circuit, CircuitError
+
+__all__ = [
+    "parse_verilog",
+    "parse_verilog_file",
+    "write_verilog",
+    "write_verilog_file",
+]
+
+_PRIMITIVES: Dict[str, GateType] = {
+    "and": GateType.AND,
+    "or": GateType.OR,
+    "nand": GateType.NAND,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+}
+
+_MODULE_RE = re.compile(
+    r"module\s+([A-Za-z_][\w$]*)\s*\(([^)]*)\)\s*;", re.DOTALL
+)
+_DECL_RE = re.compile(r"\b(input|output|wire)\b([^;]*);", re.DOTALL)
+_INSTANCE_RE = re.compile(
+    r"\b(and|or|nand|nor|xor|xnor|not|buf)\b\s*"
+    r"([A-Za-z_][\w$]*)?\s*\(([^)]*)\)\s*;",
+    re.DOTALL,
+)
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def _split_names(blob: str) -> List[str]:
+    return [n.strip() for n in blob.split(",") if n.strip()]
+
+
+def parse_verilog(text: str, name: str = "") -> Circuit:
+    """Parse one structural Verilog module into a :class:`Circuit`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise CircuitError("no module declaration found")
+    module_name = name or module.group(1)
+    body = text[module.end() : ]
+    end = body.find("endmodule")
+    if end < 0:
+        raise CircuitError("missing endmodule")
+    body = body[:end]
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    for kind, blob in _DECL_RE.findall(body):
+        names = _split_names(blob)
+        if kind == "input":
+            inputs.extend(names)
+        elif kind == "output":
+            outputs.extend(names)
+        # wires need no declaration in our netlist model
+
+    instances: List[Tuple[GateType, str, List[str]]] = []
+    for prim, _label, ports_blob in _INSTANCE_RE.findall(body):
+        ports = _split_names(ports_blob)
+        if len(ports) < 2:
+            raise CircuitError(f"primitive {prim} needs an output and inputs")
+        instances.append((_PRIMITIVES[prim], ports[0], ports[1:]))
+
+    circuit = Circuit(module_name)
+    for pi in inputs:
+        circuit.add_input(pi)
+
+    # Constant literals: `buf (y, 1'b0)` becomes a tie cell directly;
+    # a literal feeding any other gate goes through a shared tie node.
+    const_nodes: Dict[str, str] = {}
+
+    def resolve_literal(net: str) -> str:
+        if net not in ("1'b0", "1'b1"):
+            return net
+        if net not in const_nodes:
+            bit = net[-1]
+            tie = circuit.fresh_name(f"__const{bit}")
+            circuit.add_gate(
+                tie, GateType.CONST0 if bit == "0" else GateType.CONST1, []
+            )
+            const_nodes[net] = tie
+        return const_nodes[net]
+
+    translated: List[Tuple[GateType, str, List[str]]] = []
+    for gate_type, out, fanins in instances:
+        if gate_type is GateType.BUF and fanins in (["1'b0"], ["1'b1"]):
+            tie = GateType.CONST0 if fanins == ["1'b0"] else GateType.CONST1
+            circuit.add_gate(out, tie, [])
+            continue
+        translated.append(
+            (gate_type, out, [resolve_literal(fi) for fi in fanins])
+        )
+    instances = translated
+    remaining = list(instances)
+    while remaining:
+        progressed = False
+        deferred: List[Tuple[GateType, str, List[str]]] = []
+        for gate_type, out, fanins in remaining:
+            if all(fi in circuit for fi in fanins):
+                circuit.add_gate(out, gate_type, fanins)
+                progressed = True
+            else:
+                deferred.append((gate_type, out, fanins))
+        if not progressed:
+            missing = sorted(
+                {
+                    fi
+                    for _g, _o, fs in deferred
+                    for fi in fs
+                    if fi not in circuit
+                }
+            )
+            raise CircuitError(
+                f"undriven nets or combinational cycle: {missing[:5]}"
+            )
+        remaining = deferred
+
+    for po in outputs:
+        circuit.mark_output(po)
+    circuit.validate()
+    return circuit
+
+
+def parse_verilog_file(path: Union[str, Path]) -> Circuit:
+    """Read and parse a structural Verilog file."""
+    path = Path(path)
+    return parse_verilog(path.read_text())
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit as a structural Verilog module.
+
+    Tie cells (which have no Verilog gate primitive) are emitted as
+    ``buf`` instances driven by literal constants ``1'b0`` / ``1'b1``.
+    """
+    ports = circuit.inputs + circuit.outputs
+    lines = [f"module {circuit.name} ({', '.join(ports)});"]
+    if circuit.inputs:
+        lines.append(f"  input {', '.join(circuit.inputs)};")
+    if circuit.outputs:
+        lines.append(f"  output {', '.join(circuit.outputs)};")
+    out_set = set(circuit.outputs)
+    wires = [
+        g.name
+        for g in circuit.gates
+        if g.name not in out_set
+    ]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    for idx, name in enumerate(circuit.topological_order()):
+        node = circuit.node(name)
+        if node.is_input:
+            continue
+        if node.gate_type is GateType.CONST0:
+            lines.append(f"  buf g{idx} ({name}, 1'b0);")
+        elif node.gate_type is GateType.CONST1:
+            lines.append(f"  buf g{idx} ({name}, 1'b1);")
+        else:
+            prim = node.gate_type.value.lower()
+            ports_text = ", ".join((name,) + node.fanins)
+            lines.append(f"  {prim} g{idx} ({ports_text});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog_file(circuit: Circuit, path: Union[str, Path]) -> None:
+    """Write the circuit to ``path`` as structural Verilog."""
+    Path(path).write_text(write_verilog(circuit))

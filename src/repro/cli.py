@@ -1,0 +1,203 @@
+"""Command-line interface: ``repro-tpi`` / ``python -m repro.cli``.
+
+Subcommands:
+
+* ``stats <bench|name>`` — circuit statistics and baseline coverage;
+* ``insert <bench|name>`` — plan test points and report the placement;
+* ``coverage <bench|name>`` — plan, insert, fault simulate, report;
+* ``experiments`` — run the reconstructed evaluation suite (T1–T4, F1–F4);
+* ``list`` — list built-in benchmark circuits.
+
+A circuit argument is either the name of a built-in benchmark (see
+``list``) or a path to an ISCAS-85 ``.bench`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import experiments as exps
+from .circuit.bench_io import parse_bench_file
+from .circuit.verilog_io import parse_verilog_file
+from .circuit.library import BENCHMARKS, benchmark, benchmark_names
+from .circuit.netlist import Circuit
+from .core.evaluate import evaluate_solution
+from .core.prepare import prepare_for_tpi
+from .core.greedy import solve_greedy
+from .core.heuristic import solve_dp_heuristic
+from .core.problem import TPIProblem
+from .sim.faults import collapse_faults
+from .sim.patterns import UniformRandomSource
+
+__all__ = ["main"]
+
+
+def _load_circuit(spec: str) -> Circuit:
+    if spec in BENCHMARKS:
+        return benchmark(spec)
+    path = Path(spec)
+    if path.exists():
+        if path.suffix in (".v", ".sv"):
+            return parse_verilog_file(path)
+        return parse_bench_file(path)
+    raise SystemExit(
+        f"unknown circuit {spec!r}: not a built-in benchmark and not a file "
+        f"(built-ins: {', '.join(benchmark_names())})"
+    )
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        circuit = benchmark(name)
+        stats = circuit.stats()
+        print(
+            f"{name:14s} inputs={stats['inputs']:4d} gates={stats['gates']:5d} "
+            f"depth={stats['depth']:3d} outputs={stats['outputs']:3d}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    stats = circuit.stats()
+    collapsed = collapse_faults(circuit)
+    for key, value in stats.items():
+        print(f"{key:10s} {value}")
+    print(f"{'faults':10s} {collapsed.size()} (collapsed)")
+    from .sim.fault_sim import FaultSimulator
+
+    stim = UniformRandomSource(seed=args.seed).generate(
+        circuit.inputs, args.patterns
+    )
+    res = FaultSimulator(circuit).run(stim, args.patterns)
+    print(f"{'coverage':10s} {100 * res.coverage():.2f}% @ {args.patterns} patterns")
+    return 0
+
+
+def _make_problem(circuit: Circuit, args: argparse.Namespace) -> TPIProblem:
+    return TPIProblem.from_test_length(
+        circuit, n_patterns=args.patterns, escape_budget=args.escape
+    )
+
+
+def _cmd_insert(args: argparse.Namespace) -> int:
+    circuit = prepare_for_tpi(_load_circuit(args.circuit))
+    problem = _make_problem(circuit, args)
+    if args.solver == "greedy":
+        solution = solve_greedy(problem)
+    else:
+        solution = solve_dp_heuristic(problem)
+    print(f"threshold θ = {problem.threshold:.6f}")
+    print(solution.describe())
+    return 0 if solution.feasible else 1
+
+
+def _cmd_coverage(args: argparse.Namespace) -> int:
+    circuit = prepare_for_tpi(_load_circuit(args.circuit))
+    problem = _make_problem(circuit, args)
+    if args.solver == "greedy":
+        solution = solve_greedy(problem)
+    else:
+        solution = solve_dp_heuristic(problem)
+    report = evaluate_solution(problem, solution, args.patterns)
+    print(f"circuit        {report.circuit_name}")
+    print(f"faults         {report.n_faults}")
+    print(f"test points    {report.n_control} CP + {report.n_observation} OP")
+    print(f"coverage       {100 * report.baseline_coverage:.2f}% -> "
+          f"{100 * report.modified_coverage:.2f}%  (+{100 * report.coverage_gain:.2f})")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import testability_report
+
+    circuit = _load_circuit(args.circuit)
+    report = testability_report(
+        circuit, n_patterns=args.patterns, escape_budget=args.escape
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    runners = {
+        "t1": lambda: exps.run_t1_circuit_characteristics(),
+        "t2": lambda: exps.run_t2_dp_optimality(),
+        "t3": lambda: exps.run_t3_tree_solver_comparison(),
+        "t4": lambda: exps.run_t4_coverage_improvement()[0],
+        "f1": lambda: exps.run_f1_points_curve(),
+        "f2": lambda: exps.run_f2_runtime_scaling(),
+        "f3": lambda: exps.run_f3_testlength_curves(),
+        "f4": lambda: exps.run_f4_quantization_ablation(),
+        "e1": lambda: exps.run_e1_misr_aliasing(),
+        "e2": lambda: exps.run_e2_margin_ablation(),
+        "e3": lambda: exps.run_e3_strategy_comparison(),
+        "e4": lambda: exps.run_e4_multiphase(),
+        "e5": lambda: exps.run_e5_weighted_random(),
+    }
+    selected = args.only or list(runners)
+    for key in selected:
+        if key not in runners:
+            raise SystemExit(f"unknown experiment {key!r} (choose from {list(runners)})")
+        print(runners[key]().render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tpi",
+        description="Dynamic-programming test point insertion (DAC 1987 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list built-in benchmark circuits").set_defaults(
+        fn=_cmd_list
+    )
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("circuit", help="benchmark name, .bench file, or structural .v file")
+        p.add_argument("--patterns", type=int, default=4096, help="pattern budget")
+        p.add_argument("--escape", type=float, default=0.001, help="escape budget ε")
+        p.add_argument("--seed", type=int, default=1, help="pattern source seed")
+
+    p = sub.add_parser("stats", help="circuit statistics and baseline coverage")
+    add_common(p)
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("insert", help="plan test points and print the placement")
+    add_common(p)
+    p.add_argument("--solver", choices=["dp", "greedy"], default="dp")
+    p.set_defaults(fn=_cmd_insert)
+
+    p = sub.add_parser("coverage", help="plan, insert, fault simulate, report")
+    add_common(p)
+    p.add_argument("--solver", choices=["dp", "greedy"], default="dp")
+    p.set_defaults(fn=_cmd_coverage)
+
+    p = sub.add_parser("report", help="full testability profile of a circuit")
+    add_common(p)
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("experiments", help="run the evaluation suite")
+    p.add_argument(
+        "--only",
+        nargs="*",
+        help="subset of experiment ids (t1..t4, f1..f4, e1..e5)",
+    )
+    p.set_defaults(fn=_cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,497 @@
+"""The dynamic program for optimal test point insertion on tree circuits.
+
+This is the paper's contribution: on a **fanout-free** circuit (every node
+drives at most one pin, so each output cone is a tree) the TPI problem has
+optimal substructure, and a bottom-up table computation finds a minimum-cost
+placement in polynomial time — versus the NP-complete general case.
+
+State
+-----
+For a node ``n``, let ``o`` be the observability the *environment* grants
+``n``'s post-control-point line (through its parent's side inputs, or 1.0
+at an observed root), and ``p`` the signal probability ``n`` presents to its
+parent after any control point.  The value function is::
+
+    F[n][o][p] = minimum cost of decisions inside subtree(n) such that
+                 every enforced fault in subtree(n) meets θ, given the
+                 environment observability is o and the resulting
+                 downstream probability of n is p.
+
+Both ``o`` and ``p`` live on a :class:`~repro.core.quantize.ProbabilityGrid`
+(resolution B), so the tables are finite: the algorithm is exact with
+respect to the quantized probability algebra and runs in
+``O(|C| · B³ · |decisions|)`` time in the worst case (see DESIGN.md §2 and
+experiment F4 for the accuracy/runtime trade-off in B).
+
+Decisions per node: an optional observation point (taps the wire *before*
+the control point) × an optional control point (AND-type, OR-type, or
+full random re-drive).  Decision semantics match
+:mod:`repro.core.problem` exactly; solutions are verified against the
+continuous evaluator in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.analysis import is_fanout_free
+from ..circuit.gates import (
+    GateType,
+    output_probability,
+    side_input_sensitization_probability,
+)
+from ..circuit.netlist import Circuit
+from .problem import (
+    TestPoint,
+    TestPointType,
+    TPIProblem,
+    TPISolution,
+    control_observability_factor,
+    control_probability_transform,
+)
+from .quantize import ProbabilityGrid
+
+__all__ = ["DPSolver", "solve_tree", "quantized_tree_check"]
+
+#: A (observation?, control-type-or-None) decision at one node.
+_Decision = Tuple[bool, Optional[TestPointType]]
+
+
+@dataclass
+class _Entry:
+    """One cell of the DP table: best known way to realize a ``p`` bucket."""
+
+    cost: float
+    decision: _Decision
+    # (child_name, child_o_idx, child_p_idx) back-pointers.
+    children: Tuple[Tuple[str, int, int], ...]
+
+
+class DPSolver:
+    """Bottom-up DP over a fanout-free circuit.
+
+    Parameters
+    ----------
+    problem:
+        The TPI instance; its circuit must be fanout-free with gate fan-in
+        ≤ 2 (run :func:`repro.circuit.transforms.factorize_to_two_input`
+        first if needed).
+    grid:
+        Probability quantization grid (default resolution 16).
+    root_observabilities:
+        Environment observability per root node (default 1.0 — a directly
+        observed output).  Used by the region decomposition driver.
+    leaf_probabilities:
+        Signal probability per leaf (default: the problem's input
+        probabilities).  Used by the region driver to stand in boundary
+        signals.
+    enforced_faults:
+        Optional map node → ``(check_sa0, check_sa1)`` overriding which
+        polarities are enforced at that node's wire.  Defaults are derived
+        from the gate type (tie cells enforce only their detectable fault).
+    """
+
+    def __init__(
+        self,
+        problem: TPIProblem,
+        grid: Optional[ProbabilityGrid] = None,
+        root_observabilities: Optional[Mapping[str, float]] = None,
+        leaf_probabilities: Optional[Mapping[str, float]] = None,
+        enforced_faults: Optional[Mapping[str, Tuple[bool, bool]]] = None,
+        margin: float = 1.0,
+    ) -> None:
+        if margin < 1.0:
+            raise ValueError("margin must be ≥ 1")
+        circuit = problem.circuit
+        circuit.validate()
+        if not is_fanout_free(circuit):
+            raise ValueError(
+                "the DP is exact only on fanout-free circuits; use "
+                "repro.core.heuristic for circuits with fanout"
+            )
+        for node in circuit.gates:
+            if len(node.fanins) > 2:
+                raise ValueError(
+                    "factorize the circuit to ≤2-input gates before the DP"
+                )
+        dead_gates = [
+            n for n in circuit.floating_nodes() if circuit.node(n).is_gate
+        ]
+        if dead_gates:
+            raise ValueError(
+                f"dead logic present (sweep first): {dead_gates[:5]}"
+            )
+        # Unused primary inputs carry structurally untestable faults; they
+        # are excluded from planning (matching testable_stuck_at_faults).
+        self._floating_inputs = {
+            n for n in circuit.floating_nodes() if circuit.node(n).is_input
+        }
+        self.problem = problem
+        self.circuit = circuit
+        self.margin = margin
+        self.threshold = min(problem.threshold * margin, 1.0)
+        self.grid = grid or ProbabilityGrid.for_threshold(self.threshold)
+        self._root_obs = dict(root_observabilities or {})
+        self._leaf_probs = dict(leaf_probabilities or {})
+        self._enforced = dict(enforced_faults or {})
+        self._out_set = set(circuit.outputs)
+        self._tables: Dict[Tuple[str, int], Dict[int, _Entry]] = {}
+        self._decisions = self._decision_space()
+        self._table_cells = 0
+        self._sens_cache: Dict[GateType, List[float]] = {}
+        self._prob_cache: Dict[GateType, List[List[float]]] = {}
+
+    # ------------------------------------------------------------------
+    def _decision_space(self) -> List[_Decision]:
+        op_options = [False]
+        if self.problem.observation_allowed:
+            op_options.append(True)
+        cp_options: List[Optional[TestPointType]] = [None]
+        cp_options.extend(self.problem.control_types())
+        return [
+            (op, cp) for op, cp in itertools.product(op_options, cp_options)
+        ]
+
+    def _decision_cost(self, decision: _Decision) -> float:
+        op, cp = decision
+        cost = self.problem.costs.observation if op else 0.0
+        if cp is not None:
+            cost += self.problem.costs.of(cp)
+        return cost
+
+    def _enforced_at(self, name: str) -> Tuple[bool, bool]:
+        """Which stuck-at polarities must meet θ at this node's wire."""
+        override = self._enforced.get(name)
+        if override is not None:
+            return override
+        node = self.circuit.node(name)
+        if node.gate_type is GateType.CONST0:
+            return (False, True)  # only s-a-1 is a fault of a tied-0 cell
+        if node.gate_type is GateType.CONST1:
+            return (True, False)
+        return (True, True)
+
+    def _leaf_probability(self, name: str) -> float:
+        if name in self._leaf_probs:
+            return self._leaf_probs[name]
+        return self.problem.input_probability(name)
+
+    def _faults_ok(self, name: str, p_pre: float, wire_obs: float) -> bool:
+        """Check the enforced faults on this wire against the planning θ."""
+        theta = self.threshold - 1e-12
+        check0, check1 = self._enforced_at(name)
+        if check0 and p_pre * wire_obs < theta:
+            return False
+        if check1 and (1.0 - p_pre) * wire_obs < theta:
+            return False
+        return True
+
+    @staticmethod
+    def _combine(a: float, b: float) -> float:
+        """Independent-event observability combination."""
+        return 1.0 - (1.0 - a) * (1.0 - b)
+
+    # ------------------------------------------------------------------
+    def _table(self, name: str, o_idx: int) -> Dict[int, _Entry]:
+        """Memoized DP table of node ``name`` under environment obs bucket."""
+        # An observed node's post-CP line is directly visible regardless of
+        # what the parent contributes.
+        if name in self._out_set:
+            o_idx = self.grid.top_index
+        key = (name, o_idx)
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached
+
+        grid = self.grid
+        o_env = grid.value(o_idx)
+        node = self.circuit.node(name)
+        table: Dict[int, _Entry] = {}
+        theta = self.threshold - 1e-12
+        check0, check1 = self._enforced_at(name)
+
+        # Decisions sharing a wire observability share the expensive child
+        # enumeration and the fault feasibility check, so group them.
+        groups: Dict[float, List[_Decision]] = {}
+        must_check = check0 or check1
+        for decision in self._decisions:
+            op, cp = decision
+            factor = control_observability_factor(cp) if cp else 1.0
+            wire_obs = self._combine(1.0 if op else 0.0, factor * o_env)
+            if must_check and wire_obs < theta:
+                continue  # no excitation can rescue a dead wire
+            groups.setdefault(wire_obs, []).append(decision)
+
+        def commit(
+            p_pre: float,
+            wire_obs: float,
+            decisions: List[_Decision],
+            base_cost: float,
+            children: Tuple[Tuple[str, int, int], ...],
+        ) -> None:
+            if check0 and p_pre * wire_obs < theta:
+                return
+            if check1 and (1.0 - p_pre) * wire_obs < theta:
+                return
+            for decision in decisions:
+                cp = decision[1]
+                p_post = (
+                    control_probability_transform(cp, p_pre) if cp else p_pre
+                )
+                p_idx = grid.index(p_post)
+                cost = base_cost + self._decision_cost(decision)
+                existing = table.get(p_idx)
+                if existing is None or cost < existing.cost - 1e-12:
+                    table[p_idx] = _Entry(cost, decision, children)
+
+        if node.is_input or not node.fanins:
+            if node.is_input:
+                p_pre = self._leaf_probability(name)
+            else:  # tie cell
+                p_pre = 1.0 if node.gate_type is GateType.CONST1 else 0.0
+            for wire_obs, decisions in groups.items():
+                commit(p_pre, wire_obs, decisions, 0.0, ())
+        elif len(node.fanins) == 1:
+            child = node.fanins[0]
+            gt = node.gate_type
+            for wire_obs, decisions in groups.items():
+                # Unary gates pass observability through unchanged.
+                child_o_idx = grid.floor_index(wire_obs)
+                child_table = self._table(child, child_o_idx)
+                for pc_idx, centry in child_table.items():
+                    p_pre = output_probability(gt, [grid.value(pc_idx)])
+                    commit(
+                        p_pre,
+                        wire_obs,
+                        decisions,
+                        centry.cost,
+                        ((child, child_o_idx, pc_idx),),
+                    )
+        else:
+            child_a, child_b = node.fanins
+            gt = node.gate_type
+            sens = self._sens_table(gt)
+            prob = self._prob_table(gt)
+            for wire_obs, decisions in groups.items():
+                # Raising observability only relaxes subtree constraints, so
+                # the table at the *maximum* child observability carries a
+                # superset of every achievable probability bucket — iterate
+                # achievable states only, not the whole grid.
+                ob_of = [
+                    grid.floor_index(wire_obs * s) for s in sens
+                ]
+                top_o = grid.floor_index(wire_obs)
+                ref_a = self._table(child_a, top_o)
+                for pa_idx in ref_a:
+                    o_b_idx = ob_of[pa_idx]
+                    table_b = self._table(child_b, o_b_idx)
+                    if not table_b:
+                        continue
+                    row = prob[pa_idx]
+                    for pb_idx, bentry in table_b.items():
+                        o_a_idx = ob_of[pb_idx]
+                        aentry = self._table(child_a, o_a_idx).get(pa_idx)
+                        if aentry is None:
+                            continue
+                        commit(
+                            row[pb_idx],
+                            wire_obs,
+                            decisions,
+                            aentry.cost + bentry.cost,
+                            (
+                                (child_a, o_a_idx, pa_idx),
+                                (child_b, o_b_idx, pb_idx),
+                            ),
+                        )
+
+        self._tables[key] = table
+        self._table_cells += len(table)
+        return table
+
+    def _sens_table(self, gate_type: GateType) -> List[float]:
+        """Side-input sensitization per sibling probability bucket (cached)."""
+        cached = self._sens_cache.get(gate_type)
+        if cached is None:
+            cached = [
+                side_input_sensitization_probability(gate_type, [v])
+                for v in self.grid.values()
+            ]
+            self._sens_cache[gate_type] = cached
+        return cached
+
+    def _prob_table(self, gate_type: GateType) -> List[List[float]]:
+        """Gate output probability per input bucket pair (cached)."""
+        cached = self._prob_cache.get(gate_type)
+        if cached is None:
+            vals = self.grid.values()
+            cached = [
+                [output_probability(gate_type, [va, vb]) for vb in vals]
+                for va in vals
+            ]
+            self._prob_cache[gate_type] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def _roots(self) -> List[str]:
+        return [
+            name
+            for name in self.circuit.topological_order()
+            if self.circuit.fanout_count(name) == 0
+            and name not in self._floating_inputs
+        ]
+
+    def solve(self) -> TPISolution:
+        """Run the DP and return the minimum-cost placement."""
+        total_cost = 0.0
+        picks: List[Tuple[str, int, int]] = []
+        feasible = True
+        for root in self._roots():
+            env = self._root_obs.get(root, 1.0)
+            o_idx = self.grid.floor_index(env)
+            table = self._table(root, o_idx)
+            if not table:
+                feasible = False
+                continue
+            best_p = min(table, key=lambda p: (table[p].cost, p))
+            total_cost += table[best_p].cost
+            picks.append((root, o_idx, best_p))
+
+        points: List[TestPoint] = []
+        stack = list(picks)
+        while stack:
+            name, o_idx, p_idx = stack.pop()
+            if name in self._out_set:
+                o_idx = self.grid.top_index
+            entry = self._tables[(name, o_idx)][p_idx]
+            op, cp = entry.decision
+            if op:
+                points.append(TestPoint(name, TestPointType.OBSERVATION))
+            if cp is not None:
+                points.append(TestPoint(name, cp))
+            stack.extend(entry.children)
+
+        return TPISolution(
+            points=points,
+            cost=self.problem.costs.total(points) if feasible else float("inf"),
+            feasible=feasible,
+            method="dp",
+            stats={
+                "table_cells": float(self._table_cells),
+                "tables": float(len(self._tables)),
+                "grid_size": float(len(self.grid)),
+            },
+        )
+
+
+def quantized_tree_check(
+    problem: TPIProblem,
+    points: Sequence[TestPoint],
+    grid: Optional[ProbabilityGrid] = None,
+    root_observabilities: Optional[Mapping[str, float]] = None,
+    leaf_probabilities: Optional[Mapping[str, float]] = None,
+    enforced_faults: Optional[Mapping[str, Tuple[bool, bool]]] = None,
+    margin: float = 1.0,
+) -> bool:
+    """Feasibility of a placement under the DP's *quantized* algebra.
+
+    Mirrors the DP's rounding exactly (probabilities round to nearest,
+    observabilities floor at every parent→child handoff), so exhaustive
+    search over placements scored by this function optimizes precisely the
+    objective the DP optimizes — the apples-to-apples optimality oracle of
+    experiment T2.  Only stem placements are meaningful on trees.
+    """
+    solver = DPSolver(
+        problem,
+        grid=grid,
+        root_observabilities=root_observabilities,
+        leaf_probabilities=leaf_probabilities,
+        enforced_faults=enforced_faults,
+        margin=margin,
+    )
+    grid = solver.grid
+    circuit = problem.circuit
+    by_site: Dict[str, List[TestPoint]] = {}
+    for tp in points:
+        if tp.branch is not None:
+            raise ValueError("tree placements are stem-only")
+        by_site.setdefault(tp.node, []).append(tp)
+
+    def site_decision(name: str) -> _Decision:
+        tps = by_site.get(name, ())
+        op = any(t.kind is TestPointType.OBSERVATION for t in tps)
+        controls = [t.kind for t in tps if t.kind.is_control]
+        if len(controls) > 1:
+            raise ValueError(f"multiple control points at {name!r}")
+        return (op, controls[0] if controls else None)
+
+    # Forward pass: quantized downstream probabilities.
+    p_pre: Dict[str, float] = {}
+    p_post_q: Dict[str, float] = {}
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.is_input:
+            pre = solver._leaf_probability(name)
+        elif not node.fanins:
+            pre = 1.0 if node.gate_type is GateType.CONST1 else 0.0
+        else:
+            pre = output_probability(
+                node.gate_type, [p_post_q[fi] for fi in node.fanins]
+            )
+        _op, cp = site_decision(name)
+        post = control_probability_transform(cp, pre) if cp else pre
+        p_pre[name] = pre
+        p_post_q[name] = grid.quantize(post)
+
+    # Backward pass: quantized environment observabilities + fault checks.
+    root_obs = dict(root_observabilities or {})
+    out_set = set(circuit.outputs)
+    o_env: Dict[str, float] = {}
+    order = circuit.topological_order()
+    for name in reversed(order):
+        if circuit.fanout_count(name) == 0:
+            env = grid.value(grid.floor_index(root_obs.get(name, 1.0)))
+        else:
+            env = o_env[name]
+        if name in out_set:
+            env = 1.0
+        op, cp = site_decision(name)
+        factor = control_observability_factor(cp) if cp else 1.0
+        wire = DPSolver._combine(1.0 if op else 0.0, factor * env)
+        if not solver._faults_ok(name, p_pre[name], wire):
+            return False
+        node = circuit.node(name)
+        for pin, fi in enumerate(node.fanins):
+            side = [
+                p_post_q[other]
+                for p, other in enumerate(node.fanins)
+                if p != pin
+            ]
+            sens = side_input_sensitization_probability(node.gate_type, side)
+            o_env[fi] = grid.value(grid.floor_index(wire * sens))
+    return True
+
+
+def solve_tree(
+    problem: TPIProblem,
+    grid: Optional[ProbabilityGrid] = None,
+    root_observabilities: Optional[Mapping[str, float]] = None,
+    leaf_probabilities: Optional[Mapping[str, float]] = None,
+    enforced_faults: Optional[Mapping[str, Tuple[bool, bool]]] = None,
+    margin: float = 1.0,
+) -> TPISolution:
+    """Convenience wrapper: construct a :class:`DPSolver` and solve.
+
+    ``margin > 1`` makes the DP plan against ``θ × margin``, buying back the
+    quantization slack so solutions also satisfy the *continuous* COP model
+    (margin ≈ 1.5–2 suffices empirically; see the verification tests).
+    """
+    return DPSolver(
+        problem,
+        grid=grid,
+        root_observabilities=root_observabilities,
+        leaf_probabilities=leaf_probabilities,
+        enforced_faults=enforced_faults,
+        margin=margin,
+    ).solve()

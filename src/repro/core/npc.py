@@ -1,0 +1,150 @@
+"""Executable NP-completeness construction: SAT embeds into testability.
+
+The paper's complexity result — optimal test point insertion is NP-complete
+for circuits with reconvergent fanout — rests on the fact that in the
+*exact* probability model, deciding whether a fault's detection probability
+is nonzero already embeds satisfiability (the reconvergent variable stems
+create exactly the value-consistency constraints of a CNF formula).  This
+module makes that reduction executable:
+
+* :func:`cnf_to_circuit` builds the standard two-rail CNF netlist — one
+  reconvergent stem per variable, an OR per clause, a final AND;
+* the output's stuck-at-0 fault is excitable **iff** the formula is
+  satisfiable, so exact testability analysis of this single fault decides
+  SAT (:func:`is_satisfiable_via_testability` demonstrates it with the
+  exhaustive fault simulator);
+* consequently no polynomial algorithm can plan test points against the
+  exact model on general circuits (unless P = NP) — which is why the DP
+  restricts itself to fanout-free circuits, where the COP model is exact
+  and the structure is a tree.
+
+The test suite verifies the reduction against a brute-force SAT solver on
+random small formulas.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..circuit.builder import CircuitBuilder
+from ..circuit.netlist import Circuit
+from ..sim.fault_sim import FaultSimulator
+from ..sim.faults import Fault
+from ..sim.patterns import ExhaustiveSource
+
+__all__ = [
+    "Cnf",
+    "cnf_to_circuit",
+    "output_excitation_fault",
+    "brute_force_sat",
+    "is_satisfiable_via_testability",
+    "random_cnf",
+]
+
+#: A CNF formula: clauses of nonzero ints, DIMACS-style (−k = ¬x_k).
+Cnf = List[List[int]]
+
+
+def _validate_cnf(cnf: Cnf) -> int:
+    if not cnf:
+        raise ValueError("formula must have at least one clause")
+    n_vars = 0
+    for clause in cnf:
+        if not clause:
+            raise ValueError("empty clause (formula trivially unsatisfiable)")
+        for lit in clause:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            n_vars = max(n_vars, abs(lit))
+    return n_vars
+
+
+def cnf_to_circuit(cnf: Cnf, name: str = "cnf") -> Circuit:
+    """Build the two-rail CNF netlist.
+
+    Variable ``k`` becomes primary input ``x{k}`` whose stem fans out to a
+    positive rail and (when needed) an inverted rail ``nx{k}`` — the
+    reconvergent structure that makes exact analysis hard.  Each clause is
+    an OR of its literal rails; the output ``sat`` ANDs all clauses.
+    """
+    n_vars = _validate_cnf(cnf)
+    b = CircuitBuilder(name)
+    pos = {k: b.input(f"x{k}") for k in range(1, n_vars + 1)}
+    neg = {}
+    for clause in cnf:
+        for lit in clause:
+            if lit < 0 and -lit not in neg:
+                neg[-lit] = b.not_(pos[-lit], name=f"nx{-lit}")
+    clause_outs = []
+    for j, clause in enumerate(cnf):
+        rails = [pos[lit] if lit > 0 else neg[-lit] for lit in clause]
+        if len(rails) == 1:
+            clause_outs.append(b.buf(rails[0], name=f"c{j}"))
+        else:
+            clause_outs.append(b.or_(*rails, name=f"c{j}"))
+    if len(clause_outs) == 1:
+        out = b.buf(clause_outs[0], name="sat")
+    else:
+        out = b.and_(*clause_outs, name="sat")
+    b.output(out)
+    return b.build()
+
+
+def output_excitation_fault(circuit: Circuit) -> Fault:
+    """The stuck-at-0 fault on the ``sat`` output.
+
+    Its excitation requires the output at 1, i.e. a satisfying assignment;
+    since the output is directly observed, excitation equals detection.
+    """
+    return Fault(circuit.outputs[0], 0)
+
+
+def brute_force_sat(cnf: Cnf) -> Optional[List[bool]]:
+    """Exhaustive SAT check; returns a satisfying assignment or None."""
+    n_vars = _validate_cnf(cnf)
+    for bits in range(1 << n_vars):
+        assignment = [(bits >> k) & 1 == 1 for k in range(n_vars)]
+        if all(
+            any(
+                assignment[abs(lit) - 1] == (lit > 0)
+                for lit in clause
+            )
+            for clause in cnf
+        ):
+            return assignment
+    return None
+
+
+def is_satisfiable_via_testability(cnf: Cnf) -> bool:
+    """Decide SAT by asking the fault simulator about one fault.
+
+    Applies the exhaustive pattern set and reports whether the output
+    stuck-at-0 fault of the CNF netlist is detected — which happens iff
+    some input pattern drives the output to 1, i.e. iff the formula is
+    satisfiable.  (Exponential, of course: the reduction shows *hardness*,
+    not an algorithm.)
+    """
+    circuit = cnf_to_circuit(cnf)
+    n = len(circuit.inputs)
+    if n > 20:
+        raise ValueError("exhaustive testability check limited to 20 variables")
+    n_patterns = 1 << n
+    stimulus = ExhaustiveSource().generate(circuit.inputs, n_patterns)
+    sim = FaultSimulator(circuit)
+    result = sim.run(stimulus, n_patterns, faults=[output_excitation_fault(circuit)])
+    return result.coverage() == 1.0
+
+
+def random_cnf(
+    n_vars: int, n_clauses: int, seed: int = 0, clause_size: int = 3
+) -> Cnf:
+    """Seeded uniform random k-CNF (distinct variables within a clause)."""
+    if n_vars < clause_size:
+        raise ValueError("need at least as many variables as the clause size")
+    rng = random.Random(seed)
+    cnf: Cnf = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(1, n_vars + 1), clause_size)
+        cnf.append([v if rng.random() < 0.5 else -v for v in variables])
+    return cnf

@@ -1,0 +1,411 @@
+"""Multi-phase fixed-value control points — the extension direction.
+
+The 1987 formulation drives every control point from an independent
+pseudo-random signal.  Its successor line of work (multi-phase TPI,
+Tamarapalli & Rajski ITC'96) instead drives control points with **fixed
+values**, partitioning the test into phases: within a phase each enabled
+AND-type point forces a constant 0 and each OR-type point a constant 1;
+conflicting points are enabled in *different* phases.  The hardware is
+simpler (a phase-decoder output per group instead of a scan cell per
+point) and destructive interference between simultaneously-random points
+disappears.
+
+This module implements that extension on top of the library's placement
+semantics:
+
+* a phase maps every AND/OR control point of a placement to enabled
+  (fixed value) or disabled (transparent wire);
+* per-phase analytical evaluation reuses the virtual evaluator with the
+  fixed-value transforms;
+* a greedy conflict-aware scheduler packs the control points of any
+  solution into a minimum-ish number of phases;
+* measured evaluation drives the *same inserted hardware* produced by
+  :func:`repro.core.test_points.apply_test_points`, holding each phase's
+  enable inputs constant — no new netlist machinery needed.
+
+Phase 0 is always the all-transparent phase, preserving the unmodified
+circuit's baseline detection (the constructive-methodology convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sim.fault_sim import FaultSimulator
+from ..sim.faults import Fault, testable_stuck_at_faults
+from ..sim.patterns import PatternSource, UniformRandomSource
+from .problem import TestPoint, TestPointType, TPIProblem
+from .test_points import apply_test_points
+from .virtual import VirtualEvaluation
+
+__all__ = [
+    "PhasePlan",
+    "evaluate_phase",
+    "phase_escape_probabilities",
+    "schedule_phases",
+    "measure_phase_coverage",
+]
+
+#: Control kinds the phase machinery can schedule (fixed-value capable).
+_SCHEDULABLE = (TestPointType.CONTROL_AND, TestPointType.CONTROL_OR)
+
+
+@dataclass
+class PhasePlan:
+    """A placement partitioned into fixed-value test phases.
+
+    Attributes
+    ----------
+    observation_points:
+        Always-on observation points (every phase sees them).
+    phases:
+        Per phase, the set of *enabled* control points.  Phase 0 is the
+        empty (all-transparent) phase by convention.
+    unscheduled:
+        Control points that cannot be phase-driven (random re-drives);
+        they stay active in every phase.
+    """
+
+    observation_points: List[TestPoint] = field(default_factory=list)
+    phases: List[List[TestPoint]] = field(default_factory=lambda: [[]])
+    unscheduled: List[TestPoint] = field(default_factory=list)
+
+    @property
+    def n_phases(self) -> int:
+        """Number of phases (including the transparent phase 0)."""
+        return len(self.phases)
+
+    def all_points(self) -> List[TestPoint]:
+        """Every distinct point of the underlying placement."""
+        seen: Set[TestPoint] = set(self.observation_points) | set(
+            self.unscheduled
+        )
+        for phase in self.phases:
+            seen |= set(phase)
+        return sorted(seen)
+
+    def describe(self) -> str:
+        """Multi-line phase table."""
+        lines = [f"{self.n_phases} phases, "
+                 f"{len(self.observation_points)} always-on OPs"]
+        for k, phase in enumerate(self.phases):
+            members = ", ".join(p.describe() for p in phase) or "(transparent)"
+            lines.append(f"  phase {k}: {members}")
+        if self.unscheduled:
+            lines.append(
+                "  always active: "
+                + ", ".join(p.describe() for p in self.unscheduled)
+            )
+        return "\n".join(lines)
+
+
+def evaluate_phase(
+    problem: TPIProblem,
+    plan: PhasePlan,
+    phase_index: int,
+) -> VirtualEvaluation:
+    """Analytically evaluate one phase of the plan.
+
+    Enabled AND/OR points become fixed constants (probability 0/1,
+    upstream observability 0); disabled ones vanish (transparent wire);
+    observation points and random re-drives apply in every phase.
+    """
+    if not 0 <= phase_index < plan.n_phases:
+        raise IndexError(f"no phase {phase_index}")
+    return _evaluate_fixed(problem, plan, phase_index)
+
+
+def _evaluate_fixed(
+    problem: TPIProblem, plan: PhasePlan, phase_index: int
+) -> VirtualEvaluation:
+    """Exact fixed-value phase evaluation via enable-probability rewiring.
+
+    The trick: an AND-type point with enable probability ``q`` yields
+    ``p → p·q`` and observability factor ``q``; fixed enables are the
+    ``q = 0`` (enabled, forces 0) / ``q = 1`` (disabled, transparent)
+    endpoints of the same algebra.  We therefore rebuild the evaluator's
+    passes with per-point ``q`` values.
+    """
+    from ..circuit.gates import (
+        output_probability,
+        side_input_sensitization_probability,
+    )
+
+    circuit = problem.circuit
+    enabled = set(plan.phases[phase_index])
+    ops = set(plan.observation_points)
+    always = set(plan.unscheduled)
+
+    # Per-site effective transform parameters.
+    site_ctrl: Dict[Tuple[str, Optional[Tuple[str, int]]], Tuple[float, int]] = {}
+    # value: (q, polarity) — polarity 0: AND-type (force 0), 1: OR-type.
+    for point in plan.all_points():
+        if not point.kind.is_control:
+            continue
+        key = (point.node, point.branch)
+        if point in always:
+            if point.kind is TestPointType.CONTROL_RANDOM:
+                site_ctrl[key] = (0.5, -1)  # random re-drive
+            else:
+                site_ctrl[key] = (
+                    0.5,
+                    0 if point.kind is TestPointType.CONTROL_AND else 1,
+                )
+        elif point in enabled:
+            site_ctrl[key] = (
+                0.0,
+                0 if point.kind is TestPointType.CONTROL_AND else 1,
+            )
+        # disabled points are transparent: no entry.
+    op_sites = {(p.node, p.branch) for p in ops}
+
+    def transform(key, p: float) -> float:
+        if key not in site_ctrl:
+            return p
+        q, polarity = site_ctrl[key]
+        if polarity == -1:  # random re-drive
+            return 0.5
+        if polarity == 0:  # AND with enable of probability q
+            return p * q
+        return 1.0 - (1.0 - p) * q  # OR with NOT-enable prob q... see note
+
+    # Note on OR-type: hardware is OR(wire, r); r = 1 forces 1.  With
+    # P[r = 1] = 1 - q where q is the "transparency" probability:
+    # p' = 1 - (1 - p) * q, obs factor = q.  Enabled: q = 0 → p' = 1.
+    # Always-random: q = 0.5 → p' = (1 + p)/2, matching CONTROL_OR.
+
+    def obs_factor(key) -> float:
+        if key not in site_ctrl:
+            return 1.0
+        q, polarity = site_ctrl[key]
+        if polarity == -1:
+            return 0.0
+        return q
+
+    # ------------------------------------------------------------ forward
+    stem_pre: Dict[str, float] = {}
+    stem_post: Dict[str, float] = {}
+    branch_pre: Dict[Tuple[str, str, int], float] = {}
+    branch_post: Dict[Tuple[str, str, int], float] = {}
+
+    def pin_probability(sink: str, pin: int, driver: str) -> float:
+        return branch_post.get((driver, sink, pin), stem_post[driver])
+
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.is_input:
+            p = problem.input_probability(name)
+        else:
+            p = output_probability(
+                node.gate_type,
+                [
+                    pin_probability(name, pin, fi)
+                    for pin, fi in enumerate(node.fanins)
+                ],
+            )
+        stem_pre[name] = p
+        stem_post[name] = transform((name, None), p)
+        for sink, pin in circuit.fanouts(name):
+            bkey = (name, sink, pin)
+            branch_pre[bkey] = stem_post[name]
+            branch_post[bkey] = transform(
+                (name, (sink, pin)), branch_pre[bkey]
+            )
+
+    # ----------------------------------------------------------- backward
+    out_set = set(circuit.outputs)
+    wire_obs: Dict[str, float] = {}
+    branch_obs: Dict[Tuple[str, str, int], float] = {}
+    stem_post_obs: Dict[str, float] = {}
+
+    def combine(values) -> float:
+        escape = 1.0
+        for v in values:
+            escape *= 1.0 - v
+        return 1.0 - escape
+
+    for name in reversed(circuit.topological_order()):
+        post_contribs: List[float] = []
+        if name in out_set:
+            post_contribs.append(1.0)
+        for sink, pin in circuit.fanouts(name):
+            bkey = (name, sink, pin)
+            sink_node = circuit.node(sink)
+            side = [
+                pin_probability(sink, p, fi)
+                for p, fi in enumerate(sink_node.fanins)
+                if p != pin
+            ]
+            sens = side_input_sensitization_probability(
+                sink_node.gate_type, side
+            )
+            pin_obs = wire_obs[sink] * sens
+            contribs = [obs_factor((name, (sink, pin))) * pin_obs]
+            if (name, (sink, pin)) in op_sites:
+                contribs.append(1.0)
+            b_obs = combine(contribs)
+            branch_obs[bkey] = b_obs
+            post_contribs.append(b_obs)
+        post = combine(post_contribs) if post_contribs else 0.0
+        stem_post_obs[name] = post
+        contribs = [obs_factor((name, None)) * post]
+        if (name, None) in op_sites:
+            contribs.append(1.0)
+        wire_obs[name] = combine(contribs)
+
+    return VirtualEvaluation(
+        problem=problem,
+        points=plan.all_points(),
+        stem_pre=stem_pre,
+        stem_post=stem_post,
+        wire_obs=wire_obs,
+        branch_pre=branch_pre,
+        branch_obs=branch_obs,
+        stem_post_obs=stem_post_obs,
+    )
+
+
+def phase_escape_probabilities(
+    problem: TPIProblem,
+    plan: PhasePlan,
+    n_patterns: int,
+    faults: Optional[Sequence[Fault]] = None,
+) -> Dict[Fault, float]:
+    """Per-fault escape probability across all phases.
+
+    The pattern budget splits evenly over the phases; a fault escapes the
+    whole test only if it escapes every phase:
+    ``Π_k (1 - d_k)^(N/K)``.
+    """
+    if faults is None:
+        faults = testable_stuck_at_faults(problem.circuit)
+    per_phase = max(1, n_patterns // plan.n_phases)
+    escapes = {f: 1.0 for f in faults}
+    for k in range(plan.n_phases):
+        evaluation = _evaluate_fixed(problem, plan, k)
+        for f in faults:
+            d = evaluation.fault_detection(f)
+            escapes[f] *= (1.0 - d) ** per_phase
+    return escapes
+
+
+def schedule_phases(
+    problem: TPIProblem,
+    points: Sequence[TestPoint],
+    n_patterns: int,
+    escape_budget: float = 0.001,
+    max_phases: int = 8,
+    faults: Optional[Sequence[Fault]] = None,
+) -> PhasePlan:
+    """Pack a placement's control points into fixed-value phases.
+
+    Greedy constructive scheduling in the spirit of the successor work:
+    phase 0 is transparent; each AND/OR control point joins the first
+    later phase where adding it does not reduce the number of faults that
+    phase newly secures, else opens a new phase (up to ``max_phases``).
+    """
+    if faults is None:
+        faults = testable_stuck_at_faults(problem.circuit)
+    plan = PhasePlan(
+        observation_points=[
+            p for p in points if p.kind is TestPointType.OBSERVATION
+        ],
+        phases=[[]],
+        unscheduled=[
+            p
+            for p in points
+            if p.kind is TestPointType.CONTROL_RANDOM
+        ],
+    )
+    controls = [p for p in points if p.kind in _SCHEDULABLE]
+
+    def secured_count(phase_points: List[TestPoint]) -> int:
+        trial = PhasePlan(
+            observation_points=plan.observation_points,
+            phases=[phase_points],
+            unscheduled=plan.unscheduled,
+        )
+        evaluation = _evaluate_fixed(problem, trial, 0)
+        theta = problem.threshold
+        return sum(
+            1 for f in faults if evaluation.fault_detection(f) >= theta
+        )
+
+    for point in sorted(controls):
+        placed = False
+        for k in range(1, len(plan.phases)):
+            before = secured_count(plan.phases[k])
+            after = secured_count(plan.phases[k] + [point])
+            if after >= before:
+                plan.phases[k].append(point)
+                placed = True
+                break
+        if not placed:
+            if len(plan.phases) < max_phases:
+                plan.phases.append([point])
+            else:
+                # Fall back to the least-harmed phase.
+                best_k = min(
+                    range(1, len(plan.phases)),
+                    key=lambda k: secured_count(plan.phases[k])
+                    - secured_count(plan.phases[k] + [point]),
+                )
+                plan.phases[best_k].append(point)
+    return plan
+
+
+def measure_phase_coverage(
+    problem: TPIProblem,
+    plan: PhasePlan,
+    n_patterns: int,
+    source: Optional[PatternSource] = None,
+) -> float:
+    """Measured collapsed coverage of the phased test on real hardware.
+
+    The placement is physically inserted once; each phase then drives the
+    enable inputs to that phase's constants (AND-type enabled → 0,
+    disabled → 1; OR-type enabled → 1, disabled → 0; random re-drives stay
+    random) and fault simulates its share of the budget.  A fault counts
+    as detected if any phase detects it.
+    """
+    from ..sim.faults import collapse_faults
+
+    source = source or UniformRandomSource(seed=1)
+    circuit = problem.circuit
+    insertion = apply_test_points(circuit, plan.all_points())
+    mod = insertion.circuit
+    sim = FaultSimulator(mod)
+    reference = collapse_faults(circuit).representatives
+    mapped = {f: insertion.fault_map[f] for f in reference}
+
+    enable_of = insertion.enable_of
+    per_phase = max(1, n_patterns // plan.n_phases)
+    detected: Set[Fault] = set()
+    for k in range(plan.n_phases):
+        enabled = set(plan.phases[k])
+        stimulus = UniformRandomSource(seed=1000 + k).generate(
+            mod.inputs, per_phase
+        )
+        mask = (1 << per_phase) - 1
+        for point in plan.all_points():
+            if not point.kind.is_control:
+                continue
+            r = enable_of.get(point)
+            if r is None:
+                continue
+            if point.kind is TestPointType.CONTROL_RANDOM:
+                continue  # stays random
+            if point.kind is TestPointType.CONTROL_AND:
+                stimulus[r] = 0 if point in enabled else mask
+            else:  # CONTROL_OR
+                stimulus[r] = mask if point in enabled else 0
+        result = sim.run(
+            stimulus,
+            per_phase,
+            faults=[m for m in mapped.values() if m is not None],
+        )
+        for orig, m in mapped.items():
+            if m is not None and result.detection_word[m]:
+                detected.add(orig)
+    return len(detected) / len(reference) if reference else 1.0

@@ -1,0 +1,31 @@
+"""Netlist preparation for test point planning.
+
+The DP (and the regional heuristic built on it) operates on ≤2-input
+gates, matching the 1987 setting where synthesized netlists were already
+decomposed.  :func:`prepare_for_tpi` normalizes an arbitrary circuit:
+
+* wide symmetric gates become balanced 2-input trees
+  (:func:`repro.circuit.transforms.factorize_to_two_input`);
+* logic reaching no output is swept away (the DP refuses dead wires,
+  since no placement can make an unobservable wire testable).
+
+Planning, virtual evaluation, physical insertion and coverage measurement
+must all run on the *prepared* netlist — its wires are the fault universe
+the placement protects.
+"""
+
+from __future__ import annotations
+
+from ..circuit.netlist import Circuit
+from ..circuit.transforms import factorize_to_two_input, sweep_dead_logic
+
+__all__ = ["prepare_for_tpi"]
+
+
+def prepare_for_tpi(circuit: Circuit) -> Circuit:
+    """Return a planning-ready copy: 2-input gates only, no dead logic."""
+    prepared = factorize_to_two_input(circuit)
+    if prepared.floating_nodes():
+        prepared = sweep_dead_logic(prepared)
+    prepared.validate()
+    return prepared

@@ -1,0 +1,80 @@
+"""Random test point placement — the sanity-check baseline.
+
+Inserts points at uniformly random sites/flavors until the instance becomes
+feasible or a budget is exhausted.  Any serious method must beat this; the
+evaluation uses it to calibrate how much structure the DP and the greedy
+heuristic actually exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..sim.faults import Fault, testable_stuck_at_faults
+from .problem import TestPoint, TestPointType, TPIProblem, TPISolution
+from .virtual import evaluate_placement
+
+__all__ = ["solve_random"]
+
+
+def solve_random(
+    problem: TPIProblem,
+    faults: Optional[Sequence[Fault]] = None,
+    seed: int = 0,
+    max_point_budget: int = 200,
+) -> TPISolution:
+    """Insert uniformly random test points until feasible (or budget out).
+
+    Feasibility is re-checked after every insertion so the reported cost is
+    the cost at first feasibility, comparable with the other solvers.
+    """
+    if faults is None:
+        faults = testable_stuck_at_faults(problem.circuit)
+    rng = random.Random(seed)
+    sites = list(problem.circuit.node_names)
+    kinds = list(problem.allowed_types)
+    points: List[TestPoint] = []
+    controlled: Set[str] = set()
+    observed: Set[str] = set()
+    feasible = False
+    attempts = 0
+
+    budget = max_point_budget
+    if problem.max_points is not None:
+        budget = min(budget, problem.max_points)
+
+    # Every wire takes at most one control point and one observation
+    # point, so the pool of distinct placements is finite — stop once it
+    # is exhausted (or the instance would loop forever when infeasible).
+    max_distinct = 2 * len(sites)
+    while len(points) < min(budget, max_distinct):
+        if evaluate_placement(problem, points).is_feasible(faults):
+            feasible = True
+            break
+        attempts += 1
+        if attempts > 50 * max_distinct:
+            break  # saturated under a restricted type set
+        site = rng.choice(sites)
+        kind = rng.choice(kinds)
+        if kind is TestPointType.OBSERVATION:
+            if site in observed:
+                continue
+            observed.add(site)
+        else:
+            if site in controlled:
+                continue
+            controlled.add(site)
+        points.append(TestPoint(site, kind))
+        if len(observed) == len(sites) and len(controlled) == len(sites):
+            break  # placement pool exhausted
+    if not feasible:
+        feasible = evaluate_placement(problem, points).is_feasible(faults)
+
+    return TPISolution(
+        points=points,
+        cost=problem.costs.total(points),
+        feasible=feasible,
+        method="random",
+        stats={"attempts": float(attempts), "seed": float(seed)},
+    )

@@ -1,0 +1,170 @@
+"""Fanout-free-region subproblem extraction for general circuits.
+
+Reconvergent fanout makes TPI NP-complete, so general circuits are handled
+by decomposing them into fanout-free regions (FFRs, see
+:mod:`repro.circuit.analysis`) and running the exact tree DP inside each
+region against its *environment*:
+
+* region **leaves** become pseudo primary inputs carrying the current
+  global signal probability of the boundary wire;
+* the region **root** receives the current global observability of its
+  post-control-point line as the DP's environment observability;
+* faults on boundary wires (fanout branches, primary-input stems) are
+  enforced inside the sink region, so every fault of the circuit is owned
+  by exactly one region (except stems of multi-fanout primary inputs,
+  which the iterative driver mops up separately).
+
+A placement found on the extracted tree maps back onto the original
+circuit: internal tree nodes → stem points, branch leaves → branch points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..circuit.analysis import FanoutFreeRegion, fanout_free_regions
+from ..circuit.netlist import Circuit
+from ..sim.faults import Fault
+from .problem import TestPoint, TPIProblem
+from .virtual import VirtualEvaluation
+
+__all__ = [
+    "RegionSubproblem",
+    "extract_region_subproblem",
+    "fault_region_owner",
+    "owner_of_fault",
+]
+
+_Site = Tuple[str, Optional[Tuple[str, int]]]
+
+
+@dataclass
+class RegionSubproblem:
+    """An FFR packaged for the tree DP.
+
+    Attributes
+    ----------
+    region:
+        The source region.
+    circuit:
+        The extracted tree netlist (root is its only output).
+    leaf_probabilities:
+        Pseudo-input name → current global probability of the boundary wire.
+    root_observability:
+        Environment observability of the root's post-CP line.
+    enforced:
+        Per-node fault-polarity enforcement overrides for the DP.
+    site_of:
+        Tree node name → ``(node, branch)`` placement site in the original
+        circuit.
+    """
+
+    region: FanoutFreeRegion
+    circuit: Circuit
+    leaf_probabilities: Dict[str, float] = field(default_factory=dict)
+    root_observability: float = 1.0
+    enforced: Dict[str, Tuple[bool, bool]] = field(default_factory=dict)
+    site_of: Dict[str, _Site] = field(default_factory=dict)
+
+    def map_point(self, tree_point: TestPoint) -> TestPoint:
+        """Translate a DP placement on the tree back to the real circuit."""
+        node, branch = self.site_of[tree_point.node]
+        return TestPoint(node, tree_point.kind, branch=branch)
+
+
+def extract_region_subproblem(
+    problem: TPIProblem,
+    region: FanoutFreeRegion,
+    evaluation: VirtualEvaluation,
+) -> RegionSubproblem:
+    """Build the tree subproblem of ``region`` under the current placement.
+
+    ``evaluation`` must describe the circuit with all points *outside* the
+    region applied (and the region's own previous points removed), so leaf
+    probabilities and root observability reflect the environment the DP
+    plans against.
+    """
+    circuit = problem.circuit
+    tree = Circuit(f"{circuit.name}__ffr_{region.root}")
+    site_of: Dict[str, _Site] = {}
+    leaf_probs: Dict[str, float] = {}
+    enforced: Dict[str, Tuple[bool, bool]] = {}
+
+    members = region.members
+    order = [n for n in circuit.topological_order() if n in members]
+
+    def leaf_for(driver: str, sink: str, pin: int) -> str:
+        if circuit.fanout_count(driver) > 1:
+            name = f"{driver}@{sink}.{pin}"
+            site: _Site = (driver, (sink, pin))
+        else:
+            name = driver
+            site = (driver, None)
+        if name not in tree:
+            tree.add_input(name)
+            site_of[name] = site
+            leaf_probs[name] = evaluation.stem_post[driver]
+            enforced[name] = (True, True)
+        return name
+
+    for name in order:
+        node = circuit.node(name)
+        fanins = []
+        for pin, fi in enumerate(node.fanins):
+            if fi in members:
+                fanins.append(fi)
+            else:
+                fanins.append(leaf_for(fi, name, pin))
+        tree.add_gate(name, node.gate_type, fanins)
+        site_of[name] = (name, None)
+    tree.mark_output(region.root)
+    tree.validate()
+
+    root_obs = evaluation.stem_post_obs.get(region.root, 1.0)
+    return RegionSubproblem(
+        region=region,
+        circuit=tree,
+        leaf_probabilities=leaf_probs,
+        root_observability=root_obs,
+        enforced=enforced,
+        site_of=site_of,
+    )
+
+
+def fault_region_owner(
+    circuit: Circuit, regions: Optional[List[FanoutFreeRegion]] = None
+) -> Dict[_Site, int]:
+    """Map every fault wire to the index of the region that owns it.
+
+    Gate stems belong to their own region; fanout branches and fanout-1
+    primary-input stems belong to the sink's region.  Stems of multi-fanout
+    primary inputs have no owner (absent from the map).
+    """
+    if regions is None:
+        regions = fanout_free_regions(circuit)
+    member_region: Dict[str, int] = {}
+    for idx, region in enumerate(regions):
+        for m in region.members:
+            member_region[m] = idx
+
+    owner: Dict[_Site, int] = {}
+    for idx, region in enumerate(regions):
+        for m in region.members:
+            owner[(m, None)] = idx
+            node = circuit.node(m)
+            for pin, fi in enumerate(node.fanins):
+                if fi in region.members:
+                    continue
+                if circuit.fanout_count(fi) > 1:
+                    owner[(fi, (m, pin))] = idx
+                elif circuit.node(fi).is_input:
+                    owner[(fi, None)] = idx
+    return owner
+
+
+def owner_of_fault(
+    fault: Fault, owner: Dict[_Site, int]
+) -> Optional[int]:
+    """Region index owning ``fault``'s wire (None for orphan PI stems)."""
+    return owner.get((fault.node, fault.branch))

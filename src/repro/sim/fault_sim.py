@@ -1,0 +1,286 @@
+"""Pattern-parallel stuck-at fault simulation with cone-restricted events.
+
+For each fault the simulator re-evaluates only the fault's fanout cone (in
+levelized order) against cached good-circuit values, with all patterns packed
+into single integer words — i.e. single-fault propagation, all patterns in
+parallel, the PPSFP-style organization classic fault simulators use.
+
+Key outputs:
+
+* per-fault **detection word** (bit ``p`` set iff pattern ``p`` detects);
+* per-fault **first detecting pattern**, from which cumulative coverage
+  curves (the figures of the evaluation) are derived;
+* plain coverage numbers over a collapsed fault list.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuit.gates import evaluate_gate
+from ..circuit.netlist import Circuit
+from .bitops import ones_mask
+from .faults import CollapsedFaultSet, Fault, collapse_faults
+from .logic_sim import LogicSimulator
+
+__all__ = ["FaultSimResult", "FaultSimulator", "fault_coverage"]
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of one fault-simulation run.
+
+    Attributes
+    ----------
+    n_patterns:
+        Number of patterns applied.
+    detection_word:
+        Map fault → packed word; bit ``p`` is 1 iff pattern ``p`` detects
+        the fault at some primary output.
+    first_detect:
+        Map fault → index of the first detecting pattern (``None`` if the
+        fault escapes all patterns).
+    """
+
+    n_patterns: int
+    detection_word: Dict[Fault, int] = field(default_factory=dict)
+    first_detect: Dict[Fault, Optional[int]] = field(default_factory=dict)
+
+    @property
+    def faults(self) -> List[Fault]:
+        """The simulated fault list."""
+        return list(self.detection_word)
+
+    def detected_faults(self) -> List[Fault]:
+        """Faults detected by at least one pattern."""
+        return [f for f, w in self.detection_word.items() if w]
+
+    def undetected_faults(self) -> List[Fault]:
+        """Faults that escaped every pattern."""
+        return [f for f, w in self.detection_word.items() if not w]
+
+    def coverage(self) -> float:
+        """Fraction of faults detected (1.0 when the fault list is empty)."""
+        if not self.detection_word:
+            return 1.0
+        return len(self.detected_faults()) / len(self.detection_word)
+
+    def coverage_at(self, n: int) -> float:
+        """Coverage after only the first ``n`` patterns."""
+        if not self.detection_word:
+            return 1.0
+        hit = sum(
+            1
+            for fd in self.first_detect.values()
+            if fd is not None and fd < n
+        )
+        return hit / len(self.detection_word)
+
+    def coverage_curve(
+        self, checkpoints: Optional[Sequence[int]] = None
+    ) -> List[Tuple[int, float]]:
+        """Cumulative ``(pattern_count, coverage)`` series.
+
+        Defaults to powers of two up to ``n_patterns`` (plus the endpoint),
+        matching the log-x coverage plots of the BIST literature.
+        """
+        if checkpoints is None:
+            checkpoints = []
+            n = 1
+            while n < self.n_patterns:
+                checkpoints.append(n)
+                n *= 2
+            checkpoints.append(self.n_patterns)
+        return [(n, self.coverage_at(n)) for n in checkpoints]
+
+    def detection_probability(self, fault: Fault) -> float:
+        """Empirical per-pattern detection probability of ``fault``."""
+        return self.detection_word[fault].bit_count() / self.n_patterns
+
+
+class FaultSimulator:
+    """Stuck-at fault simulator bound to one circuit.
+
+    The good-circuit values are computed once per stimulus; each fault then
+    re-evaluates only its fanout cone.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self._logic = LogicSimulator(circuit)
+        self._level = circuit.levels()
+        # Cache each node's cone evaluation order.
+        self._cone_order_cache: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    def _cone_order(self, start: str) -> List[str]:
+        """Gates in the fanout cone of ``start``, levelized (incl. start)."""
+        cached = self._cone_order_cache.get(start)
+        if cached is not None:
+            return cached
+        cone = self.circuit.fanout_cone(start)
+        order = sorted(cone, key=lambda n: (self._level[n], n))
+        self._cone_order_cache[start] = order
+        return order
+
+    def simulate_fault_responses(
+        self,
+        fault: Fault,
+        good_values: Mapping[str, int],
+        n_patterns: int,
+    ) -> Dict[str, int]:
+        """Per-output difference words of one fault.
+
+        Returns a map primary output → packed word whose bit ``p`` is set
+        iff the fault flips that output under pattern ``p`` (the faulty
+        response is ``good ^ diff``).  Needed by response compaction, where
+        *which* outputs flip decides whether a signature aliases.
+        """
+        diffs: Dict[str, int] = {po: 0 for po in self.circuit.outputs}
+        self._propagate(fault, good_values, n_patterns, diffs)
+        return diffs
+
+    def simulate_fault(
+        self,
+        fault: Fault,
+        good_values: Mapping[str, int],
+        n_patterns: int,
+    ) -> int:
+        """Return the packed detection word of one fault.
+
+        ``good_values`` must come from a prior fault-free :meth:`run` of the
+        same stimulus (any node → word mapping covering the whole circuit).
+        """
+        return self._propagate(fault, good_values, n_patterns, None)
+
+    def _propagate(
+        self,
+        fault: Fault,
+        good_values: Mapping[str, int],
+        n_patterns: int,
+        output_diffs: Optional[Dict[str, int]],
+    ) -> int:
+        """Shared propagation kernel.
+
+        Returns the combined detection word; when ``output_diffs`` is a
+        dict it is additionally filled with per-output difference words.
+        """
+        mask = ones_mask(n_patterns)
+        stuck_word = mask if fault.value else 0
+        faulty: Dict[str, int] = {}
+        out_set = set(self.circuit.outputs)
+        detect = 0
+
+        def note(name: str, diff: int) -> None:
+            nonlocal detect
+            detect |= diff
+            if output_diffs is not None:
+                output_diffs[name] = diff & mask
+
+        if fault.branch is None:
+            start = fault.node
+            if good_values[start] == stuck_word:
+                return 0  # fault never excited anywhere
+            faulty[start] = stuck_word
+            if start in out_set:
+                note(start, good_values[start] ^ stuck_word)
+            frontier = [sink for sink, _pin in self.circuit.fanouts(start)]
+        else:
+            sink, pin = fault.branch
+            node = self.circuit.node(sink)
+            fanin_words = [
+                stuck_word if p == pin else good_values[fi]
+                for p, fi in enumerate(node.fanins)
+            ]
+            new_word = evaluate_gate(node.gate_type, fanin_words, mask)
+            if new_word == good_values[sink]:
+                return 0
+            faulty[sink] = new_word
+            if sink in out_set:
+                note(sink, good_values[sink] ^ new_word)
+            frontier = [s for s, _p in self.circuit.fanouts(sink)]
+
+        if not frontier:
+            return detect & mask
+
+        # Event-driven levelized propagation over the affected cone: a
+        # level-ordered worklist evaluates affected gates and schedules the
+        # fanouts of any gate whose word actually changed.
+        pending = set(frontier)
+        heap: List[Tuple[int, str]] = [(self._level[n], n) for n in pending]
+        heapq.heapify(heap)
+        scheduled = set(pending)
+        while heap:
+            _lvl, name = heapq.heappop(heap)
+            scheduled.discard(name)
+            node = self.circuit.node(name)
+            fanin_words = [faulty.get(fi, good_values[fi]) for fi in node.fanins]
+            new_word = evaluate_gate(node.gate_type, fanin_words, mask)
+            old_word = faulty.get(name, good_values[name])
+            if new_word == old_word:
+                continue
+            faulty[name] = new_word
+            if name in out_set:
+                note(name, good_values[name] ^ new_word)
+            for s, _p in self.circuit.fanouts(name):
+                if s not in scheduled:
+                    scheduled.add(s)
+                    heapq.heappush(heap, (self._level[s], s))
+        return detect & mask
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stimulus: Mapping[str, int],
+        n_patterns: int,
+        faults: Optional[Sequence[Fault]] = None,
+        collapse: bool = True,
+    ) -> FaultSimResult:
+        """Fault-simulate a stimulus set.
+
+        Parameters
+        ----------
+        stimulus:
+            Map primary input → packed pattern word.
+        n_patterns:
+            Number of pattern bits in the stimulus.
+        faults:
+            Fault list; defaults to the full stuck-at list of the circuit.
+        collapse:
+            When True (default) and ``faults`` is None, the list is
+            equivalence-collapsed first.
+        """
+        if faults is None:
+            if collapse:
+                faults = collapse_faults(self.circuit).representatives
+            else:
+                from .faults import all_stuck_at_faults
+
+                faults = all_stuck_at_faults(self.circuit)
+        good_values = self._logic.run(stimulus, n_patterns)
+        result = FaultSimResult(n_patterns=n_patterns)
+        for fault in faults:
+            word = self.simulate_fault(fault, good_values, n_patterns)
+            result.detection_word[fault] = word
+            result.first_detect[fault] = _first_set_bit(word)
+        return result
+
+
+def _first_set_bit(word: int) -> Optional[int]:
+    """Index of the least significant set bit, or None when word == 0."""
+    if word == 0:
+        return None
+    return (word & -word).bit_length() - 1
+
+
+def fault_coverage(
+    circuit: Circuit,
+    stimulus: Mapping[str, int],
+    n_patterns: int,
+    faults: Optional[Sequence[Fault]] = None,
+) -> float:
+    """One-shot collapsed stuck-at coverage of a stimulus set."""
+    return FaultSimulator(circuit).run(stimulus, n_patterns, faults=faults).coverage()

@@ -1,0 +1,138 @@
+"""Linear feedback shift register (LFSR) pseudo-random pattern generator.
+
+BIST pattern generators of the era were external-XOR LFSRs built from a
+primitive feedback polynomial, giving a maximal-length (2^n - 1) sequence.
+This module provides:
+
+* a table of primitive polynomials over GF(2) for degrees 2–32 (classic
+  Peterson/Weldon taps as used in the BIST literature);
+* :class:`LFSR`, a Fibonacci-configuration register producing per-cycle
+  parallel output of its state bits;
+* helpers to drive a circuit's primary inputs from the register, matching
+  the "LFSR + scan chain" abstraction of pseudo-random BIST.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["PRIMITIVE_TAPS", "primitive_taps", "LFSR"]
+
+#: Primitive polynomial tap positions (1-based exponents, excluding x^0) for
+#: each degree.  x^n + x^k + ... + 1 is encoded as (n, k, ...).
+PRIMITIVE_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 1),
+    4: (4, 1),
+    5: (5, 2),
+    6: (6, 1),
+    7: (7, 1),
+    8: (8, 6, 5, 4),
+    9: (9, 4),
+    10: (10, 3),
+    11: (11, 2),
+    12: (12, 7, 4, 3),
+    13: (13, 4, 3, 1),
+    14: (14, 12, 11, 1),
+    15: (15, 1),
+    16: (16, 5, 3, 2),
+    17: (17, 3),
+    18: (18, 7),
+    19: (19, 6, 5, 1),
+    20: (20, 3),
+    21: (21, 2),
+    22: (22, 1),
+    23: (23, 5),
+    24: (24, 4, 3, 1),
+    25: (25, 3),
+    26: (26, 8, 7, 1),
+    27: (27, 8, 7, 1),
+    28: (28, 3),
+    29: (29, 2),
+    30: (30, 16, 15, 1),
+    31: (31, 3),
+    32: (32, 28, 27, 1),
+}
+
+
+def primitive_taps(degree: int) -> Tuple[int, ...]:
+    """Return primitive polynomial taps for ``degree`` (KeyError if absent)."""
+    try:
+        return PRIMITIVE_TAPS[degree]
+    except KeyError:
+        raise KeyError(
+            f"no primitive polynomial tabulated for degree {degree}"
+        ) from None
+
+
+class LFSR:
+    """Fibonacci LFSR over GF(2) with a primitive feedback polynomial.
+
+    Parameters
+    ----------
+    degree:
+        Register length; the sequence period is ``2**degree - 1``.
+    seed:
+        Initial nonzero state (defaults to 1).
+    taps:
+        Feedback tap positions; defaults to the tabulated primitive taps.
+    """
+
+    def __init__(
+        self,
+        degree: int,
+        seed: int = 1,
+        taps: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        if degree < 2:
+            raise ValueError("LFSR degree must be ≥ 2")
+        self.degree = degree
+        self.taps = tuple(taps) if taps is not None else primitive_taps(degree)
+        if max(self.taps) != degree:
+            raise ValueError("highest tap must equal the register degree")
+        mask = (1 << degree) - 1
+        seed &= mask
+        if seed == 0:
+            raise ValueError("LFSR seed must be nonzero")
+        self._mask = mask
+        self.state = seed
+        self._tap_mask = 0
+        for t in self.taps:
+            self._tap_mask |= 1 << (t - 1)
+
+    def step(self) -> int:
+        """Advance one clock; return the new state."""
+        feedback = (self.state & self._tap_mask).bit_count() & 1
+        self.state = ((self.state << 1) | feedback) & self._mask
+        return self.state
+
+    def state_bits(self) -> List[int]:
+        """Current state as a list of bits, LSB first."""
+        return [(self.state >> i) & 1 for i in range(self.degree)]
+
+    def sequence(self, n_cycles: int) -> Iterator[int]:
+        """Yield ``n_cycles`` successive states (advancing the register)."""
+        for _ in range(n_cycles):
+            yield self.state
+            self.step()
+
+    def period(self) -> int:
+        """Sequence period for a primitive polynomial: ``2**degree - 1``."""
+        return (1 << self.degree) - 1
+
+    def packed_input_words(self, n_signals: int, n_patterns: int) -> List[int]:
+        """Generate packed per-signal pattern words for ``n_signals`` inputs.
+
+        Signal ``s`` receives state bit ``s mod degree`` at each cycle — the
+        standard "parallel taps off the register" wiring.  Returns one packed
+        word per signal with pattern ``p`` in bit ``p``; the register is
+        advanced ``n_patterns`` cycles.
+        """
+        words = [0] * n_signals
+        for p in range(n_patterns):
+            state = self.state
+            for s in range(n_signals):
+                if (state >> (s % self.degree)) & 1:
+                    words[s] |= 1 << p
+            self.step()
+        return words

@@ -1,0 +1,135 @@
+"""Pattern sources: packed per-input stimulus generators.
+
+Every source produces, for a given ordered list of primary inputs, one packed
+word per input with pattern ``p`` in bit ``p`` (the representation consumed
+by :mod:`repro.sim.logic_sim`).  Available sources:
+
+* :class:`UniformRandomSource` — independent fair bits (the idealized
+  pseudo-random generator the testability models assume);
+* :class:`WeightedRandomSource` — per-input 1-probability weights;
+* :class:`LFSRSource` — a real maximal-length LFSR (authentic BIST stimulus,
+  including its linear-dependence artifacts);
+* :class:`ExhaustiveSource` — all ``2**n`` input combinations;
+* :class:`ExplicitSource` — caller-provided pattern list (deterministic
+  vectors, e.g. ATPG top-off cubes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from .bitops import pack_patterns, random_word, weighted_random_word
+from .lfsr import LFSR
+
+__all__ = [
+    "PatternSource",
+    "UniformRandomSource",
+    "WeightedRandomSource",
+    "LFSRSource",
+    "ExhaustiveSource",
+    "ExplicitSource",
+]
+
+
+class PatternSource:
+    """Abstract base: generate packed stimulus for named inputs."""
+
+    def generate(self, input_names: Sequence[str], n_patterns: int) -> Dict[str, int]:
+        """Return a map input name → packed pattern word."""
+        raise NotImplementedError
+
+
+class UniformRandomSource(PatternSource):
+    """Independent fair random bits on every input (seeded)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def generate(self, input_names: Sequence[str], n_patterns: int) -> Dict[str, int]:
+        rng = random.Random(self.seed)
+        return {name: random_word(n_patterns, rng) for name in input_names}
+
+
+class WeightedRandomSource(PatternSource):
+    """Per-input weighted random bits.
+
+    ``weights`` maps input name → P[input = 1]; inputs not listed use
+    ``default_weight``.
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Dict[str, float]] = None,
+        default_weight: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.weights = dict(weights or {})
+        self.default_weight = default_weight
+        self.seed = seed
+
+    def generate(self, input_names: Sequence[str], n_patterns: int) -> Dict[str, int]:
+        rng = random.Random(self.seed)
+        return {
+            name: weighted_random_word(
+                n_patterns, self.weights.get(name, self.default_weight), rng
+            )
+            for name in input_names
+        }
+
+
+class LFSRSource(PatternSource):
+    """Stimulus taken from a maximal-length LFSR.
+
+    Each generate() call starts from the configured seed so repeated calls
+    are reproducible.
+    """
+
+    def __init__(self, degree: int = 32, seed: int = 0xACE1) -> None:
+        self.degree = degree
+        self.seed = seed
+
+    def generate(self, input_names: Sequence[str], n_patterns: int) -> Dict[str, int]:
+        lfsr = LFSR(self.degree, seed=self.seed)
+        words = lfsr.packed_input_words(len(input_names), n_patterns)
+        return dict(zip(input_names, words))
+
+
+class ExhaustiveSource(PatternSource):
+    """All ``2**n`` combinations (n_patterns must equal ``2**len(inputs)``).
+
+    Input ``i`` toggles with period ``2**(i+1)`` — the usual binary counter
+    ordering.
+    """
+
+    def generate(self, input_names: Sequence[str], n_patterns: int) -> Dict[str, int]:
+        n = len(input_names)
+        if n_patterns != (1 << n):
+            raise ValueError(
+                f"exhaustive stimulus for {n} inputs needs {1 << n} patterns, "
+                f"got {n_patterns}"
+            )
+        out: Dict[str, int] = {}
+        for i, name in enumerate(input_names):
+            word = 0
+            for p in range(n_patterns):
+                if (p >> i) & 1:
+                    word |= 1 << p
+            out[name] = word
+        return out
+
+
+class ExplicitSource(PatternSource):
+    """Caller-provided vectors: ``patterns[p]`` maps input name → 0/1."""
+
+    def __init__(self, patterns: List[Dict[str, int]]) -> None:
+        self.patterns = list(patterns)
+
+    def generate(self, input_names: Sequence[str], n_patterns: int) -> Dict[str, int]:
+        if n_patterns != len(self.patterns):
+            raise ValueError(
+                f"{len(self.patterns)} explicit patterns held, {n_patterns} requested"
+            )
+        matrix = [[pat.get(name, 0) for name in input_names] for pat in self.patterns]
+        words = pack_patterns(matrix, len(input_names))
+        return dict(zip(input_names, words))

@@ -1,0 +1,38 @@
+"""Testability analysis: COP probabilities, SCOAP measures, detection math."""
+
+from .cop import COPResult, cop_measures, observabilities, signal_probabilities
+from .detection import (
+    detection_probabilities,
+    fault_detection_probability,
+    random_pattern_resistant_faults,
+    worst_fault,
+)
+from .scoap import SCOAPResult, scoap_measures
+from .weights import WeightOptimizationResult, optimize_weights
+from .testlength import (
+    escape_probability,
+    expected_coverage,
+    required_test_length,
+    required_threshold,
+    test_length_for_fault_set,
+)
+
+__all__ = [
+    "COPResult",
+    "cop_measures",
+    "signal_probabilities",
+    "observabilities",
+    "SCOAPResult",
+    "scoap_measures",
+    "fault_detection_probability",
+    "detection_probabilities",
+    "random_pattern_resistant_faults",
+    "worst_fault",
+    "escape_probability",
+    "required_test_length",
+    "required_threshold",
+    "expected_coverage",
+    "test_length_for_fault_set",
+    "WeightOptimizationResult",
+    "optimize_weights",
+]

@@ -1,0 +1,70 @@
+"""Per-fault detection probability estimation and RPR fault identification.
+
+The detection probability of stuck-at-``v`` on wire ``w`` under one random
+pattern is modeled as ``P[w = v̄] · obs(w)`` — excitation times propagation,
+with both factors taken from COP (:mod:`repro.testability.cop`).  On
+fanout-free circuits this is exact; with reconvergence it is the standard
+COP approximation the paper's framework (and its successors) accepted.
+
+A fault is **random-pattern resistant (RPR)** at test length ``N`` and
+escape budget ``ε`` when its detection probability falls below the
+threshold θ(N, ε) of :func:`repro.testability.testlength.required_threshold`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..circuit.netlist import Circuit
+from ..sim.faults import Fault, all_stuck_at_faults
+from .cop import COPResult, cop_measures
+
+__all__ = [
+    "fault_detection_probability",
+    "detection_probabilities",
+    "random_pattern_resistant_faults",
+    "worst_fault",
+]
+
+
+def fault_detection_probability(fault: Fault, cop: COPResult) -> float:
+    """Detection probability of one fault under the COP model."""
+    p1 = cop.probability[fault.node]
+    excitation = (1.0 - p1) if fault.value == 1 else p1
+    if fault.branch is None:
+        obs = cop.observability[fault.node]
+    else:
+        sink, pin = fault.branch
+        obs = cop.branch_observability[(fault.node, sink, pin)]
+    return excitation * obs
+
+
+def detection_probabilities(
+    circuit: Circuit,
+    faults: Optional[Sequence[Fault]] = None,
+    cop: Optional[COPResult] = None,
+) -> Dict[Fault, float]:
+    """Detection probability for each fault (default: full fault list)."""
+    if cop is None:
+        cop = cop_measures(circuit)
+    if faults is None:
+        faults = all_stuck_at_faults(circuit)
+    return {f: fault_detection_probability(f, cop) for f in faults}
+
+
+def random_pattern_resistant_faults(
+    circuit: Circuit,
+    threshold: float,
+    faults: Optional[Sequence[Fault]] = None,
+    cop: Optional[COPResult] = None,
+) -> List[Fault]:
+    """Faults whose detection probability falls below ``threshold``."""
+    probs = detection_probabilities(circuit, faults=faults, cop=cop)
+    return [f for f, d in probs.items() if d < threshold]
+
+
+def worst_fault(probs: Mapping[Fault, float]) -> Fault:
+    """The hardest fault (minimum detection probability; ties by order)."""
+    if not probs:
+        raise ValueError("empty fault-probability map")
+    return min(probs, key=lambda f: (probs[f], f))

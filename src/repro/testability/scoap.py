@@ -1,0 +1,122 @@
+"""SCOAP testability measures (Goldstein 1979).
+
+SCOAP assigns integer effort measures: ``CC0``/``CC1`` — the number of
+circuit lines that must be set to justify a 0/1 on a node — and ``CO`` —
+the effort to propagate a node to an observed output.  They are the
+deterministic cousins of COP's probabilities and serve here as an
+alternative candidate-ranking signal and as a cross-check in the analysis
+reports (high SCOAP ⇔ low COP detectability, loosely).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..circuit.gates import GateType
+from ..circuit.netlist import Circuit
+
+__all__ = ["SCOAPResult", "scoap_measures"]
+
+#: Effective infinity for unreachable values.
+INF = 10**9
+
+
+@dataclass
+class SCOAPResult:
+    """Combinational SCOAP measures for one circuit.
+
+    Attributes
+    ----------
+    cc0, cc1:
+        Controllability of 0/1 per node (primary inputs cost 1).
+    co:
+        Observability per node (primary outputs cost 0).
+    """
+
+    cc0: Dict[str, int] = field(default_factory=dict)
+    cc1: Dict[str, int] = field(default_factory=dict)
+    co: Dict[str, int] = field(default_factory=dict)
+
+    def testability(self, node: str, stuck_value: int) -> int:
+        """SCOAP detection effort of a stuck-at fault: CC(v̄) + CO."""
+        excite = self.cc1[node] if stuck_value == 0 else self.cc0[node]
+        return excite + self.co[node]
+
+
+def _gate_cc(gate_type: GateType, cc0s, cc1s) -> Tuple[int, int]:
+    """Return (CC0, CC1) of a gate output from its input measures."""
+    if gate_type is GateType.AND:
+        return min(cc0s) + 1, sum(cc1s) + 1
+    if gate_type is GateType.NAND:
+        return sum(cc1s) + 1, min(cc0s) + 1
+    if gate_type is GateType.OR:
+        return sum(cc0s) + 1, min(cc1s) + 1
+    if gate_type is GateType.NOR:
+        return min(cc1s) + 1, sum(cc0s) + 1
+    if gate_type is GateType.NOT:
+        return cc1s[0] + 1, cc0s[0] + 1
+    if gate_type is GateType.BUF:
+        return cc0s[0] + 1, cc1s[0] + 1
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        # Cheapest way to justify each output parity over all input
+        # combinations with that parity.
+        n = len(cc0s)
+        best = {0: INF, 1: INF}
+        for combo in range(1 << n):
+            cost = 0
+            ones = 0
+            for i in range(n):
+                if (combo >> i) & 1:
+                    cost += cc1s[i]
+                    ones += 1
+                else:
+                    cost += cc0s[i]
+            parity = ones & 1
+            if gate_type is GateType.XNOR:
+                parity ^= 1
+            best[parity] = min(best[parity], cost)
+        return best[0] + 1, best[1] + 1
+    if gate_type is GateType.CONST0:
+        return 1, INF
+    if gate_type is GateType.CONST1:
+        return INF, 1
+    raise ValueError(f"unknown gate type {gate_type!r}")
+
+
+def scoap_measures(circuit: Circuit) -> SCOAPResult:
+    """Compute combinational SCOAP CC0/CC1/CO for every node."""
+    res = SCOAPResult()
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        if node.is_input:
+            res.cc0[name], res.cc1[name] = 1, 1
+            continue
+        cc0s = [res.cc0[fi] for fi in node.fanins]
+        cc1s = [res.cc1[fi] for fi in node.fanins]
+        cc0, cc1 = _gate_cc(node.gate_type, cc0s, cc1s)
+        res.cc0[name] = min(cc0, INF)
+        res.cc1[name] = min(cc1, INF)
+
+    out_set = set(circuit.outputs)
+    for name in reversed(circuit.topological_order()):
+        best = 0 if name in out_set else INF
+        for sink, pin in circuit.fanouts(name):
+            sink_node = circuit.node(sink)
+            gt = sink_node.gate_type
+            side_cost = 0
+            for p, fi in enumerate(sink_node.fanins):
+                if p == pin:
+                    continue
+                if gt in (GateType.AND, GateType.NAND):
+                    side_cost += res.cc1[fi]
+                elif gt in (GateType.OR, GateType.NOR):
+                    side_cost += res.cc0[fi]
+                else:  # XOR/XNOR side inputs just need any value: min cost
+                    side_cost += min(res.cc0[fi], res.cc1[fi])
+            candidate = res.co.get(sink, INF)
+            if candidate < INF:
+                candidate = candidate + side_cost + 1
+            best = min(best, candidate)
+        res.co[name] = min(best, INF)
+    return res

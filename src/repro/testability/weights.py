@@ -1,0 +1,130 @@
+"""Weighted-random pattern optimization (the pattern-side alternative).
+
+Before (and alongside) test point insertion, the standard answer to
+random-pattern resistance was to *bias the inputs*: drive each primary
+input with probability ``w_i`` instead of 1/2, chosen to maximize expected
+coverage.  This module implements the classic coordinate-ascent weight
+optimizer over the COP detection model:
+
+* start from the fair assignment ``w = 0.5``;
+* sweep the inputs, trying a small palette of weights per input and
+  keeping the best (expected coverage under the analytic model);
+* repeat until a sweep yields no improvement.
+
+Weighted random fixes *excitation-only* resistance (wide AND/OR cones)
+but cannot create correlations between inputs — which is exactly where
+test point insertion wins (experiment E5 stages that comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuit.netlist import Circuit
+from ..sim.faults import Fault, testable_stuck_at_faults
+from .cop import cop_measures
+from .detection import detection_probabilities
+from .testlength import expected_coverage
+
+__all__ = ["WeightOptimizationResult", "optimize_weights"]
+
+#: The weight palette of the classic schemes (coarse on purpose: hardware
+#: weight generators offered a few dyadic levels).
+DEFAULT_PALETTE: Tuple[float, ...] = (0.125, 0.25, 0.5, 0.75, 0.875)
+
+
+@dataclass
+class WeightOptimizationResult:
+    """Outcome of the coordinate-ascent weight search.
+
+    Attributes
+    ----------
+    weights:
+        Chosen P[input = 1] per primary input.
+    expected_coverage:
+        Predicted coverage at the profiled pattern budget.
+    baseline_expected_coverage:
+        Predicted coverage of the fair (all-0.5) assignment.
+    sweeps:
+        Coordinate sweeps executed.
+    """
+
+    weights: Dict[str, float] = field(default_factory=dict)
+    expected_coverage: float = 0.0
+    baseline_expected_coverage: float = 0.0
+    sweeps: int = 0
+
+    @property
+    def gain(self) -> float:
+        """Predicted coverage improvement over fair weights."""
+        return self.expected_coverage - self.baseline_expected_coverage
+
+    def biased_inputs(self) -> List[Tuple[str, float]]:
+        """Inputs moved away from 0.5, most skewed first."""
+        moved = [
+            (name, w) for name, w in self.weights.items() if w != 0.5
+        ]
+        moved.sort(key=lambda nw: (-abs(nw[1] - 0.5), nw[0]))
+        return moved
+
+
+def optimize_weights(
+    circuit: Circuit,
+    n_patterns: int,
+    faults: Optional[Sequence[Fault]] = None,
+    palette: Sequence[float] = DEFAULT_PALETTE,
+    max_sweeps: int = 5,
+) -> WeightOptimizationResult:
+    """Coordinate-ascent input weight optimization under the COP model.
+
+    Parameters
+    ----------
+    n_patterns:
+        Pattern budget the expected coverage is evaluated at.
+    faults:
+        Objective fault set (default: structurally testable faults).
+    palette:
+        Candidate weights per input.
+    max_sweeps:
+        Maximum full passes over the inputs.
+    """
+    circuit.validate()
+    if faults is None:
+        faults = testable_stuck_at_faults(circuit)
+
+    def predicted(weights: Dict[str, float]) -> float:
+        cop = cop_measures(circuit, input_probabilities=weights)
+        probs = detection_probabilities(circuit, faults=faults, cop=cop)
+        return expected_coverage(probs, n_patterns)
+
+    weights = {pi: 0.5 for pi in circuit.inputs}
+    baseline = predicted(weights)
+    best = baseline
+    sweeps = 0
+    for _ in range(max_sweeps):
+        sweeps += 1
+        improved = False
+        for pi in circuit.inputs:
+            original = weights[pi]
+            best_w = original
+            for w in palette:
+                if w == original:
+                    continue
+                weights[pi] = w
+                score = predicted(weights)
+                if score > best + 1e-12:
+                    best = score
+                    best_w = w
+            weights[pi] = best_w
+            if best_w != original:
+                improved = True
+        if not improved:
+            break
+
+    return WeightOptimizationResult(
+        weights=weights,
+        expected_coverage=best,
+        baseline_expected_coverage=baseline,
+        sweeps=sweeps,
+    )

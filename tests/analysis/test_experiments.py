@@ -1,0 +1,123 @@
+"""Smoke tests for the experiment runners (small parameterizations).
+
+Full-scale runs live in ``benchmarks/``; here each runner is exercised on
+a scaled-down instance to pin the row structure and the headline shape
+claims (optimality holds, coverage improves, runtime finite).
+"""
+
+import pytest
+
+from repro.analysis import (
+    run_f1_points_curve,
+    run_f2_runtime_scaling,
+    run_f3_testlength_curves,
+    run_f4_quantization_ablation,
+    run_t1_circuit_characteristics,
+    run_t2_dp_optimality,
+    run_t3_tree_solver_comparison,
+    run_t4_coverage_improvement,
+)
+
+
+class TestT1:
+    def test_rows_and_render(self):
+        result = run_t1_circuit_characteristics(
+            names=["c17", "wand16"], n_patterns=256
+        )
+        assert len(result.rows) == 2
+        text = result.render()
+        assert "c17" in text and "[T1]" in text
+
+
+class TestT2:
+    def test_dp_always_optimal(self):
+        result = run_t2_dp_optimality(n_trees=3, tree_gates=5, thresholds=(0.05,))
+        assert len(result.rows) == 3
+        assert all(row[-1] for row in result.rows), "DP missed the optimum"
+
+
+class TestT3:
+    def test_dp_beats_or_ties_greedy(self):
+        result = run_t3_tree_solver_comparison(
+            tree_specs=[(15, 0), (15, 1)], n_patterns=1024
+        )
+        for row in result.rows:
+            _name, _gates, dp_cost, greedy_cost, _rnd, dp_ok, greedy_ok = row
+            assert dp_ok and greedy_ok
+            assert dp_cost <= greedy_cost + 1e-9
+
+
+class TestT4:
+    def test_coverage_improves(self):
+        result, reports = run_t4_coverage_improvement(
+            names=["wand16"], n_patterns=1024
+        )
+        assert len(result.rows) == 1
+        report = reports["wand16"]
+        assert report.modified_coverage > report.baseline_coverage
+
+
+class TestF1:
+    def test_curve_reaches_full_placement(self):
+        result = run_f1_points_curve(name="wand16", n_patterns=512)
+        counts = [row[0] for row in result.rows]
+        assert counts == sorted(counts)
+        assert result.rows[-1][2] >= result.rows[0][2]
+
+
+class TestF2:
+    def test_runtime_rows(self):
+        result = run_f2_runtime_scaling(
+            tree_sizes=(5, 10), threshold=0.05, exhaustive_limit=5
+        )
+        assert len(result.rows) == 2
+        assert result.rows[0][3] is not None  # exhaustive ran on the small one
+        assert result.rows[1][3] is None
+
+
+class TestF3:
+    def test_modified_dominates_baseline_at_end(self):
+        result = run_f3_testlength_curves(name="wand16", n_patterns=1024)
+        final = result.rows[-1]
+        assert final[2] >= final[1]
+
+
+class TestF4:
+    def test_cost_plateaus_with_density(self):
+        result = run_f4_quantization_ablation(
+            tree_gates=10, seed=1, threshold=0.05, ratios=(4.0, 2.0)
+        )
+        sizes = [row[1] for row in result.rows]
+        assert sizes == sorted(sizes)  # finer ratio → larger grid
+        costs = [row[2] for row in result.rows]
+        assert costs[-1] <= costs[0] + 1e-9  # finer never worse
+
+
+class TestE1:
+    def test_aliasing_decreases_with_width(self):
+        from repro.analysis import run_e1_misr_aliasing
+
+        result = run_e1_misr_aliasing(widths=(2, 8), n_patterns=64)
+        assert result.rows[0][4] >= result.rows[1][4]
+
+
+class TestE2:
+    def test_margin_rows(self):
+        from repro.analysis import run_e2_margin_ablation
+
+        result = run_e2_margin_ablation(
+            margins=(1.0, 2.0), tree_gates=15, seed=3, n_patterns=1024
+        )
+        assert len(result.rows) == 2
+        assert result.rows[1][3]  # margin 2 continuously feasible
+
+
+class TestE3:
+    def test_both_strategies_beat_random(self):
+        from repro.analysis import run_e3_strategy_comparison
+
+        result = run_e3_strategy_comparison(names=["wand16"], n_patterns=512)
+        _name, random_cov, topoff_cov, cubes, tpi_cov, points = result.rows[0]
+        assert topoff_cov >= random_cov
+        assert tpi_cov >= random_cov
+        assert cubes > 0 and points > 0

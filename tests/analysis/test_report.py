@@ -1,0 +1,52 @@
+"""Tests for the testability profile report."""
+
+import pytest
+
+from repro.analysis import testability_report
+from repro.circuit import benchmark, generators
+from repro.sim import Fault
+
+
+class TestTestabilityReport:
+    def test_rpr_circuit_profile(self):
+        circuit = benchmark("wand16")
+        report = testability_report(circuit, n_patterns=4096)
+        assert report.circuit_name == "wand16"
+        assert report.n_faults == 62  # full (uncollapsed) testable list
+        assert report.rpr_faults  # the cone's deep faults are below θ
+        # Hardest first.
+        probs = [d for _f, d in report.rpr_faults]
+        assert probs == sorted(probs)
+        out = circuit.outputs[0]
+        assert any(f == Fault(out, 0) for f, _d in report.rpr_faults)
+
+    def test_easy_circuit_clean(self):
+        report = testability_report(generators.parity_tree(8), n_patterns=4096)
+        assert report.rpr_faults == []
+        assert report.n_reconvergent_stems == 0
+        assert report.n_regions == 1
+
+    def test_reconvergence_counted(self, diamond):
+        report = testability_report(diamond, n_patterns=256)
+        assert report.n_reconvergent_stems == 1
+
+    def test_candidate_lists_populated(self):
+        report = testability_report(benchmark("rprmix"), n_patterns=4096)
+        assert report.skewed_nodes
+        assert report.blind_nodes
+        # Skew list is sorted by |p - 0.5| descending.
+        skews = [abs(p - 0.5) for _n, p in report.skewed_nodes]
+        assert skews == sorted(skews, reverse=True)
+
+    def test_render_contains_sections(self):
+        report = testability_report(benchmark("wand16"), n_patterns=4096)
+        text = report.render()
+        assert "Testability report — wand16" in text
+        assert "Random-pattern-resistant faults" in text
+        assert "control-point candidates" in text
+
+    def test_render_truncates(self):
+        report = testability_report(benchmark("rprmix"), n_patterns=4096)
+        assert len(report.rpr_faults) > 2
+        text = report.render(max_rows=2)
+        assert "more" in text

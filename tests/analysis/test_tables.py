@@ -1,0 +1,54 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis import Table, format_value
+
+
+class TestFormatValue:
+    def test_floats_fixed_precision(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(0.123456, precision=1) == "0.1"
+
+    def test_none_dash(self):
+        assert format_value(None) == "—"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_inf(self):
+        assert format_value(float("inf")) == "inf"
+
+    def test_int_and_str(self):
+        assert format_value(42) == "42"
+        assert format_value("x") == "x"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"])
+        t.add_row(["short", 1])
+        t.add_row(["much-longer-name", 2])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines[1:]}) >= 1  # renders
+
+    def test_title(self):
+        t = Table(["a"])
+        t.add_row([1])
+        assert t.render(title="My Table").startswith("My Table")
+
+    def test_row_width_check(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_markdown(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2.5])
+        md = t.render_markdown(title="T")
+        assert "| a | b |" in md
+        assert "| 1 | 2.500 |" in md
+        assert md.startswith("### T")

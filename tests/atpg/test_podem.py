@@ -1,0 +1,124 @@
+"""Tests for the PODEM test generator.
+
+The binding contract: every TESTABLE verdict comes with a cube that
+*actually detects the fault* under the real fault simulator, and every
+UNTESTABLE verdict is confirmed by exhaustive simulation on small
+circuits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg import ATPGStatus, Podem
+from repro.circuit import CircuitBuilder, generators
+from repro.sim import (
+    ExhaustiveSource,
+    ExplicitSource,
+    Fault,
+    FaultSimulator,
+    all_stuck_at_faults,
+)
+
+
+def cube_detects(circuit, fault, cube) -> bool:
+    """Ground truth: apply the (zero-filled) cube, check detection."""
+    pattern = {pi: cube.get(pi, 0) for pi in circuit.inputs}
+    stim = ExplicitSource([pattern]).generate(circuit.inputs, 1)
+    result = FaultSimulator(circuit).run(stim, 1, faults=[fault])
+    return bool(result.detection_word[fault])
+
+
+def redundant_diamond():
+    """y = AND(s, NOT(s)) — constant 0, so y s-a-0 is undetectable."""
+    b = CircuitBuilder("red")
+    a1, a2 = b.inputs("a", "b")
+    s = b.and_(a1, a2, name="s")
+    p = b.not_(s, name="p")
+    q = b.buf(s, name="q")
+    b.output(b.and_(p, q, name="y"))
+    return b.build()
+
+
+class TestCubesAreValid:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            generators.c17,
+            lambda: generators.parity_tree(8),
+            lambda: generators.ripple_carry_adder(4),
+            lambda: generators.equality_comparator(8),
+            lambda: generators.mux_tree(3),
+            lambda: generators.wide_and_cone(16),
+        ],
+    )
+    def test_every_cube_kills_its_fault(self, make):
+        circuit = make()
+        podem = Podem(circuit)
+        for fault in all_stuck_at_faults(circuit):
+            result = podem.generate(fault)
+            assert result.status is ATPGStatus.TESTABLE, fault.describe()
+            assert cube_detects(circuit, fault, result.cube), fault.describe()
+
+    def test_branch_faults(self, c17):
+        podem = Podem(c17)
+        branch_faults = [f for f in all_stuck_at_faults(c17) if f.is_branch]
+        assert branch_faults
+        for fault in branch_faults:
+            result = podem.generate(fault)
+            assert result.status is ATPGStatus.TESTABLE
+            assert cube_detects(c17, fault, result.cube)
+
+
+class TestRedundancy:
+    def test_constant_zero_output_sa0_untestable(self):
+        circuit = redundant_diamond()
+        podem = Podem(circuit)
+        assert podem.generate(Fault("y", 0)).status is ATPGStatus.UNTESTABLE
+        assert podem.generate(Fault("y", 1)).status is ATPGStatus.TESTABLE
+
+    def test_untestable_faults_helper(self):
+        circuit = redundant_diamond()
+        podem = Podem(circuit)
+        untestable = podem.untestable_faults(all_stuck_at_faults(circuit))
+        assert Fault("y", 0) in untestable
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 3000))
+    def test_verdicts_match_exhaustive_simulation(self, seed):
+        """On small DAGs, PODEM's verdict == exhaustive-simulation truth."""
+        circuit = generators.random_dag(5, 15, seed=seed)
+        n = 1 << len(circuit.inputs)
+        stim = ExhaustiveSource().generate(circuit.inputs, n)
+        sim = FaultSimulator(circuit)
+        truth = sim.run(stim, n, collapse=False)
+        podem = Podem(circuit, backtrack_limit=100_000)
+        for fault, word in truth.detection_word.items():
+            result = podem.generate(fault)
+            assert result.status is not ATPGStatus.ABORTED
+            detectable = bool(word)
+            assert (result.status is ATPGStatus.TESTABLE) == detectable, (
+                fault.describe()
+            )
+            if detectable:
+                assert cube_detects(circuit, fault, result.cube)
+
+
+class TestEffortAccounting:
+    def test_abort_on_tiny_limit(self):
+        # A hard-to-excite fault with an absurd backtrack limit of 0 may
+        # abort; the status must never lie.
+        circuit = generators.wide_and_cone(16)
+        podem = Podem(circuit, backtrack_limit=0)
+        result = podem.generate(Fault(circuit.outputs[0], 0))
+        assert result.status in (ATPGStatus.TESTABLE, ATPGStatus.ABORTED)
+
+    def test_backtracks_reported(self):
+        circuit = redundant_diamond()
+        result = Podem(circuit).generate(Fault("y", 0))
+        assert result.backtracks > 0
+
+    def test_generate_all_covers_list(self, c17):
+        faults = all_stuck_at_faults(c17)[:6]
+        results = Podem(c17).generate_all(faults)
+        assert set(results) == set(faults)

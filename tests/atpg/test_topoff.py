@@ -1,0 +1,45 @@
+"""Tests for the random + deterministic top-off flow."""
+
+import pytest
+
+from repro.atpg import top_off
+from repro.circuit import CircuitBuilder, benchmark, generators
+
+
+class TestTopOff:
+    def test_reaches_full_coverage_on_rpr_circuit(self):
+        report = top_off(benchmark("eqcmp12"), n_random_patterns=256)
+        assert report.random_coverage < 1.0
+        assert report.final_coverage == 1.0
+        assert report.n_deterministic_patterns > 0
+        assert report.redundant == [] and report.aborted == []
+
+    def test_easy_circuit_needs_no_cubes(self):
+        report = top_off(generators.parity_tree(8), n_random_patterns=512)
+        assert report.final_coverage == 1.0
+        assert report.n_deterministic_patterns == 0
+        assert report.cubes == []
+
+    def test_redundant_faults_separated(self):
+        b = CircuitBuilder("red")
+        a1, a2 = b.inputs("a", "b")
+        s = b.and_(a1, a2, name="s")
+        p = b.not_(s, name="p")
+        q = b.buf(s, name="q")
+        b.output(b.and_(p, q, name="y"))
+        report = top_off(b.build(), n_random_patterns=64)
+        assert len(report.redundant) >= 1
+        assert report.final_coverage < 1.0
+        assert report.detectable_coverage == 1.0
+
+    def test_summary_text(self):
+        report = top_off(generators.wide_and_cone(8), n_random_patterns=32)
+        text = report.summary()
+        assert "random 32 patterns" in text
+        assert "deterministic" in text
+
+    def test_deterministic_given_fixed_seeds(self):
+        a = top_off(benchmark("wand16"), n_random_patterns=128, fill_seed=3)
+        b2 = top_off(benchmark("wand16"), n_random_patterns=128, fill_seed=3)
+        assert a.final_coverage == b2.final_coverage
+        assert a.cubes == b2.cubes

@@ -1,0 +1,68 @@
+"""Unit tests for the ternary logic used by PODEM."""
+
+import itertools
+
+import pytest
+
+from repro.atpg import X, is_binary, ternary_gate_eval
+from repro.circuit import GateType
+from repro.circuit.gates import evaluate_gate
+
+
+class TestTernaryEval:
+    @pytest.mark.parametrize(
+        "gate_type",
+        [
+            GateType.AND,
+            GateType.OR,
+            GateType.NAND,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ],
+    )
+    def test_binary_inputs_match_boolean(self, gate_type):
+        for a, b in itertools.product([0, 1], repeat=2):
+            assert ternary_gate_eval(gate_type, [a, b]) == evaluate_gate(
+                gate_type, [a, b], 1
+            )
+
+    def test_controlling_value_decides_despite_x(self):
+        assert ternary_gate_eval(GateType.AND, [0, X]) == 0
+        assert ternary_gate_eval(GateType.NAND, [X, 0]) == 1
+        assert ternary_gate_eval(GateType.OR, [1, X]) == 1
+        assert ternary_gate_eval(GateType.NOR, [X, 1]) == 0
+
+    def test_noncontrolling_with_x_stays_x(self):
+        assert ternary_gate_eval(GateType.AND, [1, X]) is X
+        assert ternary_gate_eval(GateType.OR, [0, X]) is X
+
+    def test_xor_any_x_is_x(self):
+        assert ternary_gate_eval(GateType.XOR, [1, X]) is X
+        assert ternary_gate_eval(GateType.XNOR, [X, X]) is X
+        assert ternary_gate_eval(GateType.XOR, [1, 1]) == 0
+
+    def test_unary_and_const(self):
+        assert ternary_gate_eval(GateType.NOT, [X]) is X
+        assert ternary_gate_eval(GateType.NOT, [0]) == 1
+        assert ternary_gate_eval(GateType.BUF, [X]) is X
+        assert ternary_gate_eval(GateType.CONST0, []) == 0
+        assert ternary_gate_eval(GateType.CONST1, []) == 1
+
+    def test_is_binary(self):
+        assert is_binary(0) and is_binary(1)
+        assert not is_binary(X)
+
+    def test_monotone_refinement_property(self):
+        """Replacing an X by a binary value never contradicts a binary output."""
+        for gate_type in (GateType.AND, GateType.OR, GateType.XOR, GateType.NAND):
+            for a in (0, 1, X):
+                for b in (0, 1, X):
+                    out = ternary_gate_eval(gate_type, [a, b])
+                    if out is X:
+                        continue
+                    for ra in ([a] if a is not X else [0, 1]):
+                        for rb in ([b] if b is not X else [0, 1]):
+                            assert (
+                                ternary_gate_eval(gate_type, [ra, rb]) == out
+                            )

@@ -1,0 +1,80 @@
+"""Tests for the end-to-end BIST loop and aliasing accounting."""
+
+import pytest
+
+from repro.bist import BISTArchitecture, run_bist
+from repro.circuit import benchmark, generators
+from repro.core import TPIProblem, apply_test_points, solve_tree
+from repro.sim import LFSRSource, UniformRandomSource
+
+
+class TestRunBist:
+    def test_partition_invariant(self, c17):
+        arch = BISTArchitecture(n_patterns=256, misr_width=16)
+        report = run_bist(c17, arch)
+        assert len(report.signature_detected) + len(report.aliased) == len(
+            report.output_detected
+        )
+        assert report.signature_coverage <= report.output_coverage
+
+    def test_c17_full_coverage_wide_misr(self, c17):
+        arch = BISTArchitecture(n_patterns=512, misr_width=24)
+        report = run_bist(c17, arch)
+        assert report.output_coverage == 1.0
+        assert report.aliasing_rate <= 0.01
+        assert report.signature_coverage >= 0.99
+
+    def test_golden_signature_deterministic(self, c17):
+        arch = BISTArchitecture(n_patterns=128, misr_width=16)
+        r1 = run_bist(c17, arch)
+        r2 = run_bist(c17, arch)
+        assert r1.golden_signature == r2.golden_signature
+        assert r1.signature_detected == r2.signature_detected
+
+    def test_lfsr_stimulus_supported(self, c17):
+        arch = BISTArchitecture(
+            n_patterns=256, misr_width=16, source=LFSRSource(degree=20)
+        )
+        report = run_bist(c17, arch)
+        assert report.output_coverage > 0.9
+
+    def test_narrow_misr_aliases_more(self):
+        """Shrinking the signature raises (or keeps) the aliasing rate on
+        average; a 2-bit MISR against many detected faults must alias."""
+        circuit = generators.random_dag(10, 120, seed=5)
+        wide = run_bist(circuit, BISTArchitecture(n_patterns=128, misr_width=24))
+        narrow = run_bist(circuit, BISTArchitecture(n_patterns=128, misr_width=2))
+        assert len(narrow.output_detected) == len(wide.output_detected)
+        assert narrow.aliasing_rate >= wide.aliasing_rate
+
+    def test_aliasing_rate_tracks_two_to_minus_k(self):
+        """Empirical aliasing ≈ 2^-k for a small k on a busy circuit."""
+        circuit = generators.random_dag(10, 120, seed=5)
+        report = run_bist(
+            circuit, BISTArchitecture(n_patterns=128, misr_width=3)
+        )
+        expected = 2**-3
+        assert report.aliasing_rate == pytest.approx(expected, abs=0.12)
+
+    def test_empty_fault_list(self, c17):
+        arch = BISTArchitecture(n_patterns=64, misr_width=8)
+        report = run_bist(c17, arch, faults=[])
+        assert report.output_coverage == 1.0
+        assert report.signature_coverage == 1.0
+
+
+class TestBistWithTestPoints:
+    def test_modified_circuit_through_bist(self):
+        """The full story: TPI fixes coverage, BIST still sees it after
+        compaction."""
+        circuit = benchmark("wand16")
+        problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+        solution = solve_tree(problem, margin=1.5)
+        insertion = apply_test_points(circuit, solution.points)
+        arch = BISTArchitecture(
+            n_patterns=4096, misr_width=24, source=UniformRandomSource(seed=2)
+        )
+        live = [m for m in insertion.fault_map.values() if m is not None]
+        report = run_bist(insertion.circuit, arch, faults=live)
+        assert report.output_coverage > 0.99
+        assert report.signature_coverage > 0.98

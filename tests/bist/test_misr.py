@@ -1,0 +1,83 @@
+"""Unit tests for the MISR signature register."""
+
+import random
+
+import pytest
+
+from repro.bist import MISR, signature_of_responses
+
+
+class TestMISR:
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            MISR(1)
+
+    def test_deterministic(self):
+        a, b = MISR(8), MISR(8)
+        for d in [3, 5, 250, 0, 7]:
+            assert a.clock(d) == b.clock(d)
+
+    def test_zero_stream_from_zero_state_stays_zero(self):
+        misr = MISR(8, seed=0)
+        for _ in range(100):
+            assert misr.clock(0) == 0
+
+    def test_data_sensitivity(self):
+        """A single-bit difference in one cycle changes the signature."""
+        a, b = MISR(16), MISR(16)
+        rng = random.Random(1)
+        stream = [rng.getrandbits(16) for _ in range(64)]
+        for d in stream:
+            a.clock(d)
+            b.clock(d)
+        assert a.state == b.state
+        a2, b2 = MISR(16), MISR(16)
+        for i, d in enumerate(stream):
+            a2.clock(d)
+            b2.clock(d ^ (1 << 3) if i == 10 else d)
+        assert a2.state != b2.state
+
+    def test_reset(self):
+        misr = MISR(8)
+        misr.clock(255)
+        misr.reset()
+        assert misr.state == 0
+
+    def test_state_bounded(self):
+        misr = MISR(4)
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 0 <= misr.clock(rng.getrandbits(4)) < 16
+
+
+class TestSignatureOfResponses:
+    def test_matches_manual_clocking(self):
+        responses = {"y0": 0b1011, "y1": 0b0110}
+        sig = signature_of_responses(responses, ["y0", "y1"], 4, width=4)
+        misr = MISR(4)
+        for p in range(4):
+            data = ((responses["y0"] >> p) & 1) | (((responses["y1"] >> p) & 1) << 1)
+            misr.clock(data)
+        assert sig == misr.state
+
+    def test_output_folding(self):
+        """More outputs than stages fold onto stages modulo the width."""
+        responses = {"a": 0b1, "b": 0b0, "c": 0b1}
+        sig = signature_of_responses(responses, ["a", "b", "c"], 1, width=2)
+        # Stage 0 receives a XOR c = 0; stage 1 receives b = 0.
+        misr = MISR(2)
+        misr.clock(0)
+        assert sig == misr.state
+
+    def test_distinguishes_streams(self):
+        good = {"y": 0b10110010}
+        bad = {"y": 0b10110011}
+        s1 = signature_of_responses(good, ["y"], 8, width=8)
+        s2 = signature_of_responses(bad, ["y"], 8, width=8)
+        assert s1 != s2
+
+    def test_seed_changes_signature(self):
+        responses = {"y": 0b1010}
+        s1 = signature_of_responses(responses, ["y"], 4, width=8, seed=0)
+        s2 = signature_of_responses(responses, ["y"], 4, width=8, seed=1)
+        assert s1 != s2

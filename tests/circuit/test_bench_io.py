@@ -1,0 +1,108 @@
+"""Unit tests for ISCAS .bench parsing and writing."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitError,
+    GateType,
+    generators,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+
+SAMPLE = """
+# sample circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+
+n1 = NAND(a, b)
+y  = NOT(n1)
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        c = parse_bench(SAMPLE, name="sample")
+        assert c.inputs == ["a", "b"]
+        assert c.outputs == ["y"]
+        assert c.node("n1").gate_type is GateType.NAND
+        assert c.node("y").gate_type is GateType.NOT
+
+    def test_comments_and_blank_lines_ignored(self):
+        c = parse_bench("# x\n\nINPUT(a)\nOUTPUT(y)\ny = BUFF(a) # trailing\n")
+        assert c.node("y").gate_type is GateType.BUF
+
+    def test_out_of_order_definitions(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(n1)\nn1 = BUF(a)\n"
+        c = parse_bench(text)
+        assert c.depth() == 2
+
+    def test_aliases(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\ny = INV(a)\n")
+        assert c.node("y").gate_type is GateType.NOT
+
+    def test_case_insensitive_keywords(self):
+        c = parse_bench("input(a)\noutput(y)\ny = not(a)\n")
+        assert c.outputs == ["y"]
+
+    def test_dff_scan_abstraction(self):
+        text = (
+            "INPUT(a)\nOUTPUT(y)\n"
+            "q = DFF(d)\n"
+            "d = AND(a, q)\n"
+            "y = NOT(q)\n"
+        )
+        c = parse_bench(text, scan=True)
+        # Q pin becomes a pseudo input, D pin a pseudo output.
+        assert "q" in c.inputs
+        assert "d" in c.outputs
+
+    def test_dff_rejected_without_scan(self):
+        with pytest.raises(CircuitError, match="scan"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n", scan=False)
+
+    def test_unknown_cell_rejected(self):
+        with pytest.raises(CircuitError, match="unknown .bench cell"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_unparseable_line_rejected(self):
+        with pytest.raises(CircuitError, match="unparseable"):
+            parse_bench("INPUT(a)\nOUTPUT(a)\nthis is not bench\n")
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(CircuitError, match="undriven"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            generators.c17,
+            lambda: generators.ripple_carry_adder(4),
+            lambda: generators.rpr_mixed(cone_width=4, corridor_length=3),
+            lambda: generators.random_dag(8, 40, seed=5),
+        ],
+    )
+    def test_write_parse_identity(self, make):
+        original = make()
+        text = write_bench(original)
+        back = parse_bench(text, name=original.name)
+        assert back.inputs == original.inputs
+        assert back.outputs == original.outputs
+        assert back.stats() == original.stats()
+        for node in original.nodes():
+            if node.is_gate:
+                assert back.node(node.name).gate_type is node.gate_type
+                assert back.node(node.name).fanins == node.fanins
+
+    def test_file_round_trip(self, tmp_path):
+        c = generators.c17()
+        path = tmp_path / "c17.bench"
+        write_bench_file(c, path)
+        back = parse_bench_file(path)
+        assert back.name == "c17"
+        assert back.stats() == c.stats()

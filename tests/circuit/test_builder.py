@@ -1,0 +1,69 @@
+"""Unit tests for the fluent CircuitBuilder."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, CircuitError, GateType
+
+
+class TestBuilder:
+    def test_typed_helpers(self):
+        b = CircuitBuilder("t")
+        a, c = b.inputs("a", "b")
+        y = b.or_(b.and_(a, c), b.xor(a, c))
+        b.output(y)
+        circuit = b.build()
+        assert circuit.gate_count() == 3
+        assert circuit.outputs == [y]
+
+    def test_auto_names_unique(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "b")
+        g1 = b.and_(a, c)
+        g2 = b.and_(a, c)
+        assert g1 != g2
+
+    def test_explicit_names(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "b")
+        y = b.nand(a, c, name="myname")
+        assert y == "myname"
+        b.output(y)
+        assert "myname" in b.build()
+
+    def test_unary_and_const_helpers(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        n = b.not_(a)
+        f = b.buf(n)
+        z = b.const0()
+        o = b.const1()
+        y = b.or_(f, z, o)
+        b.output(y)
+        circuit = b.build()
+        assert circuit.node(z).gate_type is GateType.CONST0
+        assert circuit.node(o).gate_type is GateType.CONST1
+
+    def test_build_validates(self):
+        b = CircuitBuilder()
+        b.input("a")
+        with pytest.raises(CircuitError):
+            b.build()  # no outputs
+
+    def test_build_without_validation(self):
+        b = CircuitBuilder()
+        b.input("a")
+        circuit = b.build(validate=False)
+        assert circuit.outputs == []
+
+    def test_circuit_property_peeks(self):
+        b = CircuitBuilder()
+        b.input("a")
+        assert "a" in b.circuit
+
+    def test_multi_output(self):
+        b = CircuitBuilder()
+        a, c = b.inputs("a", "b")
+        g = b.and_(a, c)
+        b.output(g, a)
+        circuit = b.build()
+        assert circuit.outputs == [g, "a"]

@@ -1,0 +1,169 @@
+"""Unit tests for gate semantics: truth tables, probability algebra."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.gates import (
+    GateType,
+    controlled_response,
+    controlling_value,
+    evaluate_gate,
+    gate_function,
+    inversion_parity,
+    is_monotone,
+    output_probability,
+    side_input_sensitization_probability,
+    supported_fanin,
+)
+
+BINARY_TRUTH = {
+    GateType.AND: [0, 0, 0, 1],
+    GateType.OR: [0, 1, 1, 1],
+    GateType.NAND: [1, 1, 1, 0],
+    GateType.NOR: [1, 0, 0, 0],
+    GateType.XOR: [0, 1, 1, 0],
+    GateType.XNOR: [1, 0, 0, 1],
+}
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("gate_type", list(BINARY_TRUTH))
+    def test_two_input_truth_table(self, gate_type):
+        for idx, (a, b) in enumerate(itertools.product([0, 1], repeat=2)):
+            # idx bit order: a is the outer loop → recompute explicitly
+            expected = BINARY_TRUTH[gate_type][(a << 1) | b]
+            got = evaluate_gate(gate_type, [a, b], 1)
+            assert got == expected, f"{gate_type}({a},{b})"
+
+    def test_not_buf(self):
+        assert evaluate_gate(GateType.NOT, [0], 1) == 1
+        assert evaluate_gate(GateType.NOT, [1], 1) == 0
+        assert evaluate_gate(GateType.BUF, [0], 1) == 0
+        assert evaluate_gate(GateType.BUF, [1], 1) == 1
+
+    def test_constants(self):
+        assert evaluate_gate(GateType.CONST0, [], 0b111) == 0
+        assert evaluate_gate(GateType.CONST1, [], 0b111) == 0b111
+
+    @pytest.mark.parametrize("gate_type", list(BINARY_TRUTH))
+    def test_three_input_reduction(self, gate_type):
+        """Wide symmetric gates behave as the fold of their base function."""
+        for bits in itertools.product([0, 1], repeat=3):
+            got = evaluate_gate(gate_type, list(bits), 1)
+            if gate_type in (GateType.AND, GateType.NAND):
+                base = bits[0] & bits[1] & bits[2]
+            elif gate_type in (GateType.OR, GateType.NOR):
+                base = bits[0] | bits[1] | bits[2]
+            else:
+                base = bits[0] ^ bits[1] ^ bits[2]
+            if gate_type in (GateType.NAND, GateType.NOR, GateType.XNOR):
+                base ^= 1
+            assert got == base
+
+    def test_packed_evaluation_matches_bitwise(self):
+        mask = 0b1111
+        a, b = 0b0011, 0b0101
+        assert evaluate_gate(GateType.AND, [a, b], mask) == 0b0001
+        assert evaluate_gate(GateType.NOR, [a, b], mask) == 0b1000
+        assert evaluate_gate(GateType.XOR, [a, b], mask) == 0b0110
+
+    def test_unknown_gate_type_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_gate("bogus", [1, 1], 1)  # type: ignore[arg-type]
+
+
+class TestGateFunction:
+    def test_scalar_wrapper(self):
+        f = gate_function(GateType.NAND)
+        assert f([1, 1]) == 0
+        assert f([0, 1]) == 1
+
+
+class TestControllingValues:
+    def test_and_family(self):
+        assert controlling_value(GateType.AND) == 0
+        assert controlling_value(GateType.NAND) == 0
+        assert controlled_response(GateType.AND) == 0
+        assert controlled_response(GateType.NAND) == 1
+
+    def test_or_family(self):
+        assert controlling_value(GateType.OR) == 1
+        assert controlling_value(GateType.NOR) == 1
+        assert controlled_response(GateType.OR) == 1
+        assert controlled_response(GateType.NOR) == 0
+
+    def test_xor_has_none(self):
+        assert controlling_value(GateType.XOR) is None
+        assert controlled_response(GateType.XNOR) is None
+
+    def test_inversion_parity(self):
+        assert inversion_parity(GateType.NAND) == 1
+        assert inversion_parity(GateType.AND) == 0
+        assert inversion_parity(GateType.NOT) == 1
+
+    def test_monotone(self):
+        assert is_monotone(GateType.AND)
+        assert is_monotone(GateType.BUF)
+        assert not is_monotone(GateType.NAND)
+        assert not is_monotone(GateType.XOR)
+
+
+class TestFaninRanges:
+    def test_symmetric_unbounded(self):
+        lo, hi = supported_fanin(GateType.AND)
+        assert lo == 2 and hi is None
+
+    def test_unary(self):
+        assert supported_fanin(GateType.NOT) == (1, 1)
+
+    def test_nullary(self):
+        assert supported_fanin(GateType.CONST0) == (0, 0)
+
+
+class TestOutputProbability:
+    @pytest.mark.parametrize("gate_type", list(BINARY_TRUTH))
+    @given(pa=st.floats(0, 1), pb=st.floats(0, 1))
+    def test_matches_truth_table_expectation(self, gate_type, pa, pb):
+        """P[out=1] must equal the exact expectation over independent inputs."""
+        expected = 0.0
+        for a, b in itertools.product([0, 1], repeat=2):
+            w = (pa if a else 1 - pa) * (pb if b else 1 - pb)
+            expected += w * evaluate_gate(gate_type, [a, b], 1)
+        got = output_probability(gate_type, [pa, pb])
+        assert got == pytest.approx(expected, abs=1e-12)
+
+    def test_inverter(self):
+        assert output_probability(GateType.NOT, [0.3]) == pytest.approx(0.7)
+
+    def test_constants(self):
+        assert output_probability(GateType.CONST0, []) == 0.0
+        assert output_probability(GateType.CONST1, []) == 1.0
+
+    def test_wide_xor_chain(self):
+        # XOR of three fair inputs is fair.
+        assert output_probability(GateType.XOR, [0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+
+class TestSensitization:
+    def test_and_needs_ones(self):
+        assert side_input_sensitization_probability(
+            GateType.AND, [0.5, 0.5]
+        ) == pytest.approx(0.25)
+
+    def test_nor_needs_zeros(self):
+        assert side_input_sensitization_probability(
+            GateType.NOR, [0.25]
+        ) == pytest.approx(0.75)
+
+    def test_xor_always_propagates(self):
+        assert side_input_sensitization_probability(GateType.XOR, [0.9]) == 1.0
+
+    def test_unary_trivial(self):
+        assert side_input_sensitization_probability(GateType.NOT, []) == 1.0
+
+    def test_const_raises(self):
+        with pytest.raises(ValueError):
+            side_input_sensitization_probability(GateType.CONST0, [])

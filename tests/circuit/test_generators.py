@@ -1,0 +1,291 @@
+"""Functional correctness of the benchmark circuit generators.
+
+Arithmetic circuits must compute arithmetic; that is checked exhaustively
+for small widths via pattern-parallel simulation.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuit import generators, is_fanout_free
+from repro.sim import ExhaustiveSource, LogicSimulator
+
+
+def exhaustive_values(circuit):
+    """Simulate all input combinations; return {output: packed word} plus n."""
+    n = len(circuit.inputs)
+    n_patterns = 1 << n
+    stim = ExhaustiveSource().generate(circuit.inputs, n_patterns)
+    values = LogicSimulator(circuit).run(stim, n_patterns)
+    return values, n_patterns
+
+
+def bit(word, i):
+    return (word >> i) & 1
+
+
+class TestC17:
+    def test_structure(self):
+        c = generators.c17()
+        assert len(c.inputs) == 5
+        assert len(c.outputs) == 2
+        assert c.gate_count() == 6
+
+
+class TestParity:
+    @pytest.mark.parametrize("width", [2, 3, 5, 8])
+    def test_computes_parity(self, width):
+        c = generators.parity_tree(width)
+        values, n_patterns = exhaustive_values(c)
+        out = values[c.outputs[0]]
+        for p in range(n_patterns):
+            expected = bin(p).count("1") & 1
+            assert bit(out, p) == expected
+
+    def test_fanout_free(self):
+        assert is_fanout_free(generators.parity_tree(16))
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            generators.parity_tree(1)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_adds(self, width):
+        c = generators.ripple_carry_adder(width)
+        values, n_patterns = exhaustive_values(c)
+        # Input order: a0..aw-1, b0..bw-1, cin.
+        for p in range(n_patterns):
+            a = sum(bit(values[f"a{i}"], p) << i for i in range(width))
+            b = sum(bit(values[f"b{i}"], p) << i for i in range(width))
+            cin = bit(values["cin"], p)
+            total = a + b + cin
+            got = sum(
+                bit(values[f"sum{i}"], p) << i for i in range(width)
+            ) + (bit(values[c.outputs[-1]], p) << width)
+            assert got == total
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("width", [2, 3])
+    def test_multiplies(self, width):
+        c = generators.array_multiplier(width)
+        values, n_patterns = exhaustive_values(c)
+        outs = c.outputs
+        for p in range(n_patterns):
+            a = sum(bit(values[f"a{i}"], p) << i for i in range(width))
+            b = sum(bit(values[f"b{i}"], p) << i for i in range(width))
+            got = sum(bit(values[o], p) << i for i, o in enumerate(outs))
+            assert got == a * b, f"{a}*{b}"
+
+
+class TestComparators:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_equality(self, width):
+        c = generators.equality_comparator(width)
+        values, n_patterns = exhaustive_values(c)
+        out = values[c.outputs[0]]
+        for p in range(n_patterns):
+            a = sum(bit(values[f"a{i}"], p) << i for i in range(width))
+            b = sum(bit(values[f"b{i}"], p) << i for i in range(width))
+            assert bit(out, p) == (1 if a == b else 0)
+
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_magnitude(self, width):
+        c = generators.magnitude_comparator(width)
+        values, n_patterns = exhaustive_values(c)
+        out = values[c.outputs[0]]
+        for p in range(n_patterns):
+            a = sum(bit(values[f"a{i}"], p) << i for i in range(width))
+            b = sum(bit(values[f"b{i}"], p) << i for i in range(width))
+            assert bit(out, p) == (1 if a > b else 0), f"{a}>{b}"
+
+
+class TestMuxDecoder:
+    @pytest.mark.parametrize("select_bits", [1, 2])
+    def test_mux_selects(self, select_bits):
+        c = generators.mux_tree(select_bits)
+        values, n_patterns = exhaustive_values(c)
+        out = values[c.outputs[0]]
+        n_data = 1 << select_bits
+        for p in range(n_patterns):
+            sel = sum(
+                bit(values[f"s{i}"], p) << i for i in range(select_bits)
+            )
+            expected = bit(values[f"d{sel}"], p)
+            assert bit(out, p) == expected
+
+    @pytest.mark.parametrize("select_bits", [1, 2, 3])
+    def test_decoder_one_hot(self, select_bits):
+        c = generators.decoder(select_bits)
+        values, n_patterns = exhaustive_values(c)
+        for p in range(n_patterns):
+            en = bit(values["en"], p)
+            sel = sum(
+                bit(values[f"s{i}"], p) << i for i in range(select_bits)
+            )
+            for code in range(1 << select_bits):
+                expected = 1 if (en and code == sel) else 0
+                assert bit(values[f"y{code}"], p) == expected
+
+
+class TestALU:
+    def test_ops(self):
+        width = 2
+        c = generators.alu_slice(width)
+        values, n_patterns = exhaustive_values(c)
+        for p in range(n_patterns):
+            a = sum(bit(values[f"a{i}"], p) << i for i in range(width))
+            b = sum(bit(values[f"b{i}"], p) << i for i in range(width))
+            op = (bit(values["op1"], p) << 1) | bit(values["op0"], p)
+            y = sum(bit(values[f"y{i}"], p) << i for i in range(width))
+            carry = bit(values[c.outputs[-1]], p)
+            if op == 0:
+                assert y == (a & b)
+            elif op == 1:
+                assert y == (a | b)
+            elif op == 2:
+                assert y == (a ^ b)
+            else:
+                total = a + b
+                assert y == (total % (1 << width))
+                assert carry == (total >> width)
+
+
+class TestRandomGenerators:
+    def test_random_tree_is_fanout_free_and_deterministic(self):
+        c1 = generators.random_tree(25, seed=11)
+        c2 = generators.random_tree(25, seed=11)
+        assert is_fanout_free(c1)
+        assert c1.node_names == c2.node_names
+        assert c1.gate_count() >= 25  # inverters may add gates
+
+    def test_random_tree_seeds_differ(self):
+        c1 = generators.random_tree(25, seed=1)
+        c2 = generators.random_tree(25, seed=2)
+        assert c1.node_names != c2.node_names or [
+            n.gate_type for n in c1.gates
+        ] != [n.gate_type for n in c2.gates]
+
+    def test_random_dag_valid_and_deterministic(self):
+        c1 = generators.random_dag(12, 100, seed=4)
+        c2 = generators.random_dag(12, 100, seed=4)
+        c1.validate()
+        assert c1.node_names == c2.node_names
+        assert c1.gate_count() == 100
+
+    def test_random_dag_has_reconvergence(self):
+        from repro.circuit import has_reconvergent_fanout
+
+        assert has_reconvergent_fanout(generators.random_dag(12, 100, seed=4))
+
+
+class TestRPRCircuits:
+    def test_wide_and_is_and(self):
+        c = generators.wide_and_cone(8)
+        values, n_patterns = exhaustive_values(c)
+        out = values[c.outputs[0]]
+        # Only the all-ones pattern drives the output to 1.
+        assert out.bit_count() == 1
+        assert bit(out, n_patterns - 1) == 1
+
+    def test_wide_or_is_or(self):
+        c = generators.wide_or_cone(8)
+        values, n_patterns = exhaustive_values(c)
+        out = values[c.outputs[0]]
+        # Only the all-zeros pattern keeps the output 0.
+        assert out.bit_count() == n_patterns - 1
+        assert bit(out, 0) == 0
+
+    def test_corridor_structure(self):
+        c = generators.rpr_corridor(6)
+        assert c.depth() == 6
+        assert is_fanout_free(c)
+
+    def test_rpr_mixed_valid(self):
+        c = generators.rpr_mixed(cone_width=4, corridor_length=3, n_blocks=2)
+        c.validate()
+        assert len(c.outputs) == 2
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            generators.wide_and_cone(1)
+        with pytest.raises(ValueError):
+            generators.rpr_corridor(0)
+        with pytest.raises(ValueError):
+            generators.random_tree(0)
+        with pytest.raises(ValueError):
+            generators.random_dag(1, 5)
+
+
+class TestBarrelShifter:
+    @pytest.mark.parametrize("width_log2", [1, 2])
+    def test_rotates(self, width_log2):
+        c = generators.barrel_shifter(width_log2)
+        values, n_patterns = exhaustive_values(c)
+        width = 1 << width_log2
+        outs = c.outputs
+        for p in range(n_patterns):
+            data = [bit(values[f"d{i}"], p) for i in range(width)]
+            shift = sum(
+                bit(values[f"s{i}"], p) << i for i in range(width_log2)
+            )
+            for i in range(width):
+                expected = data[(i - shift) % width]
+                assert bit(values[outs[i]], p) == expected, (p, i, shift)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generators.barrel_shifter(0)
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("width", [2, 4, 6])
+    def test_grants_lowest_requester(self, width):
+        c = generators.priority_encoder(width)
+        values, n_patterns = exhaustive_values(c)
+        for p in range(n_patterns):
+            reqs = [bit(values[f"r{i}"], p) for i in range(width)]
+            grants = [bit(values[f"g{i}"], p) for i in range(width)]
+            expected = [0] * width
+            for i, r in enumerate(reqs):
+                if r:
+                    expected[i] = 1
+                    break
+            assert grants == expected, (p, reqs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generators.priority_encoder(1)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize("width", [2, 3, 5, 8])
+    def test_counts_ones(self, width):
+        c = generators.popcount_tree(width)
+        values, n_patterns = exhaustive_values(c)
+        outs = c.outputs
+        for p in range(n_patterns):
+            ones = sum(bit(values[f"x{i}"], p) for i in range(width))
+            got = sum(bit(values[o], p) << i for i, o in enumerate(outs))
+            assert got == ones, (p, ones)
+
+
+class TestGrayToBinary:
+    @pytest.mark.parametrize("width", [2, 3, 5])
+    def test_converts(self, width):
+        c = generators.gray_to_binary(width)
+        values, n_patterns = exhaustive_values(c)
+        for p in range(n_patterns):
+            gray = sum(bit(values[f"g{i}"], p) << i for i in range(width))
+            binary = gray
+            shift = 1
+            while shift < width:
+                binary ^= binary >> shift
+                shift <<= 1
+            got = sum(
+                bit(values[f"b{i}"], p) << i for i in range(width)
+            )
+            assert got == binary, (p, gray)

@@ -1,0 +1,30 @@
+"""Unit tests for the named benchmark registry."""
+
+import pytest
+
+from repro.circuit import BENCHMARKS, benchmark, benchmark_names, benchmark_suite
+
+
+class TestRegistry:
+    def test_all_constructible_and_valid(self):
+        for name in benchmark_names():
+            circuit = benchmark(name)
+            circuit.validate()
+            assert circuit.gate_count() > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark("nope")
+
+    def test_suite_subset(self):
+        suite = benchmark_suite(["c17", "wand16"])
+        assert set(suite) == {"c17", "wand16"}
+
+    def test_suite_full(self):
+        suite = benchmark_suite()
+        assert set(suite) == set(BENCHMARKS)
+
+    def test_deterministic(self):
+        a = benchmark("rdag200")
+        b = benchmark("rdag200")
+        assert a.node_names == b.node_names

@@ -1,0 +1,121 @@
+"""Tests for the structural Verilog reader/writer."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    CircuitError,
+    GateType,
+    check_equivalence,
+    generators,
+    parse_verilog,
+    parse_verilog_file,
+    write_verilog,
+    write_verilog_file,
+)
+
+C17_VERILOG = """
+// ISCAS c17 in structural Verilog
+module c17 (G1, G2, G3, G6, G7, G22, G23);
+  input G1, G2, G3, G6, G7;
+  output G22, G23;
+  wire G10, G11, G16, G19;
+  nand g0 (G10, G1, G3);
+  nand g1 (G11, G3, G6);
+  nand g2 (G16, G2, G11);
+  nand g3 (G19, G11, G7);
+  nand g4 (G22, G10, G16);
+  nand g5 (G23, G16, G19);
+endmodule
+"""
+
+
+class TestParse:
+    def test_c17(self):
+        circuit = parse_verilog(C17_VERILOG)
+        assert circuit.name == "c17"
+        assert circuit.inputs == ["G1", "G2", "G3", "G6", "G7"]
+        assert circuit.outputs == ["G22", "G23"]
+        assert circuit.gate_count() == 6
+        reference = generators.c17()
+        assert check_equivalence(reference, circuit).equivalent
+
+    def test_comments_stripped(self):
+        text = C17_VERILOG.replace(
+            "wire G10", "/* block\ncomment */ wire G10"
+        )
+        parse_verilog(text).validate()
+
+    def test_out_of_order_instances(self):
+        text = """
+        module t (a, y);
+          input a; output y;
+          wire w;
+          not g1 (y, w);
+          buf g0 (w, a);
+        endmodule
+        """
+        circuit = parse_verilog(text)
+        assert circuit.depth() == 2
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(CircuitError, match="module"):
+            parse_verilog("wire w;\n")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(CircuitError, match="endmodule"):
+            parse_verilog("module t (a); input a;")
+
+    def test_undriven_net_rejected(self):
+        text = "module t (a, y); input a; output y; and g (y, a, ghost); endmodule"
+        with pytest.raises(CircuitError, match="undriven"):
+            parse_verilog(text)
+
+    def test_constant_literals(self):
+        text = """
+        module t (a, y, z);
+          input a; output y, z;
+          buf g0 (z, 1'b1);
+          and g1 (y, a, 1'b0);
+        endmodule
+        """
+        circuit = parse_verilog(text)
+        assert circuit.node("z").gate_type is GateType.CONST1
+        # The AND has a shared tie-0 node as one input.
+        tie = [fi for fi in circuit.node("y").fanins if fi != "a"][0]
+        assert circuit.node(tie).gate_type is GateType.CONST0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            generators.c17,
+            lambda: generators.ripple_carry_adder(4),
+            lambda: generators.random_dag(8, 40, seed=2),
+            lambda: generators.parity_tree(8),
+        ],
+    )
+    def test_write_parse_equivalent(self, make):
+        original = make()
+        back = parse_verilog(write_verilog(original))
+        assert back.inputs == original.inputs
+        assert back.outputs == original.outputs
+        assert check_equivalence(original, back).equivalent
+
+    def test_const_cells_round_trip(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        z = b.const1(name="tie1")
+        b.output(b.and_(a, z, name="y"))
+        original = b.build()
+        back = parse_verilog(write_verilog(original))
+        assert check_equivalence(original, back).equivalent
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = generators.c17()
+        path = tmp_path / "c17.v"
+        write_verilog_file(circuit, path)
+        back = parse_verilog_file(path)
+        assert back.name == "c17"
+        assert check_equivalence(circuit, back).equivalent

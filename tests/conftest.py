@@ -1,0 +1,63 @@
+"""Shared fixtures: small reference circuits and TPI problem factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import CircuitBuilder, GateType, generators
+
+
+@pytest.fixture
+def and2():
+    """y = a AND b."""
+    b = CircuitBuilder("and2")
+    a, c = b.inputs("a", "b")
+    b.output(b.and_(a, c, name="y"))
+    return b.build()
+
+
+@pytest.fixture
+def or2():
+    """y = a OR b."""
+    b = CircuitBuilder("or2")
+    a, c = b.inputs("a", "b")
+    b.output(b.or_(a, c, name="y"))
+    return b.build()
+
+
+@pytest.fixture
+def chain3():
+    """y = NOT(AND(a, OR(b, c))) — a 3-gate fanout-free chain."""
+    b = CircuitBuilder("chain3")
+    a, c, d = b.inputs("a", "b", "c")
+    o = b.or_(c, d, name="o1")
+    n = b.and_(a, o, name="a1")
+    b.output(b.not_(n, name="y"))
+    return b.build()
+
+
+@pytest.fixture
+def diamond():
+    """Reconvergent diamond: s fans out to two paths that AND back together."""
+    b = CircuitBuilder("diamond")
+    a, c = b.inputs("a", "b")
+    s = b.and_(a, c, name="s")
+    p = b.not_(s, name="p")
+    q = b.buf(s, name="q")
+    b.output(b.and_(p, q, name="y"))
+    return b.build()
+
+
+@pytest.fixture
+def c17():
+    return generators.c17()
+
+
+@pytest.fixture
+def wand8():
+    return generators.wide_and_cone(8)
+
+
+@pytest.fixture
+def small_tree():
+    return generators.random_tree(10, seed=42)

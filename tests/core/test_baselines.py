@@ -1,0 +1,139 @@
+"""Tests for the baseline solvers: greedy, random, exhaustive."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.core import (
+    TestPoint,
+    TestPointType,
+    TPIProblem,
+    evaluate_placement,
+    solve_exhaustive,
+    solve_greedy,
+    solve_random,
+)
+
+
+class TestGreedy:
+    def test_already_feasible(self, and2):
+        problem = TPIProblem(circuit=and2, threshold=0.1)
+        solution = solve_greedy(problem)
+        assert solution.feasible and solution.points == []
+
+    def test_fixes_wide_and(self):
+        circuit = generators.wide_and_cone(16)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+        solution = solve_greedy(problem)
+        assert solution.feasible
+        assert evaluate_placement(problem, solution.points).is_feasible()
+
+    def test_fixes_reconvergent_circuit(self):
+        circuit = generators.rpr_mixed(cone_width=4, corridor_length=3)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=2048)
+        solution = solve_greedy(problem)
+        assert solution.feasible
+        assert solution.method == "greedy"
+        assert solution.stats["iterations"] >= 1
+
+    def test_max_points_budget(self):
+        circuit = generators.wide_and_cone(16)
+        problem = TPIProblem.from_test_length(
+            circuit, n_patterns=4096, max_points=1
+        )
+        solution = solve_greedy(problem)
+        assert len(solution.points) <= 1
+
+    def test_initial_points_kept(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=512)
+        seed_point = TestPoint("x0", TestPointType.OBSERVATION)
+        solution = solve_greedy(problem, initial_points=[seed_point])
+        assert seed_point in solution.points
+
+    def test_infeasible_threshold_gives_up(self, and2):
+        problem = TPIProblem(circuit=and2, threshold=0.6)
+        solution = solve_greedy(problem)
+        assert not solution.feasible
+
+    def test_respects_allowed_types(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(
+            circuit,
+            n_patterns=512,
+            allowed_types=(TestPointType.OBSERVATION, TestPointType.CONTROL_OR),
+        )
+        solution = solve_greedy(problem)
+        assert all(
+            p.kind in (TestPointType.OBSERVATION, TestPointType.CONTROL_OR)
+            for p in solution.points
+        )
+
+
+class TestRandom:
+    def test_eventually_feasible_on_easy_instance(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=512)
+        solution = solve_random(problem, seed=0)
+        assert solution.feasible
+        assert evaluate_placement(problem, solution.points).is_feasible()
+
+    def test_deterministic_by_seed(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=512)
+        a = solve_random(problem, seed=5)
+        b = solve_random(problem, seed=5)
+        assert a.points == b.points
+
+    def test_budget_stops_runaway(self, and2):
+        problem = TPIProblem(circuit=and2, threshold=0.6)  # impossible
+        solution = solve_random(problem, seed=0, max_point_budget=10)
+        assert not solution.feasible
+        assert len(solution.points) <= 10
+
+    def test_usually_worse_than_greedy(self):
+        circuit = generators.wide_and_cone(16)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+        greedy = solve_greedy(problem)
+        rnd = solve_random(problem, seed=1)
+        if rnd.feasible and greedy.feasible:
+            assert greedy.cost <= rnd.cost
+
+
+class TestExhaustive:
+    def test_zero_cost_when_already_feasible(self, and2):
+        problem = TPIProblem(circuit=and2, threshold=0.1)
+        solution = solve_exhaustive(problem)
+        assert solution.feasible and solution.cost == 0.0
+
+    def test_finds_single_op_solution(self):
+        circuit = generators.rpr_corridor(4)
+        problem = TPIProblem(circuit=circuit, threshold=0.05)
+        solution = solve_exhaustive(problem, max_subset_size=2)
+        assert solution.feasible
+        assert evaluate_placement(problem, solution.points).is_feasible()
+        # The optimum is at most what greedy needs.
+        greedy = solve_greedy(problem)
+        assert solution.cost <= greedy.cost + 1e-9
+
+    def test_infeasible_within_budget(self, and2):
+        problem = TPIProblem(circuit=and2, threshold=0.6)
+        solution = solve_exhaustive(problem, max_subset_size=2)
+        assert not solution.feasible
+        assert solution.cost == float("inf")
+
+    def test_candidate_sites_restriction(self):
+        circuit = generators.rpr_corridor(4)
+        problem = TPIProblem(circuit=circuit, threshold=0.05)
+        # Restricting to the head input starves the search.
+        solution = solve_exhaustive(
+            problem, candidate_sites=["head"], max_subset_size=2
+        )
+        full = solve_exhaustive(problem, max_subset_size=2)
+        assert full.cost <= solution.cost
+
+    def test_never_places_two_controls_on_one_wire(self):
+        circuit = generators.wide_and_cone(4)
+        problem = TPIProblem(circuit=circuit, threshold=0.1)
+        solution = solve_exhaustive(problem, max_subset_size=3)
+        controls = [p for p in solution.points if p.kind.is_control]
+        assert len({p.node for p in controls}) == len(controls)

@@ -1,0 +1,105 @@
+"""Tests for the end-to-end measured-coverage pipeline."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.core import (
+    TestPoint,
+    TestPointType,
+    TPIProblem,
+    TPISolution,
+    evaluate_solution,
+    measure_coverage,
+    solve_dp_heuristic,
+    solve_tree,
+)
+from repro.sim import UniformRandomSource, collapse_faults
+
+
+def empty_solution(problem):
+    return TPISolution(points=[], cost=0.0, feasible=False, method="none")
+
+
+class TestMeasureCoverage:
+    def test_full_coverage_easy_circuit(self, c17):
+        result = measure_coverage(c17, 512)
+        assert result.coverage() == 1.0
+
+    def test_poor_coverage_rpr_circuit(self):
+        circuit = generators.wide_and_cone(16)
+        result = measure_coverage(circuit, 1024)
+        assert result.coverage() < 0.5
+
+
+class TestEvaluateSolution:
+    def test_empty_solution_is_identity(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=256)
+        report = evaluate_solution(problem, empty_solution(problem), 256)
+        assert report.modified_coverage == pytest.approx(
+            report.baseline_coverage
+        )
+        assert report.n_control == 0 and report.n_observation == 0
+
+    def test_dp_solution_lifts_coverage(self):
+        circuit = generators.wide_and_cone(16)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+        solution = solve_tree(problem, margin=1.5)
+        report = evaluate_solution(problem, solution, 4096)
+        assert report.baseline_coverage < 0.5
+        assert report.modified_coverage > 0.95
+        assert report.coverage_gain > 0.4
+
+    def test_heuristic_on_reconvergent_circuit(self):
+        circuit = generators.rpr_mixed(cone_width=8, corridor_length=6)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+        solution = solve_dp_heuristic(problem)
+        report = evaluate_solution(problem, solution, 4096)
+        assert report.modified_coverage > report.baseline_coverage
+        assert report.modified_coverage > 0.98
+
+    def test_curves_well_formed(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=512)
+        solution = solve_tree(problem, margin=1.5)
+        report = evaluate_solution(problem, solution, 512)
+        assert report.baseline_curve[-1][0] == 512
+        assert report.modified_curve[-1][1] == pytest.approx(
+            report.modified_coverage
+        )
+        mod_values = [c for _n, c in report.modified_curve]
+        assert mod_values == sorted(mod_values)
+
+    def test_row_formatting(self):
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=256)
+        report = evaluate_solution(problem, empty_solution(problem), 256)
+        row = report.row()
+        assert circuit.name in row
+
+    def test_same_source_family_drives_both(self):
+        """Reports are deterministic for a fixed source."""
+        circuit = generators.wide_and_cone(8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=256)
+        solution = solve_tree(problem, margin=1.5)
+        src = UniformRandomSource(seed=11)
+        r1 = evaluate_solution(problem, solution, 256, source=src)
+        r2 = evaluate_solution(problem, solution, 256, source=src)
+        assert r1.modified_coverage == r2.modified_coverage
+        assert r1.baseline_coverage == r2.baseline_coverage
+
+    def test_random_redrive_orphan_counts_undetected(self, diamond):
+        problem = TPIProblem(circuit=diamond, threshold=0.001)
+        solution = TPISolution(
+            points=[
+                TestPoint("s", TestPointType.CONTROL_RANDOM, branch=("q", 0))
+            ],
+            cost=1.0,
+            feasible=False,
+            method="manual",
+        )
+        report = evaluate_solution(problem, solution, 256)
+        # The orphaned branch fault cannot be detected any more, so the
+        # modified coverage may drop below baseline — the accounting must
+        # reflect that honestly rather than silently dropping the fault.
+        assert report.n_faults == len(collapse_faults(diamond).representatives)

@@ -1,0 +1,72 @@
+"""Tests for the DP-on-regions heuristic on general circuits."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.core import (
+    TPIProblem,
+    evaluate_placement,
+    prepare_for_tpi,
+    solve_dp_heuristic,
+    solve_greedy,
+)
+
+
+class TestHeuristic:
+    def test_already_feasible(self, c17):
+        problem = TPIProblem(circuit=c17, threshold=0.01)
+        solution = solve_dp_heuristic(problem)
+        assert solution.feasible
+        assert solution.points == []
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: generators.rpr_mixed(cone_width=4, corridor_length=3),
+            lambda: prepare_for_tpi(generators.equality_comparator(10)),
+            lambda: generators.wide_and_cone(16),
+        ],
+    )
+    def test_reaches_feasibility(self, make):
+        circuit = make()
+        problem = TPIProblem.from_test_length(circuit, n_patterns=2048)
+        solution = solve_dp_heuristic(problem)
+        assert solution.feasible
+        assert evaluate_placement(problem, solution.points).is_feasible()
+        assert solution.method == "dp-heuristic"
+
+    def test_no_conflicting_controls(self):
+        circuit = generators.rpr_mixed(cone_width=8, corridor_length=6)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=4096)
+        solution = solve_dp_heuristic(problem)
+        controls = [p for p in solution.points if p.kind.is_control]
+        wires = [(p.node, p.branch) for p in controls]
+        assert len(wires) == len(set(wires))
+
+    def test_stats_accounting(self):
+        circuit = generators.rpr_mixed(cone_width=4, corridor_length=3)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=2048)
+        solution = solve_dp_heuristic(problem)
+        assert solution.stats["rounds"] >= 1
+        assert solution.stats["regions"] >= 1
+        assert solution.stats["dp_calls"] >= 0
+
+    def test_without_mop_up_may_leave_work(self):
+        circuit = generators.random_dag(10, 60, seed=6)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=2048)
+        bare = solve_dp_heuristic(problem, final_greedy=False)
+        full = solve_dp_heuristic(problem, final_greedy=True)
+        # Mop-up never hurts feasibility.
+        assert full.feasible or not bare.feasible
+
+    def test_degenerates_to_dp_on_trees(self):
+        """On a pure tree the heuristic is the exact DP (same margin/grid)."""
+        from repro.core import solve_tree
+
+        circuit = generators.random_tree(30, seed=8)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=1024)
+        heuristic = solve_dp_heuristic(problem, margin=1.5)
+        dp = solve_tree(problem, margin=1.5)
+        assert heuristic.feasible
+        if not heuristic.stats["mop_up_points"]:
+            assert heuristic.cost == pytest.approx(dp.cost)

@@ -1,0 +1,100 @@
+"""Tests for the executable NP-completeness (SAT ↪ testability) reduction."""
+
+import pytest
+
+from repro.core import (
+    brute_force_sat,
+    cnf_to_circuit,
+    is_satisfiable_via_testability,
+    output_excitation_fault,
+    random_cnf,
+)
+from repro.circuit import has_reconvergent_fanout
+
+
+class TestCnfCircuit:
+    def test_structure(self):
+        cnf = [[1, -2, 3], [-1, 2, 3]]
+        circuit = cnf_to_circuit(cnf)
+        assert set(circuit.inputs) == {"x1", "x2", "x3"}
+        assert circuit.outputs == ["sat"]
+        circuit.validate()
+
+    def test_reconvergence_present(self):
+        """The reduction's hardness comes from reconvergent variable stems."""
+        cnf = [[1, 2, 3], [-1, 2, 3], [1, -2, -3]]
+        assert has_reconvergent_fanout(cnf_to_circuit(cnf))
+
+    def test_single_literal_clause(self):
+        circuit = cnf_to_circuit([[1]])
+        circuit.validate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cnf_to_circuit([])
+        with pytest.raises(ValueError):
+            cnf_to_circuit([[]])
+        with pytest.raises(ValueError):
+            cnf_to_circuit([[0]])
+
+    def test_output_fault(self):
+        fault = output_excitation_fault(cnf_to_circuit([[1, 2]]))
+        assert fault.node == "sat" and fault.value == 0
+
+
+class TestBruteForceSat:
+    def test_satisfiable(self):
+        assignment = brute_force_sat([[1, 2], [-1, 2]])
+        assert assignment is not None
+        assert assignment[1] is True  # x2 must be true... check clause sat
+
+    def test_unsatisfiable(self):
+        # x1 AND NOT x1.
+        assert brute_force_sat([[1], [-1]]) is None
+
+    def test_assignment_actually_satisfies(self):
+        cnf = random_cnf(5, 8, seed=1)
+        assignment = brute_force_sat(cnf)
+        if assignment is not None:
+            for clause in cnf:
+                assert any(
+                    assignment[abs(l) - 1] == (l > 0) for l in clause
+                )
+
+
+class TestReduction:
+    """SAT decided through the fault simulator == SAT decided by search."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force_random(self, seed):
+        # Near the 3-SAT phase transition to get a mix of SAT/UNSAT.
+        cnf = random_cnf(6, 26, seed=seed)
+        assert is_satisfiable_via_testability(cnf) == (
+            brute_force_sat(cnf) is not None
+        )
+
+    def test_unsat_instance(self):
+        cnf = [[1], [-1]]
+        assert not is_satisfiable_via_testability(cnf)
+
+    def test_sat_instance(self):
+        cnf = [[1, 2, 3]]
+        assert is_satisfiable_via_testability(cnf)
+
+    def test_size_guard(self):
+        cnf = [[i + 1, i + 2, i + 3] for i in range(25)]
+        with pytest.raises(ValueError, match="20 variables"):
+            is_satisfiable_via_testability(cnf)
+
+
+class TestRandomCnf:
+    def test_shape_and_determinism(self):
+        cnf = random_cnf(8, 10, seed=3)
+        assert len(cnf) == 10
+        assert all(len(c) == 3 for c in cnf)
+        assert all(len({abs(l) for l in c}) == 3 for c in cnf)
+        assert cnf == random_cnf(8, 10, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_cnf(2, 5)

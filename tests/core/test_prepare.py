@@ -1,0 +1,40 @@
+"""Tests for netlist preparation (factorize + sweep)."""
+
+from repro.circuit import CircuitBuilder, generators
+from repro.core import prepare_for_tpi
+from repro.sim import LogicSimulator, UniformRandomSource
+
+
+class TestPrepare:
+    def test_factorizes_wide_gates(self):
+        circuit = generators.equality_comparator(12)
+        prepared = prepare_for_tpi(circuit)
+        assert all(len(g.fanins) <= 2 for g in prepared.gates)
+
+    def test_sweeps_dead_logic(self):
+        b = CircuitBuilder("t")
+        a, c, d = b.inputs("a", "b", "c")
+        y = b.and_(a, c, name="y")
+        b.not_(d, name="dead")
+        b.output(y)
+        prepared = prepare_for_tpi(b.build(validate=False))
+        assert "dead" not in prepared
+        # PIs are always retained; the unused one simply floats.
+        assert prepared.floating_nodes() == ["c"]
+        assert all(
+            prepared.node(n).is_input for n in prepared.floating_nodes()
+        )
+
+    def test_function_preserved(self):
+        circuit = generators.equality_comparator(9)
+        prepared = prepare_for_tpi(circuit)
+        n = 256
+        stim = UniformRandomSource(seed=5).generate(circuit.inputs, n)
+        v1 = LogicSimulator(circuit).run(stim, n)
+        v2 = LogicSimulator(prepared).run(stim, n)
+        for po in circuit.outputs:
+            assert v1[po] == v2[po]
+
+    def test_idempotent_on_clean_circuits(self, c17):
+        prepared = prepare_for_tpi(c17)
+        assert prepared.stats() == c17.stats()

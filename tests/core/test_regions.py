@@ -1,0 +1,123 @@
+"""Tests for fanout-free-region subproblem extraction and fault ownership."""
+
+import pytest
+
+from repro.circuit import fanout_free_regions, generators, is_fanout_free
+from repro.core import (
+    TestPoint,
+    TestPointType,
+    TPIProblem,
+    evaluate_placement,
+    extract_region_subproblem,
+    fault_region_owner,
+    owner_of_fault,
+)
+from repro.sim import all_stuck_at_faults
+
+
+class TestFaultOwnership:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            generators.c17,
+            lambda: generators.random_dag(10, 60, seed=2),
+            lambda: generators.rpr_mixed(cone_width=4, corridor_length=3),
+        ],
+    )
+    def test_every_fault_owned_except_stem_pis(self, make):
+        circuit = make()
+        regions = fanout_free_regions(circuit)
+        owner = fault_region_owner(circuit, regions)
+        for fault in all_stuck_at_faults(circuit):
+            ridx = owner_of_fault(fault, owner)
+            node = circuit.node(fault.node)
+            if (
+                fault.branch is None
+                and node.is_input
+                and circuit.fanout_count(fault.node) != 1
+            ):
+                # Documented orphans: multi-fanout PI stems, and PIs that
+                # are directly observed outputs (trivially testable).
+                assert ridx is None
+            else:
+                assert ridx is not None, fault.describe()
+                assert 0 <= ridx < len(regions)
+
+    def test_member_faults_owned_by_own_region(self, c17):
+        regions = fanout_free_regions(c17)
+        owner = fault_region_owner(c17, regions)
+        for idx, region in enumerate(regions):
+            for m in region.members:
+                assert owner[(m, None)] == idx
+
+
+class TestExtraction:
+    def test_tree_is_fanout_free_and_maps_back(self, c17):
+        problem = TPIProblem(circuit=c17, threshold=0.01)
+        evaluation = evaluate_placement(problem, [])
+        regions = fanout_free_regions(c17)
+        for region in regions:
+            sub = extract_region_subproblem(problem, region, evaluation)
+            assert is_fanout_free(sub.circuit)
+            assert sub.circuit.outputs == [region.root]
+            # Every member appears; every leaf has a probability and a site.
+            for m in region.members:
+                assert m in sub.circuit
+            for leaf in sub.circuit.inputs:
+                assert leaf in sub.leaf_probabilities
+                node, branch = sub.site_of[leaf]
+                assert node in c17
+                if branch is not None:
+                    sink, pin = branch
+                    assert c17.node(sink).fanins[pin] == node
+
+    def test_leaf_probabilities_from_environment(self, c17):
+        problem = TPIProblem(circuit=c17, threshold=0.01)
+        evaluation = evaluate_placement(problem, [])
+        region = next(
+            r for r in fanout_free_regions(c17) if r.root == "G22"
+        )
+        sub = extract_region_subproblem(problem, region, evaluation)
+        for leaf in sub.circuit.inputs:
+            driver = sub.site_of[leaf][0]
+            assert sub.leaf_probabilities[leaf] == pytest.approx(
+                evaluation.stem_post[driver]
+            )
+
+    def test_root_observability_from_environment(self, c17):
+        problem = TPIProblem(circuit=c17, threshold=0.01)
+        evaluation = evaluate_placement(problem, [])
+        for region in fanout_free_regions(c17):
+            sub = extract_region_subproblem(problem, region, evaluation)
+            assert sub.root_observability == pytest.approx(
+                evaluation.stem_post_obs[region.root]
+            )
+
+    def test_branch_leaves_named_per_connection(self, diamond):
+        problem = TPIProblem(circuit=diamond, threshold=0.01)
+        evaluation = evaluate_placement(problem, [])
+        regions = fanout_free_regions(diamond)
+        y_region = next(r for r in regions if r.root == "y")
+        sub = extract_region_subproblem(problem, y_region, evaluation)
+        # p and q both have fanout 1 so they are region members... the
+        # stem s is the shared leaf, reached via two distinct branches.
+        branch_leaves = [
+            leaf for leaf in sub.circuit.inputs if "@" in leaf
+        ]
+        assert len(branch_leaves) == len(set(branch_leaves))
+
+    def test_map_point_round_trip(self, c17):
+        problem = TPIProblem(circuit=c17, threshold=0.01)
+        evaluation = evaluate_placement(problem, [])
+        region = fanout_free_regions(c17)[0]
+        sub = extract_region_subproblem(problem, region, evaluation)
+        for leaf in sub.circuit.inputs:
+            mapped = sub.map_point(
+                TestPoint(leaf, TestPointType.OBSERVATION)
+            )
+            assert mapped.node in c17
+        mapped_root = sub.map_point(
+            TestPoint(region.root, TestPointType.CONTROL_OR)
+        )
+        assert mapped_root.node == region.root
+        assert mapped_root.branch is None

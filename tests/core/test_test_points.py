@@ -1,0 +1,198 @@
+"""Tests for physical test point insertion (netlist rewriting).
+
+The key contracts: (1) in *normal mode* — test signals at their
+non-controlling values — the modified circuit computes the original
+function; (2) the fault map points every original fault at a wire whose
+behaviour matches the virtual model.
+"""
+
+import pytest
+
+from repro.circuit import GateType, generators
+from repro.core import (
+    TestPoint,
+    TestPointType,
+    apply_test_points,
+)
+from repro.sim import (
+    Fault,
+    LogicSimulator,
+    UniformRandomSource,
+    all_stuck_at_faults,
+    ones_mask,
+)
+
+OP = TestPointType.OBSERVATION
+CPA = TestPointType.CONTROL_AND
+CPO = TestPointType.CONTROL_OR
+CPR = TestPointType.CONTROL_RANDOM
+
+
+def normal_mode_equal(original, insertion, n_patterns=128, seed=3):
+    """Modified circuit == original when CP test signals are disabled.
+
+    AND-type points idle at r=1, OR-type at r=0; random re-drives have no
+    idle mode and are excluded from this check by construction of the
+    calling tests.
+    """
+    mod = insertion.circuit
+    stim = UniformRandomSource(seed=seed).generate(original.inputs, n_patterns)
+    mask = ones_mask(n_patterns)
+    for r in insertion.test_inputs:
+        # Idle value: AND-type r=1 passes the wire; OR-type r=0 passes it.
+        driver_gates = [s for s, _p in mod.fanouts(r)]
+        assert driver_gates, "dangling test input"
+        gate_type = mod.node(driver_gates[0]).gate_type
+        stim[r] = mask if gate_type is GateType.AND else 0
+    v_orig = LogicSimulator(original).run(stim, n_patterns)
+    v_mod = LogicSimulator(mod).run(stim, n_patterns)
+    return all(v_orig[po] == v_mod[po] for po in original.outputs)
+
+
+class TestStemObservation:
+    def test_marks_output(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("o1", OP)])
+        assert "o1" in res.circuit.outputs
+        assert res.test_inputs == []
+
+    def test_function_preserved(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("o1", OP)])
+        assert normal_mode_equal(chain3, res)
+
+    def test_fault_map_identity(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("o1", OP)])
+        for fault in all_stuck_at_faults(chain3):
+            assert res.fault_map[fault] == fault
+
+
+class TestStemControl:
+    @pytest.mark.parametrize("kind,gate", [(CPA, GateType.AND), (CPO, GateType.OR)])
+    def test_gated_control_point(self, chain3, kind, gate):
+        res = apply_test_points(chain3, [TestPoint("o1", kind)])
+        assert len(res.test_inputs) == 1
+        # The sink a1 is rewired to the CP gate.
+        cp_driver = res.circuit.node("a1").fanins[1]
+        assert res.circuit.node(cp_driver).gate_type is gate
+        assert normal_mode_equal(chain3, res)
+
+    def test_random_redrive_rewires_to_test_input(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("o1", CPR)])
+        assert res.circuit.node("a1").fanins[1] == res.test_inputs[0]
+        # The original wire survives (its faults stay enumerable).
+        assert "o1" in res.circuit
+
+    def test_po_moves_to_post_cp_line(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("y", CPO)])
+        assert "y" not in res.circuit.outputs
+        new_po = res.circuit.outputs[0]
+        assert res.circuit.node(new_po).gate_type is GateType.OR
+
+    def test_stem_faults_still_map_identity(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("o1", CPA)])
+        assert res.fault_map[Fault("o1", 0)] == Fault("o1", 0)
+
+
+class TestBranchPoints:
+    def test_branch_op_isolates_with_buffer(self, diamond):
+        res = apply_test_points(
+            diamond, [TestPoint("s", OP, branch=("q", 0))]
+        )
+        buf = res.circuit.node("q").fanins[0]
+        assert res.circuit.node(buf).gate_type is GateType.BUF
+        assert buf in res.circuit.outputs
+        assert normal_mode_equal(diamond, res)
+        # Branch fault now injects at the buffer's input connection.
+        mapped = res.fault_map[Fault("s", 0, branch=("q", 0))]
+        assert mapped == Fault("s", 0, branch=(buf, 0))
+
+    def test_branch_cp_gates_single_branch(self, diamond):
+        res = apply_test_points(
+            diamond, [TestPoint("s", CPO, branch=("q", 0))]
+        )
+        cp = res.circuit.node("q").fanins[0]
+        assert res.circuit.node(cp).gate_type is GateType.OR
+        # p's connection is untouched.
+        assert res.circuit.node("p").fanins[0] == "s"
+        assert normal_mode_equal(diamond, res)
+        mapped = res.fault_map[Fault("s", 1, branch=("q", 0))]
+        assert mapped == Fault("s", 1, branch=(cp, 0))
+
+    def test_branch_random_without_op_unmaps_fault(self, diamond):
+        res = apply_test_points(
+            diamond, [TestPoint("s", CPR, branch=("q", 0))]
+        )
+        assert res.fault_map[Fault("s", 0, branch=("q", 0))] is None
+
+    def test_branch_random_with_op_keeps_fault(self, diamond):
+        res = apply_test_points(
+            diamond,
+            [
+                TestPoint("s", OP, branch=("q", 0)),
+                TestPoint("s", CPR, branch=("q", 0)),
+            ],
+        )
+        mapped = res.fault_map[Fault("s", 0, branch=("q", 0))]
+        assert mapped is not None
+        # Injection lands upstream of both the tap and the re-drive.
+        buf = mapped.branch[0]
+        assert res.circuit.node(buf).gate_type is GateType.BUF
+        assert buf in res.circuit.outputs
+
+
+class TestComposition:
+    def test_op_plus_cp_same_stem(self, chain3):
+        res = apply_test_points(
+            chain3, [TestPoint("o1", OP), TestPoint("o1", CPR)]
+        )
+        # Pre-CP tap: the original node is the observed one.
+        assert "o1" in res.circuit.outputs
+        # Sink sees the test input.
+        assert res.circuit.node("a1").fanins[1] == res.test_inputs[0]
+
+    def test_multiple_points_all_applied(self):
+        circuit = generators.wide_and_cone(8)
+        points = [
+            TestPoint("a1_0", CPO),
+            TestPoint("a1_1", CPO),
+            TestPoint("a1_0", OP),
+            TestPoint("a0_2", OP),
+        ]
+        res = apply_test_points(circuit, points)
+        res.circuit.validate()
+        assert len(res.test_inputs) == 2
+        assert "a1_0" in res.circuit.outputs
+        assert "a0_2" in res.circuit.outputs
+        assert normal_mode_equal(circuit, res)
+
+    def test_original_circuit_untouched(self, chain3):
+        before = chain3.node_names
+        apply_test_points(chain3, [TestPoint("o1", CPR), TestPoint("y", OP)])
+        assert chain3.node_names == before
+
+    def test_double_control_rejected(self, chain3):
+        with pytest.raises(ValueError, match="multiple control"):
+            apply_test_points(
+                chain3, [TestPoint("o1", CPA), TestPoint("o1", CPO)]
+            )
+
+
+class TestEnableMapping:
+    def test_every_control_point_has_enable(self):
+        circuit = generators.rpr_mixed(cone_width=4, corridor_length=3)
+        points = [
+            TestPoint("b0_c0", CPO),
+            TestPoint("b1_c1", CPA),
+            TestPoint("b0_c2", OP),
+        ]
+        res = apply_test_points(circuit, points)
+        controls = [p for p in points if p.kind.is_control]
+        assert set(res.enable_of) == set(controls)
+        for point, r in res.enable_of.items():
+            assert r in res.test_inputs
+            # The enable drives exactly the CP gate of its point.
+            sinks = res.circuit.fanouts(r)
+            assert len(sinks) == 1
+
+    def test_observation_points_have_no_enable(self, chain3):
+        res = apply_test_points(chain3, [TestPoint("o1", OP)])
+        assert res.enable_of == {}

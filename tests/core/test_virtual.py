@@ -1,0 +1,167 @@
+"""Unit tests for the virtual (analytical) placement evaluator."""
+
+import pytest
+
+from repro.core import (
+    TestPoint,
+    TestPointType,
+    TPIProblem,
+    evaluate_placement,
+    split_placement,
+)
+from repro.sim import Fault
+from repro.testability import cop_measures
+
+OP = TestPointType.OBSERVATION
+CPA = TestPointType.CONTROL_AND
+CPO = TestPointType.CONTROL_OR
+CPR = TestPointType.CONTROL_RANDOM
+
+
+class TestSplitPlacement:
+    def test_groups_by_site(self):
+        pts = [
+            TestPoint("a", OP),
+            TestPoint("a", CPA),
+            TestPoint("b", CPO, branch=("g", 0)),
+        ]
+        stem, branch = split_placement(pts)
+        assert set(stem) == {"a"}
+        assert set(branch) == {("b", "g", 0)}
+
+    def test_double_control_rejected(self):
+        with pytest.raises(ValueError, match="multiple control"):
+            split_placement([TestPoint("a", CPA), TestPoint("a", CPO)])
+
+    def test_op_plus_cp_allowed(self):
+        stem, _ = split_placement([TestPoint("a", OP), TestPoint("a", CPR)])
+        assert len(stem["a"]) == 2
+
+
+class TestNoPointsBaseline:
+    def test_matches_plain_cop(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        ev = evaluate_placement(problem, [])
+        cop = cop_measures(chain3)
+        for name in chain3.node_names:
+            assert ev.stem_pre[name] == pytest.approx(cop.probability[name])
+            assert ev.stem_post[name] == pytest.approx(cop.probability[name])
+            assert ev.wire_obs[name] == pytest.approx(cop.observability[name])
+
+
+class TestObservationPoints:
+    def test_op_sets_wire_obs_to_one(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        ev = evaluate_placement(problem, [TestPoint("o1", OP)])
+        assert ev.wire_obs["o1"] == 1.0
+        # Upstream observability improves.
+        base = evaluate_placement(problem, [])
+        assert ev.wire_obs["b"] > base.wire_obs["b"]
+
+    def test_op_does_not_change_probabilities(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        ev = evaluate_placement(problem, [TestPoint("o1", OP)])
+        base = evaluate_placement(problem, [])
+        assert ev.stem_post == pytest.approx(base.stem_post)
+
+
+class TestControlPoints:
+    def test_cp_and_halves_probability(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        ev = evaluate_placement(problem, [TestPoint("o1", CPA)])
+        assert ev.stem_pre["o1"] == pytest.approx(0.75)
+        assert ev.stem_post["o1"] == pytest.approx(0.375)
+        # Downstream gate sees the transformed value.
+        assert ev.stem_pre["a1"] == pytest.approx(0.5 * 0.375)
+
+    def test_cp_attenuates_upstream_observability(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        base = evaluate_placement(problem, [])
+        ev = evaluate_placement(problem, [TestPoint("o1", CPA)])
+        assert ev.wire_obs["o1"] == pytest.approx(0.5 * base.wire_obs["o1"])
+
+    def test_cp_random_kills_upstream_without_op(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        ev = evaluate_placement(problem, [TestPoint("o1", CPR)])
+        assert ev.wire_obs["o1"] == 0.0
+        assert ev.wire_obs["b"] == 0.0
+
+    def test_cp_random_with_op_restores(self, chain3):
+        problem = TPIProblem(circuit=chain3, threshold=0.01)
+        ev = evaluate_placement(
+            problem, [TestPoint("o1", CPR), TestPoint("o1", OP)]
+        )
+        assert ev.wire_obs["o1"] == 1.0
+        assert ev.stem_post["o1"] == 0.5
+
+    def test_cp_on_input(self, and2):
+        problem = TPIProblem(
+            circuit=and2, threshold=0.01, input_probabilities={"a": 0.9}
+        )
+        ev = evaluate_placement(problem, [TestPoint("a", CPR)])
+        assert ev.stem_pre["a"] == pytest.approx(0.9)
+        assert ev.stem_post["a"] == 0.5
+
+
+class TestBranchPoints:
+    def test_branch_cp_affects_single_branch(self, diamond):
+        problem = TPIProblem(circuit=diamond, threshold=0.001)
+        base = evaluate_placement(problem, [])
+        ev = evaluate_placement(
+            problem, [TestPoint("s", CPO, branch=("q", 0))]
+        )
+        # The p branch still carries the raw stem value...
+        assert ev.branch_pre[("s", "p", 0)] == pytest.approx(ev.stem_post["s"])
+        # ...while the boosted q pin changes the sink gate's probability.
+        assert ev.stem_pre["y"] != pytest.approx(base.stem_pre["y"])
+
+    def test_branch_op_observability(self, diamond):
+        problem = TPIProblem(circuit=diamond, threshold=0.001)
+        ev = evaluate_placement(
+            problem, [TestPoint("s", OP, branch=("q", 0))]
+        )
+        assert ev.branch_obs[("s", "q", 0)] == 1.0
+        # The stem benefits through the observed branch.
+        assert ev.wire_obs["s"] == 1.0
+
+    def test_branch_cp_random_kills_branch_only(self, diamond):
+        problem = TPIProblem(circuit=diamond, threshold=0.001)
+        ev = evaluate_placement(
+            problem, [TestPoint("s", CPR, branch=("q", 0))]
+        )
+        assert ev.branch_obs[("s", "q", 0)] == 0.0
+        assert ev.branch_obs[("s", "p", 0)] > 0.0
+
+
+class TestFaultQueries:
+    def test_detection_and_failing(self, wand8):
+        problem = TPIProblem(circuit=wand8, threshold=0.05)
+        ev = evaluate_placement(problem, [])
+        out = wand8.outputs[0]
+        assert ev.fault_detection(Fault(out, 0)) == pytest.approx(1 / 256)
+        failing = ev.failing_faults()
+        assert Fault(out, 0) in failing
+
+    def test_feasible_after_points(self, wand8):
+        problem = TPIProblem(circuit=wand8, threshold=0.05)
+        # OR-type CPs on the two mid-level gates + observation in between.
+        points = [
+            TestPoint("a1_0", CPO),
+            TestPoint("a1_1", CPO),
+            TestPoint("a1_0", OP),
+            TestPoint("a1_1", OP),
+            TestPoint("a0_0", OP),
+            TestPoint("a0_1", OP),
+            TestPoint("a0_2", OP),
+            TestPoint("a0_3", OP),
+        ]
+        ev = evaluate_placement(problem, points)
+        assert len(ev.failing_faults()) < len(
+            evaluate_placement(problem, []).failing_faults()
+        )
+
+    def test_branch_fault_detection(self, diamond):
+        problem = TPIProblem(circuit=diamond, threshold=0.001)
+        ev = evaluate_placement(problem, [])
+        d = ev.fault_detection(Fault("s", 0, branch=("p", 0)))
+        assert 0.0 <= d <= 1.0

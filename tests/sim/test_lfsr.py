@@ -1,0 +1,73 @@
+"""Unit tests for the LFSR pattern generator."""
+
+import pytest
+
+from repro.sim import LFSR, PRIMITIVE_TAPS, primitive_taps
+
+
+class TestTapsTable:
+    def test_all_degrees_present(self):
+        assert set(PRIMITIVE_TAPS) == set(range(2, 33))
+
+    def test_highest_tap_is_degree(self):
+        for degree, taps in PRIMITIVE_TAPS.items():
+            assert max(taps) == degree
+
+    def test_lookup(self):
+        assert primitive_taps(16) == (16, 5, 3, 2)
+        with pytest.raises(KeyError):
+            primitive_taps(99)
+
+    @pytest.mark.parametrize("degree", range(2, 13))
+    def test_primitivity_via_period(self, degree):
+        """A primitive polynomial gives the full 2^n - 1 period."""
+        lfsr = LFSR(degree, seed=1)
+        seen = set()
+        state = lfsr.state
+        for _ in range(lfsr.period()):
+            assert state not in seen
+            seen.add(state)
+            state = lfsr.step()
+        assert state == 1  # back to the seed
+        assert len(seen) == lfsr.period()
+        assert 0 not in seen
+
+
+class TestLFSR:
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            LFSR(8, seed=0)
+        with pytest.raises(ValueError):
+            LFSR(1)
+
+    def test_custom_taps_must_reach_degree(self):
+        with pytest.raises(ValueError):
+            LFSR(8, taps=(5, 3))
+
+    def test_state_bits(self):
+        lfsr = LFSR(4, seed=0b1010)
+        assert lfsr.state_bits() == [0, 1, 0, 1]
+
+    def test_sequence_yields_then_advances(self):
+        lfsr = LFSR(5, seed=3)
+        states = list(lfsr.sequence(4))
+        assert states[0] == 3
+        assert len(set(states)) == 4
+
+    def test_never_zero(self):
+        lfsr = LFSR(6)
+        for _ in range(200):
+            assert lfsr.step() != 0
+
+    def test_packed_input_words_shape(self):
+        lfsr = LFSR(8)
+        words = lfsr.packed_input_words(5, 100)
+        assert len(words) == 5
+        for w in words:
+            assert 0 <= w < (1 << 100)
+
+    def test_packed_words_roughly_fair(self):
+        lfsr = LFSR(16)
+        words = lfsr.packed_input_words(4, 4096)
+        for w in words:
+            assert w.bit_count() / 4096 == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,78 @@
+"""Unit tests for stimulus sources."""
+
+import pytest
+
+from repro.sim import (
+    ExhaustiveSource,
+    ExplicitSource,
+    LFSRSource,
+    UniformRandomSource,
+    WeightedRandomSource,
+)
+
+INPUTS = ["a", "b", "c"]
+
+
+class TestUniform:
+    def test_deterministic(self):
+        s = UniformRandomSource(seed=9)
+        assert s.generate(INPUTS, 64) == s.generate(INPUTS, 64)
+
+    def test_distinct_streams_per_input(self):
+        words = UniformRandomSource(seed=9).generate(INPUTS, 256)
+        assert words["a"] != words["b"]
+
+    def test_roughly_fair(self):
+        words = UniformRandomSource(seed=1).generate(INPUTS, 8192)
+        for w in words.values():
+            assert w.bit_count() / 8192 == pytest.approx(0.5, abs=0.03)
+
+
+class TestWeighted:
+    def test_respects_weights(self):
+        src = WeightedRandomSource(weights={"a": 0.9, "b": 0.1}, seed=3)
+        words = src.generate(INPUTS, 8192)
+        assert words["a"].bit_count() / 8192 == pytest.approx(0.9, abs=0.03)
+        assert words["b"].bit_count() / 8192 == pytest.approx(0.1, abs=0.03)
+        assert words["c"].bit_count() / 8192 == pytest.approx(0.5, abs=0.03)
+
+    def test_default_weight(self):
+        src = WeightedRandomSource(default_weight=0.25, seed=3)
+        words = src.generate(["x"], 8192)
+        assert words["x"].bit_count() / 8192 == pytest.approx(0.25, abs=0.03)
+
+
+class TestLFSRSource:
+    def test_deterministic(self):
+        s = LFSRSource(degree=16, seed=0x1234)
+        assert s.generate(INPUTS, 128) == s.generate(INPUTS, 128)
+
+    def test_nonconstant(self):
+        words = LFSRSource().generate(INPUTS, 512)
+        for w in words.values():
+            assert 0 < w.bit_count() < 512
+
+
+class TestExhaustive:
+    def test_counts(self):
+        words = ExhaustiveSource().generate(INPUTS, 8)
+        # Input i toggles with period 2^(i+1).
+        assert words["a"] == 0b10101010
+        assert words["b"] == 0b11001100
+        assert words["c"] == 0b11110000
+
+    def test_wrong_pattern_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExhaustiveSource().generate(INPUTS, 7)
+
+
+class TestExplicit:
+    def test_packs_given_vectors(self):
+        src = ExplicitSource([{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1}])
+        words = src.generate(["a", "b"], 3)
+        assert words["a"] == 0b101
+        assert words["b"] == 0b010  # missing keys default to 0
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitSource([{"a": 1}]).generate(["a"], 2)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface (driven through main(argv))."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "c17" in out and "wand16" in out
+
+
+class TestStats:
+    def test_builtin(self, capsys):
+        assert main(["stats", "c17", "--patterns", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out and "coverage" in out
+
+    def test_bench_file(self, tmp_path, capsys):
+        from repro.circuit import generators, write_bench_file
+
+        path = tmp_path / "circ.bench"
+        write_bench_file(generators.wide_and_cone(4), path)
+        assert main(["stats", str(path), "--patterns", "64"]) == 0
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "no-such-circuit"])
+
+
+class TestInsert:
+    def test_dp_solver(self, capsys):
+        assert main(["insert", "wand16", "--patterns", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold" in out and "dp-heuristic" in out
+
+    def test_greedy_solver(self, capsys):
+        assert main(
+            ["insert", "wand16", "--patterns", "512", "--solver", "greedy"]
+        ) == 0
+        assert "greedy" in capsys.readouterr().out
+
+
+class TestCoverage:
+    def test_reports_improvement(self, capsys):
+        assert main(["coverage", "wand16", "--patterns", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out and "->" in out
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "--only", "t2"]) == 0
+        assert "[T2]" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--only", "zz"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestReport:
+    def test_report_sections(self, capsys):
+        assert main(["report", "wand16", "--patterns", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Testability report" in out
+        assert "Random-pattern-resistant" in out
+
+    def test_verilog_file(self, tmp_path, capsys):
+        from repro.circuit import generators, write_verilog_file
+
+        path = tmp_path / "circ.v"
+        write_verilog_file(generators.wide_and_cone(4), path)
+        assert main(["stats", str(path), "--patterns", "64"]) == 0

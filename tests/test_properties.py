@@ -1,0 +1,156 @@
+"""System-level property tests: the three semantic layers must agree.
+
+The library's central discipline is that one placement semantics is shared
+by (1) the analytical virtual evaluator, (2) the solvers that optimize
+against it, and (3) the netlist rewriter + fault simulator that realize
+and measure it.  These hypothesis tests generate random circuits and
+random placements and check the layers against each other exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import GateType, generators
+from repro.circuit.gates import evaluate_gate
+from repro.core import (
+    TestPoint,
+    TestPointType,
+    TPIProblem,
+    apply_test_points,
+    evaluate_placement,
+)
+from repro.sim import ExhaustiveSource, FaultSimulator, LogicSimulator, ones_mask
+
+PLACEABLE = (
+    TestPointType.OBSERVATION,
+    TestPointType.CONTROL_AND,
+    TestPointType.CONTROL_OR,
+    TestPointType.CONTROL_RANDOM,
+)
+
+
+def random_placement_for(circuit, rng_seed: int, max_points: int = 3):
+    """A deterministic pseudo-random stem placement on the circuit."""
+    import random
+
+    rng = random.Random(rng_seed)
+    nodes = circuit.node_names
+    points = []
+    controlled = set()
+    for _ in range(rng.randint(0, max_points)):
+        node = rng.choice(nodes)
+        kind = rng.choice(PLACEABLE)
+        if kind.is_control:
+            if node in controlled:
+                continue
+            controlled.add(node)
+        point = TestPoint(node, kind)
+        if point not in points:
+            points.append(point)
+    return points
+
+
+class TestNormalModeEquivalence:
+    """With test signals idle, inserted hardware must be transparent."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_random_dag_random_placement(self, seed):
+        circuit = generators.random_dag(6, 25, seed=seed)
+        points = [
+            p
+            for p in random_placement_for(circuit, seed * 7 + 1)
+            # Random re-drives have no transparent mode; exclude them here.
+            if p.kind is not TestPointType.CONTROL_RANDOM
+        ]
+        insertion = apply_test_points(circuit, points)
+        mod = insertion.circuit
+        n = 64
+        from repro.sim import UniformRandomSource
+
+        stim = UniformRandomSource(seed=seed).generate(circuit.inputs, n)
+        mask = ones_mask(n)
+        for r in insertion.test_inputs:
+            sink_gate = mod.fanouts(r)[0][0]
+            idle = (
+                mask
+                if mod.node(sink_gate).gate_type is GateType.AND
+                else 0
+            )
+            stim[r] = idle
+        v_orig = LogicSimulator(circuit).run(stim, n)
+        v_mod = LogicSimulator(mod).run(stim, n)
+        for po in circuit.outputs:
+            assert v_orig[po] == v_mod[po], po
+
+
+class TestVirtualModelIsExactOnTrees:
+    """Analytic detection probability == measured detection on trees.
+
+    The modified circuit is simulated exhaustively over *all* inputs
+    (including the added test signals), so the measured per-pattern
+    detection fraction equals the model's probability exactly — there is
+    no sampling noise to hide behind.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 4000))
+    def test_random_tree_random_placement(self, seed):
+        circuit = generators.random_tree(6, seed=seed, include_inverters=False)
+        if len(circuit.inputs) > 7:
+            return
+        points = random_placement_for(circuit, seed * 13 + 5, max_points=2)
+        problem = TPIProblem(circuit=circuit, threshold=0.01)
+        virtual = evaluate_placement(problem, points)
+
+        insertion = apply_test_points(circuit, points)
+        mod = insertion.circuit
+        n_inputs = len(mod.inputs)
+        if n_inputs > 11:
+            return
+        n = 1 << n_inputs
+        stim = ExhaustiveSource().generate(mod.inputs, n)
+        sim = FaultSimulator(mod)
+        good = LogicSimulator(mod).run(stim, n)
+        for original, mapped in insertion.fault_map.items():
+            predicted = virtual.fault_detection(original)
+            if mapped is None:
+                measured = 0.0
+            else:
+                word = sim.simulate_fault(mapped, good, n)
+                measured = word.bit_count() / n
+            assert predicted == pytest.approx(measured, abs=1e-9), (
+                original.describe()
+            )
+
+
+class TestEvaluatorInternalConsistency:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 4000))
+    def test_probabilities_and_observabilities_in_range(self, seed):
+        circuit = generators.random_dag(6, 30, seed=seed)
+        points = random_placement_for(circuit, seed + 99)
+        problem = TPIProblem(circuit=circuit, threshold=0.01)
+        ev = evaluate_placement(problem, points)
+        for value in list(ev.stem_pre.values()) + list(ev.stem_post.values()):
+            assert -1e-9 <= value <= 1 + 1e-9
+        for value in list(ev.wire_obs.values()) + list(ev.branch_obs.values()):
+            assert -1e-9 <= value <= 1 + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 4000))
+    def test_observation_points_monotone(self, seed):
+        """Adding an observation point never hurts any wire's observability."""
+        import random as _random
+
+        circuit = generators.random_dag(6, 30, seed=seed)
+        problem = TPIProblem(circuit=circuit, threshold=0.01)
+        base = evaluate_placement(problem, [])
+        rng = _random.Random(seed)
+        node = rng.choice(circuit.node_names)
+        boosted = evaluate_placement(
+            problem, [TestPoint(node, TestPointType.OBSERVATION)]
+        )
+        for name in circuit.node_names:
+            assert boosted.wire_obs[name] >= base.wire_obs[name] - 1e-12

@@ -1,0 +1,74 @@
+"""Unit tests for detection-probability estimation and RPR identification."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.sim import ExhaustiveSource, Fault, FaultSimulator
+from repro.testability import (
+    cop_measures,
+    detection_probabilities,
+    fault_detection_probability,
+    random_pattern_resistant_faults,
+    worst_fault,
+)
+
+
+class TestDetectionProbability:
+    def test_wide_and_output_fault(self):
+        c = generators.wide_and_cone(8)
+        cop = cop_measures(c)
+        out = c.outputs[0]
+        assert fault_detection_probability(Fault(out, 0), cop) == pytest.approx(
+            1 / 256
+        )
+        assert fault_detection_probability(Fault(out, 1), cop) == pytest.approx(
+            255 / 256
+        )
+
+    def test_branch_fault_uses_branch_observability(self, diamond):
+        cop = cop_measures(diamond)
+        d_branch = fault_detection_probability(
+            Fault("s", 0, branch=("p", 0)), cop
+        )
+        d_stem = fault_detection_probability(Fault("s", 0), cop)
+        assert 0.0 <= d_branch <= d_stem + 1e-12
+
+    def test_full_map(self, c17):
+        probs = detection_probabilities(c17)
+        from repro.sim import all_stuck_at_faults
+
+        assert set(probs) == set(all_stuck_at_faults(c17))
+        assert all(0.0 <= d <= 1.0 for d in probs.values())
+
+    def test_matches_measured_on_tree(self):
+        """COP detection equals exhaustive-measured detection on a tree."""
+        c = generators.wide_and_cone(8)
+        n = 256
+        stim = ExhaustiveSource().generate(c.inputs, n)
+        measured = FaultSimulator(c).run(stim, n, collapse=False)
+        model = detection_probabilities(c)
+        for fault, word in measured.detection_word.items():
+            assert model[fault] == pytest.approx(word.bit_count() / n, abs=1e-9)
+
+
+class TestRPRIdentification:
+    def test_wide_and_faults_flagged(self):
+        c = generators.wide_and_cone(16)
+        rpr = random_pattern_resistant_faults(c, threshold=0.001)
+        out = c.outputs[0]
+        assert Fault(out, 0) in rpr
+        assert Fault(out, 1) not in rpr
+
+    def test_easy_circuit_clean(self):
+        c = generators.parity_tree(8)
+        assert random_pattern_resistant_faults(c, threshold=0.01) == []
+
+    def test_worst_fault(self):
+        c = generators.wide_and_cone(8)
+        probs = detection_probabilities(c)
+        worst = worst_fault(probs)
+        assert probs[worst] == min(probs.values())
+
+    def test_worst_fault_empty_raises(self):
+        with pytest.raises(ValueError):
+            worst_fault({})

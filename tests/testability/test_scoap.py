@@ -1,0 +1,86 @@
+"""Unit tests for SCOAP measures."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder, generators
+from repro.sim import Fault
+from repro.testability import scoap_measures
+
+
+class TestControllability:
+    def test_inputs_cost_one(self, and2):
+        s = scoap_measures(and2)
+        assert s.cc0["a"] == 1 and s.cc1["a"] == 1
+
+    def test_and_gate(self, and2):
+        s = scoap_measures(and2)
+        assert s.cc1["y"] == 3  # both inputs at 1: 1 + 1 + 1
+        assert s.cc0["y"] == 2  # one input at 0: 1 + 1
+
+    def test_nand_swaps(self):
+        b = CircuitBuilder("t")
+        a, c = b.inputs("a", "b")
+        b.output(b.nand(a, c, name="y"))
+        s = scoap_measures(b.build())
+        assert s.cc0["y"] == 3
+        assert s.cc1["y"] == 2
+
+    def test_xor(self):
+        b = CircuitBuilder("t")
+        a, c = b.inputs("a", "b")
+        b.output(b.xor(a, c, name="y"))
+        s = scoap_measures(b.build())
+        assert s.cc1["y"] == 3  # one input 1, other 0
+        assert s.cc0["y"] == 3
+
+    def test_deep_and_tree_grows(self):
+        c = generators.wide_and_cone(8)
+        s = scoap_measures(c)
+        assert s.cc1[c.outputs[0]] == 8 + 7  # 8 inputs + 7 gates
+        assert s.cc0[c.outputs[0]] <= 4
+
+    def test_constants(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        z = b.const0(name="z")
+        b.output(b.or_(a, z, name="y"))
+        s = scoap_measures(b.build())
+        assert s.cc0["z"] == 1
+        assert s.cc1["z"] >= 10**8  # unreachable
+
+
+class TestObservability:
+    def test_output_is_zero(self, and2):
+        s = scoap_measures(and2)
+        assert s.co["y"] == 0
+
+    def test_and_side_cost(self, and2):
+        s = scoap_measures(and2)
+        # To observe a: set b=1 (cost 1) + 1 level = 2.
+        assert s.co["a"] == 2
+
+    def test_chain_accumulates(self, chain3):
+        s = scoap_measures(chain3)
+        # b: through OR needs c=0 (1), +1; through AND needs a=1 (1), +1;
+        # NOT +1 → 5.
+        assert s.co["b"] == 5
+
+    def test_stem_takes_cheapest_branch(self, diamond):
+        s = scoap_measures(diamond)
+        assert s.co["s"] <= min(s.co["p"], s.co["q"]) + 3
+
+
+class TestTestability:
+    def test_fault_effort(self, and2):
+        s = scoap_measures(and2)
+        # y s-a-0 needs CC1(y) + CO(y) = 3 + 0.
+        assert s.testability("y", 0) == 3
+        assert s.testability("a", 1) == s.cc0["a"] + s.co["a"]
+
+    def test_hard_fault_ranks_harder(self):
+        c = generators.wide_and_cone(16)
+        s = scoap_measures(c)
+        out = c.outputs[0]
+        easy = s.testability(out, 1)
+        hard = s.testability(out, 0)
+        assert hard > easy

@@ -1,0 +1,89 @@
+"""Unit tests for the test-length ↔ threshold ↔ confidence arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Fault
+from repro.testability import (
+    escape_probability,
+    expected_coverage,
+    required_test_length,
+    required_threshold,
+)
+from repro.testability import test_length_for_fault_set as length_for_fault_set
+
+
+class TestEscapeProbability:
+    def test_basics(self):
+        assert escape_probability(0.5, 1) == 0.5
+        assert escape_probability(0.5, 2) == 0.25
+        assert escape_probability(1.0, 5) == 0.0
+        assert escape_probability(0.0, 5) == 1.0
+        assert escape_probability(0.3, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            escape_probability(1.5, 10)
+        with pytest.raises(ValueError):
+            escape_probability(0.5, -1)
+
+
+class TestRequiredTestLength:
+    def test_known_value(self):
+        # d=0.5, 99% confidence: log(0.01)/log(0.5) ≈ 6.64.
+        assert required_test_length(0.5, 0.99) == pytest.approx(6.6438, abs=1e-3)
+
+    def test_edges(self):
+        assert required_test_length(0.0, 0.9) == math.inf
+        assert required_test_length(1.0, 0.9) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_test_length(0.5, 1.0)
+
+    @given(
+        d=st.floats(1e-6, 1 - 1e-6),
+        conf=st.floats(0.01, 0.999),
+    )
+    def test_inverse_of_escape(self, d, conf):
+        n = required_test_length(d, conf)
+        # Applying ceil(n) patterns meets the confidence.
+        assert escape_probability(d, math.ceil(n)) <= (1 - conf) + 1e-9
+
+
+class TestRequiredThreshold:
+    def test_round_trip_with_escape(self):
+        theta = required_threshold(4096, 0.001)
+        assert escape_probability(theta, 4096) == pytest.approx(0.001, rel=1e-6)
+
+    def test_monotone_in_patterns(self):
+        assert required_threshold(1024, 0.01) > required_threshold(8192, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_threshold(0, 0.01)
+        with pytest.raises(ValueError):
+            required_threshold(100, 0.0)
+
+
+class TestAggregate:
+    def test_expected_coverage(self):
+        probs = {Fault("a", 0): 1.0, Fault("a", 1): 0.0}
+        assert expected_coverage(probs, 100) == pytest.approx(0.5)
+        assert expected_coverage({}, 100) == 1.0
+
+    def test_expected_coverage_grows_with_patterns(self):
+        probs = {Fault("a", 0): 0.01, Fault("b", 0): 0.001}
+        assert expected_coverage(probs, 1000) > expected_coverage(probs, 10)
+
+    def test_length_for_fault_set(self):
+        probs = {Fault("a", 0): 0.5, Fault("b", 0): 0.01}
+        n = length_for_fault_set(probs, 0.99)
+        assert n == pytest.approx(required_test_length(0.01, 0.99))
+        assert length_for_fault_set({}, 0.99) == 0.0
+
+    def test_undetectable_gives_inf(self):
+        assert length_for_fault_set({Fault("a", 0): 0.0}, 0.9) == math.inf

@@ -1,0 +1,65 @@
+"""Tests for weighted-random input optimization."""
+
+import pytest
+
+from repro.circuit import benchmark, generators
+from repro.sim import FaultSimulator, WeightedRandomSource
+from repro.testability import optimize_weights
+
+
+class TestOptimizeWeights:
+    def test_wide_and_gets_high_weights(self):
+        """An AND cone needs 1-heavy inputs; the optimizer must find that."""
+        circuit = generators.wide_and_cone(16)
+        result = optimize_weights(circuit, n_patterns=4096)
+        assert result.expected_coverage > 0.95
+        assert result.gain > 0.5
+        high = [w for _n, w in result.biased_inputs() if w > 0.5]
+        assert len(high) >= 12
+
+    def test_wide_or_gets_low_weights(self):
+        circuit = generators.wide_or_cone(16)
+        result = optimize_weights(circuit, n_patterns=4096)
+        assert result.expected_coverage > 0.95
+        low = [w for _n, w in result.biased_inputs() if w < 0.5]
+        assert len(low) >= 12
+
+    def test_correlation_resistance_immune_to_weights(self):
+        """eqcmp needs input *correlations*; no weight assignment helps."""
+        circuit = benchmark("eqcmp12")
+        result = optimize_weights(circuit, n_patterns=4096)
+        assert result.gain < 0.05
+
+    def test_easy_circuit_stays_fair(self):
+        circuit = generators.parity_tree(8)
+        result = optimize_weights(circuit, n_patterns=1024)
+        assert result.biased_inputs() == []
+        assert result.expected_coverage == pytest.approx(
+            result.baseline_expected_coverage
+        )
+
+    def test_predicted_tracks_measured_on_tree(self):
+        """Optimized weights must deliver measured coverage near prediction
+        on a fanout-free circuit (COP exact; average over realizations)."""
+        circuit = generators.wide_and_cone(12)
+        result = optimize_weights(circuit, n_patterns=2048)
+        sim = FaultSimulator(circuit)
+        coverages = []
+        for seed in range(4):
+            src = WeightedRandomSource(weights=result.weights, seed=seed)
+            stim = src.generate(circuit.inputs, 2048)
+            coverages.append(sim.run(stim, 2048).coverage())
+        mean = sum(coverages) / len(coverages)
+        assert mean == pytest.approx(result.expected_coverage, abs=0.12)
+
+    def test_weights_stay_in_palette(self):
+        circuit = generators.wide_and_cone(8)
+        result = optimize_weights(circuit, n_patterns=512)
+        palette = {0.125, 0.25, 0.5, 0.75, 0.875}
+        assert set(result.weights.values()) <= palette
+
+    def test_deterministic(self):
+        circuit = benchmark("rprmix")
+        a = optimize_weights(circuit, n_patterns=1024)
+        b = optimize_weights(circuit, n_patterns=1024)
+        assert a.weights == b.weights
