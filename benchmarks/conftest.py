@@ -2,17 +2,25 @@
 
 Every ``bench_*`` module reproduces one table or figure of the
 reconstructed evaluation (DESIGN.md §5).  The rendered table is printed
-(visible with ``-s``) and archived under ``benchmarks/results/`` so the
-numbers survive the pytest capture; pytest-benchmark times the
+(visible with ``-s``) and archived under ``benchmarks/results/`` twice:
+as ``<id>.txt`` (the human-readable table) and as ``<id>.json``
+(machine-readable rows + run metadata), so the perf/coverage trajectory
+can be diffed and tracked across PRs.  pytest-benchmark times the
 computational kernel of each experiment.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import sys
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.obs.recorder import run_metadata  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -24,8 +32,21 @@ def record_result():
 
     def _record(result) -> None:
         text = result.render()
-        (RESULTS_DIR / f"{result.experiment_id.lower()}.txt").write_text(
-            text + "\n"
+        stem = result.experiment_id.lower()
+        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        payload = {
+            "experiment_id": result.experiment_id,
+            "description": result.description,
+            "headers": list(result.headers),
+            "rows": [list(row) for row in result.rows],
+            "meta": run_metadata(
+                timestamp=datetime.datetime.now(
+                    datetime.timezone.utc
+                ).isoformat(timespec="seconds"),
+            ),
+        }
+        (RESULTS_DIR / f"{stem}.json").write_text(
+            json.dumps(payload, indent=2, default=str) + "\n"
         )
         print("\n" + text, file=sys.stderr)
 

@@ -19,12 +19,13 @@ Quick start::
 
 Packages: :mod:`repro.circuit` (netlists), :mod:`repro.sim` (simulation),
 :mod:`repro.testability` (COP/SCOAP), :mod:`repro.core` (the TPI
-algorithms), :mod:`repro.analysis` (experiment harness).
+algorithms), :mod:`repro.analysis` (experiment harness), :mod:`repro.obs`
+(structured tracing, metrics, and machine-readable run artifacts).
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, atpg, bist, circuit, core, sim, testability
+from . import analysis, atpg, bist, circuit, core, obs, sim, testability
 
 __all__ = [
     "analysis",
@@ -32,6 +33,7 @@ __all__ = [
     "bist",
     "circuit",
     "core",
+    "obs",
     "sim",
     "testability",
     "__version__",

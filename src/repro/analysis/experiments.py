@@ -8,10 +8,10 @@ same logic is importable from notebooks and examples.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuit.analysis import has_reconvergent_fanout, is_fanout_free
 from ..circuit.generators import random_tree
 from ..circuit.library import benchmark, benchmark_names
@@ -328,18 +328,17 @@ def run_f2_runtime_scaling(
     for gates in tree_sizes:
         circuit = random_tree(gates, seed=13)
         problem = TPIProblem(circuit=circuit, threshold=threshold)
-        start = time.perf_counter()
-        dp = solve_tree(problem, grid=grid)
-        dp_seconds = time.perf_counter() - start
+        with obs.timed("experiments.f2.dp", gates=gates) as dp_span:
+            dp = solve_tree(problem, grid=grid)
         ex_seconds: Optional[float] = None
         if gates <= exhaustive_limit:
             def check(points, _p=problem, _g=grid):
                 return quantized_tree_check(_p, points, grid=_g)
 
-            start = time.perf_counter()
-            solve_exhaustive(problem, feasibility=check, max_subset_size=3)
-            ex_seconds = time.perf_counter() - start
-        result.rows.append([gates, dp_seconds, dp.cost, ex_seconds])
+            with obs.timed("experiments.f2.exhaustive", gates=gates) as ex_span:
+                solve_exhaustive(problem, feasibility=check, max_subset_size=3)
+            ex_seconds = ex_span.seconds
+        result.rows.append([gates, dp_span.seconds, dp.cost, ex_seconds])
     return result
 
 
@@ -392,11 +391,12 @@ def run_f4_quantization_ablation(
     )
     for ratio in ratios:
         grid = ProbabilityGrid.for_threshold(threshold, ratio=ratio)
-        start = time.perf_counter()
-        dp = solve_tree(problem, grid=grid)
-        seconds = time.perf_counter() - start
+        with obs.timed(
+            "experiments.f4.dp", ratio=ratio, grid_size=len(grid)
+        ) as dp_span:
+            dp = solve_tree(problem, grid=grid)
         ok = evaluate_placement(problem, dp.points).is_feasible()
-        result.rows.append([ratio, len(grid), dp.cost, seconds, ok])
+        result.rows.append([ratio, len(grid), dp.cost, dp_span.seconds, ok])
     return result
 
 

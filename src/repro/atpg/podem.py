@@ -23,6 +23,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuit.gates import GateType, controlling_value
 from ..circuit.netlist import Circuit
 from ..sim.faults import Fault
@@ -58,12 +59,16 @@ class ATPGResult:
         inputs (unassigned inputs are don't-cares).
     backtracks:
         Search effort spent.
+    decisions:
+        Primary-input assignments tried (stack pushes), including the
+        ones later undone by backtracking.
     """
 
     fault: Fault
     status: ATPGStatus
     cube: Optional[Dict[str, int]] = None
     backtracks: int = 0
+    decisions: int = 0
 
 
 @dataclass
@@ -255,15 +260,19 @@ class Podem:
         assignment: Dict[str, int] = {}
         stack: List[_Decision] = []
         backtracks = 0
+        decisions = 0
 
         while True:
             good, faulty = self._simulate(fault, assignment)
             if self._detected(good, faulty):
-                return ATPGResult(
-                    fault=fault,
-                    status=ATPGStatus.TESTABLE,
-                    cube=dict(assignment),
-                    backtracks=backtracks,
+                return self._finish(
+                    ATPGResult(
+                        fault=fault,
+                        status=ATPGStatus.TESTABLE,
+                        cube=dict(assignment),
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
                 )
 
             objective: Optional[Tuple[str, int]]
@@ -283,34 +292,66 @@ class Podem:
                 pi, value = move
                 assignment[pi] = value
                 stack.append(_Decision(pi, value))
+                decisions += 1
                 continue
 
             # Dead end: backtrack.
             backtracks += 1
             if backtracks > self.backtrack_limit:
-                return ATPGResult(
-                    fault=fault, status=ATPGStatus.ABORTED, backtracks=backtracks
+                return self._finish(
+                    ATPGResult(
+                        fault=fault,
+                        status=ATPGStatus.ABORTED,
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
                 )
             while stack and stack[-1].flipped:
                 dead = stack.pop()
                 del assignment[dead.input_name]
             if not stack:
-                return ATPGResult(
-                    fault=fault,
-                    status=ATPGStatus.UNTESTABLE,
-                    backtracks=backtracks,
+                return self._finish(
+                    ATPGResult(
+                        fault=fault,
+                        status=ATPGStatus.UNTESTABLE,
+                        backtracks=backtracks,
+                        decisions=decisions,
+                    )
                 )
             top = stack[-1]
             top.value ^= 1
             top.flipped = True
             assignment[top.input_name] = top.value
 
+    @staticmethod
+    def _finish(result: ATPGResult) -> ATPGResult:
+        """Publish one attempt's search-effort telemetry."""
+        obs.count("podem.faults")
+        obs.count("podem.backtracks", result.backtracks)
+        obs.count("podem.decisions", result.decisions)
+        obs.count(f"podem.{result.status.value}")
+        return result
+
     # ------------------------------------------------------------------
     def generate_all(
         self, faults: Sequence[Fault]
     ) -> Dict[Fault, ATPGResult]:
         """Run :meth:`generate` over a fault list."""
-        return {f: self.generate(f) for f in faults}
+        with obs.span(
+            "podem.generate_all",
+            circuit=self.circuit.name,
+            n_faults=len(faults),
+        ) as sp:
+            results = {f: self.generate(f) for f in faults}
+            sp.set(
+                testable=sum(
+                    1
+                    for r in results.values()
+                    if r.status is ATPGStatus.TESTABLE
+                ),
+                backtracks=sum(r.backtracks for r in results.values()),
+            )
+        return results
 
     def untestable_faults(self, faults: Sequence[Fault]) -> List[Fault]:
         """Faults *proven* untestable (aborted faults are not included)."""

@@ -1,24 +1,33 @@
-"""Command-line interface: ``repro-tpi`` / ``python -m repro.cli``.
+"""Command-line interface: ``repro-tpi`` / ``python -m repro``.
 
 Subcommands:
 
 * ``stats <bench|name>`` — circuit statistics and baseline coverage;
 * ``insert <bench|name>`` — plan test points and report the placement;
 * ``coverage <bench|name>`` — plan, insert, fault simulate, report;
+* ``report <bench|name|trace.jsonl>`` — testability profile of a
+  circuit, or a human-readable summary of a recorded trace;
 * ``experiments`` — run the reconstructed evaluation suite (T1–T4, F1–F4);
 * ``list`` — list built-in benchmark circuits.
 
 A circuit argument is either the name of a built-in benchmark (see
 ``list``) or a path to an ISCAS-85 ``.bench`` file.
+
+Observability: ``--trace-out FILE`` records a structured JSONL trace of
+the run (spans, counters, run metadata — see :mod:`repro.obs`), and
+``--metrics`` prints the metrics snapshot after the command finishes.
+``repro-tpi report run.jsonl`` renders a recorded trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
+from . import obs
 from .analysis import experiments as exps
 from .circuit.bench_io import parse_bench_file
 from .circuit.verilog_io import parse_verilog_file
@@ -28,7 +37,8 @@ from .core.evaluate import evaluate_solution
 from .core.prepare import prepare_for_tpi
 from .core.greedy import solve_greedy
 from .core.heuristic import solve_dp_heuristic
-from .core.problem import TPIProblem
+from .core.problem import TPIProblem, TPISolution
+from .sim.fault_sim import FaultSimulator
 from .sim.faults import collapse_faults
 from .sim.patterns import UniformRandomSource
 
@@ -36,17 +46,48 @@ __all__ = ["main"]
 
 
 def _load_circuit(spec: str) -> Circuit:
+    """Resolve a circuit spec (built-in name or netlist file).
+
+    All loading/parsing failures funnel into one ``SystemExit`` with a
+    readable message, so every subcommand shares the same error surface.
+    """
     if spec in BENCHMARKS:
         return benchmark(spec)
     path = Path(spec)
-    if path.exists():
+    if not path.exists():
+        raise SystemExit(
+            f"unknown circuit {spec!r}: not a built-in benchmark and not a "
+            f"file (built-ins: {', '.join(benchmark_names())})"
+        )
+    try:
         if path.suffix in (".v", ".sv"):
             return parse_verilog_file(path)
         return parse_bench_file(path)
-    raise SystemExit(
-        f"unknown circuit {spec!r}: not a built-in benchmark and not a file "
-        f"(built-ins: {', '.join(benchmark_names())})"
-    )
+    except Exception as exc:
+        raise SystemExit(f"failed to parse {spec!r}: {exc}") from exc
+
+
+def _load_prepared(args: argparse.Namespace) -> Circuit:
+    """Load + TPI-prepare a circuit under the ``prepare`` pipeline span."""
+    with obs.span("prepare", circuit=args.circuit):
+        return prepare_for_tpi(_load_circuit(args.circuit))
+
+
+def _solve(problem: TPIProblem, args: argparse.Namespace) -> TPISolution:
+    """Run the selected solver under the ``solve`` pipeline span."""
+    with obs.span(
+        "solve", solver=args.solver, circuit=problem.circuit.name
+    ) as sp:
+        if args.solver == "greedy":
+            solution = solve_greedy(problem)
+        else:
+            solution = solve_dp_heuristic(problem)
+        sp.set(
+            cost=solution.cost,
+            points=len(solution.points),
+            feasible=solution.feasible,
+        )
+    return solution
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -61,14 +102,13 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    circuit = _load_circuit(args.circuit)
-    stats = circuit.stats()
-    collapsed = collapse_faults(circuit)
+    with obs.span("prepare", circuit=args.circuit):
+        circuit = _load_circuit(args.circuit)
+        stats = circuit.stats()
+        collapsed = collapse_faults(circuit)
     for key, value in stats.items():
         print(f"{key:10s} {value}")
     print(f"{'faults':10s} {collapsed.size()} (collapsed)")
-    from .sim.fault_sim import FaultSimulator
-
     stim = UniformRandomSource(seed=args.seed).generate(
         circuit.inputs, args.patterns
     )
@@ -84,24 +124,18 @@ def _make_problem(circuit: Circuit, args: argparse.Namespace) -> TPIProblem:
 
 
 def _cmd_insert(args: argparse.Namespace) -> int:
-    circuit = prepare_for_tpi(_load_circuit(args.circuit))
+    circuit = _load_prepared(args)
     problem = _make_problem(circuit, args)
-    if args.solver == "greedy":
-        solution = solve_greedy(problem)
-    else:
-        solution = solve_dp_heuristic(problem)
+    solution = _solve(problem, args)
     print(f"threshold θ = {problem.threshold:.6f}")
     print(solution.describe())
     return 0 if solution.feasible else 1
 
 
 def _cmd_coverage(args: argparse.Namespace) -> int:
-    circuit = prepare_for_tpi(_load_circuit(args.circuit))
+    circuit = _load_prepared(args)
     problem = _make_problem(circuit, args)
-    if args.solver == "greedy":
-        solution = solve_greedy(problem)
-    else:
-        solution = solve_dp_heuristic(problem)
+    solution = _solve(problem, args)
     report = evaluate_solution(problem, solution, args.patterns)
     print(f"circuit        {report.circuit_name}")
     print(f"faults         {report.n_faults}")
@@ -112,9 +146,17 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    spec = args.circuit
+    if Path(spec).suffix == ".jsonl":
+        # A recorded trace, not a circuit: render its summary.
+        if not Path(spec).exists():
+            raise SystemExit(f"no such trace file: {spec!r}")
+        print(obs.render_trace(spec))
+        return 0
+
     from .analysis import testability_report
 
-    circuit = _load_circuit(args.circuit)
+    circuit = _load_circuit(spec)
     report = testability_report(
         circuit, n_patterns=args.patterns, escape_budget=args.escape
     )
@@ -142,9 +184,49 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     for key in selected:
         if key not in runners:
             raise SystemExit(f"unknown experiment {key!r} (choose from {list(runners)})")
-        print(runners[key]().render())
+        with obs.span(f"experiment.{key}"):
+            rendered = runners[key]().render()
+        print(rendered)
         print()
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Observability plumbing
+# ---------------------------------------------------------------------------
+def _run_metadata(args: argparse.Namespace) -> dict:
+    meta = {"command": args.command, "argv": sys.argv[1:]}
+    for key in ("circuit", "seed", "patterns", "escape", "solver", "only"):
+        value = getattr(args, key, None)
+        if value is not None:
+            meta[key] = value
+    return obs.run_metadata(**meta)
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[None]:
+    """Install a recorder for ``--trace-out`` / ``--metrics`` runs."""
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_out is None and not want_metrics:
+        yield
+        return
+    recorder = obs.RunRecorder(trace_out, metadata=_run_metadata(args))
+    previous = obs.set_recorder(recorder)
+    try:
+        yield
+    finally:
+        obs.set_recorder(previous)
+        snapshot = recorder.metrics.snapshot()
+        recorder.close()
+        if want_metrics:
+            print("\n" + obs.render_metrics(snapshot), file=sys.stderr)
+        if trace_out is not None:
+            print(
+                f"trace written to {trace_out} "
+                f"({recorder.n_spans} spans)",
+                file=sys.stderr,
+            )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -159,6 +241,18 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_list
     )
 
+    def add_observability(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="record a structured JSONL trace of the run",
+        )
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print the metrics snapshot after the command",
+        )
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("circuit", help="benchmark name, .bench file, or structural .v file")
         p.add_argument("--patterns", type=int, default=4096, help="pattern budget")
@@ -167,19 +261,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="circuit statistics and baseline coverage")
     add_common(p)
+    add_observability(p)
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("insert", help="plan test points and print the placement")
     add_common(p)
+    add_observability(p)
     p.add_argument("--solver", choices=["dp", "greedy"], default="dp")
     p.set_defaults(fn=_cmd_insert)
 
     p = sub.add_parser("coverage", help="plan, insert, fault simulate, report")
     add_common(p)
+    add_observability(p)
     p.add_argument("--solver", choices=["dp", "greedy"], default="dp")
     p.set_defaults(fn=_cmd_coverage)
 
-    p = sub.add_parser("report", help="full testability profile of a circuit")
+    p = sub.add_parser(
+        "report",
+        help="testability profile of a circuit, or summary of a .jsonl trace",
+    )
     add_common(p)
     p.set_defaults(fn=_cmd_report)
 
@@ -189,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="subset of experiment ids (t1..t4, f1..f4, e1..e5)",
     )
+    add_observability(p)
     p.set_defaults(fn=_cmd_experiments)
     return parser
 
@@ -196,7 +297,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    with _observability(args):
+        return args.fn(args)
 
 
 if __name__ == "__main__":

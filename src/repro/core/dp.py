@@ -36,6 +36,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuit.analysis import is_fanout_free
 from ..circuit.gates import (
     GateType,
@@ -140,6 +141,7 @@ class DPSolver:
         self._tables: Dict[Tuple[str, int], Dict[int, _Entry]] = {}
         self._decisions = self._decision_space()
         self._table_cells = 0
+        self._decisions_enumerated = 0
         self._sens_cache: Dict[GateType, List[float]] = {}
         self._prob_cache: Dict[GateType, List[List[float]]] = {}
 
@@ -235,6 +237,7 @@ class DPSolver:
                 return
             if check1 and (1.0 - p_pre) * wire_obs < theta:
                 return
+            self._decisions_enumerated += len(decisions)
             for decision in decisions:
                 cp = decision[1]
                 p_post = (
@@ -344,33 +347,56 @@ class DPSolver:
 
     def solve(self) -> TPISolution:
         """Run the DP and return the minimum-cost placement."""
-        total_cost = 0.0
-        picks: List[Tuple[str, int, int]] = []
-        feasible = True
-        for root in self._roots():
-            env = self._root_obs.get(root, 1.0)
-            o_idx = self.grid.floor_index(env)
-            table = self._table(root, o_idx)
-            if not table:
-                feasible = False
-                continue
-            best_p = min(table, key=lambda p: (table[p].cost, p))
-            total_cost += table[best_p].cost
-            picks.append((root, o_idx, best_p))
+        with obs.span(
+            "dp.solve",
+            circuit=self.circuit.name,
+            grid_size=len(self.grid),
+            threshold=self.threshold,
+        ) as sp:
+            total_cost = 0.0
+            picks: List[Tuple[str, int, int]] = []
+            feasible = True
+            for root in self._roots():
+                env = self._root_obs.get(root, 1.0)
+                o_idx = self.grid.floor_index(env)
+                table = self._table(root, o_idx)
+                if not table:
+                    feasible = False
+                    continue
+                best_p = min(table, key=lambda p: (table[p].cost, p))
+                total_cost += table[best_p].cost
+                picks.append((root, o_idx, best_p))
 
-        points: List[TestPoint] = []
-        stack = list(picks)
-        while stack:
-            name, o_idx, p_idx = stack.pop()
-            if name in self._out_set:
-                o_idx = self.grid.top_index
-            entry = self._tables[(name, o_idx)][p_idx]
-            op, cp = entry.decision
-            if op:
-                points.append(TestPoint(name, TestPointType.OBSERVATION))
-            if cp is not None:
-                points.append(TestPoint(name, cp))
-            stack.extend(entry.children)
+            points: List[TestPoint] = []
+            stack = list(picks)
+            while stack:
+                name, o_idx, p_idx = stack.pop()
+                if name in self._out_set:
+                    o_idx = self.grid.top_index
+                entry = self._tables[(name, o_idx)][p_idx]
+                op, cp = entry.decision
+                if op:
+                    points.append(TestPoint(name, TestPointType.OBSERVATION))
+                if cp is not None:
+                    points.append(TestPoint(name, cp))
+                stack.extend(entry.children)
+
+            sp.set(
+                table_cells=self._table_cells,
+                decisions=self._decisions_enumerated,
+                feasible=feasible,
+                points=len(points),
+            )
+        obs.count("dp.solves")
+        obs.count("dp.table_cells", self._table_cells)
+        obs.count("dp.tables", len(self._tables))
+        obs.count("dp.decisions", self._decisions_enumerated)
+        obs.gauge("dp.grid_size", len(self.grid))
+        if obs.enabled():
+            # Per-node state-space sizes: how many (o, p) cells each
+            # memoized table actually carries under the pruning.
+            for table in self._tables.values():
+                obs.observe("dp.states_per_node", len(table))
 
         return TPISolution(
             points=points,
@@ -380,6 +406,7 @@ class DPSolver:
             stats={
                 "table_cells": float(self._table_cells),
                 "tables": float(len(self._tables)),
+                "decisions": float(self._decisions_enumerated),
                 "grid_size": float(len(self.grid)),
             },
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuit.netlist import Circuit
 from ..sim.fault_sim import FaultSimulator
 from ..sim.faults import Fault, collapse_faults
@@ -106,7 +107,11 @@ def evaluate_solution(
 
     baseline = measure_coverage(circuit, n_patterns, source, faults=reference)
 
-    insertion = apply_test_points(circuit, solution.points)
+    with obs.span(
+        "insert", circuit=circuit.name, points=len(solution.points)
+    ):
+        insertion = apply_test_points(circuit, solution.points)
+    obs.count("insert.points", len(solution.points))
     mapped_pairs = [
         (f, insertion.fault_map[f]) for f in reference
     ]

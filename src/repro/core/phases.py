@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..sim.fault_sim import FaultSimulator
 from ..sim.faults import Fault, testable_stuck_at_faults
 from ..sim.patterns import PatternSource, UniformRandomSource
@@ -383,29 +384,48 @@ def measure_phase_coverage(
     per_phase = max(1, n_patterns // plan.n_phases)
     detected: Set[Fault] = set()
     for k in range(plan.n_phases):
-        enabled = set(plan.phases[k])
-        stimulus = UniformRandomSource(seed=1000 + k).generate(
-            mod.inputs, per_phase
-        )
-        mask = (1 << per_phase) - 1
-        for point in plan.all_points():
-            if not point.kind.is_control:
-                continue
-            r = enable_of.get(point)
-            if r is None:
-                continue
-            if point.kind is TestPointType.CONTROL_RANDOM:
-                continue  # stays random
-            if point.kind is TestPointType.CONTROL_AND:
-                stimulus[r] = 0 if point in enabled else mask
-            else:  # CONTROL_OR
-                stimulus[r] = mask if point in enabled else 0
-        result = sim.run(
-            stimulus,
-            per_phase,
-            faults=[m for m in mapped.values() if m is not None],
-        )
-        for orig, m in mapped.items():
-            if m is not None and result.detection_word[m]:
-                detected.add(orig)
+        with obs.span(
+            "phases.phase",
+            circuit=circuit.name,
+            phase=k,
+            enabled_points=len(plan.phases[k]),
+            n_patterns=per_phase,
+        ) as sp:
+            enabled = set(plan.phases[k])
+            stimulus = UniformRandomSource(seed=1000 + k).generate(
+                mod.inputs, per_phase
+            )
+            mask = (1 << per_phase) - 1
+            for point in plan.all_points():
+                if not point.kind.is_control:
+                    continue
+                r = enable_of.get(point)
+                if r is None:
+                    continue
+                if point.kind is TestPointType.CONTROL_RANDOM:
+                    continue  # stays random
+                if point.kind is TestPointType.CONTROL_AND:
+                    stimulus[r] = 0 if point in enabled else mask
+                else:  # CONTROL_OR
+                    stimulus[r] = mask if point in enabled else 0
+            result = sim.run(
+                stimulus,
+                per_phase,
+                faults=[m for m in mapped.values() if m is not None],
+            )
+            before = len(detected)
+            for orig, m in mapped.items():
+                if m is not None and result.detection_word[m]:
+                    detected.add(orig)
+            newly = len(detected) - before
+            cumulative = (
+                len(detected) / len(reference) if reference else 1.0
+            )
+            sp.set(
+                newly_detected=newly,
+                cumulative_coverage=cumulative,
+                coverage_delta=newly / len(reference) if reference else 0.0,
+            )
+        obs.count("phases.phases_run")
+        obs.count("phases.newly_detected", newly)
     return len(detected) / len(reference) if reference else 1.0

@@ -1,0 +1,142 @@
+"""Thread-safe in-process metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is intentionally tiny — a dict of floats per kind behind one
+lock — because it sits on solver hot paths.  Histograms use *fixed* upper
+bounds chosen at first observation (Prometheus-style cumulative-ish
+layout, but stored as per-bucket counts plus an overflow bucket), so
+bucketing one value is a single linear scan over a short tuple.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DEFAULT_BUCKETS", "Histogram", "MetricsRegistry"]
+
+#: Geometric 1–2.5–5 ladder spanning microseconds to kilo-units; a sane
+#: default for both durations (seconds) and size-ish quantities.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 7) for m in (1.0, 2.5, 5.0)
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound + overflow + sum.
+
+    ``bounds`` are inclusive upper bounds in increasing order; a value
+    above the last bound lands in the overflow bucket.  Not locked —
+    the owning :class:`MetricsRegistry` serializes access.
+    """
+
+    __slots__ = ("bounds", "counts", "overflow", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        if not self.bounds or list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self.counts: List[int] = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.bounds, value)
+        if idx == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[idx] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view; empty buckets are elided for compactness."""
+        buckets = {
+            repr(bound): n
+            for bound, n in zip(self.bounds, self.counts)
+            if n
+        }
+        if self.overflow:
+            buckets["inf"] = self.overflow
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms behind one lock.
+
+    * ``count(name, n)`` — monotonically accumulate;
+    * ``gauge(name, v)`` — last-write-wins instantaneous value;
+    * ``observe(name, v)`` — add ``v`` to the named histogram.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def count(self, name: str, n: float = 1.0) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(
+                    buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        with self._lock:
+            return self._gauges.get(name)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every metric, sorted by name."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.snapshot()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }

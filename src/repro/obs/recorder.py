@@ -1,0 +1,202 @@
+"""Run recording: structured JSONL event sink + metrics aggregation.
+
+A :class:`RunRecorder` captures one run of the system:
+
+* a ``run_start`` event with run metadata (circuit, seed, git revision,
+  python version — whatever the caller supplies via ``metadata``);
+* one ``span`` event per completed :class:`~repro.obs.spans.Span`
+  (relative start, duration, parent/depth, attributes);
+* free-form ``event`` lines (``recorder.event("dp.grid", size=33)``);
+* a final ``metrics`` snapshot plus ``run_end`` on :meth:`close`.
+
+Every line is one self-contained JSON object, so traces stream and
+truncated files stay parseable line-by-line.  Constructed with
+``path=None`` the recorder aggregates metrics without touching disk —
+the CLI's ``--metrics``-without-``--trace-out`` mode.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter_ns, time
+from typing import Any, Dict, Optional, Union
+
+from .metrics import MetricsRegistry
+from .spans import Span
+
+__all__ = ["RunRecorder", "git_revision", "run_metadata"]
+
+SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
+    """Short git revision of ``cwd`` (or the process cwd), else ``None``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=str(cwd) if cwd else None,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def run_metadata(**extra: Any) -> Dict[str, Any]:
+    """Standard run metadata (python, platform, git rev) plus ``extra``."""
+    meta: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "git_rev": git_revision(Path(__file__).resolve().parent),
+    }
+    meta.update(extra)
+    return meta
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce attribute values to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+class RunRecorder:
+    """JSONL trace sink + in-process metrics for one run.
+
+    Parameters
+    ----------
+    path:
+        Trace output file (truncated on open).  ``None`` disables the
+        sink but keeps metrics aggregation.
+    metadata:
+        Arbitrary JSON-able run metadata for the ``run_start`` event.
+    registry:
+        Metrics registry to aggregate into (default: a fresh one).
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metadata = dict(metadata or {})
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._epoch_ns = perf_counter_ns()
+        self._n_spans = 0
+        self._closed = False
+        self._file = None
+        self.path: Optional[Path] = None
+        if path is not None:
+            self.path = Path(path)
+            self._file = self.path.open("w", encoding="utf-8")
+        self._write(
+            {
+                "event": "run_start",
+                "schema": SCHEMA_VERSION,
+                "ts": time(),
+                "meta": _jsonable(self.metadata),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._file is None:
+            return
+        line = json.dumps(record, separators=(",", ":"))
+        with self._lock:
+            if not self._closed:
+                self._file.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    # The obs-facing surface (mirrored by the module-level functions).
+    # ------------------------------------------------------------------
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """A new span bound to this recorder (enter it to start timing)."""
+        return Span(name, attrs, self)
+
+    def count(self, name: str, n: float = 1.0) -> None:
+        self.metrics.count(name, n)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Write a free-form event line."""
+        self._write(
+            {
+                "event": "event",
+                "name": name,
+                "t_ns": perf_counter_ns() - self._epoch_ns,
+                **{k: _jsonable(v) for k, v in fields.items()},
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def _emit_span(self, span: Span) -> None:
+        """Called by :meth:`Span.__exit__`; spans arrive innermost-first."""
+        self._n_spans += 1
+        record: Dict[str, Any] = {
+            "event": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "start_ns": span.start_ns - self._epoch_ns,
+            "dur_ns": span.duration_ns,
+            "depth": span.depth,
+        }
+        if span.parent_id is not None:
+            record["parent"] = span.parent_id
+        if span.attrs:
+            record["attrs"] = _jsonable(span.attrs)
+        self._write(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_spans(self) -> int:
+        """Number of span events emitted so far."""
+        return self._n_spans
+
+    def close(self) -> None:
+        """Flush the metrics snapshot + ``run_end`` and close the sink."""
+        if self._closed:
+            return
+        self._write(
+            {"event": "metrics", "metrics": self.metrics.snapshot()}
+        )
+        self._write(
+            {
+                "event": "run_end",
+                "ts": time(),
+                "dur_ns": perf_counter_ns() - self._epoch_ns,
+                "n_spans": self._n_spans,
+            }
+        )
+        with self._lock:
+            self._closed = True
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

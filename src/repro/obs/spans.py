@@ -1,0 +1,144 @@
+"""Nested timing spans over ``perf_counter_ns``.
+
+A :class:`Span` measures one region of work.  Spans nest through a
+per-thread stack, so a span opened while another is active records its
+parent and depth — the recorder can later reassemble the call tree.
+
+Spans are deliberately recorder-agnostic: a span constructed with
+``recorder=None`` still times (that is what :func:`repro.obs.timed`
+hands out for always-on measurements like experiment runtimes) but emits
+nothing on exit.  The *disabled* fast path of :func:`repro.obs.span`
+never constructs a ``Span`` at all — it returns the shared
+:data:`NULL_SPAN`, whose enter/exit are empty methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from time import perf_counter_ns
+from typing import Any, Dict, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN", "current_span"]
+
+#: Process-wide span id source (``next`` on a C iterator is GIL-atomic).
+_ids = itertools.count(1)
+
+_stack_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_stack_local, "spans", None)
+    if stack is None:
+        stack = _stack_local.spans = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active span of the calling thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class NullSpan:
+    """Shared no-op span: the disabled-path return of ``obs.span``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+#: The singleton handed out when no recorder is configured.
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed region of work.
+
+    Use as a context manager::
+
+        with Span("solve", {"circuit": "c17"}, recorder) as sp:
+            ...
+            sp.set(cost=solution.cost)
+
+    On exit the span reports itself to its recorder (when bound to one).
+    Timing uses ``perf_counter_ns``; :attr:`seconds` is available after
+    exit (and reads the live clock while still open, so experiment code
+    can poll a running span).
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "recorder",
+        "span_id",
+        "parent_id",
+        "depth",
+        "start_ns",
+        "end_ns",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+        recorder: Optional[object] = None,
+    ) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.recorder = recorder
+        self.span_id = next(_ids)
+        self.parent_id: Optional[int] = None
+        self.depth = 0
+        self.start_ns = 0
+        self.end_ns: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span (chains: ``sp.set(a=1).set(b=2)``)."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration_ns(self) -> int:
+        """Elapsed nanoseconds (live while the span is open)."""
+        end = self.end_ns if self.end_ns is not None else perf_counter_ns()
+        return end - self.start_ns
+
+    @property
+    def seconds(self) -> float:
+        """Elapsed seconds (live while the span is open)."""
+        return self.duration_ns / 1e9
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self.start_ns = perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.end_ns = perf_counter_ns()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # tolerate out-of-order exits instead of corrupting the stack
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        recorder = self.recorder
+        if recorder is not None:
+            recorder._emit_span(self)
+        return False

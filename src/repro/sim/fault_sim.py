@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import obs
 from ..circuit.gates import evaluate_gate
 from ..circuit.netlist import Circuit
 from .bitops import ones_mask
@@ -114,6 +116,10 @@ class FaultSimulator:
         self._level = circuit.levels()
         # Cache each node's cone evaluation order.
         self._cone_order_cache: Dict[str, List[str]] = {}
+        #: Faulty-machine gate evaluations performed over this
+        #: simulator's lifetime (each one is word-parallel over the
+        #: pattern budget) — the unit of fault-sim throughput.
+        self.gate_evals = 0
 
     # ------------------------------------------------------------------
     def _cone_order(self, start: str) -> List[str]:
@@ -196,6 +202,7 @@ class FaultSimulator:
                 for p, fi in enumerate(node.fanins)
             ]
             new_word = evaluate_gate(node.gate_type, fanin_words, mask)
+            self.gate_evals += 1
             if new_word == good_values[sink]:
                 return 0
             faulty[sink] = new_word
@@ -219,6 +226,7 @@ class FaultSimulator:
             node = self.circuit.node(name)
             fanin_words = [faulty.get(fi, good_values[fi]) for fi in node.fanins]
             new_word = evaluate_gate(node.gate_type, fanin_words, mask)
+            self.gate_evals += 1
             old_word = faulty.get(name, good_values[name])
             if new_word == old_word:
                 continue
@@ -260,12 +268,37 @@ class FaultSimulator:
                 from .faults import all_stuck_at_faults
 
                 faults = all_stuck_at_faults(self.circuit)
-        good_values = self._logic.run(stimulus, n_patterns)
-        result = FaultSimResult(n_patterns=n_patterns)
-        for fault in faults:
-            word = self.simulate_fault(fault, good_values, n_patterns)
-            result.detection_word[fault] = word
-            result.first_detect[fault] = _first_set_bit(word)
+        with obs.span(
+            "fault_sim.run",
+            circuit=self.circuit.name,
+            n_patterns=n_patterns,
+            n_faults=len(faults),
+        ) as sp:
+            start = perf_counter()
+            evals_before = self.gate_evals
+            good_values = self._logic.run(stimulus, n_patterns)
+            result = FaultSimResult(n_patterns=n_patterns)
+            detected = 0
+            for fault in faults:
+                word = self.simulate_fault(fault, good_values, n_patterns)
+                result.detection_word[fault] = word
+                result.first_detect[fault] = _first_set_bit(word)
+                if word:
+                    detected += 1
+            seconds = perf_counter() - start
+            evals = self.gate_evals - evals_before
+            sp.set(detected=detected, gate_evals=evals, seconds=seconds)
+        obs.count("fault_sim.runs")
+        obs.count("fault_sim.patterns", n_patterns)
+        obs.count("fault_sim.faults", len(faults))
+        # "Dropped" in the fault-dropping sense: a detected fault would be
+        # removed from any subsequent pass over the same list.
+        obs.count("fault_sim.dropped", detected)
+        obs.count("fault_sim.undetected", len(faults) - detected)
+        obs.count("fault_sim.gate_evals", evals)
+        if seconds > 0.0:
+            obs.gauge("fault_sim.gate_evals_per_sec", evals / seconds)
+        obs.observe("fault_sim.run_seconds", seconds)
         return result
 
 

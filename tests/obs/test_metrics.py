@@ -1,0 +1,101 @@
+"""MetricsRegistry: counters, gauges, histogram bucketing, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_accumulate(self):
+        reg = MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 2.5)
+        assert reg.counter_value("a") == 3.5
+
+    def test_missing_counter_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0.0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 7.0)
+        assert reg.gauge_value("g") == 7.0
+        assert reg.gauge_value("missing") is None
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive_upper(self):
+        hist = Histogram(bounds=(1.0, 10.0, 100.0))
+        for value in (0.5, 1.0):  # both land in the ≤1.0 bucket
+            hist.observe(value)
+        hist.observe(1.001)  # next bucket
+        hist.observe(1000.0)  # overflow
+        assert hist.counts == [2, 1, 0]
+        assert hist.overflow == 1
+        assert hist.count == 4
+
+    def test_stats(self):
+        hist = Histogram(bounds=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.min == 1.0 and hist.max == 3.0
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_snapshot_elides_empty_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.012, buckets=(0.01, 0.1, 1.0))
+        snap = reg.snapshot()["histograms"]["h"]
+        assert snap["count"] == 1
+        assert snap["buckets"] == {"0.1": 1}
+
+    def test_custom_buckets_only_apply_on_first_observe(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1.0, buckets=(10.0,))
+        reg.observe("h", 2.0)  # same histogram
+        assert reg.histogram("h").count == 2
+
+
+class TestSnapshot:
+    def test_structure_and_sorting(self):
+        reg = MetricsRegistry()
+        reg.count("z")
+        reg.count("a")
+        reg.gauge("g", 1.5)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "histograms"]
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["sum"] == 3.0
+
+
+class TestThreadSafety:
+    def test_concurrent_counts_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                reg.count("shared")
+                reg.observe("h", 1.0)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("shared") == n_threads * per_thread
+        assert reg.histogram("h").count == n_threads * per_thread

@@ -1,0 +1,107 @@
+"""The disabled observability path must be ~free on the hot loops.
+
+Acceptance guard: with no recorder configured, the instrumentation the
+fault simulator carries (``obs.span`` / ``obs.count`` / … calls) must add
+less than 5% to a fault-simulation run.  Measured as: (number of obs API
+calls one instrumented run makes) × (cost of one disabled-path call),
+compared against the run's own wall time.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro import obs
+from repro.circuit.library import benchmark
+from repro.sim.fault_sim import FaultSimulator
+from repro.sim.patterns import UniformRandomSource
+
+N_PATTERNS = 256
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+class CountingRecorder:
+    """Recorder stand-in that only tallies how often obs is invoked."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def span(self, name, attrs=None):
+        self.calls += 1
+        return obs.NULL_SPAN
+
+    def count(self, name, n=1.0):
+        self.calls += 1
+
+    def gauge(self, name, value):
+        self.calls += 1
+
+    def observe(self, name, value):
+        self.calls += 1
+
+    def event(self, name, **fields):
+        self.calls += 1
+
+    def _emit_span(self, span):
+        pass
+
+
+def _fault_sim_seconds(sim, stimulus) -> float:
+    best = float("inf")
+    for _ in range(3):
+        start = perf_counter()
+        sim.run(stimulus, N_PATTERNS)
+        best = min(best, perf_counter() - start)
+    return best
+
+
+def _disabled_call_seconds() -> float:
+    """Per-call cost of the disabled obs fast path (min over repeats)."""
+    reps = 20_000
+    best = float("inf")
+    for _ in range(3):
+        start = perf_counter()
+        for _ in range(reps):
+            obs.span("x")
+            obs.count("x")
+        best = min(best, perf_counter() - start)
+    return best / (2 * reps)
+
+
+def test_noop_instrumentation_overhead_below_5_percent():
+    circuit = benchmark("wand16")
+    sim = FaultSimulator(circuit)
+    stimulus = UniformRandomSource(seed=1).generate(
+        circuit.inputs, N_PATTERNS
+    )
+    sim.run(stimulus, N_PATTERNS)  # warm caches (cone orders, etc.)
+
+    run_seconds = _fault_sim_seconds(sim, stimulus)
+
+    # How many obs API calls does one instrumented run actually make?
+    counting = CountingRecorder()
+    obs.set_recorder(counting)
+    try:
+        sim.run(stimulus, N_PATTERNS)
+    finally:
+        obs.set_recorder(None)
+    calls_per_run = counting.calls
+    assert calls_per_run > 0  # the hot path *is* instrumented
+
+    overhead = calls_per_run * _disabled_call_seconds()
+    assert overhead < 0.05 * run_seconds, (
+        f"no-op obs overhead {overhead * 1e6:.1f}µs is ≥5% of a "
+        f"{run_seconds * 1e6:.1f}µs fault-sim run ({calls_per_run} calls)"
+    )
+
+
+def test_disabled_calls_allocate_nothing_per_call():
+    # The disabled span path must hand back the shared singleton, not a
+    # fresh object per call — that is what keeps it allocation-free.
+    assert obs.span("a") is obs.span("b") is obs.NULL_SPAN

@@ -1,0 +1,124 @@
+"""RunRecorder: JSONL round-trip, metadata, sink-less mode."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import RunRecorder, git_revision, run_metadata
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestJsonlRoundTrip:
+    def test_full_run_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rec = RunRecorder(path, metadata={"circuit": "c17", "seed": 3})
+        with obs.recording(rec):
+            with obs.span("solve", circuit="c17") as sp:
+                obs.count("dp.table_cells", 11)
+                sp.set(cost=2.0)
+            obs.gauge("dp.grid_size", 16)
+            obs.observe("fault_sim.run_seconds", 0.25)
+            obs.event("checkpoint", phase=1)
+
+        events = read_events(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "metrics" in kinds and "span" in kinds and "event" in kinds
+
+        start = events[0]
+        assert start["meta"]["circuit"] == "c17"
+        assert start["meta"]["seed"] == 3
+        assert start["schema"] == 1
+
+        (span,) = [e for e in events if e["event"] == "span"]
+        assert span["name"] == "solve"
+        assert span["dur_ns"] >= 0
+        assert span["attrs"] == {"circuit": "c17", "cost": 2.0}
+
+        (metrics,) = [e for e in events if e["event"] == "metrics"]
+        assert metrics["metrics"]["counters"]["dp.table_cells"] == 11
+        assert metrics["metrics"]["gauges"]["dp.grid_size"] == 16
+        hist = metrics["metrics"]["histograms"]["fault_sim.run_seconds"]
+        assert hist["count"] == 1 and hist["sum"] == 0.25
+
+        end = events[-1]
+        assert end["n_spans"] == 1
+        assert end["dur_ns"] >= span["dur_ns"]
+
+    def test_every_line_is_self_contained_json(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.recording(RunRecorder(path)):
+            for i in range(5):
+                with obs.span(f"step{i}"):
+                    pass
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_non_json_attrs_are_stringified(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        with obs.recording(RunRecorder(path, metadata={"obj": Odd()})):
+            with obs.span("s", obj=Odd(), seq=(1, 2)):
+                pass
+        events = read_events(path)
+        assert events[0]["meta"]["obj"] == "<odd>"
+        (span,) = [e for e in events if e["event"] == "span"]
+        assert span["attrs"] == {"obj": "<odd>", "seq": [1, 2]}
+
+
+class TestSinklessMode:
+    def test_metrics_only_recorder_writes_nothing(self, tmp_path):
+        rec = RunRecorder(None)
+        with obs.recording(rec):
+            obs.count("c", 4)
+            with obs.span("s"):
+                pass
+        assert rec.metrics.counter_value("c") == 4
+        assert rec.n_spans == 1
+        assert list(tmp_path.iterdir()) == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        rec = RunRecorder(path)
+        rec.close()
+        rec.close()
+        events = read_events(path)
+        assert [e["event"] for e in events].count("run_end") == 1
+
+
+class TestRecordingContext:
+    def test_restores_previous_recorder(self):
+        outer = RunRecorder(None)
+        obs.set_recorder(outer)
+        with obs.recording(RunRecorder(None)) as inner:
+            assert obs.get_recorder() is inner
+        assert obs.get_recorder() is outer
+        obs.set_recorder(None)
+
+
+class TestMetadataHelpers:
+    def test_run_metadata_contents(self):
+        meta = run_metadata(circuit="c17", seed=1)
+        assert meta["circuit"] == "c17"
+        assert meta["seed"] == 1
+        assert "python" in meta and "platform" in meta
+        assert "git_rev" in meta  # may be None outside a checkout
+
+    def test_git_revision_handles_missing_repo(self, tmp_path):
+        assert git_revision(tmp_path) is None

@@ -1,0 +1,106 @@
+"""Span nesting, attribute handling, and the disabled fast path."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN, Span, current_span
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    """Every test starts and ends with observability disabled."""
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_span(self):
+        assert obs.span("anything") is NULL_SPAN
+        assert obs.span("other", attr=1) is NULL_SPAN
+
+    def test_null_span_context_and_set(self):
+        with obs.span("x") as sp:
+            assert sp.set(a=1) is sp
+
+    def test_counters_are_noops(self):
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 0.5)
+        obs.event("e", detail="ignored")
+
+    def test_enabled_reflects_recorder(self):
+        assert not obs.enabled()
+        with obs.recording(obs.RunRecorder(None)):
+            assert obs.enabled()
+        assert not obs.enabled()
+
+
+class TestNesting:
+    def test_parent_and_depth(self):
+        rec = obs.RunRecorder(None)
+        with obs.recording(rec):
+            with obs.span("outer") as outer:
+                assert current_span() is outer
+                assert outer.depth == 0 and outer.parent_id is None
+                with obs.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert inner.depth == 1
+                assert current_span() is outer
+            assert current_span() is None
+        assert rec.n_spans == 2
+
+    def test_sibling_spans_share_parent(self):
+        with obs.recording(obs.RunRecorder(None)):
+            with obs.span("outer") as outer:
+                with obs.span("a") as a:
+                    pass
+                with obs.span("b") as b:
+                    pass
+        assert a.parent_id == outer.span_id
+        assert b.parent_id == outer.span_id
+        assert a.span_id != b.span_id
+
+    def test_stacks_are_per_thread(self):
+        with obs.recording(obs.RunRecorder(None)):
+            with obs.span("main-thread"):
+                seen = {}
+
+                def worker():
+                    with obs.span("worker") as sp:
+                        seen["parent"] = sp.parent_id
+                        seen["depth"] = sp.depth
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        assert seen == {"parent": None, "depth": 0}
+
+
+class TestTiming:
+    def test_duration_is_positive_and_monotone(self):
+        with Span("t") as sp:
+            mid = sp.duration_ns
+            assert mid >= 0
+        assert sp.duration_ns >= mid
+        assert sp.seconds == sp.duration_ns / 1e9
+
+    def test_timed_works_without_recorder(self):
+        with obs.timed("experiment", gates=40) as sp:
+            pass
+        assert sp.seconds >= 0.0
+        assert sp.attrs == {"gates": 40}
+
+    def test_timed_is_recorded_when_enabled(self):
+        rec = obs.RunRecorder(None)
+        with obs.recording(rec):
+            with obs.timed("experiment"):
+                pass
+        assert rec.n_spans == 1
+
+    def test_set_merges_attrs(self):
+        with Span("t", {"a": 1}) as sp:
+            sp.set(b=2).set(a=3)
+        assert sp.attrs == {"a": 3, "b": 2}

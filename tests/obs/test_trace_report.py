@@ -1,0 +1,72 @@
+"""Trace loading and human-readable rendering."""
+
+import pytest
+
+from repro import obs
+from repro.obs.recorder import RunRecorder
+from repro.obs.trace_report import load_trace, render_metrics, render_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.recording(RunRecorder(path, metadata={"circuit": "wand16"})):
+        with obs.span("solve", solver="dp"):
+            with obs.span("dp.solve"):
+                obs.count("dp.table_cells", 100)
+        with obs.span("fault_sim.run", n_patterns=256):
+            obs.observe("fault_sim.run_seconds", 0.001)
+        obs.event("note", detail="hello")
+    return path
+
+
+class TestLoadTrace:
+    def test_partitions_events(self, trace_path):
+        trace = load_trace(trace_path)
+        assert trace.meta["circuit"] == "wand16"
+        assert len(trace.spans) == 3
+        assert len(trace.events) == 1
+        assert trace.metrics["counters"]["dp.table_cells"] == 100
+        assert trace.run_dur_ns is not None
+        assert trace.n_bad_lines == 0
+
+    def test_garbage_lines_counted_not_fatal(self, tmp_path, trace_path):
+        mangled = tmp_path / "mangled.jsonl"
+        mangled.write_text(
+            trace_path.read_text() + "this is not json\n{\"half\": \n"
+        )
+        trace = load_trace(mangled)
+        assert trace.n_bad_lines == 2
+        assert len(trace.spans) == 3
+
+
+class TestRenderTrace:
+    def test_contains_all_sections(self, trace_path):
+        text = render_trace(trace_path)
+        assert "Trace summary" in text
+        assert "wand16" in text
+        assert "dp.solve" in text
+        assert "fault_sim.run" in text
+        assert "dp.table_cells" in text
+        assert "spans by name" in text
+        assert "span tree" in text
+
+    def test_tree_indents_children(self, trace_path):
+        text = render_trace(trace_path)
+        lines = text.splitlines()
+        tree = lines[lines.index("span tree (chronological)") :]
+        (solve_line,) = [l for l in tree if l.strip().startswith("solve ")]
+        (dp_line,) = [l for l in tree if l.strip().startswith("dp.solve ")]
+        assert len(dp_line) - len(dp_line.lstrip()) > len(solve_line) - len(
+            solve_line.lstrip()
+        )
+
+    def test_render_empty_metrics(self):
+        assert "no metrics" in render_metrics({})

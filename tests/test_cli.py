@@ -1,5 +1,11 @@
 """Tests for the command-line interface (driven through main(argv))."""
 
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -79,3 +85,84 @@ class TestReport:
         path = tmp_path / "circ.v"
         write_verilog_file(generators.wide_and_cone(4), path)
         assert main(["stats", str(path), "--patterns", "64"]) == 0
+
+    def test_unparseable_file_is_clean_error(self, tmp_path):
+        path = tmp_path / "junk.bench"
+        path.write_text("this is ( not a bench file\n")
+        with pytest.raises(SystemExit, match="failed to parse"):
+            main(["stats", str(path)])
+
+
+class TestObservability:
+    def test_coverage_trace_out_emits_valid_jsonl(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["coverage", "wand16", "--patterns", "256",
+             "--trace-out", str(trace)]
+        ) == 0
+        events = [json.loads(l) for l in trace.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert events[0]["meta"]["circuit"] == "wand16"
+        assert events[0]["meta"]["seed"] == 1
+
+        # One span per pipeline stage.
+        span_names = {e["name"] for e in events if e["event"] == "span"}
+        for stage in ("prepare", "solve", "insert", "fault_sim.run"):
+            assert stage in span_names, f"missing {stage} span"
+
+        # DP counters and fault-sim throughput in the metrics snapshot.
+        (metrics,) = [e for e in events if e["event"] == "metrics"]
+        counters = metrics["metrics"]["counters"]
+        assert counters["dp.table_cells"] > 0
+        assert counters["dp.decisions"] > 0
+        assert counters["fault_sim.gate_evals"] > 0
+        assert metrics["metrics"]["gauges"]["fault_sim.gate_evals_per_sec"] > 0
+
+    def test_report_renders_trace(self, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["coverage", "wand16", "--patterns", "256",
+             "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "dp.solve" in out
+        assert "fault_sim" in out
+
+    def test_report_missing_trace(self):
+        with pytest.raises(SystemExit, match="no such trace"):
+            main(["report", "does-not-exist.jsonl"])
+
+    def test_metrics_flag_prints_snapshot(self, capsys):
+        assert main(
+            ["stats", "c17", "--patterns", "64", "--metrics"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "counters" in err
+        assert "fault_sim.runs" in err
+
+    def test_recorder_uninstalled_after_run(self, tmp_path):
+        from repro import obs
+
+        trace = tmp_path / "run.jsonl"
+        main(["stats", "c17", "--patterns", "64", "--trace-out", str(trace)])
+        assert obs.get_recorder() is None
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "c17" in proc.stdout
