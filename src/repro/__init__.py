@@ -20,12 +20,25 @@ Quick start::
 Packages: :mod:`repro.circuit` (netlists), :mod:`repro.sim` (simulation),
 :mod:`repro.testability` (COP/SCOAP), :mod:`repro.core` (the TPI
 algorithms), :mod:`repro.analysis` (experiment harness), :mod:`repro.obs`
-(structured tracing, metrics, and machine-readable run artifacts).
+(structured tracing, metrics, and machine-readable run artifacts),
+:mod:`repro.errors` / :mod:`repro.resilience` (error taxonomy, solve
+budgets, graceful solver degradation).
 """
 
 __version__ = "1.0.0"
 
-from . import analysis, atpg, bist, circuit, core, obs, sim, testability
+from . import (
+    analysis,
+    atpg,
+    bist,
+    circuit,
+    core,
+    errors,
+    obs,
+    resilience,
+    sim,
+    testability,
+)
 
 __all__ = [
     "analysis",
@@ -33,7 +46,9 @@ __all__ = [
     "bist",
     "circuit",
     "core",
+    "errors",
     "obs",
+    "resilience",
     "sim",
     "testability",
     "__version__",

@@ -2,6 +2,10 @@
 
 from .experiments import (
     ExperimentResult,
+    SweepOutcome,
+    experiment_runners,
+    run_circuit_sweep,
+    run_experiments_checkpointed,
     run_e1_misr_aliasing,
     run_e2_margin_ablation,
     run_e3_strategy_comparison,
@@ -25,6 +29,10 @@ __all__ = [
     "TestabilityReport",
     "testability_report",
     "ExperimentResult",
+    "SweepOutcome",
+    "experiment_runners",
+    "run_circuit_sweep",
+    "run_experiments_checkpointed",
     "run_t1_circuit_characteristics",
     "run_t2_dp_optimality",
     "run_t3_tree_solver_comparison",

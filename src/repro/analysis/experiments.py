@@ -4,18 +4,30 @@ Each function reproduces one table or figure of the reconstructed
 evaluation (DESIGN.md §5) and returns structured data plus a rendered
 table, so the pytest-benchmark entries in ``benchmarks/`` stay thin and the
 same logic is importable from notebooks and examples.
+
+Long runs are expected to hit bad inputs and budget exhaustion (general
+TPI is NP-complete), so the module also hosts the *hardened* drivers
+(DESIGN.md §8): :func:`run_circuit_sweep` isolates per-circuit crashes and
+checkpoints every outcome to a JSONL results file so a killed sweep
+resumes where it stopped, and :func:`run_experiments_checkpointed` does
+the same at experiment granularity.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..circuit.analysis import has_reconvergent_fanout, is_fanout_free
+from ..circuit.bench_io import parse_bench_file
 from ..circuit.generators import random_tree
 from ..circuit.library import benchmark, benchmark_names
 from ..circuit.netlist import Circuit
+from ..circuit.verilog_io import parse_verilog_file
+from ..core.cascade import DEFAULT_CASCADE, solve_with_fallback
 from ..core.dp import quantized_tree_check, solve_tree
 from ..core.evaluate import CoverageReport, evaluate_solution, measure_coverage
 from ..core.exhaustive import solve_exhaustive
@@ -26,12 +38,18 @@ from ..core.problem import TPIProblem, TPISolution
 from ..core.quantize import ProbabilityGrid
 from ..core.random_placement import solve_random
 from ..core.virtual import evaluate_placement
+from ..errors import BudgetExceededError, ExperimentError, ParseError
+from ..resilience import Budget
 from ..sim.faults import all_stuck_at_faults, collapse_faults
 from ..sim.patterns import UniformRandomSource
 from .tables import Table
 
 __all__ = [
     "ExperimentResult",
+    "SweepOutcome",
+    "run_circuit_sweep",
+    "experiment_runners",
+    "run_experiments_checkpointed",
     "run_t1_circuit_characteristics",
     "run_t2_dp_optimality",
     "run_t3_tree_solver_comparison",
@@ -639,3 +657,281 @@ def run_e5_weighted_random(
             ]
         )
     return result
+
+
+# ---------------------------------------------------------------------------
+# Hardened drivers: crash-isolated, checkpointed, resumable (DESIGN.md §8)
+# ---------------------------------------------------------------------------
+@dataclass
+class SweepOutcome:
+    """One circuit's result inside a :func:`run_circuit_sweep` run.
+
+    ``status`` is ``"ok"``, ``"parse_error"``, ``"budget_exceeded"`` or
+    ``"error"`` (any other exception, recorded instead of propagated so a
+    sweep survives individual circuits going wrong).  Failed circuits keep
+    the error type and message; successful ones record which cascade stage
+    produced the solution and how many stages were skipped over.
+    """
+
+    circuit: str
+    path: str
+    status: str
+    solver: Optional[str] = None
+    cost: Optional[float] = None
+    n_points: Optional[int] = None
+    fallbacks: Optional[int] = None
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> str:
+        """One checkpoint line (stable key order)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    def describe(self) -> str:
+        """One human-readable sweep-progress line."""
+        if self.ok:
+            extra = f" (+{self.fallbacks} fallbacks)" if self.fallbacks else ""
+            return (
+                f"{self.circuit:20s} ok: {self.solver} "
+                f"cost={self.cost:g} points={self.n_points}{extra}"
+            )
+        return f"{self.circuit:20s} {self.status}: {self.error}"
+
+
+def _load_netlist_file(path: Path) -> Circuit:
+    if path.suffix in (".v", ".sv"):
+        return parse_verilog_file(path)
+    return parse_bench_file(path)
+
+
+def _sweep_one(
+    path: Path,
+    n_patterns: int,
+    escape_budget: float,
+    budget: Optional[Budget],
+    solvers: Sequence[str],
+) -> SweepOutcome:
+    """Solve one circuit, converting every failure into a recorded outcome."""
+    circuit_id = path.stem
+    try:
+        circuit = prepare_for_tpi(_load_netlist_file(path))
+        problem = TPIProblem.from_test_length(
+            circuit, n_patterns=n_patterns, escape_budget=escape_budget
+        )
+        solution = solve_with_fallback(
+            problem,
+            solvers=solvers,
+            budget=budget.renewed() if budget is not None else None,
+        )
+        return SweepOutcome(
+            circuit=circuit_id,
+            path=str(path),
+            status="ok",
+            solver=solution.method,
+            cost=solution.cost,
+            n_points=len(solution.points),
+            fallbacks=int(solution.stats.get("fallbacks", 0)),
+        )
+    except ParseError as exc:
+        status = "parse_error"
+        error: Exception = exc
+    except BudgetExceededError as exc:
+        status = "budget_exceeded"
+        error = exc
+    except Exception as exc:  # crash isolation: anything else is recorded
+        status = "error"
+        error = exc
+    obs.event(
+        "sweep_circuit_failed",
+        circuit=circuit_id,
+        status=status,
+        error=type(error).__name__,
+        reason=str(error),
+    )
+    obs.count("sweep.failures")
+    obs.count(f"sweep.failures.{status}")
+    return SweepOutcome(
+        circuit=circuit_id,
+        path=str(path),
+        status=status,
+        error_type=type(error).__name__,
+        error=str(error),
+    )
+
+
+def _read_checkpoint_lines(path: Path) -> List[dict]:
+    """Parse a JSONL checkpoint, tolerating a torn final line (killed run)."""
+    records = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def run_circuit_sweep(
+    paths: Sequence[Union[str, Path]],
+    results_path: Union[str, Path],
+    *,
+    n_patterns: int = 1024,
+    escape_budget: float = 0.001,
+    budget: Optional[Budget] = None,
+    solvers: Sequence[str] = DEFAULT_CASCADE,
+    resume: bool = True,
+    max_circuits: Optional[int] = None,
+) -> List[SweepOutcome]:
+    """Plan test points for every circuit file, surviving bad apples.
+
+    Each circuit runs in isolation: a parse error, budget exhaustion or
+    crash is recorded as a failed :class:`SweepOutcome` and the sweep moves
+    on.  Every outcome is appended (and flushed) to ``results_path`` as one
+    JSONL line *before* the next circuit starts, so a killed run loses at
+    most the circuit in flight; with ``resume=True`` (default) a rerun
+    skips circuits already recorded there.
+
+    Parameters
+    ----------
+    paths:
+        Netlist files (``.bench`` / ``.v`` / ``.sv``).
+    results_path:
+        JSONL checkpoint/results file (created if missing).
+    budget:
+        Per-circuit cooperative budget; each circuit gets a fresh clock
+        (:meth:`~repro.resilience.Budget.renewed`).
+    solvers:
+        Cascade stages for :func:`~repro.core.cascade.solve_with_fallback`.
+    max_circuits:
+        Stop after running this many *new* circuits (resume testing knob).
+
+    Returns the outcomes for all circuits in ``paths`` that have run so
+    far, recorded-or-fresh, in ``paths`` order.
+    """
+    results_path = Path(results_path)
+    file_paths = [Path(p) for p in paths]
+    completed: Dict[str, SweepOutcome] = {}
+    if resume and results_path.exists():
+        for record in _read_checkpoint_lines(results_path):
+            try:
+                outcome = SweepOutcome(**record)
+            except TypeError as exc:
+                raise ExperimentError(
+                    f"corrupt sweep checkpoint {results_path}: {exc}"
+                ) from exc
+            completed[outcome.path] = outcome
+    if results_path.parent != Path(""):
+        results_path.parent.mkdir(parents=True, exist_ok=True)
+
+    outcomes: List[SweepOutcome] = []
+    ran = 0
+    with obs.span(
+        "sweep", n_circuits=len(file_paths), results=str(results_path)
+    ) as sweep_span:
+        with results_path.open("a", encoding="utf-8") as sink:
+            for path in file_paths:
+                prior = completed.get(str(path))
+                if prior is not None:
+                    obs.count("sweep.skipped")
+                    outcomes.append(prior)
+                    continue
+                if max_circuits is not None and ran >= max_circuits:
+                    break
+                ran += 1
+                with obs.span("sweep.circuit", circuit=path.stem) as sp:
+                    outcome = _sweep_one(
+                        path, n_patterns, escape_budget, budget, solvers
+                    )
+                    sp.set(status=outcome.status)
+                sink.write(outcome.to_json() + "\n")
+                sink.flush()
+                obs.count("sweep.circuits")
+                outcomes.append(outcome)
+        sweep_span.set(
+            ran=ran,
+            skipped=len(outcomes) - ran,
+            failures=sum(1 for o in outcomes if not o.ok),
+        )
+    return outcomes
+
+
+def experiment_runners() -> Dict[str, Callable[[], ExperimentResult]]:
+    """Registry of the evaluation suite, keyed by experiment id."""
+    return {
+        "t1": lambda: run_t1_circuit_characteristics(),
+        "t2": lambda: run_t2_dp_optimality(),
+        "t3": lambda: run_t3_tree_solver_comparison(),
+        "t4": lambda: run_t4_coverage_improvement()[0],
+        "f1": lambda: run_f1_points_curve(),
+        "f2": lambda: run_f2_runtime_scaling(),
+        "f3": lambda: run_f3_testlength_curves(),
+        "f4": lambda: run_f4_quantization_ablation(),
+        "e1": lambda: run_e1_misr_aliasing(),
+        "e2": lambda: run_e2_margin_ablation(),
+        "e3": lambda: run_e3_strategy_comparison(),
+        "e4": lambda: run_e4_multiphase(),
+        "e5": lambda: run_e5_weighted_random(),
+    }
+
+
+def run_experiments_checkpointed(
+    keys: Sequence[str],
+    results_path: Union[str, Path],
+    resume: bool = True,
+) -> List[dict]:
+    """Run experiments with per-experiment crash isolation and resume.
+
+    Mirrors :func:`run_circuit_sweep` at experiment granularity: each
+    experiment's rendered table (or failure) is appended to
+    ``results_path`` as one JSONL record as soon as it finishes, and with
+    ``resume=True`` already-recorded experiments are not rerun.
+    """
+    runners = experiment_runners()
+    unknown = [k for k in keys if k not in runners]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiments {unknown} (choose from {list(runners)})"
+        )
+    results_path = Path(results_path)
+    done: Dict[str, dict] = {}
+    if resume and results_path.exists():
+        for record in _read_checkpoint_lines(results_path):
+            if "experiment" in record:
+                done[record["experiment"]] = record
+
+    records: List[dict] = []
+    with results_path.open("a", encoding="utf-8") as sink:
+        for key in keys:
+            prior = done.get(key)
+            if prior is not None:
+                obs.count("experiments.skipped")
+                records.append(prior)
+                continue
+            try:
+                with obs.span(f"experiment.{key}"):
+                    rendered = runners[key]().render()
+                record = {"experiment": key, "status": "ok", "rendered": rendered}
+            except Exception as exc:  # isolation: record, keep going
+                record = {
+                    "experiment": key,
+                    "status": "error",
+                    "error_type": type(exc).__name__,
+                    "error": str(exc),
+                }
+                obs.event(
+                    "experiment_failed",
+                    experiment=key,
+                    error=type(exc).__name__,
+                    reason=str(exc),
+                )
+                obs.count("experiments.failures")
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+            sink.flush()
+            records.append(record)
+    return records

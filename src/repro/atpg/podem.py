@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..circuit.gates import GateType, controlling_value
 from ..circuit.netlist import Circuit
+from ..resilience import Budget
 from ..sim.faults import Fault
 from ..testability.scoap import SCOAPResult, scoap_measures
 from .values import X, is_binary, ternary_gate_eval
@@ -89,13 +90,26 @@ class Podem:
         Combinational netlist (any gate arity).
     backtrack_limit:
         Abort threshold per fault; exhausted search below the limit proves
-        untestability.
+        untestability (the fault is reported ``ABORTED``, not raised).
+    budget:
+        Optional cooperative :class:`~repro.resilience.Budget`.  Unlike
+        ``backtrack_limit`` (a per-fault effort cap that degrades one
+        fault's answer), the budget spans every fault this generator
+        touches and *raises*
+        :class:`~repro.errors.BudgetExceededError` when its wall clock or
+        cumulative ``backtracks`` limit runs out.
     """
 
-    def __init__(self, circuit: Circuit, backtrack_limit: int = 5000) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 5000,
+        budget: Optional[Budget] = None,
+    ) -> None:
         circuit.validate()
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
+        self.budget = budget
         self._order = circuit.topological_order()
         self._out_set = set(circuit.outputs)
         self._scoap: SCOAPResult = scoap_measures(circuit)
@@ -263,6 +277,8 @@ class Podem:
         decisions = 0
 
         while True:
+            if self.budget is not None:
+                self.budget.tick("podem.decision")
             good, faulty = self._simulate(fault, assignment)
             if self._detected(good, faulty):
                 return self._finish(
@@ -297,6 +313,8 @@ class Podem:
 
             # Dead end: backtrack.
             backtracks += 1
+            if self.budget is not None:
+                self.budget.charge("backtracks", 1, "podem.backtrack")
             if backtracks > self.backtrack_limit:
                 return self._finish(
                     ATPGResult(

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..circuit.netlist import Circuit
+from ..resilience import Budget
 from ..sim.fault_sim import FaultSimulator
 from ..sim.faults import Fault, collapse_faults
 from ..sim.patterns import PatternSource, UniformRandomSource
@@ -77,6 +78,7 @@ def top_off(
     faults: Optional[Sequence[Fault]] = None,
     backtrack_limit: int = 5000,
     fill_seed: int = 0,
+    budget: Optional[Budget] = None,
 ) -> TopOffReport:
     """Run the random-then-deterministic flow on ``circuit``.
 
@@ -92,16 +94,21 @@ def top_off(
         PODEM effort cap per fault.
     fill_seed:
         Seed for don't-care filling in the deterministic patterns.
+    budget:
+        Optional cooperative budget shared by the random-phase fault
+        simulation and the PODEM phase.
     """
     source = source or UniformRandomSource(seed=1)
     if faults is None:
         faults = collapse_faults(circuit).representatives
     sim = FaultSimulator(circuit)
     stimulus = source.generate(circuit.inputs, n_random_patterns)
-    random_result = sim.run(stimulus, n_random_patterns, faults=faults)
+    random_result = sim.run(
+        stimulus, n_random_patterns, faults=faults, budget=budget
+    )
     survivors = random_result.undetected_faults()
 
-    podem = Podem(circuit, backtrack_limit=backtrack_limit)
+    podem = Podem(circuit, backtrack_limit=backtrack_limit, budget=budget)
     cubes: List[Dict[str, int]] = []
     redundant: List[Fault] = []
     aborted: List[Fault] = []

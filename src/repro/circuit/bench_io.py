@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..errors import ParseError
 from .gates import GateType
-from .netlist import Circuit, CircuitError
+from .netlist import Circuit
 
 __all__ = ["parse_bench", "parse_bench_file", "write_bench", "write_bench_file"]
 
@@ -46,7 +47,12 @@ _IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)\s]+)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z0-9_]+)\s*\(([^)]*)\)$")
 
 
-def parse_bench(text: str, name: str = "bench", scan: bool = True) -> Circuit:
+def parse_bench(
+    text: str,
+    name: str = "bench",
+    scan: bool = True,
+    source: Optional[str] = None,
+) -> Circuit:
     """Parse ``.bench`` source text into a :class:`Circuit`.
 
     Parameters
@@ -59,70 +65,120 @@ def parse_bench(text: str, name: str = "bench", scan: bool = True) -> Circuit:
         When True, ``DFF`` cells are broken into a pseudo primary output
         (the D pin) and a pseudo primary input (the Q pin) — the standard
         full-scan abstraction.  When False, DFFs raise an error.
+    source:
+        Origin of ``text`` (usually the file name) for diagnostics; every
+        :class:`~repro.errors.ParseError` raised here carries it together
+        with the 1-based line number of the offending declaration.
     """
-    inputs: List[str] = []
-    outputs: List[str] = []
-    gates: List[Tuple[str, str, List[str]]] = []
-    for raw_line in text.splitlines():
+    inputs: List[Tuple[str, int]] = []
+    outputs: List[Tuple[str, int]] = []
+    gates: List[Tuple[str, str, List[str], int]] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
         if not line:
             continue
         m = _IO_RE.match(line)
         if m:
             keyword, signal = m.group(1).upper(), m.group(2)
-            (inputs if keyword == "INPUT" else outputs).append(signal)
+            target = inputs if keyword == "INPUT" else outputs
+            target.append((signal, lineno))
             continue
         m = _GATE_RE.match(line)
         if m:
             out, cell, arg_text = m.group(1), m.group(2).upper(), m.group(3)
             fanins = [a.strip() for a in arg_text.split(",") if a.strip()]
-            gates.append((out, cell, fanins))
+            gates.append((out, cell, fanins, lineno))
             continue
-        raise CircuitError(f"unparseable .bench line: {raw_line!r}")
+        raise ParseError(
+            f"unparseable .bench line: {raw_line!r}", path=source, line=lineno
+        )
+
+    # Declaration audit before touching the circuit: every signal defined
+    # exactly once, every reference resolvable, every cell name known.
+    defined: Dict[str, int] = {}
+
+    def define(signal: str, lineno: int) -> None:
+        prev = defined.get(signal)
+        if prev is not None:
+            raise ParseError(
+                f"duplicate definition of signal {signal!r} "
+                f"(first defined on line {prev})",
+                path=source,
+                line=lineno,
+            )
+        defined[signal] = lineno
+
+    for pi, lineno in inputs:
+        define(pi, lineno)
+    for out, cell, fanins, lineno in gates:
+        if cell == "DFF":
+            if not scan:
+                raise ParseError(
+                    "sequential cell DFF found; pass scan=True for the "
+                    "full-scan combinational abstraction",
+                    path=source,
+                    line=lineno,
+                )
+            if len(fanins) != 1:
+                raise ParseError(
+                    f"DFF {out!r} must have exactly one input",
+                    path=source,
+                    line=lineno,
+                )
+        elif cell not in _TYPE_ALIASES:
+            raise ParseError(
+                f"unknown .bench cell type {cell!r}", path=source, line=lineno
+            )
+        define(out, lineno)
+    for out, _cell, fanins, lineno in gates:
+        for fi in fanins:
+            if fi not in defined:
+                raise ParseError(
+                    f"gate {out!r} references undefined signal {fi!r}",
+                    path=source,
+                    line=lineno,
+                )
+    for po, lineno in outputs:
+        if po not in defined:
+            raise ParseError(
+                f"OUTPUT({po}) names an undefined signal",
+                path=source,
+                line=lineno,
+            )
 
     circuit = Circuit(name)
-    for pi in inputs:
+    for pi, _lineno in inputs:
         circuit.add_input(pi)
 
     # DFFs under the scan abstraction: Q becomes a pseudo-PI, D a pseudo-PO.
-    pending = list(gates)
-    for out, cell, fanins in list(pending):
+    for out, cell, _fanins, _lineno in gates:
         if cell == "DFF":
-            if not scan:
-                raise CircuitError(
-                    "sequential cell DFF found; pass scan=True for the "
-                    "full-scan combinational abstraction"
-                )
-            if len(fanins) != 1:
-                raise CircuitError(f"DFF {out!r} must have exactly one input")
             circuit.add_input(out)
 
     # Insert combinational gates in dependency order (bench files are
-    # unordered, so iterate until fixpoint).
-    remaining = [(o, c, f) for (o, c, f) in pending if c != "DFF"]
-    scan_pos = [f[0] for (_o, c, f) in pending if c == "DFF"]
+    # unordered, so iterate until fixpoint).  With undefined references
+    # ruled out above, a stalled fixpoint can only mean a cycle.
+    remaining = [(o, c, f, ln) for (o, c, f, ln) in gates if c != "DFF"]
+    scan_pos = [f[0] for (_o, c, f, _ln) in gates if c == "DFF"]
     while remaining:
         progressed = False
-        deferred: List[Tuple[str, str, List[str]]] = []
-        for out, cell, fanins in remaining:
+        deferred: List[Tuple[str, str, List[str], int]] = []
+        for out, cell, fanins, lineno in remaining:
             if all(fi in circuit for fi in fanins):
-                gate_type = _TYPE_ALIASES.get(cell)
-                if gate_type is None:
-                    raise CircuitError(f"unknown .bench cell type {cell!r}")
-                circuit.add_gate(out, gate_type, fanins)
+                circuit.add_gate(out, _TYPE_ALIASES[cell], fanins)
                 progressed = True
             else:
-                deferred.append((out, cell, fanins))
+                deferred.append((out, cell, fanins, lineno))
         if not progressed:
-            missing = sorted(
-                {fi for _o, _c, fs in deferred for fi in fs if fi not in circuit}
-            )
-            raise CircuitError(
-                f"undriven signals or combinational cycle: {missing[:5]}"
+            cyclic = sorted(o for o, _c, _f, _ln in deferred)
+            raise ParseError(
+                f"combinational cycle through gates {cyclic[:5]}",
+                path=source,
+                line=deferred[0][3],
             )
         remaining = deferred
 
-    for po in outputs + scan_pos:
+    for po in [s for s, _ln in outputs] + scan_pos:
         circuit.mark_output(po)
     circuit.validate()
     return circuit
@@ -131,7 +187,9 @@ def parse_bench(text: str, name: str = "bench", scan: bool = True) -> Circuit:
 def parse_bench_file(path: Union[str, Path], scan: bool = True) -> Circuit:
     """Read and parse a ``.bench`` file; the circuit is named after the file."""
     path = Path(path)
-    return parse_bench(path.read_text(), name=path.stem, scan=scan)
+    return parse_bench(
+        path.read_text(), name=path.stem, scan=scan, source=str(path)
+    )
 
 
 def write_bench(circuit: Circuit) -> str:

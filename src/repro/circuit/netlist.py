@@ -20,13 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..errors import CircuitError
 from .gates import GateType, supported_fanin
 
 __all__ = ["Node", "Circuit", "CircuitError"]
-
-
-class CircuitError(ValueError):
-    """Raised for structurally invalid netlist operations."""
 
 
 @dataclass(frozen=True)

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..errors import ParseError
 from .gates import GateType
-from .netlist import Circuit, CircuitError
+from .netlist import Circuit
 
 __all__ = [
     "parse_verilog",
@@ -59,45 +60,113 @@ _INSTANCE_RE = re.compile(
 
 def _strip_comments(text: str) -> str:
     text = re.sub(r"//[^\n]*", "", text)
-    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    # Keep the newlines of block comments so that character offsets still
+    # map to the original 1-based line numbers for diagnostics.
+    return re.sub(
+        r"/\*.*?\*/",
+        lambda m: "\n" * m.group(0).count("\n"),
+        text,
+        flags=re.DOTALL,
+    )
 
 
 def _split_names(blob: str) -> List[str]:
     return [n.strip() for n in blob.split(",") if n.strip()]
 
 
-def parse_verilog(text: str, name: str = "") -> Circuit:
-    """Parse one structural Verilog module into a :class:`Circuit`."""
+def parse_verilog(
+    text: str, name: str = "", source: Optional[str] = None
+) -> Circuit:
+    """Parse one structural Verilog module into a :class:`Circuit`.
+
+    ``source`` names the origin of ``text`` (usually the file) so that
+    :class:`~repro.errors.ParseError` diagnostics carry ``file:line``.
+    """
     text = _strip_comments(text)
+
+    def line_of(pos: int) -> int:
+        return text.count("\n", 0, pos) + 1
+
     module = _MODULE_RE.search(text)
     if module is None:
-        raise CircuitError("no module declaration found")
+        raise ParseError("no module declaration found", path=source)
     module_name = name or module.group(1)
-    body = text[module.end() : ]
+    body_start = module.end()
+    body = text[body_start:]
     end = body.find("endmodule")
     if end < 0:
-        raise CircuitError("missing endmodule")
+        raise ParseError(
+            "missing endmodule",
+            path=source,
+            line=line_of(module.start()),
+        )
     body = body[:end]
 
-    inputs: List[str] = []
-    outputs: List[str] = []
-    for kind, blob in _DECL_RE.findall(body):
+    inputs: List[Tuple[str, int]] = []
+    outputs: List[Tuple[str, int]] = []
+    for m in _DECL_RE.finditer(body):
+        kind, blob = m.group(1), m.group(2)
+        lineno = line_of(body_start + m.start())
         names = _split_names(blob)
         if kind == "input":
-            inputs.extend(names)
+            inputs.extend((n, lineno) for n in names)
         elif kind == "output":
-            outputs.extend(names)
+            outputs.extend((n, lineno) for n in names)
         # wires need no declaration in our netlist model
 
-    instances: List[Tuple[GateType, str, List[str]]] = []
-    for prim, _label, ports_blob in _INSTANCE_RE.findall(body):
+    instances: List[Tuple[GateType, str, List[str], int]] = []
+    for m in _INSTANCE_RE.finditer(body):
+        prim, _label, ports_blob = m.group(1), m.group(2), m.group(3)
+        lineno = line_of(body_start + m.start())
         ports = _split_names(ports_blob)
         if len(ports) < 2:
-            raise CircuitError(f"primitive {prim} needs an output and inputs")
-        instances.append((_PRIMITIVES[prim], ports[0], ports[1:]))
+            raise ParseError(
+                f"primitive {prim} needs an output and inputs",
+                path=source,
+                line=lineno,
+            )
+        instances.append((_PRIMITIVES[prim], ports[0], ports[1:], lineno))
+
+    # Driver audit before touching the circuit: each net driven at most
+    # once, every referenced net driven somewhere (literals aside).
+    driven: Dict[str, int] = {}
+    for pi, lineno in inputs:
+        if pi in driven:
+            raise ParseError(
+                f"duplicate input declaration of {pi!r}",
+                path=source,
+                line=lineno,
+            )
+        driven[pi] = lineno
+    for _gate_type, out, _fanins, lineno in instances:
+        prev = driven.get(out)
+        if prev is not None:
+            raise ParseError(
+                f"net {out!r} has multiple drivers "
+                f"(first driven on line {prev})",
+                path=source,
+                line=lineno,
+            )
+        driven[out] = lineno
+    for _gate_type, out, fanins, lineno in instances:
+        for fi in fanins:
+            if fi in ("1'b0", "1'b1") or fi in driven:
+                continue
+            raise ParseError(
+                f"instance driving {out!r} references undriven net {fi!r}",
+                path=source,
+                line=lineno,
+            )
+    for po, lineno in outputs:
+        if po not in driven:
+            raise ParseError(
+                f"output {po!r} is not driven by any instance",
+                path=source,
+                line=lineno,
+            )
 
     circuit = Circuit(module_name)
-    for pi in inputs:
+    for pi, _lineno in inputs:
         circuit.add_input(pi)
 
     # Constant literals: `buf (y, 1'b0)` becomes a tie cell directly;
@@ -116,41 +185,37 @@ def parse_verilog(text: str, name: str = "") -> Circuit:
             const_nodes[net] = tie
         return const_nodes[net]
 
-    translated: List[Tuple[GateType, str, List[str]]] = []
-    for gate_type, out, fanins in instances:
+    translated: List[Tuple[GateType, str, List[str], int]] = []
+    for gate_type, out, fanins, lineno in instances:
         if gate_type is GateType.BUF and fanins in (["1'b0"], ["1'b1"]):
             tie = GateType.CONST0 if fanins == ["1'b0"] else GateType.CONST1
             circuit.add_gate(out, tie, [])
             continue
         translated.append(
-            (gate_type, out, [resolve_literal(fi) for fi in fanins])
+            (gate_type, out, [resolve_literal(fi) for fi in fanins], lineno)
         )
-    instances = translated
-    remaining = list(instances)
+    # Insert in dependency order until fixpoint; with undriven references
+    # ruled out above, a stalled fixpoint can only mean a cycle.
+    remaining = translated
     while remaining:
         progressed = False
-        deferred: List[Tuple[GateType, str, List[str]]] = []
-        for gate_type, out, fanins in remaining:
+        deferred: List[Tuple[GateType, str, List[str], int]] = []
+        for gate_type, out, fanins, lineno in remaining:
             if all(fi in circuit for fi in fanins):
                 circuit.add_gate(out, gate_type, fanins)
                 progressed = True
             else:
-                deferred.append((gate_type, out, fanins))
+                deferred.append((gate_type, out, fanins, lineno))
         if not progressed:
-            missing = sorted(
-                {
-                    fi
-                    for _g, _o, fs in deferred
-                    for fi in fs
-                    if fi not in circuit
-                }
-            )
-            raise CircuitError(
-                f"undriven nets or combinational cycle: {missing[:5]}"
+            cyclic = sorted(o for _g, o, _f, _ln in deferred)
+            raise ParseError(
+                f"combinational cycle through nets {cyclic[:5]}",
+                path=source,
+                line=deferred[0][3],
             )
         remaining = deferred
 
-    for po in outputs:
+    for po, _lineno in outputs:
         circuit.mark_output(po)
     circuit.validate()
     return circuit
@@ -159,7 +224,7 @@ def parse_verilog(text: str, name: str = "") -> Circuit:
 def parse_verilog_file(path: Union[str, Path]) -> Circuit:
     """Read and parse a structural Verilog file."""
     path = Path(path)
-    return parse_verilog(path.read_text())
+    return parse_verilog(path.read_text(), source=str(path))
 
 
 def write_verilog(circuit: Circuit) -> str:

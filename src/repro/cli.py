@@ -8,6 +8,8 @@ Subcommands:
 * ``report <bench|name|trace.jsonl>`` — testability profile of a
   circuit, or a human-readable summary of a recorded trace;
 * ``experiments`` — run the reconstructed evaluation suite (T1–T4, F1–F4);
+* ``sweep`` — plan test points over many netlist files with per-circuit
+  crash isolation and a resumable JSONL results file;
 * ``list`` — list built-in benchmark circuits.
 
 A circuit argument is either the name of a built-in benchmark (see
@@ -17,6 +19,13 @@ Observability: ``--trace-out FILE`` records a structured JSONL trace of
 the run (spans, counters, run metadata — see :mod:`repro.obs`), and
 ``--metrics`` prints the metrics snapshot after the command finishes.
 ``repro-tpi report run.jsonl`` renders a recorded trace.
+
+Resilience: ``--budget-ms`` / ``--max-cells`` / ``--max-backtracks`` /
+``--max-patterns`` impose a cooperative solve budget; the solver then runs
+as a degradation cascade (``dp → greedy → random``) that records every
+fallback as a ``solver_fallback`` trace event.  Exit codes are stable:
+0 success, 1 infeasible result, 2 usage/parse error, 3 budget exceeded
+with no fallback left, 4 other internal library error.
 """
 
 from __future__ import annotations
@@ -32,30 +41,52 @@ from .analysis import experiments as exps
 from .circuit.bench_io import parse_bench_file
 from .circuit.verilog_io import parse_verilog_file
 from .circuit.library import BENCHMARKS, benchmark, benchmark_names
-from .circuit.netlist import Circuit
+from .circuit.netlist import Circuit, CircuitError
+from .core.cascade import DEFAULT_CASCADE, SOLVER_CASCADE, solve_with_fallback
 from .core.evaluate import evaluate_solution
 from .core.prepare import prepare_for_tpi
 from .core.greedy import solve_greedy
 from .core.heuristic import solve_dp_heuristic
 from .core.problem import TPIProblem, TPISolution
+from .errors import BudgetExceededError, ParseError, ReproError
+from .resilience import Budget
 from .sim.fault_sim import FaultSimulator
 from .sim.faults import collapse_faults
 from .sim.patterns import UniformRandomSource
 
-__all__ = ["main"]
+__all__ = [
+    "main",
+    "EXIT_OK",
+    "EXIT_INFEASIBLE",
+    "EXIT_USAGE",
+    "EXIT_BUDGET",
+    "EXIT_INTERNAL",
+]
+
+EXIT_OK = 0
+EXIT_INFEASIBLE = 1
+EXIT_USAGE = 2
+EXIT_BUDGET = 3
+EXIT_INTERNAL = 4
+
+
+def _usage_exit(message: str) -> SystemExit:
+    """A usage error: one stderr line, exit code 2 (argparse's convention)."""
+    print(f"repro-tpi: {message}", file=sys.stderr)
+    return SystemExit(EXIT_USAGE)
 
 
 def _load_circuit(spec: str) -> Circuit:
     """Resolve a circuit spec (built-in name or netlist file).
 
-    All loading/parsing failures funnel into one ``SystemExit`` with a
-    readable message, so every subcommand shares the same error surface.
+    Malformed files raise :class:`~repro.errors.ParseError` (with
+    ``file:line`` where known), which ``main`` maps to exit code 2.
     """
     if spec in BENCHMARKS:
         return benchmark(spec)
     path = Path(spec)
     if not path.exists():
-        raise SystemExit(
+        raise _usage_exit(
             f"unknown circuit {spec!r}: not a built-in benchmark and not a "
             f"file (built-ins: {', '.join(benchmark_names())})"
         )
@@ -63,8 +94,12 @@ def _load_circuit(spec: str) -> Circuit:
         if path.suffix in (".v", ".sv"):
             return parse_verilog_file(path)
         return parse_bench_file(path)
-    except Exception as exc:
-        raise SystemExit(f"failed to parse {spec!r}: {exc}") from exc
+    except ParseError:
+        raise
+    except CircuitError as exc:
+        # Structural errors found after parsing (e.g. validate()) still
+        # mean the input file is bad: present them as parse failures.
+        raise ParseError(f"failed to parse: {exc}", path=str(path)) from exc
 
 
 def _load_prepared(args: argparse.Namespace) -> Circuit:
@@ -73,12 +108,38 @@ def _load_prepared(args: argparse.Namespace) -> Circuit:
         return prepare_for_tpi(_load_circuit(args.circuit))
 
 
+def _budget_from_args(args: argparse.Namespace) -> Optional[Budget]:
+    """Build a cooperative :class:`Budget` from the CLI flags (or None)."""
+    wall = getattr(args, "budget_ms", None)
+    cells = getattr(args, "max_cells", None)
+    backtracks = getattr(args, "max_backtracks", None)
+    patterns = getattr(args, "max_patterns", None)
+    if wall is None and cells is None and backtracks is None and patterns is None:
+        return None
+    return Budget(
+        wall_ms=wall,
+        max_dp_cells=cells,
+        max_backtracks=backtracks,
+        max_patterns=patterns,
+    )
+
+
 def _solve(problem: TPIProblem, args: argparse.Namespace) -> TPISolution:
-    """Run the selected solver under the ``solve`` pipeline span."""
+    """Run the selected solver under the ``solve`` pipeline span.
+
+    With any budget flag set (or ``--solver cascade``), solving goes
+    through the degradation cascade so budget exhaustion downgrades to a
+    cheaper solver instead of failing the command.
+    """
+    budget = _budget_from_args(args)
     with obs.span(
         "solve", solver=args.solver, circuit=problem.circuit.name
     ) as sp:
-        if args.solver == "greedy":
+        if budget is not None or args.solver == "cascade":
+            start = args.solver if args.solver in DEFAULT_CASCADE else "dp"
+            stages = DEFAULT_CASCADE[DEFAULT_CASCADE.index(start):]
+            solution = solve_with_fallback(problem, solvers=stages, budget=budget)
+        elif args.solver == "greedy":
             solution = solve_greedy(problem)
         else:
             solution = solve_dp_heuristic(problem)
@@ -165,30 +226,84 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    runners = {
-        "t1": lambda: exps.run_t1_circuit_characteristics(),
-        "t2": lambda: exps.run_t2_dp_optimality(),
-        "t3": lambda: exps.run_t3_tree_solver_comparison(),
-        "t4": lambda: exps.run_t4_coverage_improvement()[0],
-        "f1": lambda: exps.run_f1_points_curve(),
-        "f2": lambda: exps.run_f2_runtime_scaling(),
-        "f3": lambda: exps.run_f3_testlength_curves(),
-        "f4": lambda: exps.run_f4_quantization_ablation(),
-        "e1": lambda: exps.run_e1_misr_aliasing(),
-        "e2": lambda: exps.run_e2_margin_ablation(),
-        "e3": lambda: exps.run_e3_strategy_comparison(),
-        "e4": lambda: exps.run_e4_multiphase(),
-        "e5": lambda: exps.run_e5_weighted_random(),
-    }
+    runners = exps.experiment_runners()
     selected = args.only or list(runners)
     for key in selected:
         if key not in runners:
-            raise SystemExit(f"unknown experiment {key!r} (choose from {list(runners)})")
+            raise _usage_exit(
+                f"unknown experiment {key!r} (choose from {list(runners)})"
+            )
+    if args.results is not None:
+        # Checkpointed mode: crash-isolated, resumable per experiment.
+        records = exps.run_experiments_checkpointed(
+            selected, args.results, resume=not args.no_resume
+        )
+        failures = 0
+        for record in records:
+            if record["status"] == "ok":
+                print(record["rendered"])
+            else:
+                failures += 1
+                print(
+                    f"[{record['experiment']}] FAILED "
+                    f"({record['error_type']}): {record['error']}",
+                    file=sys.stderr,
+                )
+            print()
+        print(
+            f"results written to {args.results} "
+            f"({len(records) - failures} ok, {failures} failed)",
+            file=sys.stderr,
+        )
+        return EXIT_OK if failures == 0 else EXIT_INFEASIBLE
+    for key in selected:
         with obs.span(f"experiment.{key}"):
             rendered = runners[key]().render()
         print(rendered)
         print()
-    return 0
+    return EXIT_OK
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    paths: List[Path] = []
+    for spec in args.paths:
+        p = Path(spec)
+        if p.is_dir():
+            paths.extend(
+                sorted(
+                    q
+                    for q in p.iterdir()
+                    if q.suffix in (".bench", ".v", ".sv")
+                )
+            )
+        elif p.exists():
+            paths.append(p)
+        else:
+            raise _usage_exit(f"no such file or directory: {spec!r}")
+    if not paths:
+        raise _usage_exit("no netlist files (.bench/.v/.sv) to sweep")
+    outcomes = exps.run_circuit_sweep(
+        paths,
+        args.results,
+        n_patterns=args.patterns,
+        escape_budget=args.escape,
+        budget=_budget_from_args(args),
+        solvers=tuple(args.solvers),
+        resume=not args.no_resume,
+        max_circuits=args.max_circuits,
+    )
+    for outcome in outcomes:
+        print(outcome.describe())
+    n_failed = sum(1 for o in outcomes if not o.ok)
+    remaining = len(paths) - len(outcomes)
+    summary = (
+        f"swept {len(outcomes)}/{len(paths)} circuits: "
+        f"{len(outcomes) - n_failed} ok, {n_failed} failed"
+    )
+    if remaining:
+        summary += f", {remaining} not yet run"
+    print(f"{summary} (results: {args.results})", file=sys.stderr)
+    return EXIT_OK
 
 
 # ---------------------------------------------------------------------------
@@ -196,7 +311,19 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 def _run_metadata(args: argparse.Namespace) -> dict:
     meta = {"command": args.command, "argv": sys.argv[1:]}
-    for key in ("circuit", "seed", "patterns", "escape", "solver", "only"):
+    for key in (
+        "circuit",
+        "seed",
+        "patterns",
+        "escape",
+        "solver",
+        "only",
+        "results",
+        "budget_ms",
+        "max_cells",
+        "max_backtracks",
+        "max_patterns",
+    ):
         value = getattr(args, key, None)
         if value is not None:
             meta[key] = value
@@ -259,6 +386,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--escape", type=float, default=0.001, help="escape budget ε")
         p.add_argument("--seed", type=int, default=1, help="pattern source seed")
 
+    def add_budget(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "solve budget",
+            "cooperative limits; when any is set the solver degrades "
+            "dp → greedy → random instead of failing (exit 3 only when "
+            "the whole cascade runs out)",
+        )
+        g.add_argument(
+            "--budget-ms", type=float, metavar="MS",
+            help="wall-clock budget per solve stage (milliseconds)",
+        )
+        g.add_argument(
+            "--max-cells", type=int, metavar="N",
+            help="max DP table cells per solve stage",
+        )
+        g.add_argument(
+            "--max-backtracks", type=int, metavar="N",
+            help="max cumulative PODEM backtracks",
+        )
+        g.add_argument(
+            "--max-patterns", type=int, metavar="N",
+            help="max simulated pattern-fault pairs",
+        )
+
     p = sub.add_parser("stats", help="circuit statistics and baseline coverage")
     add_common(p)
     add_observability(p)
@@ -267,14 +418,48 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("insert", help="plan test points and print the placement")
     add_common(p)
     add_observability(p)
-    p.add_argument("--solver", choices=["dp", "greedy"], default="dp")
+    add_budget(p)
+    p.add_argument("--solver", choices=["dp", "greedy", "cascade"], default="dp")
     p.set_defaults(fn=_cmd_insert)
 
     p = sub.add_parser("coverage", help="plan, insert, fault simulate, report")
     add_common(p)
     add_observability(p)
-    p.add_argument("--solver", choices=["dp", "greedy"], default="dp")
+    add_budget(p)
+    p.add_argument("--solver", choices=["dp", "greedy", "cascade"], default="dp")
     p.set_defaults(fn=_cmd_coverage)
+
+    p = sub.add_parser(
+        "sweep",
+        help="plan test points over many netlist files; crash-isolated, "
+        "checkpointed to --results, resumable",
+    )
+    p.add_argument(
+        "paths", nargs="+",
+        help="netlist files and/or directories of .bench/.v/.sv files",
+    )
+    p.add_argument(
+        "--results", required=True, metavar="FILE",
+        help="JSONL results/checkpoint file (appended; enables resume)",
+    )
+    p.add_argument("--patterns", type=int, default=1024, help="pattern budget")
+    p.add_argument("--escape", type=float, default=0.001, help="escape budget ε")
+    p.add_argument(
+        "--solvers", nargs="+", choices=list(SOLVER_CASCADE),
+        default=list(DEFAULT_CASCADE), metavar="SOLVER",
+        help=f"cascade stages, most precise first (default: {' '.join(DEFAULT_CASCADE)})",
+    )
+    p.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run circuits already recorded in --results",
+    )
+    p.add_argument(
+        "--max-circuits", type=int, metavar="N",
+        help="stop after N new circuits (for staged / interrupted runs)",
+    )
+    add_observability(p)
+    add_budget(p)
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
         "report",
@@ -289,16 +474,40 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="subset of experiment ids (t1..t4, f1..f4, e1..e5)",
     )
+    p.add_argument(
+        "--results", metavar="FILE",
+        help="JSONL checkpoint file: isolate experiment failures and "
+        "resume completed experiments from it",
+    )
+    p.add_argument(
+        "--no-resume", action="store_true",
+        help="with --results: re-run experiments already recorded",
+    )
     add_observability(p)
     p.set_defaults(fn=_cmd_experiments)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Every deliberate library error (:class:`~repro.errors.ReproError`) is
+    caught here and rendered as one stderr line with a stable exit code:
+    2 usage/parse, 3 budget exceeded, 4 anything else.
+    """
     args = build_parser().parse_args(argv)
-    with _observability(args):
-        return args.fn(args)
+    try:
+        with _observability(args):
+            return args.fn(args)
+    except BudgetExceededError as exc:
+        print(f"repro-tpi: budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except ParseError as exc:
+        print(f"repro-tpi: parse error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ReproError as exc:
+        print(f"repro-tpi: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

@@ -7,12 +7,15 @@ Public surface:
 * :mod:`~repro.core.heuristic` — DP-on-regions for general circuits;
 * :mod:`~repro.core.greedy` / :mod:`~repro.core.random_placement` /
   :mod:`~repro.core.exhaustive` — baselines and the optimality oracle;
+* :mod:`~repro.core.cascade` — budget-aware solver degradation
+  (``exhaustive → dp → greedy → random``);
 * :mod:`~repro.core.virtual` — analytical placement evaluation;
 * :mod:`~repro.core.test_points` — physical hardware insertion;
 * :mod:`~repro.core.evaluate` — end-to-end measured-coverage pipeline;
 * :mod:`~repro.core.npc` — the executable NP-completeness reduction.
 """
 
+from .cascade import DEFAULT_CASCADE, SOLVER_CASCADE, solve_with_fallback
 from .dp import DPSolver, quantized_tree_check, solve_tree
 from .evaluate import CoverageReport, evaluate_solution, measure_coverage
 from .exhaustive import solve_exhaustive
@@ -77,6 +80,9 @@ __all__ = [
     "solve_greedy",
     "solve_random",
     "solve_exhaustive",
+    "solve_with_fallback",
+    "SOLVER_CASCADE",
+    "DEFAULT_CASCADE",
     "VirtualEvaluation",
     "evaluate_placement",
     "split_placement",

@@ -1,0 +1,116 @@
+"""Graceful solver degradation: exhaustive → dp → greedy → random.
+
+General TPI is NP-complete, so the expensive solvers carry cooperative
+budgets (:mod:`repro.resilience`) — and a budget running out must not
+abort the pipeline.  :func:`solve_with_fallback` runs a cascade of solvers
+from most to least precise; when a stage raises
+:class:`~repro.errors.BudgetExceededError` (or a
+:class:`~repro.errors.SolverError` precondition failure, e.g. handing the
+exact tree DP a reconvergent circuit), the cascade records the degradation
+as a ``solver_fallback`` obs event plus a ``cascade.fallbacks`` counter
+and moves to the next cheaper stage with a *fresh* budget clock.
+
+Only when the **last** stage also fails does the error propagate — at that
+point the instance genuinely does not fit the budget and the caller (CLI
+exit code 3, or the sweep runner's per-circuit isolation) decides what to
+do with the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .. import obs
+from ..errors import BudgetExceededError, SolverError
+from ..resilience import Budget
+from .exhaustive import solve_exhaustive
+from .greedy import solve_greedy
+from .heuristic import solve_dp_heuristic
+from .problem import TPIProblem, TPISolution
+from .random_placement import solve_random
+
+__all__ = ["SOLVER_CASCADE", "DEFAULT_CASCADE", "solve_with_fallback"]
+
+#: Every cascade stage, most precise first.
+SOLVER_CASCADE: Tuple[str, ...] = ("exhaustive", "dp", "greedy", "random")
+
+#: The production default: exhaustive search is opt-in (tiny instances only).
+DEFAULT_CASCADE: Tuple[str, ...] = ("dp", "greedy", "random")
+
+_Stage = Callable[[TPIProblem, Optional[Budget]], TPISolution]
+
+_STAGES: Dict[str, _Stage] = {
+    "exhaustive": lambda p, b: solve_exhaustive(p, budget=b),
+    "dp": lambda p, b: solve_dp_heuristic(p, budget=b),
+    "greedy": lambda p, b: solve_greedy(p, budget=b),
+    "random": lambda p, b: solve_random(p, budget=b),
+}
+
+
+def solve_with_fallback(
+    problem: TPIProblem,
+    solvers: Sequence[str] = DEFAULT_CASCADE,
+    budget: Optional[Budget] = None,
+) -> TPISolution:
+    """Solve ``problem``, degrading to cheaper solvers on budget failure.
+
+    Parameters
+    ----------
+    problem:
+        The TPI instance.
+    solvers:
+        Stage names (subset of :data:`SOLVER_CASCADE`), tried in order.
+    budget:
+        Cooperative limits.  Each stage receives a **fresh clock** with the
+        same limits (:meth:`~repro.resilience.Budget.renewed`), so a stage
+        that times out does not starve the cheaper stages behind it.
+
+    Returns the first stage's solution that completes; its ``stats`` gain
+    ``fallbacks`` (stages skipped over) and the solution's ``method`` is
+    the stage that actually produced it.  Raises the final stage's
+    :class:`~repro.errors.BudgetExceededError` / ``SolverError`` when every
+    stage fails.
+    """
+    if not solvers:
+        raise SolverError("solver cascade must name at least one solver")
+    unknown = [s for s in solvers if s not in _STAGES]
+    if unknown:
+        raise SolverError(
+            f"unknown cascade stages {unknown}; choose from {list(_STAGES)}"
+        )
+
+    circuit_name = problem.circuit.name
+    for index, name in enumerate(solvers):
+        stage_budget = budget.renewed() if budget is not None else None
+        try:
+            with obs.span(
+                "cascade.stage", solver=name, circuit=circuit_name
+            ) as sp:
+                solution = _STAGES[name](problem, stage_budget)
+                sp.set(cost=solution.cost, feasible=solution.feasible)
+        except (BudgetExceededError, SolverError) as exc:
+            obs.count("cascade.fallbacks")
+            obs.count(f"cascade.fallbacks.{name}")
+            if index + 1 >= len(solvers):
+                # Cascade exhausted: the failure is now the caller's.
+                obs.event(
+                    "cascade_exhausted",
+                    circuit=circuit_name,
+                    solver=name,
+                    error=type(exc).__name__,
+                    reason=str(exc),
+                )
+                raise
+            obs.event(
+                "solver_fallback",
+                circuit=circuit_name,
+                from_solver=name,
+                to_solver=solvers[index + 1],
+                error=type(exc).__name__,
+                resource=getattr(exc, "resource", None),
+                reason=str(exc),
+            )
+            continue
+        solution.stats["fallbacks"] = float(index)
+        return solution
+    raise AssertionError("unreachable: cascade neither returned nor raised")

@@ -38,6 +38,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .. import obs
 from ..circuit.analysis import is_fanout_free
+from ..errors import SolverError
+from ..resilience import Budget
 from ..circuit.gates import (
     GateType,
     output_probability,
@@ -92,6 +94,10 @@ class DPSolver:
         Optional map node → ``(check_sa0, check_sa1)`` overriding which
         polarities are enforced at that node's wire.  Defaults are derived
         from the gate type (tie cells enforce only their detectable fault).
+    budget:
+        Optional cooperative :class:`~repro.resilience.Budget`; the wall
+        clock is checked and ``dp_cells`` charged at every memoized table,
+        raising :class:`~repro.errors.BudgetExceededError` mid-solve.
     """
 
     def __init__(
@@ -102,26 +108,27 @@ class DPSolver:
         leaf_probabilities: Optional[Mapping[str, float]] = None,
         enforced_faults: Optional[Mapping[str, Tuple[bool, bool]]] = None,
         margin: float = 1.0,
+        budget: Optional[Budget] = None,
     ) -> None:
         if margin < 1.0:
-            raise ValueError("margin must be ≥ 1")
+            raise SolverError("margin must be ≥ 1")
         circuit = problem.circuit
         circuit.validate()
         if not is_fanout_free(circuit):
-            raise ValueError(
+            raise SolverError(
                 "the DP is exact only on fanout-free circuits; use "
                 "repro.core.heuristic for circuits with fanout"
             )
         for node in circuit.gates:
             if len(node.fanins) > 2:
-                raise ValueError(
+                raise SolverError(
                     "factorize the circuit to ≤2-input gates before the DP"
                 )
         dead_gates = [
             n for n in circuit.floating_nodes() if circuit.node(n).is_gate
         ]
         if dead_gates:
-            raise ValueError(
+            raise SolverError(
                 f"dead logic present (sweep first): {dead_gates[:5]}"
             )
         # Unused primary inputs carry structurally untestable faults; they
@@ -131,6 +138,7 @@ class DPSolver:
         }
         self.problem = problem
         self.circuit = circuit
+        self.budget = budget
         self.margin = margin
         self.threshold = min(problem.threshold * margin, 1.0)
         self.grid = grid or ProbabilityGrid.for_threshold(self.threshold)
@@ -206,6 +214,8 @@ class DPSolver:
         cached = self._tables.get(key)
         if cached is not None:
             return cached
+        if self.budget is not None:
+            self.budget.tick("dp.table")
 
         grid = self.grid
         o_env = grid.value(o_idx)
@@ -311,6 +321,8 @@ class DPSolver:
 
         self._tables[key] = table
         self._table_cells += len(table)
+        if self.budget is not None:
+            self.budget.charge("dp_cells", len(table), "dp.table")
         return table
 
     def _sens_table(self, gate_type: GateType) -> List[float]:
@@ -507,6 +519,7 @@ def solve_tree(
     leaf_probabilities: Optional[Mapping[str, float]] = None,
     enforced_faults: Optional[Mapping[str, Tuple[bool, bool]]] = None,
     margin: float = 1.0,
+    budget: Optional[Budget] = None,
 ) -> TPISolution:
     """Convenience wrapper: construct a :class:`DPSolver` and solve.
 
@@ -521,4 +534,5 @@ def solve_tree(
         leaf_probabilities=leaf_probabilities,
         enforced_faults=enforced_faults,
         margin=margin,
+        budget=budget,
     ).solve()

@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
 from .problem import TestPoint, TestPointType, TPIProblem, TPISolution
 from .virtual import evaluate_placement
@@ -56,6 +57,7 @@ def solve_exhaustive(
     candidate_sites: Optional[Sequence[str]] = None,
     feasibility: Optional[FeasibilityCheck] = None,
     max_subset_size: int = 6,
+    budget: Optional[Budget] = None,
 ) -> TPISolution:
     """Search every placement subset (by increasing size) for minimum cost.
 
@@ -68,6 +70,9 @@ def solve_exhaustive(
         (default: the continuous COP evaluator over ``faults``).
     max_subset_size:
         Safety cap on enumerated subset cardinality.
+    budget:
+        Optional cooperative budget; the wall clock is checked before every
+        feasibility evaluation (the exponential part of the search).
 
     The search is exact: it stops growing subsets once even the cheapest
     ``k``-subset cannot beat the best feasible cost found.
@@ -100,6 +105,8 @@ def solve_exhaustive(
                 continue
             if _conflicting(combo):
                 continue
+            if budget is not None:
+                budget.tick("exhaustive.search")
             checked += 1
             if feasibility(combo):
                 best_cost = cost

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
 from .problem import TestPoint, TestPointType, TPIProblem, TPISolution
 from .virtual import VirtualEvaluation, evaluate_placement
@@ -91,6 +92,7 @@ def solve_greedy(
     candidate_limit: int = 64,
     max_iterations: int = 200,
     initial_points: Optional[Sequence[TestPoint]] = None,
+    budget: Optional[Budget] = None,
 ) -> TPISolution:
     """Greedy TPI: commit the best benefit-per-cost candidate each round.
 
@@ -107,6 +109,9 @@ def solve_greedy(
     initial_points:
         Placement to start from (used as the mop-up stage of the DP
         heuristic); its cost is included in the result.
+    budget:
+        Optional cooperative budget; the wall clock is checked per
+        committed point and per candidate evaluation.
     """
     if faults is None:
         faults = testable_stuck_at_faults(problem.circuit)
@@ -117,6 +122,8 @@ def solve_greedy(
 
     for _ in range(max_iterations):
         iterations += 1
+        if budget is not None:
+            budget.tick("greedy.iteration")
         evaluation = evaluate_placement(problem, points)
         failing = evaluation.failing_faults(faults)
         if not failing:
@@ -132,6 +139,8 @@ def solve_greedy(
         best_key: Tuple = ()
         for cand in candidates:
             evaluations += 1
+            if budget is not None:
+                budget.tick("greedy.candidate")
             after = evaluate_placement(problem, points + [cand])
             fixed = len(failing) - len(after.failing_faults(faults))
             if fixed <= 0:

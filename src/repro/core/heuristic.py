@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..circuit.analysis import fanout_free_regions
+from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
 from .dp import solve_tree
 from .greedy import solve_greedy
@@ -73,6 +74,7 @@ def solve_dp_heuristic(
     max_rounds: int = 8,
     final_greedy: bool = True,
     margin: float = 1.5,
+    budget: Optional[Budget] = None,
 ) -> TPISolution:
     """Iterative DP-on-regions TPI for circuits with reconvergent fanout.
 
@@ -92,6 +94,10 @@ def solve_dp_heuristic(
     margin:
         Planning margin forwarded to the regional DPs (``θ × margin``),
         covering quantization slack and cross-region coupling.
+    budget:
+        Optional cooperative budget, checked at every round and region
+        boundary and forwarded into the regional DPs and the greedy
+        mop-up, so one shared limit bounds the whole heuristic.
     """
     circuit = problem.circuit
     if faults is None:
@@ -109,6 +115,8 @@ def solve_dp_heuristic(
 
     for _ in range(max_rounds):
         rounds += 1
+        if budget is not None:
+            budget.tick("heuristic.round")
         evaluation = evaluate_placement(problem, points)
         failing = evaluation.failing_faults(faults)
         if not failing:
@@ -124,10 +132,14 @@ def solve_dp_heuristic(
             break
         progress = False
         for ridx in targets:
+            if budget is not None:
+                budget.tick("heuristic.region")
             old = points_by_region.get(ridx, [])
             base = [p for p in points if p not in set(old)]
             base_eval = evaluate_placement(problem, base)
-            sub = extract_region_subproblem(problem, regions[ridx], base_eval)
+            sub = extract_region_subproblem(
+                problem, regions[ridx], base_eval, budget=budget
+            )
             sub_problem = TPIProblem(
                 circuit=sub.circuit,
                 threshold=problem.threshold,
@@ -143,6 +155,7 @@ def solve_dp_heuristic(
                 leaf_probabilities=sub.leaf_probabilities,
                 enforced_faults=sub.enforced,
                 margin=margin,
+                budget=budget,
             )
             if not solution.feasible:
                 continue
@@ -158,7 +171,9 @@ def solve_dp_heuristic(
     feasible = evaluation.is_feasible(faults)
     mop_up_points = 0
     if not feasible and final_greedy:
-        greedy = solve_greedy(problem, faults=faults, initial_points=points)
+        greedy = solve_greedy(
+            problem, faults=faults, initial_points=points, budget=budget
+        )
         mop_up_points = len(greedy.points) - len(points)
         points = greedy.points
         feasible = greedy.feasible

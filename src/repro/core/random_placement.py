@@ -11,6 +11,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
 from .problem import TestPoint, TestPointType, TPIProblem, TPISolution
 from .virtual import evaluate_placement
@@ -23,11 +24,13 @@ def solve_random(
     faults: Optional[Sequence[Fault]] = None,
     seed: int = 0,
     max_point_budget: int = 200,
+    budget: Optional[Budget] = None,
 ) -> TPISolution:
     """Insert uniformly random test points until feasible (or budget out).
 
     Feasibility is re-checked after every insertion so the reported cost is
     the cost at first feasibility, comparable with the other solvers.
+    ``budget``'s wall clock, when given, is checked once per attempt.
     """
     if faults is None:
         faults = testable_stuck_at_faults(problem.circuit)
@@ -40,15 +43,17 @@ def solve_random(
     feasible = False
     attempts = 0
 
-    budget = max_point_budget
+    point_budget = max_point_budget
     if problem.max_points is not None:
-        budget = min(budget, problem.max_points)
+        point_budget = min(point_budget, problem.max_points)
 
     # Every wire takes at most one control point and one observation
     # point, so the pool of distinct placements is finite — stop once it
     # is exhausted (or the instance would loop forever when infeasible).
     max_distinct = 2 * len(sites)
-    while len(points) < min(budget, max_distinct):
+    while len(points) < min(point_budget, max_distinct):
+        if budget is not None:
+            budget.tick("random.attempt")
         if evaluate_placement(problem, points).is_feasible(faults):
             feasible = True
             break

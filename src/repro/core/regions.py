@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..circuit.analysis import FanoutFreeRegion, fanout_free_regions
 from ..circuit.netlist import Circuit
+from ..resilience import Budget
 from ..sim.faults import Fault
 from .problem import TestPoint, TPIProblem
 from .virtual import VirtualEvaluation
@@ -77,14 +78,18 @@ def extract_region_subproblem(
     problem: TPIProblem,
     region: FanoutFreeRegion,
     evaluation: VirtualEvaluation,
+    budget: Optional[Budget] = None,
 ) -> RegionSubproblem:
     """Build the tree subproblem of ``region`` under the current placement.
 
     ``evaluation`` must describe the circuit with all points *outside* the
     region applied (and the region's own previous points removed), so leaf
     probabilities and root observability reflect the environment the DP
-    plans against.
+    plans against.  ``budget``'s wall clock, when given, is checked at the
+    per-member loop boundary.
     """
+    if budget is not None:
+        budget.tick("regions.extract")
     circuit = problem.circuit
     tree = Circuit(f"{circuit.name}__ffr_{region.root}")
     site_of: Dict[str, _Site] = {}
@@ -109,6 +114,8 @@ def extract_region_subproblem(
         return name
 
     for name in order:
+        if budget is not None:
+            budget.tick("regions.extract")
         node = circuit.node(name)
         fanins = []
         for pin, fi in enumerate(node.fanins):

@@ -1,0 +1,131 @@
+"""Structured exception taxonomy for the whole library.
+
+Krishnamurthy's complexity result makes failure a *normal* outcome here:
+general TPI is NP-complete, so any non-tree solve may legitimately run out
+of time or state space, and long experiment sweeps must survive individual
+circuits going wrong.  Every error the library raises on purpose derives
+from :class:`ReproError`, so callers (the CLI, the experiment runner, the
+solver cascade) can tell principled failures apart from genuine bugs:
+
+* :class:`ParseError` — a netlist file is malformed; carries the source
+  file and 1-based line number when known;
+* :class:`SolverError` — a solver cannot run on or solve the given
+  instance (precondition violations, infeasibility the caller opted to
+  treat as an error);
+* :class:`BudgetExceededError` — a cooperative solve budget (wall clock,
+  DP table cells, PODEM backtracks, simulated patterns) ran out; the
+  solver cascade catches exactly this to degrade to a cheaper method;
+* :class:`SimulationError` — a simulation request is inconsistent with
+  the circuit (foreign faults, empty pattern budget);
+* :class:`ExperimentError` — an experiment-harness level failure
+  (unknown experiment id, corrupt checkpoint file).
+
+Most leaves also derive from the builtin the pre-taxonomy code raised
+(``ValueError`` / ``RuntimeError``), so existing ``except`` clauses and
+tests keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "ParseError",
+    "SolverError",
+    "BudgetExceededError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error raised by this library."""
+
+
+class CircuitError(ReproError, ValueError):
+    """Raised for structurally invalid netlist operations.
+
+    (Historically defined in :mod:`repro.circuit.netlist`, which still
+    re-exports it; it lives here so the whole taxonomy shares one root.)
+    """
+
+
+class ParseError(CircuitError):
+    """A netlist file could not be parsed.
+
+    Parameters
+    ----------
+    message:
+        What is wrong, without location prefix.
+    path:
+        Source file name (``None`` when parsing an in-memory string).
+    line:
+        1-based line number of the offending construct, when known.
+
+    The rendered message is prefixed ``path:line:`` so editors and CI
+    logs link straight to the problem.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self.line = line
+        if path is not None and line is not None:
+            prefix = f"{path}:{line}: "
+        elif path is not None:
+            prefix = f"{path}: "
+        elif line is not None:
+            prefix = f"line {line}: "
+        else:
+            prefix = ""
+        super().__init__(prefix + message)
+
+
+class SolverError(ReproError, ValueError):
+    """A solver cannot run on (or failed on) the given instance."""
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A cooperative solve budget ran out.
+
+    Attributes
+    ----------
+    resource:
+        Which budget dimension was exhausted (``"wall_clock"``,
+        ``"dp_cells"``, ``"backtracks"``, ``"patterns"``).
+    limit / spent:
+        The configured limit and the amount consumed when the check fired.
+    where:
+        The loop boundary that noticed (e.g. ``"dp.table"``).
+    """
+
+    def __init__(
+        self,
+        resource: str,
+        limit: float,
+        spent: float,
+        where: str = "",
+    ) -> None:
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        self.where = where
+        at = f" at {where}" if where else ""
+        super().__init__(
+            f"{resource} budget exceeded{at}: spent {spent:g} of {limit:g}"
+        )
+
+
+class SimulationError(ReproError, ValueError):
+    """A simulation request is inconsistent with the target circuit."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment-harness level failure (bad id, corrupt checkpoint)."""

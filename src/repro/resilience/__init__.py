@@ -1,0 +1,41 @@
+"""repro.resilience — budgets, degradation, and failure isolation.
+
+The resilience layer has three parts, threaded through the whole pipeline:
+
+* the exception taxonomy in :mod:`repro.errors` (re-exported here), which
+  turns "anything might raise anything" into a small set of catchable,
+  structured failures;
+* cooperative :class:`Budget` / :class:`Deadline` objects (this package),
+  checked at loop boundaries inside the DP, the exhaustive search, the
+  regional heuristic, greedy, PODEM, and the fault simulator;
+* the solver cascade (:mod:`repro.core.cascade`) and the crash-isolated
+  experiment runner (:mod:`repro.analysis.experiments`), which *consume*
+  budget failures: the cascade degrades to a cheaper solver, the runner
+  records the failure and moves on to the next circuit.
+
+DESIGN.md §8 describes the degradation cascade and why NP-completeness
+makes budgets first-class here.
+"""
+
+from ..errors import (
+    BudgetExceededError,
+    CircuitError,
+    ExperimentError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+from .budget import Budget, Deadline
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "BudgetExceededError",
+    "CircuitError",
+    "ExperimentError",
+    "ParseError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+]

@@ -1,0 +1,187 @@
+"""Cooperative solve budgets: wall clock and state-space limits.
+
+General TPI is NP-complete (the point of the paper's tree restriction), so
+every solve on a non-tree instance is inherently budget-bound.  A
+:class:`Budget` makes that bound explicit and *cooperative*: the solvers,
+ATPG, and fault simulator call :meth:`Budget.tick` / :meth:`Budget.charge`
+at their loop boundaries, and the budget raises
+:class:`~repro.errors.BudgetExceededError` the moment any dimension runs
+out.  Nothing is interrupted mid-datastructure — callers always unwind
+through ordinary exception propagation, which is what lets the solver
+cascade (:mod:`repro.core.cascade`) catch the error and degrade to a
+cheaper method.
+
+Dimensions (all optional; an unset limit is unbounded):
+
+* ``wall_ms`` — wall-clock milliseconds, tracked by a :class:`Deadline`;
+* ``max_dp_cells`` — DP table cells materialized (state-space size);
+* ``max_backtracks`` — PODEM backtracks across the budgeted extent;
+* ``max_patterns`` — pattern-fault simulations (``n_patterns`` is charged
+  once per fault propagated).
+
+A budget instance is single-use: its clock starts at construction.  The
+solver cascade gives each fallback stage a fresh clock via
+:meth:`Budget.renewed`, so a stage that times out does not starve the
+cheaper stages behind it.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Dict, Optional
+
+from ..errors import BudgetExceededError
+
+__all__ = ["Budget", "Deadline"]
+
+_MS_TO_NS = 1_000_000
+
+
+class Deadline:
+    """A wall-clock expiry point (monotonic, nanosecond resolution)."""
+
+    __slots__ = ("expires_ns", "started_ns")
+
+    def __init__(self, expires_ns: Optional[int] = None) -> None:
+        self.started_ns = perf_counter_ns()
+        self.expires_ns = expires_ns
+
+    @classmethod
+    def after_ms(cls, ms: float) -> "Deadline":
+        """A deadline ``ms`` milliseconds from now."""
+        if ms < 0:
+            raise ValueError("deadline must be non-negative")
+        deadline = cls(None)
+        deadline.expires_ns = deadline.started_ns + int(ms * _MS_TO_NS)
+        return deadline
+
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(None)
+
+    @property
+    def bounded(self) -> bool:
+        return self.expires_ns is not None
+
+    def elapsed_ns(self) -> int:
+        """Nanoseconds since the deadline was armed."""
+        return perf_counter_ns() - self.started_ns
+
+    def remaining_ns(self) -> Optional[int]:
+        """Nanoseconds left (may be negative), or ``None`` when unbounded."""
+        if self.expires_ns is None:
+            return None
+        return self.expires_ns - perf_counter_ns()
+
+    def expired(self) -> bool:
+        return (
+            self.expires_ns is not None
+            and perf_counter_ns() >= self.expires_ns
+        )
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`BudgetExceededError` when the deadline has passed."""
+        if self.expired():
+            limit_ms = (self.expires_ns - self.started_ns) / _MS_TO_NS
+            spent_ms = self.elapsed_ns() / _MS_TO_NS
+            raise BudgetExceededError(
+                "wall_clock", limit_ms, spent_ms, where=where
+            )
+
+
+class Budget:
+    """A bundle of cooperative limits shared across one solve attempt.
+
+    Parameters
+    ----------
+    wall_ms:
+        Wall-clock limit in milliseconds (``None`` = unbounded).
+    max_dp_cells:
+        Limit on DP table cells materialized.
+    max_backtracks:
+        Limit on PODEM backtracks.
+    max_patterns:
+        Limit on pattern-fault simulations.
+    """
+
+    #: Countable resources (wall clock is handled by the deadline).
+    RESOURCES = ("dp_cells", "backtracks", "patterns")
+
+    def __init__(
+        self,
+        wall_ms: Optional[float] = None,
+        max_dp_cells: Optional[int] = None,
+        max_backtracks: Optional[int] = None,
+        max_patterns: Optional[int] = None,
+    ) -> None:
+        for name, value in (
+            ("wall_ms", wall_ms),
+            ("max_dp_cells", max_dp_cells),
+            ("max_backtracks", max_backtracks),
+            ("max_patterns", max_patterns),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative")
+        self.wall_ms = wall_ms
+        self.deadline = (
+            Deadline.after_ms(wall_ms)
+            if wall_ms is not None
+            else Deadline.unbounded()
+        )
+        self.limits: Dict[str, Optional[int]] = {
+            "dp_cells": max_dp_cells,
+            "backtracks": max_backtracks,
+            "patterns": max_patterns,
+        }
+        self.spent: Dict[str, int] = {r: 0 for r in self.RESOURCES}
+
+    # ------------------------------------------------------------------
+    @property
+    def bounded(self) -> bool:
+        """True when at least one dimension carries a limit."""
+        return self.deadline.bounded or any(
+            v is not None for v in self.limits.values()
+        )
+
+    def tick(self, where: str = "") -> None:
+        """Check the wall clock (call at every loop boundary)."""
+        self.deadline.check(where)
+
+    def charge(self, resource: str, n: int = 1, where: str = "") -> None:
+        """Consume ``n`` units of ``resource``; raise once over the limit.
+
+        Also checks the wall clock, so hot loops only need one call.
+        """
+        spent = self.spent[resource] + n
+        self.spent[resource] = spent
+        limit = self.limits[resource]
+        if limit is not None and spent > limit:
+            raise BudgetExceededError(resource, limit, spent, where=where)
+        self.deadline.check(where)
+
+    def renewed(self) -> "Budget":
+        """A fresh budget with the same limits and a restarted clock."""
+        return Budget(
+            wall_ms=self.wall_ms,
+            max_dp_cells=self.limits["dp_cells"],
+            max_backtracks=self.limits["backtracks"],
+            max_patterns=self.limits["patterns"],
+        )
+
+    def describe(self) -> Dict[str, Optional[float]]:
+        """JSON-able snapshot of limits and consumption (for run records)."""
+        out: Dict[str, Optional[float]] = {"wall_ms": self.wall_ms}
+        for resource in self.RESOURCES:
+            out[f"max_{resource}"] = self.limits[resource]
+            out[f"spent_{resource}"] = self.spent[resource]
+        out["elapsed_ms"] = self.deadline.elapsed_ns() / _MS_TO_NS
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        limits = ", ".join(
+            f"{k}={v}" for k, v in self.limits.items() if v is not None
+        )
+        wall = f"wall_ms={self.wall_ms}" if self.wall_ms is not None else ""
+        inner = ", ".join(x for x in (wall, limits) if x)
+        return f"Budget({inner or 'unbounded'})"

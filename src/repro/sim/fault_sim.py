@@ -23,6 +23,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from .. import obs
 from ..circuit.gates import evaluate_gate
 from ..circuit.netlist import Circuit
+from ..errors import SimulationError
+from ..resilience import Budget
 from .bitops import ones_mask
 from .faults import CollapsedFaultSet, Fault, collapse_faults
 from .logic_sim import LogicSimulator
@@ -246,6 +248,7 @@ class FaultSimulator:
         n_patterns: int,
         faults: Optional[Sequence[Fault]] = None,
         collapse: bool = True,
+        budget: Optional[Budget] = None,
     ) -> FaultSimResult:
         """Fault-simulate a stimulus set.
 
@@ -260,7 +263,13 @@ class FaultSimulator:
         collapse:
             When True (default) and ``faults`` is None, the list is
             equivalence-collapsed first.
+        budget:
+            Optional cooperative budget; ``patterns`` is charged
+            ``n_patterns`` per fault propagated (one word-parallel pass),
+            so the limit bounds total pattern-fault simulations.
         """
+        if n_patterns <= 0:
+            raise SimulationError("n_patterns must be positive")
         if faults is None:
             if collapse:
                 faults = collapse_faults(self.circuit).representatives
@@ -268,6 +277,14 @@ class FaultSimulator:
                 from .faults import all_stuck_at_faults
 
                 faults = all_stuck_at_faults(self.circuit)
+        else:
+            foreign = [f for f in faults if f.node not in self.circuit]
+            if foreign:
+                raise SimulationError(
+                    f"fault list names nodes absent from circuit "
+                    f"{self.circuit.name!r}: "
+                    f"{sorted({f.node for f in foreign})[:5]}"
+                )
         with obs.span(
             "fault_sim.run",
             circuit=self.circuit.name,
@@ -280,6 +297,8 @@ class FaultSimulator:
             result = FaultSimResult(n_patterns=n_patterns)
             detected = 0
             for fault in faults:
+                if budget is not None:
+                    budget.charge("patterns", n_patterns, "fault_sim.fault")
                 word = self.simulate_fault(fault, good_values, n_patterns)
                 result.detection_word[fault] = word
                 result.first_detect[fault] = _first_set_bit(word)

@@ -72,9 +72,23 @@ class TestParse:
         with pytest.raises(CircuitError, match="unparseable"):
             parse_bench("INPUT(a)\nOUTPUT(a)\nthis is not bench\n")
 
-    def test_undriven_signal_rejected(self):
-        with pytest.raises(CircuitError, match="undriven"):
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(CircuitError, match="undefined signal 'ghost'"):
             parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate definition"):
+            parse_bench(
+                "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+                "y = AND(a, b)\ny = OR(a, b)\n"
+            )
+
+    def test_combinational_cycle_rejected(self):
+        with pytest.raises(CircuitError, match="cycle"):
+            parse_bench(
+                "INPUT(a)\nOUTPUT(y)\n"
+                "p = AND(a, q)\nq = AND(a, p)\ny = BUF(p)\n"
+            )
 
 
 class TestRoundTrip:

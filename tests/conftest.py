@@ -1,10 +1,48 @@
-"""Shared fixtures: small reference circuits and TPI problem factories."""
+"""Shared fixtures: small reference circuits and TPI problem factories.
+
+Also installs a per-test wall-clock timeout (SIGALRM based, no external
+plugin needed): a hung solver loop fails its own test instead of wedging
+the whole suite.  Tune with ``REPRO_TEST_TIMEOUT`` (seconds; 0 disables).
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
 from repro.circuit import CircuitBuilder, GateType, generators
+
+_TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Abort any single test that runs longer than the timeout."""
+    supported = (
+        _TEST_TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not supported:
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test exceeded the {_TEST_TIMEOUT_S}s per-test timeout",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,47 @@
+"""Fixtures for the resilience suite: trace capture and circuit files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.circuit import generators, write_bench_file
+
+
+@pytest.fixture
+def traced(tmp_path):
+    """Record obs output during the test.
+
+    Yields a ``stop()`` callable that uninstalls the recorder and returns
+    the parsed trace records; called automatically at teardown if the test
+    did not.
+    """
+    path = tmp_path / "fixture-trace.jsonl"
+    recorder = obs.RunRecorder(str(path))
+    previous = obs.set_recorder(recorder)
+    stopped = []
+
+    def stop():
+        if not stopped:
+            stopped.append(True)
+            obs.set_recorder(previous)
+            recorder.close()
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    yield stop
+    stop()
+
+
+@pytest.fixture
+def circuit_dir(tmp_path):
+    """A sweep directory: two good circuits plus one corrupt .bench."""
+    d = tmp_path / "circuits"
+    d.mkdir()
+    write_bench_file(generators.wide_and_cone(4), d / "a_wand4.bench")
+    write_bench_file(generators.c17(), d / "c17.bench")
+    (d / "corrupt.bench").write_text(
+        "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"
+    )
+    return d

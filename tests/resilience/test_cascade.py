@@ -1,0 +1,98 @@
+"""Solver degradation cascade: fallback order, obs events, terminal raise."""
+
+import pytest
+
+from repro.circuit import generators
+from repro.core import DEFAULT_CASCADE, TPIProblem, solve_with_fallback
+from repro.errors import BudgetExceededError, SolverError
+from repro.resilience import Budget
+
+
+@pytest.fixture
+def problem():
+    circuit = generators.wide_and_cone(8)
+    return TPIProblem.from_test_length(circuit, n_patterns=256)
+
+
+class TestFallback:
+    def test_no_budget_uses_first_stage(self, problem):
+        solution = solve_with_fallback(problem)
+        assert solution.method == "dp-heuristic"
+        assert solution.stats["fallbacks"] == 0.0
+
+    def test_cell_budget_degrades_dp_to_greedy(self, problem, traced):
+        solution = solve_with_fallback(
+            problem, budget=Budget(max_dp_cells=1)
+        )
+        assert solution.method == "greedy"
+        assert solution.stats["fallbacks"] == 1.0
+
+        events = [
+            e
+            for e in traced()
+            if e["event"] == "event" and e["name"] == "solver_fallback"
+        ]
+        assert len(events) == 1
+        ev = events[0]
+        assert ev["from_solver"] == "dp"
+        assert ev["to_solver"] == "greedy"
+        assert ev["resource"] == "dp_cells"
+        assert ev["error"] == "BudgetExceededError"
+
+    def test_each_stage_gets_fresh_budget_counters(self, problem):
+        # greedy must not inherit the cells already spent by dp
+        solution = solve_with_fallback(
+            problem,
+            solvers=("dp", "greedy"),
+            budget=Budget(max_dp_cells=1, max_patterns=10**9),
+        )
+        assert solution.method == "greedy"
+
+    def test_exhausted_cascade_reraises(self, problem, traced):
+        with pytest.raises(BudgetExceededError) as ei:
+            solve_with_fallback(problem, budget=Budget(wall_ms=0))
+        assert ei.value.resource == "wall_clock"
+        names = [
+            e["name"] for e in traced() if e["event"] == "event"
+        ]
+        # one fallback per stage transition, then the terminal event
+        assert names.count("solver_fallback") == len(DEFAULT_CASCADE) - 1
+        assert names[-1] == "cascade_exhausted"
+
+    def test_tree_dp_precondition_is_solver_error(self):
+        # The exact tree DP refuses reconvergent circuits with SolverError —
+        # the class the cascade catches to degrade.
+        from repro.core.dp import solve_tree
+
+        circuit = generators.rpr_mixed(cone_width=4, corridor_length=3)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=256)
+        with pytest.raises(SolverError):
+            solve_tree(problem)
+
+    def test_solver_error_also_degrades(self, problem, traced, monkeypatch):
+        from repro.core import cascade as cascade_mod
+
+        def broken_stage(_problem, _budget):
+            raise SolverError("instance violates stage precondition")
+
+        monkeypatch.setitem(cascade_mod._STAGES, "dp", broken_stage)
+        solution = solve_with_fallback(
+            problem, solvers=("dp", "greedy")
+        )
+        assert solution.method == "greedy"
+        events = [
+            e
+            for e in traced()
+            if e["event"] == "event" and e["name"] == "solver_fallback"
+        ]
+        assert events and events[0]["error"] == "SolverError"
+
+
+class TestValidation:
+    def test_empty_cascade_rejected(self, problem):
+        with pytest.raises(SolverError):
+            solve_with_fallback(problem, solvers=())
+
+    def test_unknown_stage_rejected(self, problem):
+        with pytest.raises(SolverError, match="unknown cascade stages"):
+            solve_with_fallback(problem, solvers=("dp", "quantum"))

@@ -1,0 +1,81 @@
+"""The exception taxonomy: hierarchy, rendering, backward compatibility."""
+
+import pytest
+
+from repro.errors import (
+    BudgetExceededError,
+    CircuitError,
+    ExperimentError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    SolverError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for leaf in (
+            CircuitError,
+            ParseError,
+            SolverError,
+            BudgetExceededError,
+            SimulationError,
+            ExperimentError,
+        ):
+            assert issubclass(leaf, ReproError)
+
+    def test_builtin_compatibility(self):
+        # Pre-taxonomy code raised ValueError / RuntimeError; existing
+        # except clauses must keep working.
+        assert issubclass(CircuitError, ValueError)
+        assert issubclass(ParseError, CircuitError)
+        assert issubclass(SolverError, ValueError)
+        assert issubclass(SimulationError, ValueError)
+        assert issubclass(BudgetExceededError, RuntimeError)
+        assert issubclass(ExperimentError, RuntimeError)
+
+    def test_circuit_module_reexports_same_class(self):
+        from repro.circuit import CircuitError as from_circuit
+        from repro.circuit.netlist import CircuitError as from_netlist
+
+        assert from_circuit is CircuitError
+        assert from_netlist is CircuitError
+
+
+class TestParseError:
+    def test_path_and_line_prefix(self):
+        err = ParseError("bad gate", path="c17.bench", line=7)
+        assert str(err) == "c17.bench:7: bad gate"
+        assert err.path == "c17.bench"
+        assert err.line == 7
+
+    def test_path_only(self):
+        assert str(ParseError("oops", path="f.v")) == "f.v: oops"
+
+    def test_line_only(self):
+        assert str(ParseError("oops", line=3)) == "line 3: oops"
+
+    def test_bare_message(self):
+        err = ParseError("oops")
+        assert str(err) == "oops"
+        assert err.path is None and err.line is None
+
+    def test_catchable_as_value_error(self):
+        with pytest.raises(ValueError):
+            raise ParseError("x", path="f", line=1)
+
+
+class TestBudgetExceededError:
+    def test_attributes_and_message(self):
+        err = BudgetExceededError("dp_cells", 100, 101, where="dp.table")
+        assert err.resource == "dp_cells"
+        assert err.limit == 100
+        assert err.spent == 101
+        assert err.where == "dp.table"
+        assert "dp_cells budget exceeded at dp.table" in str(err)
+        assert "spent 101 of 100" in str(err)
+
+    def test_message_without_where(self):
+        err = BudgetExceededError("wall_clock", 5.0, 6.5)
+        assert "at" not in str(err).split("exceeded")[1].split(":")[0]

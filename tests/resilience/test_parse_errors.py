@@ -1,0 +1,139 @@
+"""Malformed netlists produce ParseError with file + 1-based line numbers."""
+
+import pytest
+
+from repro.circuit import parse_bench, parse_bench_file, parse_verilog
+from repro.errors import ParseError
+
+
+class TestBenchDiagnostics:
+    def test_unparseable_line_has_location(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench(
+                "INPUT(a)\nOUTPUT(y)\nthis is not bench\ny = BUF(a)\n",
+                source="t.bench",
+            )
+        err = ei.value
+        assert err.path == "t.bench" and err.line == 3
+        assert str(err).startswith("t.bench:3: ")
+
+    def test_undefined_signal_reports_referencing_line(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench(
+                "INPUT(a)\nOUTPUT(y)\nn1 = BUF(a)\ny = AND(n1, ghost)\n",
+                source="t.bench",
+            )
+        assert ei.value.line == 4
+        assert "ghost" in str(ei.value)
+
+    def test_duplicate_gate_definition_rejected(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench(
+                "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+                "y = AND(a, b)\ny = OR(a, b)\n",
+                source="t.bench",
+            )
+        err = ei.value
+        assert err.line == 5
+        assert "duplicate definition" in str(err)
+        assert "line 4" in str(err)  # points back at the first definition
+
+    def test_gate_redefining_an_input_rejected(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(a)\na = CONST1()\n")
+        assert ei.value.line == 3
+
+    def test_output_of_unknown_signal_rejected(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(nope)\ny = BUF(a)\n")
+        assert ei.value.line == 2
+        assert "nope" in str(ei.value)
+
+    def test_unknown_cell_has_location(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+        assert ei.value.line == 3
+
+    def test_cycle_distinguished_from_undefined(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench(
+                "INPUT(a)\nOUTPUT(y)\n"
+                "p = AND(a, q)\nq = AND(a, p)\ny = BUF(p)\n"
+            )
+        assert "cycle" in str(ei.value)
+        assert "undefined" not in str(ei.value)
+
+    def test_dff_arity_error_has_location(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n")
+        assert ei.value.line == 4
+
+    def test_file_errors_carry_file_name(self, tmp_path):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+        with pytest.raises(ParseError) as ei:
+            parse_bench_file(path)
+        assert ei.value.path == str(path)
+        assert ei.value.line == 3
+
+    def test_comment_lines_do_not_shift_numbers(self):
+        with pytest.raises(ParseError) as ei:
+            parse_bench("# header\n\nINPUT(a)\nOUTPUT(y)\n# more\nbogus!\n")
+        assert ei.value.line == 6
+
+
+class TestVerilogDiagnostics:
+    def test_undriven_net_reports_instance_line(self):
+        text = (
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  and g (y, a, ghost);\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ParseError) as ei:
+            parse_verilog(text, source="t.v")
+        err = ei.value
+        assert err.path == "t.v" and err.line == 4
+        assert "ghost" in str(err)
+
+    def test_multiple_drivers_rejected_with_both_lines(self):
+        text = (
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  buf g0 (y, a);\n"
+            "  not g1 (y, a);\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ParseError) as ei:
+            parse_verilog(text, source="t.v")
+        assert ei.value.line == 5
+        assert "line 4" in str(ei.value)
+
+    def test_block_comments_do_not_shift_numbers(self):
+        text = (
+            "/* multi\n"
+            "   line\n"
+            "   comment */\n"
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "  and g (y, a, ghost);\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ParseError) as ei:
+            parse_verilog(text, source="t.v")
+        assert ei.value.line == 7
+
+    def test_undriven_output_rejected(self):
+        text = (
+            "module t (a, y);\n"
+            "  input a;\n"
+            "  output y;\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ParseError) as ei:
+            parse_verilog(text, source="t.v")
+        assert ei.value.line == 3
+        assert "'y'" in str(ei.value)

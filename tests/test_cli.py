@@ -86,11 +86,13 @@ class TestReport:
         write_verilog_file(generators.wide_and_cone(4), path)
         assert main(["stats", str(path), "--patterns", "64"]) == 0
 
-    def test_unparseable_file_is_clean_error(self, tmp_path):
+    def test_unparseable_file_is_clean_error(self, tmp_path, capsys):
         path = tmp_path / "junk.bench"
         path.write_text("this is ( not a bench file\n")
-        with pytest.raises(SystemExit, match="failed to parse"):
-            main(["stats", str(path)])
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "parse error" in err
+        assert "junk.bench:1" in err
 
 
 class TestObservability:
