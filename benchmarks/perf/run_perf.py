@@ -1,0 +1,316 @@
+"""Microbenchmarks for the two hot paths, emitting ``BENCH_PERF.json``.
+
+Two families, mirroring the performance layer:
+
+* **Incremental placement evaluation** — ``solve_greedy`` with the
+  dirty-cone :class:`~repro.core.incremental.IncrementalEvaluator` versus
+  the from-scratch ``evaluate_placement`` loop, on the T3 fanout-free
+  tree workload and on the ``rprmix_big`` benchmark circuit.  Both modes
+  must return identical solutions — the speedup is pure bookkeeping.
+* **Fault simulation** — serial exact simulation versus coverage-only
+  fault dropping versus the process-parallel fan-out (``--jobs``), on a
+  post-TPI rprmix_big-class circuit where every fault is detectable (the
+  regime sweeps live in).  All three report identical coverage and
+  first-detect indices.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py \
+        [--quick] [--jobs N] [--out FILE] \
+        [--min-t3-speedup X] [--min-greedy-speedup X] [--min-sim-speedup X]
+
+``--quick`` shrinks the workloads to CI-smoke size (tens of seconds).
+Each ``--min-*-speedup`` guard makes the run exit 1 when the measured
+speedup falls below ``X`` — the CI perf-smoke job guards the T3
+incremental speedup at 2x.  Results land in ``BENCH_PERF.json`` next to
+this file unless ``--out`` says otherwise, including the ``gate_evals``
+and ``fault_sim.dropped`` observability counters recorded during the
+fault-simulation benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+
+from repro import obs  # noqa: E402
+from repro.circuit.generators import random_tree, rpr_mixed  # noqa: E402
+from repro.circuit.library import benchmark  # noqa: E402
+from repro.core import (  # noqa: E402
+    TPIProblem,
+    apply_test_points,
+    prepare_for_tpi,
+    solve_greedy,
+)
+from repro.sim import FaultSimulator, run_parallel  # noqa: E402
+from repro.sim.patterns import UniformRandomSource  # noqa: E402
+
+T3_TREE_SPECS = [(20, 0), (20, 1), (40, 2), (40, 3), (60, 4), (80, 5)]
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_PERF.json"
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> Tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best wall seconds, last result)."""
+    best = float("inf")
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _solution_key(solution) -> Tuple:
+    return (
+        tuple(sorted((p.node, p.kind.value, p.branch) for p in solution.points)),
+        solution.cost,
+        solution.feasible,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Incremental placement evaluation
+# ---------------------------------------------------------------------------
+
+
+def _t3_planning_problems() -> List[TPIProblem]:
+    problems = []
+    for gates, seed in T3_TREE_SPECS:
+        circuit = random_tree(gates, seed=seed)
+        base = TPIProblem.from_test_length(
+            circuit, n_patterns=4096, escape_budget=0.001
+        )
+        problems.append(
+            TPIProblem(
+                circuit=circuit,
+                threshold=min(base.threshold * 2.0, 1.0),
+                costs=base.costs,
+                allowed_types=base.allowed_types,
+                input_probabilities=base.input_probabilities,
+            )
+        )
+    return problems
+
+
+def bench_incremental_t3(repeats: int) -> Dict[str, object]:
+    """Greedy over the T3 tree workload, incremental vs from-scratch."""
+    problems = _t3_planning_problems()
+
+    def run(use_incremental: bool) -> List[Tuple]:
+        return [
+            _solution_key(solve_greedy(p, use_incremental=use_incremental))
+            for p in problems
+        ]
+
+    t_scratch, ref = _best_of(repeats, lambda: run(False))
+    t_inc, got = _best_of(repeats, lambda: run(True))
+    assert got == ref, "incremental greedy diverged from from-scratch on T3"
+    return {
+        "workload": f"T3 trees {T3_TREE_SPECS}, greedy candidate loop",
+        "seconds_from_scratch": round(t_scratch, 4),
+        "seconds_incremental": round(t_inc, 4),
+        "speedup": round(t_scratch / t_inc, 2),
+        "solves_per_sec_incremental": round(len(problems) / t_inc, 2),
+        "identical_solutions": True,
+    }
+
+
+def bench_incremental_greedy(repeats: int, quick: bool) -> Dict[str, object]:
+    """Greedy on a single resistant benchmark circuit."""
+    name = "rprmix" if quick else "rprmix_big"
+    circuit = prepare_for_tpi(benchmark(name))
+    problem = TPIProblem.from_test_length(
+        circuit, n_patterns=4096, escape_budget=0.001
+    )
+
+    t_scratch, ref = _best_of(
+        repeats, lambda: _solution_key(solve_greedy(problem, use_incremental=False))
+    )
+    t_inc, got = _best_of(
+        repeats, lambda: _solution_key(solve_greedy(problem, use_incremental=True))
+    )
+    assert got == ref, f"incremental greedy diverged from from-scratch on {name}"
+    return {
+        "workload": f"{name}, greedy candidate loop",
+        "seconds_from_scratch": round(t_scratch, 4),
+        "seconds_incremental": round(t_inc, 4),
+        "speedup": round(t_scratch / t_inc, 2),
+        "identical_solutions": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fault simulation: dropping + process parallelism
+# ---------------------------------------------------------------------------
+
+
+def _post_tpi_workload(quick: bool) -> Tuple[object, Dict[str, int], int]:
+    """A post-TPI rprmix_big-class circuit with (near-)full coverage.
+
+    Points are planned at the simulation test length, so the inserted
+    netlist is exactly the artifact a sweep would fault-simulate.
+    """
+    if quick:
+        base = prepare_for_tpi(benchmark("rprmix_big"))
+        n_patterns = 65536
+    else:
+        base = prepare_for_tpi(
+            rpr_mixed(cone_width=12, corridor_length=8, n_blocks=24)
+        )
+        n_patterns = 1 << 20
+    problem = TPIProblem.from_test_length(
+        base, n_patterns=n_patterns, escape_budget=0.001
+    )
+    solution = solve_greedy(problem, max_iterations=1000)
+    circuit = apply_test_points(base, solution.points).circuit
+    stimulus = UniformRandomSource(seed=7).generate(circuit.inputs, n_patterns)
+    return circuit, stimulus, n_patterns
+
+
+def bench_fault_sim(jobs: int, quick: bool) -> Dict[str, object]:
+    circuit, stimulus, n_patterns = _post_tpi_workload(quick)
+    sim = FaultSimulator(circuit)
+    faults = sim._resolve_faults(None, True)
+
+    t_exact, exact = _best_of(
+        1, lambda: sim.run(stimulus, n_patterns, faults=faults)
+    )
+    coverage = exact.coverage()
+    first_detect = dict(exact.first_detect)
+    exact_evals = sim.gate_evals
+    del exact, sim  # keep the parent heap lean before the pool forks
+
+    drop_sim = FaultSimulator(circuit)
+    t_drop, dropped = _best_of(
+        1, lambda: drop_sim.run_coverage(stimulus, n_patterns, faults=faults)
+    )
+    assert dropped.coverage() == coverage
+    assert dropped.first_detect == first_detect
+    drop_evals = drop_sim.gate_evals
+    del dropped, drop_sim
+
+    t_par, par = _best_of(
+        1,
+        lambda: run_parallel(
+            circuit,
+            stimulus,
+            n_patterns,
+            faults=faults,
+            jobs=jobs,
+            mode="coverage",
+        ),
+    )
+    assert par.coverage() == coverage
+    assert par.first_detect == first_detect
+
+    pairs = len(faults) * n_patterns
+    return {
+        "workload": (
+            f"{circuit.name} post-TPI, {len(faults)} faults, "
+            f"{n_patterns} patterns"
+        ),
+        "coverage": round(coverage, 4),
+        "seconds_serial_exact": round(t_exact, 4),
+        "seconds_serial_drop": round(t_drop, 4),
+        f"seconds_jobs{jobs}_drop": round(t_par, 4),
+        "speedup_drop": round(t_exact / t_drop, 2),
+        f"speedup_jobs{jobs}_drop": round(t_exact / t_par, 2),
+        "fault_pattern_pairs_per_sec_exact": round(pairs / t_exact),
+        f"fault_pattern_pairs_per_sec_jobs{jobs}": round(pairs / t_par),
+        "gate_evals_exact": exact_evals,
+        "gate_evals_drop": drop_evals,
+        "identical_coverage_and_first_detect": True,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_all(
+    quick: bool, jobs: int, repeats: int
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Run every benchmark; returns (results payload, obs counter values)."""
+    recorder = obs.RunRecorder(None)
+    previous = obs.set_recorder(recorder)
+    try:
+        benches = {
+            "incremental_t3_trees": bench_incremental_t3(repeats),
+            "incremental_greedy": bench_incremental_greedy(repeats, quick),
+            "fault_sim_drop_parallel": bench_fault_sim(jobs, quick),
+        }
+    finally:
+        obs.set_recorder(previous)
+        snapshot = recorder.metrics.snapshot()
+        recorder.close()
+    counters = {
+        key: value
+        for key, value in sorted(snapshot.get("counters", {}).items())
+        if key in ("fault_sim.gate_evals", "fault_sim.dropped",
+                   "fault_sim.runs", "fault_sim.parallel_runs")
+    }
+    return benches, counters
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-smoke workload sizes")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel fault sim")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats (best-of) for the solver benches")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="output JSON path")
+    parser.add_argument("--min-t3-speedup", type=float, default=None,
+                        help="fail unless T3 incremental speedup >= X")
+    parser.add_argument("--min-greedy-speedup", type=float, default=None,
+                        help="fail unless greedy incremental speedup >= X")
+    parser.add_argument("--min-sim-speedup", type=float, default=None,
+                        help="fail unless jobs+drop fault-sim speedup >= X")
+    args = parser.parse_args(argv)
+
+    benches, counters = run_all(args.quick, args.jobs, args.repeats)
+    payload = {
+        "schema": 1,
+        "mode": "quick" if args.quick else "full",
+        "jobs": args.jobs,
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "benchmarks": benches,
+        "obs_counters": counters,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwritten to {args.out}", file=sys.stderr)
+
+    failures = []
+    guards = [
+        ("t3 incremental", args.min_t3_speedup,
+         benches["incremental_t3_trees"]["speedup"]),
+        ("greedy incremental", args.min_greedy_speedup,
+         benches["incremental_greedy"]["speedup"]),
+        ("fault sim jobs+drop", args.min_sim_speedup,
+         benches["fault_sim_drop_parallel"][f"speedup_jobs{args.jobs}_drop"]),
+    ]
+    for label, minimum, measured in guards:
+        if minimum is not None and measured < minimum:
+            failures.append(f"{label}: {measured}x < required {minimum}x")
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

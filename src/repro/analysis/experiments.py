@@ -682,6 +682,10 @@ class SweepOutcome:
     fallbacks: Optional[int] = None
     error_type: Optional[str] = None
     error: Optional[str] = None
+    # Measured-coverage extras (``measure_coverage=True`` sweeps only).
+    # Defaults keep checkpoints from older sweeps loadable as-is.
+    baseline_coverage: Optional[float] = None
+    modified_coverage: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -695,6 +699,11 @@ class SweepOutcome:
         """One human-readable sweep-progress line."""
         if self.ok:
             extra = f" (+{self.fallbacks} fallbacks)" if self.fallbacks else ""
+            if self.modified_coverage is not None:
+                extra += (
+                    f" cov={100 * (self.baseline_coverage or 0.0):.1f}%"
+                    f"->{100 * self.modified_coverage:.1f}%"
+                )
             return (
                 f"{self.circuit:20s} ok: {self.solver} "
                 f"cost={self.cost:g} points={self.n_points}{extra}"
@@ -714,6 +723,8 @@ def _sweep_one(
     escape_budget: float,
     budget: Optional[Budget],
     solvers: Sequence[str],
+    measure_coverage: bool = False,
+    jobs: int = 1,
 ) -> SweepOutcome:
     """Solve one circuit, converting every failure into a recorded outcome."""
     circuit_id = path.stem
@@ -727,6 +738,15 @@ def _sweep_one(
             solvers=solvers,
             budget=budget.renewed() if budget is not None else None,
         )
+        baseline_cov = modified_cov = None
+        if measure_coverage:
+            # Fault-dropping coverage mode: the sweep only needs the
+            # numbers, never the full detection words.
+            report = evaluate_solution(
+                problem, solution, n_patterns, jobs=jobs, mode="coverage"
+            )
+            baseline_cov = report.baseline_coverage
+            modified_cov = report.modified_coverage
         return SweepOutcome(
             circuit=circuit_id,
             path=str(path),
@@ -735,6 +755,8 @@ def _sweep_one(
             cost=solution.cost,
             n_points=len(solution.points),
             fallbacks=int(solution.stats.get("fallbacks", 0)),
+            baseline_coverage=baseline_cov,
+            modified_coverage=modified_cov,
         )
     except ParseError as exc:
         status = "parse_error"
@@ -787,6 +809,8 @@ def run_circuit_sweep(
     solvers: Sequence[str] = DEFAULT_CASCADE,
     resume: bool = True,
     max_circuits: Optional[int] = None,
+    measure_coverage: bool = False,
+    jobs: int = 1,
 ) -> List[SweepOutcome]:
     """Plan test points for every circuit file, surviving bad apples.
 
@@ -810,6 +834,12 @@ def run_circuit_sweep(
         Cascade stages for :func:`~repro.core.cascade.solve_with_fallback`.
     max_circuits:
         Stop after running this many *new* circuits (resume testing knob).
+    measure_coverage:
+        Also insert each solution and record measured before/after fault
+        coverage (fault-dropping simulation; full detection words are
+        never materialized).
+    jobs:
+        Worker processes for the coverage measurement's fault simulation.
 
     Returns the outcomes for all circuits in ``paths`` that have run so
     far, recorded-or-fresh, in ``paths`` order.
@@ -846,7 +876,13 @@ def run_circuit_sweep(
                 ran += 1
                 with obs.span("sweep.circuit", circuit=path.stem) as sp:
                     outcome = _sweep_one(
-                        path, n_patterns, escape_budget, budget, solvers
+                        path,
+                        n_patterns,
+                        escape_budget,
+                        budget,
+                        solvers,
+                        measure_coverage=measure_coverage,
+                        jobs=jobs,
                     )
                     sp.set(status=outcome.status)
                 sink.write(outcome.to_json() + "\n")

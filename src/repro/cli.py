@@ -52,6 +52,7 @@ from .errors import BudgetExceededError, ParseError, ReproError
 from .resilience import Budget
 from .sim.fault_sim import FaultSimulator
 from .sim.faults import collapse_faults
+from .sim.parallel import run_parallel
 from .sim.patterns import UniformRandomSource
 
 __all__ = [
@@ -173,7 +174,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     stim = UniformRandomSource(seed=args.seed).generate(
         circuit.inputs, args.patterns
     )
-    res = FaultSimulator(circuit).run(stim, args.patterns)
+    jobs = getattr(args, "jobs", 1)
+    mode = "coverage" if getattr(args, "drop", False) else "exact"
+    if jobs > 1 or mode != "exact":
+        res = run_parallel(circuit, stim, args.patterns, jobs=jobs, mode=mode)
+    else:
+        res = FaultSimulator(circuit).run(stim, args.patterns)
     print(f"{'coverage':10s} {100 * res.coverage():.2f}% @ {args.patterns} patterns")
     return 0
 
@@ -197,7 +203,13 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
     circuit = _load_prepared(args)
     problem = _make_problem(circuit, args)
     solution = _solve(problem, args)
-    report = evaluate_solution(problem, solution, args.patterns)
+    report = evaluate_solution(
+        problem,
+        solution,
+        args.patterns,
+        jobs=getattr(args, "jobs", 1),
+        mode="coverage" if getattr(args, "drop", False) else "exact",
+    )
     print(f"circuit        {report.circuit_name}")
     print(f"faults         {report.n_faults}")
     print(f"test points    {report.n_control} CP + {report.n_observation} OP")
@@ -291,6 +303,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         solvers=tuple(args.solvers),
         resume=not args.no_resume,
         max_circuits=args.max_circuits,
+        measure_coverage=args.measure_coverage,
+        jobs=args.jobs,
     )
     for outcome in outcomes:
         print(outcome.describe())
@@ -386,6 +400,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--escape", type=float, default=0.001, help="escape budget ε")
         p.add_argument("--seed", type=int, default=1, help="pattern source seed")
 
+    def add_simflags(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "fault simulation",
+            "performance knobs; coverage numbers are bit-identical "
+            "for every setting",
+        )
+        g.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="fan the fault list out over N worker processes",
+        )
+        g.add_argument(
+            "--drop", action="store_true",
+            help="coverage-only fault dropping (skips full detection words)",
+        )
+
     def add_budget(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group(
             "solve budget",
@@ -413,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="circuit statistics and baseline coverage")
     add_common(p)
     add_observability(p)
+    add_simflags(p)
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("insert", help="plan test points and print the placement")
@@ -426,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     add_observability(p)
     add_budget(p)
+    add_simflags(p)
     p.add_argument("--solver", choices=["dp", "greedy", "cascade"], default="dp")
     p.set_defaults(fn=_cmd_coverage)
 
@@ -456,6 +487,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-circuits", type=int, metavar="N",
         help="stop after N new circuits (for staged / interrupted runs)",
+    )
+    p.add_argument(
+        "--measure-coverage", action="store_true",
+        help="insert each solution and record measured before/after "
+        "coverage (fault-dropping simulation)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for coverage fault simulation",
     )
     add_observability(p)
     add_budget(p)

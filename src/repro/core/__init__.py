@@ -10,6 +10,8 @@ Public surface:
 * :mod:`~repro.core.cascade` — budget-aware solver degradation
   (``exhaustive → dp → greedy → random``);
 * :mod:`~repro.core.virtual` — analytical placement evaluation;
+* :mod:`~repro.core.incremental` — dirty-cone incremental evaluation
+  (the solvers' fast path; bit-identical to the virtual evaluator);
 * :mod:`~repro.core.test_points` — physical hardware insertion;
 * :mod:`~repro.core.evaluate` — end-to-end measured-coverage pipeline;
 * :mod:`~repro.core.npc` — the executable NP-completeness reduction.
@@ -21,6 +23,7 @@ from .evaluate import CoverageReport, evaluate_solution, measure_coverage
 from .exhaustive import solve_exhaustive
 from .greedy import solve_greedy
 from .heuristic import solve_dp_heuristic
+from .incremental import IncrementalEvaluator
 from .npc import (
     brute_force_sat,
     cnf_to_circuit,
@@ -86,6 +89,7 @@ __all__ = [
     "VirtualEvaluation",
     "evaluate_placement",
     "split_placement",
+    "IncrementalEvaluator",
     "InsertionResult",
     "apply_test_points",
     "CoverageReport",

@@ -16,6 +16,7 @@ from .. import obs
 from ..circuit.netlist import Circuit
 from ..sim.fault_sim import FaultSimulator
 from ..sim.faults import Fault, collapse_faults
+from ..sim.parallel import run_parallel
 from ..sim.patterns import PatternSource, UniformRandomSource
 from .problem import TestPoint, TPIProblem, TPISolution
 from .test_points import apply_test_points
@@ -77,14 +78,23 @@ def measure_coverage(
     n_patterns: int,
     source: Optional[PatternSource] = None,
     faults: Optional[Sequence[Fault]] = None,
+    jobs: int = 1,
+    mode: str = "exact",
 ):
     """Fault-simulate ``circuit`` under a pseudo-random budget.
 
     Returns the :class:`~repro.sim.fault_sim.FaultSimResult` over the
-    collapsed fault list (or ``faults`` when given).
+    collapsed fault list (or ``faults`` when given).  ``jobs > 1`` fans the
+    fault list out over worker processes; ``mode="coverage"`` enables fault
+    dropping (partial detection words, exact coverage and first-detects).
+    Both knobs preserve bit-identical coverage numbers.
     """
     source = source or UniformRandomSource(seed=1)
     stimulus = source.generate(circuit.inputs, n_patterns)
+    if jobs > 1 or mode != "exact":
+        return run_parallel(
+            circuit, stimulus, n_patterns, faults=faults, jobs=jobs, mode=mode
+        )
     sim = FaultSimulator(circuit)
     return sim.run(stimulus, n_patterns, faults=faults)
 
@@ -94,18 +104,24 @@ def evaluate_solution(
     solution: TPISolution,
     n_patterns: int,
     source: Optional[PatternSource] = None,
+    jobs: int = 1,
+    mode: str = "exact",
 ) -> CoverageReport:
     """Insert the solution's points and measure real coverage before/after.
 
     The same pattern source drives both runs; the modified netlist's extra
     test-signal inputs receive stimulus from the same source family.
+    ``jobs``/``mode`` are forwarded to :func:`measure_coverage` for both
+    runs; the report's numbers are identical for every setting.
     """
     source = source or UniformRandomSource(seed=1)
     circuit = problem.circuit
     collapsed = collapse_faults(circuit)
     reference = collapsed.representatives
 
-    baseline = measure_coverage(circuit, n_patterns, source, faults=reference)
+    baseline = measure_coverage(
+        circuit, n_patterns, source, faults=reference, jobs=jobs, mode=mode
+    )
 
     with obs.span(
         "insert", circuit=circuit.name, points=len(solution.points)
@@ -117,8 +133,18 @@ def evaluate_solution(
     ]
     live = [m for _o, m in mapped_pairs if m is not None]
     stimulus = source.generate(insertion.circuit.inputs, n_patterns)
-    sim = FaultSimulator(insertion.circuit)
-    modified = sim.run(stimulus, n_patterns, faults=live)
+    if jobs > 1 or mode != "exact":
+        modified = run_parallel(
+            insertion.circuit,
+            stimulus,
+            n_patterns,
+            faults=live,
+            jobs=jobs,
+            mode=mode,
+        )
+    else:
+        sim = FaultSimulator(insertion.circuit)
+        modified = sim.run(stimulus, n_patterns, faults=live)
 
     # Coverage over the original reference list: faults whose injection
     # site vanished (random re-drives) count as undetected.

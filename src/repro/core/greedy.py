@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
+from .incremental import IncrementalEvaluator
 from .problem import TestPoint, TestPointType, TPIProblem, TPISolution
 from .virtual import VirtualEvaluation, evaluate_placement
 
@@ -93,6 +94,7 @@ def solve_greedy(
     max_iterations: int = 200,
     initial_points: Optional[Sequence[TestPoint]] = None,
     budget: Optional[Budget] = None,
+    use_incremental: bool = True,
 ) -> TPISolution:
     """Greedy TPI: commit the best benefit-per-cost candidate each round.
 
@@ -112,6 +114,12 @@ def solve_greedy(
     budget:
         Optional cooperative budget; the wall clock is checked per
         committed point and per candidate evaluation.
+    use_incremental:
+        Score candidates with the :class:`IncrementalEvaluator` dirty-cone
+        fast path (default).  ``False`` falls back to from-scratch
+        ``evaluate_placement`` per candidate — same answers (the
+        equivalence tests assert identical solutions), only slower; kept
+        as the ground-truth reference for tests and benchmarks.
     """
     if faults is None:
         faults = testable_stuck_at_faults(problem.circuit)
@@ -119,13 +127,22 @@ def solve_greedy(
     iterations = 0
     evaluations = 0
     feasible = False
+    inc = (
+        IncrementalEvaluator(problem, points, faults=faults)
+        if use_incremental
+        else None
+    )
 
     for _ in range(max_iterations):
         iterations += 1
         if budget is not None:
             budget.tick("greedy.iteration")
-        evaluation = evaluate_placement(problem, points)
-        failing = evaluation.failing_faults(faults)
+        if inc is not None:
+            evaluation = inc.base
+            failing = inc.failing_faults()
+        else:
+            evaluation = evaluate_placement(problem, points)
+            failing = evaluation.failing_faults(faults)
         if not failing:
             feasible = True
             break
@@ -141,8 +158,11 @@ def solve_greedy(
             evaluations += 1
             if budget is not None:
                 budget.tick("greedy.candidate")
-            after = evaluate_placement(problem, points + [cand])
-            fixed = len(failing) - len(after.failing_faults(faults))
+            if inc is not None:
+                fixed = inc.candidate_gain(cand)
+            else:
+                after = evaluate_placement(problem, points + [cand])
+                fixed = len(failing) - len(after.failing_faults(faults))
             if fixed <= 0:
                 continue
             score = fixed / problem.costs.of(cand.kind)
@@ -152,17 +172,25 @@ def solve_greedy(
         if best is None:
             break  # no candidate helps: give up (infeasible for greedy)
         points.append(best)
+        if inc is not None:
+            inc.rebase(points)
     else:
-        evaluation = evaluate_placement(problem, points)
+        evaluation = (
+            inc.base if inc is not None else evaluate_placement(problem, points)
+        )
         feasible = evaluation.is_feasible(faults)
 
+    stats = {
+        "iterations": float(iterations),
+        "evaluations": float(evaluations),
+    }
+    if inc is not None:
+        stats["incremental_nodes"] = float(inc.stats["nodes_recomputed"])
+        stats["incremental_deltas"] = float(inc.stats["deltas"])
     return TPISolution(
         points=points,
         cost=problem.costs.total(points),
         feasible=feasible,
         method="greedy",
-        stats={
-            "iterations": float(iterations),
-            "evaluations": float(evaluations),
-        },
+        stats=stats,
     )

@@ -26,6 +26,7 @@ from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
 from .dp import solve_tree
 from .greedy import solve_greedy
+from .incremental import IncrementalEvaluator
 from .problem import TestPoint, TPIProblem, TPISolution
 from .quantize import ProbabilityGrid
 from .regions import (
@@ -33,7 +34,6 @@ from .regions import (
     fault_region_owner,
     owner_of_fault,
 )
-from .virtual import evaluate_placement
 
 __all__ = ["solve_dp_heuristic"]
 
@@ -112,13 +112,18 @@ def solve_dp_heuristic(
     points_by_region: Dict[int, List[TestPoint]] = {}
     rounds = 0
     dp_calls = 0
+    # One incremental evaluator serves the whole solve: the per-round
+    # global evaluation rebases it, and each region's environment
+    # evaluation (current points minus that region's own) is a small
+    # removal delta against the rebased cache.
+    inc = IncrementalEvaluator(problem, points, faults=faults)
 
     for _ in range(max_rounds):
         rounds += 1
         if budget is not None:
             budget.tick("heuristic.round")
-        evaluation = evaluate_placement(problem, points)
-        failing = evaluation.failing_faults(faults)
+        evaluation = inc.rebase(points)
+        failing = inc.failing_faults()
         if not failing:
             break
         targets = sorted(
@@ -136,7 +141,7 @@ def solve_dp_heuristic(
                 budget.tick("heuristic.region")
             old = points_by_region.get(ridx, [])
             base = [p for p in points if p not in set(old)]
-            base_eval = evaluate_placement(problem, base)
+            base_eval = inc.evaluate(base)
             sub = extract_region_subproblem(
                 problem, regions[ridx], base_eval, budget=budget
             )
@@ -167,7 +172,7 @@ def solve_dp_heuristic(
         if not progress:
             break
 
-    evaluation = evaluate_placement(problem, points)
+    evaluation = inc.evaluate(points)
     feasible = evaluation.is_feasible(faults)
     mop_up_points = 0
     if not feasible and final_greedy:

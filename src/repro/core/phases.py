@@ -262,6 +262,7 @@ def _evaluate_fixed(
         stem_post=stem_post,
         wire_obs=wire_obs,
         branch_pre=branch_pre,
+        branch_post=branch_post,
         branch_obs=branch_obs,
         stem_post_obs=stem_post_obs,
     )

@@ -99,6 +99,9 @@ class VirtualEvaluation:
         Observability of each node's pre-CP output wire (stem faults).
     branch_pre:
         ``p`` on each branch wire (branch-fault excitation).
+    branch_post:
+        ``p`` downstream of any branch control point (what the sink pin
+        actually sees; equals ``branch_pre`` on uncontrolled branches).
     branch_obs:
         Observability of each branch wire (branch faults).
     """
@@ -109,6 +112,7 @@ class VirtualEvaluation:
     stem_post: Dict[str, float] = field(default_factory=dict)
     wire_obs: Dict[str, float] = field(default_factory=dict)
     branch_pre: Dict[_BranchKey, float] = field(default_factory=dict)
+    branch_post: Dict[_BranchKey, float] = field(default_factory=dict)
     branch_obs: Dict[_BranchKey, float] = field(default_factory=dict)
     stem_post_obs: Dict[str, float] = field(default_factory=dict)
 
@@ -247,6 +251,7 @@ def evaluate_placement(
         stem_post=stem_post,
         wire_obs=wire_obs,
         branch_pre=branch_pre,
+        branch_post=branch_post,
         branch_obs=branch_obs,
         stem_post_obs=stem_post_obs,
     )

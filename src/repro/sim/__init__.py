@@ -13,6 +13,7 @@ from .bitops import (
     pack_patterns,
     popcount,
     random_word,
+    split_word_blocks,
     unpack_bits,
     unpack_patterns,
     weighted_random_word,
@@ -32,6 +33,7 @@ from .logic_sim import (
     signal_probabilities_by_simulation,
     simulate,
 )
+from .parallel import run_parallel, split_chunks
 from .patterns import (
     ExhaustiveSource,
     ExplicitSource,
@@ -73,4 +75,7 @@ __all__ = [
     "FaultSimulator",
     "FaultSimResult",
     "fault_coverage",
+    "split_word_blocks",
+    "run_parallel",
+    "split_chunks",
 ]

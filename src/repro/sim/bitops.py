@@ -24,6 +24,7 @@ __all__ = [
     "unpack_bits",
     "pack_patterns",
     "unpack_patterns",
+    "split_word_blocks",
 ]
 
 
@@ -32,6 +33,32 @@ def ones_mask(n_patterns: int) -> int:
     if n_patterns < 0:
         raise ValueError("pattern count cannot be negative")
     return (1 << n_patterns) - 1
+
+
+def split_word_blocks(word: int, sizes: List[int]) -> List[int]:
+    """Split ``word`` into consecutive blocks of ``sizes`` bits, low first.
+
+    ``result[i]`` holds bits ``[offset_i, offset_i + sizes[i])`` of
+    ``word`` shifted down to bit 0.  Blocks are peeled off **high end
+    first**: a right shift only pays for the bits it keeps, so extracting
+    the top block costs O(block) and masking the remainder costs O(rest) —
+    with geometrically growing sizes the whole split is O(total bits),
+    where the naive low-first ``(word >> offset) & mask`` scan would be
+    O(total × blocks).
+    """
+    offsets = [0] * len(sizes)
+    total = 0
+    for i, size in enumerate(sizes):
+        if size <= 0:
+            raise ValueError("block sizes must be positive")
+        offsets[i] = total
+        total += size
+    out = [0] * len(sizes)
+    rem = word & ones_mask(total)
+    for i in range(len(sizes) - 1, -1, -1):
+        out[i] = rem >> offsets[i]
+        rem &= ones_mask(offsets[i])
+    return out
 
 
 def bit_get(word: int, i: int) -> int:

@@ -1,0 +1,302 @@
+"""Process-parallel fault simulation over partitioned fault lists.
+
+The fault simulator's work is embarrassingly parallel across faults: each
+fault's propagation depends only on the shared good-circuit words, never on
+another fault's result.  :func:`run_parallel` exploits that by splitting
+the collapsed fault list into contiguous chunks, fan-ing the chunks out to
+a :class:`~concurrent.futures.ProcessPoolExecutor`, and merging the
+per-fault results back **in input order** — the merged
+:class:`~repro.sim.fault_sim.FaultSimResult` is bit-identical to a serial
+run (the equivalence tests assert this down to the first-detect indices),
+so callers never observe the parallelism.
+
+Design notes:
+
+* workers are primed once (per pool) with the circuit, the stimulus, and —
+  in exact mode — the parent's good-circuit words, so each worker replays
+  the same fault-free state instead of re-deriving it per chunk;
+* cooperative budgets are honored *inside* workers: each chunk gets a
+  fresh-clock budget whose ``max_patterns`` share is proportional to its
+  chunk size.  :class:`~repro.errors.BudgetExceededError` does not survive
+  pickling (it has a custom constructor), so workers return a sentinel
+  payload the parent re-raises as the real exception, first chunk first —
+  deterministic regardless of which worker finished when;
+* anything that prevents the pool from working (unpicklable circuit, a
+  sandbox that forbids ``fork``, a broken pool) degrades to the serial
+  path with the caller's original budget, never to an error.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import obs
+from ..errors import BudgetExceededError, SimulationError
+from ..resilience import Budget
+from .fault_sim import FaultSimResult, FaultSimulator
+from .faults import Fault
+
+__all__ = ["run_parallel", "split_chunks"]
+
+#: Below this many faults per requested job the pool overhead cannot pay
+#: for itself; the call silently runs serially.
+MIN_FAULTS_PER_JOB = 4
+
+# ---------------------------------------------------------------------------
+# Worker side.  State is primed once per worker process via the pool
+# initializer; chunks then only carry the fault lists.
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: Optional[Dict[str, object]] = None
+
+
+def _init_worker(
+    circuit,
+    stimulus: Mapping[str, int],
+    n_patterns: int,
+    mode: str,
+    block: int,
+    good_values: Optional[Mapping[str, int]],
+    good_blocks: Optional[List[Tuple[int, Mapping[str, int]]]],
+) -> None:
+    """Prime one worker process with the shared simulation state."""
+    global _WORKER_STATE
+    # The parent's recorder (file handles, span stacks) must not be
+    # inherited into forked workers — concurrent writes would interleave.
+    obs.set_recorder(None)
+    _WORKER_STATE = {
+        "sim": FaultSimulator(circuit),
+        "stimulus": stimulus,
+        "n_patterns": n_patterns,
+        "mode": mode,
+        "block": block,
+        "good_values": good_values,
+        "good_blocks": good_blocks,
+    }
+
+
+def _simulate_chunk(
+    task: Tuple[Sequence[Fault], Optional[Dict[str, Optional[float]]]],
+):
+    """Simulate one fault chunk; returns a picklable result payload.
+
+    Success payload: ``("ok", words, first_detects, gate_evals)`` with the
+    lists aligned to the chunk's fault order.  Budget exhaustion payload:
+    ``("budget", resource, limit, spent, where)`` — the parent re-raises,
+    because :class:`BudgetExceededError` itself cannot round-trip pickle.
+    """
+    chunk, budget_spec = task
+    state = _WORKER_STATE
+    assert state is not None, "worker used before initialization"
+    sim: FaultSimulator = state["sim"]  # type: ignore[assignment]
+    budget = None
+    if budget_spec is not None:
+        budget = Budget(
+            wall_ms=budget_spec.get("wall_ms"),
+            max_patterns=budget_spec.get("max_patterns"),
+        )
+    evals_before = sim.gate_evals
+    try:
+        if state["mode"] == "coverage":
+            result = sim.run_coverage(
+                state["stimulus"],  # type: ignore[arg-type]
+                state["n_patterns"],  # type: ignore[arg-type]
+                faults=chunk,
+                budget=budget,
+                block=state["block"],  # type: ignore[arg-type]
+                good_blocks=state["good_blocks"],  # type: ignore[arg-type]
+            )
+        else:
+            result = sim.run(
+                state["stimulus"],  # type: ignore[arg-type]
+                state["n_patterns"],  # type: ignore[arg-type]
+                faults=chunk,
+                budget=budget,
+                good_values=state["good_values"],  # type: ignore[arg-type]
+            )
+    except BudgetExceededError as exc:
+        return ("budget", exc.resource, exc.limit, exc.spent, exc.where)
+    words = [result.detection_word[f] for f in chunk]
+    firsts = [result.first_detect[f] for f in chunk]
+    return ("ok", words, firsts, sim.gate_evals - evals_before)
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+def split_chunks(items: Sequence, n: int) -> List[List]:
+    """Split ``items`` into ``n`` contiguous, near-equal chunks.
+
+    Contiguity is what makes the parallel merge deterministic: chunk
+    boundaries depend only on ``(len(items), n)``, never on scheduling.
+    Empty chunks are omitted.
+    """
+    if n <= 0:
+        raise ValueError("chunk count must be positive")
+    out: List[List] = []
+    base, extra = divmod(len(items), n)
+    start = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def _chunk_budget_specs(
+    budget: Optional[Budget], chunks: Sequence[Sequence[Fault]]
+) -> List[Optional[Dict[str, Optional[float]]]]:
+    """Per-chunk budget specs: fresh clocks, proportional pattern shares."""
+    if budget is None:
+        return [None] * len(chunks)
+    total = sum(len(c) for c in chunks)
+    max_patterns = budget.limits["patterns"]
+    specs: List[Optional[Dict[str, Optional[float]]]] = []
+    for chunk in chunks:
+        share: Optional[int] = None
+        if max_patterns is not None:
+            share = (max_patterns * len(chunk)) // max(total, 1)
+        specs.append({"wall_ms": budget.wall_ms, "max_patterns": share})
+    return specs
+
+
+def run_parallel(
+    circuit,
+    stimulus: Mapping[str, int],
+    n_patterns: int,
+    faults: Optional[Sequence[Fault]] = None,
+    collapse: bool = True,
+    jobs: int = 1,
+    mode: str = "exact",
+    block: int = 64,
+    budget: Optional[Budget] = None,
+) -> FaultSimResult:
+    """Fault-simulate with the fault list fanned out over ``jobs`` processes.
+
+    Parameters
+    ----------
+    circuit, stimulus, n_patterns, faults, collapse:
+        As for :meth:`~repro.sim.fault_sim.FaultSimulator.run`.
+    jobs:
+        Worker process count.  ``jobs <= 1`` (or a fault list too small to
+        amortize the pool) runs serially in-process; the result is
+        identical either way.
+    mode:
+        ``"exact"`` (full detection words, :meth:`run`) or ``"coverage"``
+        (fault dropping, :meth:`run_coverage`).
+    block:
+        Initial dropping-block size for ``mode="coverage"``.
+    budget:
+        Optional cooperative budget.  In the parallel path each chunk is
+        enforced inside its worker with a fresh clock and a proportional
+        ``max_patterns`` share; exhaustion in any chunk raises
+        :class:`BudgetExceededError` in the parent (first chunk in fault
+        order wins, for determinism).
+    """
+    if mode not in ("exact", "coverage"):
+        raise SimulationError(f"unknown parallel fault-sim mode {mode!r}")
+    sim = FaultSimulator(circuit)
+    faults = sim._resolve_faults(faults, collapse)
+
+    def serial() -> FaultSimResult:
+        if mode == "coverage":
+            return sim.run_coverage(
+                stimulus, n_patterns, faults=faults, budget=budget, block=block
+            )
+        return sim.run(stimulus, n_patterns, faults=faults, budget=budget)
+
+    if jobs <= 1 or len(faults) < MIN_FAULTS_PER_JOB * jobs:
+        return serial()
+
+    chunks = split_chunks(faults, jobs)
+    specs = _chunk_budget_specs(budget, chunks)
+    # The good machine is simulated once, in the parent; workers replay
+    # the shared words (free under fork, one pickle under spawn).
+    good_values = None
+    good_blocks = None
+    if mode == "exact":
+        good_values = sim._logic.run(stimulus, n_patterns)
+    else:
+        good_blocks = list(sim.coverage_blocks(stimulus, n_patterns, block))
+    with obs.span(
+        "fault_sim.parallel",
+        circuit=circuit.name,
+        n_patterns=n_patterns,
+        n_faults=len(faults),
+        jobs=jobs,
+        mode=mode,
+    ) as sp:
+        start = perf_counter()
+        try:
+            # ``jobs`` fixes the chunking (and therefore the merge order and
+            # budget shares); the worker count is additionally capped at the
+            # machine's usable cores — oversubscribing only adds fork and
+            # scheduling overhead, never throughput.
+            try:
+                usable = len(os.sched_getaffinity(0))
+            except AttributeError:  # platforms without affinity support
+                usable = os.cpu_count() or 1
+            with ProcessPoolExecutor(
+                max_workers=min(len(chunks), max(usable, 1)),
+                initializer=_init_worker,
+                initargs=(
+                    circuit,
+                    stimulus,
+                    n_patterns,
+                    mode,
+                    block,
+                    good_values,
+                    good_blocks,
+                ),
+            ) as pool:
+                payloads = list(
+                    pool.map(_simulate_chunk, zip(chunks, specs))
+                )
+        except BudgetExceededError:
+            raise
+        except Exception as exc:  # pool unusable: degrade, don't fail
+            obs.event(
+                "fault_sim.parallel_fallback",
+                error=type(exc).__name__,
+                detail=str(exc)[:200],
+            )
+            return serial()
+
+        result = FaultSimResult(
+            n_patterns=n_patterns, coverage_only=(mode == "coverage")
+        )
+        detected = 0
+        worker_evals = 0
+        for chunk, payload in zip(chunks, payloads):
+            if payload[0] == "budget":
+                _tag, resource, limit, spent, where = payload
+                raise BudgetExceededError(
+                    resource, limit, spent, where=where or "fault_sim.parallel"
+                )
+            _tag, words, firsts, evals = payload
+            worker_evals += evals
+            for fault, word, first in zip(chunk, words, firsts):
+                result.detection_word[fault] = word
+                result.first_detect[fault] = first
+                if word:
+                    detected += 1
+        result._n_detected = detected
+        seconds = perf_counter() - start
+        sp.set(detected=detected, gate_evals=worker_evals, seconds=seconds)
+    obs.count("fault_sim.runs")
+    obs.count("fault_sim.parallel_runs")
+    obs.count("fault_sim.patterns", n_patterns)
+    obs.count("fault_sim.faults", len(faults))
+    obs.count("fault_sim.dropped", detected)
+    obs.count("fault_sim.undetected", len(faults) - detected)
+    obs.count("fault_sim.gate_evals", worker_evals)
+    if seconds > 0.0:
+        obs.gauge("fault_sim.gate_evals_per_sec", worker_evals / seconds)
+    obs.observe("fault_sim.run_seconds", seconds)
+    return result
