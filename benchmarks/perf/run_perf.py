@@ -12,12 +12,20 @@ Two families, mirroring the performance layer:
   post-TPI rprmix_big-class circuit where every fault is detectable (the
   regime sweeps live in).  All three report identical coverage and
   first-detect indices.
+* **Compiled kernels** — per-circuit codegen (``kernel="compiled"``)
+  versus the interpreted gate walk (``kernel="interp"``), for the
+  good-machine logic simulation and for end-to-end fault-dropping
+  coverage on the rprmix_big workload.  Both modes are asserted
+  bit-identical; the compiled timings are steady-state (kernels warmed
+  before measuring, the regime every sweep runs in after its first
+  simulation).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py \
         [--quick] [--jobs N] [--out FILE] \
-        [--min-t3-speedup X] [--min-greedy-speedup X] [--min-sim-speedup X]
+        [--min-t3-speedup X] [--min-greedy-speedup X] [--min-sim-speedup X] \
+        [--min-kernel-sim-speedup X] [--min-kernel-cov-speedup X]
 
 ``--quick`` shrinks the workloads to CI-smoke size (tens of seconds).
 Each ``--min-*-speedup`` guard makes the run exit 1 when the measured
@@ -50,7 +58,7 @@ from repro.core import (  # noqa: E402
     prepare_for_tpi,
     solve_greedy,
 )
-from repro.sim import FaultSimulator, run_parallel  # noqa: E402
+from repro.sim import FaultSimulator, LogicSimulator, run_parallel  # noqa: E402
 from repro.sim.patterns import UniformRandomSource  # noqa: E402
 
 T3_TREE_SPECS = [(20, 0), (20, 1), (40, 2), (40, 3), (60, 4), (80, 5)]
@@ -102,12 +110,22 @@ def _t3_planning_problems() -> List[TPIProblem]:
 
 
 def bench_incremental_t3(repeats: int) -> Dict[str, object]:
-    """Greedy over the T3 tree workload, incremental vs from-scratch."""
+    """Greedy over the T3 tree workload, incremental vs from-scratch.
+
+    Both sides are pinned to the interpreted COP kernel so the measured
+    ratio isolates the incremental *algorithm* (dirty-cone deltas vs full
+    passes); the compiled-codegen win is gated separately by the kernel
+    benches below.
+    """
     problems = _t3_planning_problems()
 
     def run(use_incremental: bool) -> List[Tuple]:
         return [
-            _solution_key(solve_greedy(p, use_incremental=use_incremental))
+            _solution_key(
+                solve_greedy(
+                    p, use_incremental=use_incremental, kernel="interp"
+                )
+            )
             for p in problems
         ]
 
@@ -233,6 +251,86 @@ def bench_fault_sim(jobs: int, quick: bool) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Compiled kernels vs the interpreted gate walk
+# ---------------------------------------------------------------------------
+
+#: Pattern width for the good-machine kernel bench: wide enough that the
+#: bignum ops are real work but narrow enough that per-gate Python
+#: overhead — what the kernels remove — is still the dominant cost (at
+#: 1M-bit words both modes converge on the C bignum kernel and the ratio
+#: tends to 1; at 4096 the measured gap is already down to ~3x).
+KERNEL_SIM_PATTERNS = 1024
+
+
+def bench_kernel_logic_sim(repeats: int) -> Dict[str, object]:
+    """Good-machine simulation, compiled kernel vs interpreted walk."""
+    circuit = prepare_for_tpi(benchmark("rprmix_big"))
+    n = KERNEL_SIM_PATTERNS
+    stimulus = UniformRandomSource(seed=7).generate(circuit.inputs, n)
+    interp = LogicSimulator(circuit, kernel="interp")
+    compiled = LogicSimulator(circuit, kernel="compiled")
+    assert compiled.run(stimulus, n) == interp.run(stimulus, n), (
+        "compiled good-machine values diverged from interpreted"
+    )  # also warms the kernel cache: timings below are steady-state
+
+    # A single sim is ~100 microseconds — below the timer's reliable
+    # resolution — so each sample times a batch and divides.
+    batch = 20
+
+    def _run_batch(sim: LogicSimulator) -> None:
+        for _ in range(batch):
+            sim.run(stimulus, n)
+
+    reps = max(repeats, 7)
+    t_interp, _ = _best_of(reps, lambda: _run_batch(interp))
+    t_compiled, _ = _best_of(reps, lambda: _run_batch(compiled))
+    t_interp /= batch
+    t_compiled /= batch
+    return {
+        "workload": f"{circuit.name}, good-machine sim, {n} patterns",
+        "seconds_interp": round(t_interp, 6),
+        "seconds_compiled": round(t_compiled, 6),
+        "speedup": round(t_interp / t_compiled, 2),
+        "sims_per_sec_compiled": round(1.0 / t_compiled, 1),
+        "bit_identical": True,
+    }
+
+
+def bench_kernel_fault_sim(repeats: int) -> Dict[str, object]:
+    """End-to-end ``run_coverage``, compiled kernels vs interpreted.
+
+    The post-TPI rprmix_big workload at a 64K budget: the sweep regime
+    (fault dropping, geometric blocks), sized so the per-gate dispatch
+    the kernels eliminate is a visible share of the wall clock.
+    """
+    circuit, stimulus, n_patterns = _post_tpi_workload(quick=True)
+    faults = FaultSimulator(circuit)._resolve_faults(None, True)
+
+    def run(kernel: str):
+        sim = FaultSimulator(circuit, kernel=kernel)
+        return sim.run_coverage(stimulus, n_patterns, faults=faults)
+
+    reference = run("compiled")  # warm the kernel cache
+    reps = max(repeats, 3)
+    t_interp, got_i = _best_of(reps, lambda: run("interp"))
+    t_compiled, got_c = _best_of(reps, lambda: run("compiled"))
+    for got in (got_i, got_c):
+        assert got.detection_word == reference.detection_word
+        assert got.first_detect == reference.first_detect
+    return {
+        "workload": (
+            f"{circuit.name} post-TPI, {len(faults)} faults, "
+            f"{n_patterns} patterns, run_coverage"
+        ),
+        "coverage": round(reference.coverage(), 4),
+        "seconds_interp": round(t_interp, 4),
+        "seconds_compiled": round(t_compiled, 4),
+        "speedup": round(t_interp / t_compiled, 2),
+        "bit_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -248,6 +346,8 @@ def run_all(
             "incremental_t3_trees": bench_incremental_t3(repeats),
             "incremental_greedy": bench_incremental_greedy(repeats, quick),
             "fault_sim_drop_parallel": bench_fault_sim(jobs, quick),
+            "kernel_logic_sim": bench_kernel_logic_sim(repeats),
+            "kernel_fault_sim": bench_kernel_fault_sim(repeats),
         }
     finally:
         obs.set_recorder(previous)
@@ -257,7 +357,9 @@ def run_all(
         key: value
         for key, value in sorted(snapshot.get("counters", {}).items())
         if key in ("fault_sim.gate_evals", "fault_sim.dropped",
-                   "fault_sim.runs", "fault_sim.parallel_runs")
+                   "fault_sim.runs", "fault_sim.parallel_runs",
+                   "kernel.compiles", "kernel.cache_hits",
+                   "kernel.source_gens")
     }
     return benches, counters
 
@@ -278,6 +380,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail unless greedy incremental speedup >= X")
     parser.add_argument("--min-sim-speedup", type=float, default=None,
                         help="fail unless jobs+drop fault-sim speedup >= X")
+    parser.add_argument("--min-kernel-sim-speedup", type=float, default=None,
+                        help="fail unless compiled good-machine sim "
+                        "speedup >= X")
+    parser.add_argument("--min-kernel-cov-speedup", type=float, default=None,
+                        help="fail unless compiled run_coverage speedup >= X")
     args = parser.parse_args(argv)
 
     benches, counters = run_all(args.quick, args.jobs, args.repeats)
@@ -303,6 +410,10 @@ def main(argv: Optional[List[str]] = None) -> int:
          benches["incremental_greedy"]["speedup"]),
         ("fault sim jobs+drop", args.min_sim_speedup,
          benches["fault_sim_drop_parallel"][f"speedup_jobs{args.jobs}_drop"]),
+        ("kernel logic sim", args.min_kernel_sim_speedup,
+         benches["kernel_logic_sim"]["speedup"]),
+        ("kernel run_coverage", args.min_kernel_cov_speedup,
+         benches["kernel_fault_sim"]["speedup"]),
     ]
     for label, minimum, measured in guards:
         if minimum is not None and measured < minimum:

@@ -17,6 +17,7 @@ Design notes
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -67,6 +68,54 @@ class Circuit:
         self._topo: List[str] = []
         self._levels: Dict[str, int] = {}
         self._fanouts: Dict[str, List[Tuple[str, int]]] = {}
+        self._revision = 0
+        self._hash_revision = -1
+        self._hash = ""
+
+    @property
+    def revision(self) -> int:
+        """Structural revision counter, bumped by every mutating call.
+
+        Long-lived consumers (simulators, the compiled-kernel cache)
+        record the revision they were built against and refuse to serve
+        results for a circuit that has since been rewritten — silently
+        stale answers become a :class:`~repro.errors.SimulationError`.
+        """
+        return self._revision
+
+    def _mutated(self) -> None:
+        self._dirty = True
+        self._revision += 1
+
+    def structural_hash(self) -> str:
+        """Stable content hash of the netlist structure.
+
+        Covers node insertion order, gate types, fan-in wiring, and the
+        primary-output list — everything that determines simulation and
+        testability semantics — but not the circuit ``name``.  The digest
+        is cached per :attr:`revision`, is identical across processes
+        (no dependence on ``PYTHONHASHSEED``), and keys the compiled
+        simulation-kernel registry (:mod:`repro.sim.compile`): two
+        structurally identical circuits share compiled kernels.
+        """
+        if self._hash_revision == self._revision:
+            return self._hash
+        h = hashlib.sha256()
+        for node in self._nodes.values():
+            gt = node.gate_type.value if node.gate_type is not None else ""
+            h.update(node.name.encode())
+            h.update(b"\x00")
+            h.update(gt.encode())
+            for fi in node.fanins:
+                h.update(b"\x01")
+                h.update(fi.encode())
+            h.update(b"\x02")
+        for out in self._outputs:
+            h.update(b"\x03")
+            h.update(out.encode())
+        self._hash = h.hexdigest()
+        self._hash_revision = self._revision
+        return self._hash
 
     # ------------------------------------------------------------------
     # Construction / mutation
@@ -75,7 +124,7 @@ class Circuit:
         """Create a primary input node and return its name."""
         self._check_fresh_name(name)
         self._nodes[name] = Node(name, None)
-        self._dirty = True
+        self._mutated()
         return name
 
     def add_gate(self, name: str, gate_type: GateType, fanins: Sequence[str]) -> str:
@@ -91,7 +140,7 @@ class Circuit:
             if fi not in self._nodes:
                 raise CircuitError(f"gate {name!r} references unknown node {fi!r}")
         self._nodes[name] = Node(name, gate_type, tuple(fanins))
-        self._dirty = True
+        self._mutated()
         return name
 
     def mark_output(self, name: str) -> None:
@@ -100,7 +149,7 @@ class Circuit:
             raise CircuitError(f"cannot mark unknown node {name!r} as output")
         if name not in self._outputs:
             self._outputs.append(name)
-            self._dirty = True
+            self._mutated()
 
     def unmark_output(self, name: str) -> None:
         """Remove a node from the primary output list."""
@@ -108,7 +157,7 @@ class Circuit:
             self._outputs.remove(name)
         except ValueError:
             raise CircuitError(f"node {name!r} is not an output") from None
-        self._dirty = True
+        self._mutated()
 
     def replace_fanin(self, gate_name: str, pin: int, new_driver: str) -> None:
         """Reconnect pin ``pin`` of ``gate_name`` to ``new_driver``.
@@ -127,7 +176,7 @@ class Circuit:
         fanins = list(node.fanins)
         fanins[pin] = new_driver
         self._nodes[gate_name] = Node(gate_name, node.gate_type, tuple(fanins))
-        self._dirty = True
+        self._mutated()
 
     def _check_fresh_name(self, name: str) -> None:
         if not name:

@@ -50,6 +50,7 @@ from .core.heuristic import solve_dp_heuristic
 from .core.problem import TPIProblem, TPISolution
 from .errors import BudgetExceededError, ParseError, ReproError
 from .resilience import Budget
+from .sim.compile import DEFAULT_KERNEL, KERNEL_MODES
 from .sim.fault_sim import FaultSimulator
 from .sim.faults import collapse_faults
 from .sim.parallel import run_parallel
@@ -176,10 +177,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     )
     jobs = getattr(args, "jobs", 1)
     mode = "coverage" if getattr(args, "drop", False) else "exact"
+    kernel = getattr(args, "kernel", None)
     if jobs > 1 or mode != "exact":
-        res = run_parallel(circuit, stim, args.patterns, jobs=jobs, mode=mode)
+        res = run_parallel(
+            circuit, stim, args.patterns, jobs=jobs, mode=mode, kernel=kernel
+        )
     else:
-        res = FaultSimulator(circuit).run(stim, args.patterns)
+        res = FaultSimulator(circuit, kernel=kernel).run(stim, args.patterns)
     print(f"{'coverage':10s} {100 * res.coverage():.2f}% @ {args.patterns} patterns")
     return 0
 
@@ -209,6 +213,7 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
         args.patterns,
         jobs=getattr(args, "jobs", 1),
         mode="coverage" if getattr(args, "drop", False) else "exact",
+        kernel=getattr(args, "kernel", None),
     )
     print(f"circuit        {report.circuit_name}")
     print(f"faults         {report.n_faults}")
@@ -331,6 +336,7 @@ def _run_metadata(args: argparse.Namespace) -> dict:
         "patterns",
         "escape",
         "solver",
+        "kernel",
         "only",
         "results",
         "budget_ms",
@@ -413,6 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
         g.add_argument(
             "--drop", action="store_true",
             help="coverage-only fault dropping (skips full detection words)",
+        )
+        g.add_argument(
+            "--kernel", choices=list(KERNEL_MODES), default=DEFAULT_KERNEL,
+            help="per-circuit compiled simulation kernels (default) or the "
+            "interpreted ground-truth gate walk",
         )
 
     def add_budget(p: argparse.ArgumentParser) -> None:

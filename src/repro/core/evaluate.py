@@ -80,22 +80,25 @@ def measure_coverage(
     faults: Optional[Sequence[Fault]] = None,
     jobs: int = 1,
     mode: str = "exact",
+    kernel: Optional[str] = None,
 ):
     """Fault-simulate ``circuit`` under a pseudo-random budget.
 
     Returns the :class:`~repro.sim.fault_sim.FaultSimResult` over the
     collapsed fault list (or ``faults`` when given).  ``jobs > 1`` fans the
     fault list out over worker processes; ``mode="coverage"`` enables fault
-    dropping (partial detection words, exact coverage and first-detects).
-    Both knobs preserve bit-identical coverage numbers.
+    dropping (partial detection words, exact coverage and first-detects);
+    ``kernel`` selects compiled (default) or interpreted simulation.
+    All three knobs preserve bit-identical coverage numbers.
     """
     source = source or UniformRandomSource(seed=1)
     stimulus = source.generate(circuit.inputs, n_patterns)
     if jobs > 1 or mode != "exact":
         return run_parallel(
-            circuit, stimulus, n_patterns, faults=faults, jobs=jobs, mode=mode
+            circuit, stimulus, n_patterns, faults=faults, jobs=jobs,
+            mode=mode, kernel=kernel,
         )
-    sim = FaultSimulator(circuit)
+    sim = FaultSimulator(circuit, kernel=kernel)
     return sim.run(stimulus, n_patterns, faults=faults)
 
 
@@ -106,13 +109,14 @@ def evaluate_solution(
     source: Optional[PatternSource] = None,
     jobs: int = 1,
     mode: str = "exact",
+    kernel: Optional[str] = None,
 ) -> CoverageReport:
     """Insert the solution's points and measure real coverage before/after.
 
     The same pattern source drives both runs; the modified netlist's extra
     test-signal inputs receive stimulus from the same source family.
-    ``jobs``/``mode`` are forwarded to :func:`measure_coverage` for both
-    runs; the report's numbers are identical for every setting.
+    ``jobs``/``mode``/``kernel`` are forwarded to :func:`measure_coverage`
+    for both runs; the report's numbers are identical for every setting.
     """
     source = source or UniformRandomSource(seed=1)
     circuit = problem.circuit
@@ -120,7 +124,8 @@ def evaluate_solution(
     reference = collapsed.representatives
 
     baseline = measure_coverage(
-        circuit, n_patterns, source, faults=reference, jobs=jobs, mode=mode
+        circuit, n_patterns, source, faults=reference, jobs=jobs, mode=mode,
+        kernel=kernel,
     )
 
     with obs.span(
@@ -141,9 +146,10 @@ def evaluate_solution(
             faults=live,
             jobs=jobs,
             mode=mode,
+            kernel=kernel,
         )
     else:
-        sim = FaultSimulator(insertion.circuit)
+        sim = FaultSimulator(insertion.circuit, kernel=kernel)
         modified = sim.run(stimulus, n_patterns, faults=live)
 
     # Coverage over the original reference list: faults whose injection

@@ -95,6 +95,7 @@ def solve_greedy(
     initial_points: Optional[Sequence[TestPoint]] = None,
     budget: Optional[Budget] = None,
     use_incremental: bool = True,
+    kernel: Optional[str] = None,
 ) -> TPISolution:
     """Greedy TPI: commit the best benefit-per-cost candidate each round.
 
@@ -120,6 +121,10 @@ def solve_greedy(
         ``evaluate_placement`` per candidate — same answers (the
         equivalence tests assert identical solutions), only slower; kept
         as the ground-truth reference for tests and benchmarks.
+    kernel:
+        Evaluation kernel for the COP passes (``"compiled"`` or
+        ``"interp"``); default is the process-wide
+        :data:`~repro.sim.compile.DEFAULT_KERNEL`.
     """
     if faults is None:
         faults = testable_stuck_at_faults(problem.circuit)
@@ -128,7 +133,7 @@ def solve_greedy(
     evaluations = 0
     feasible = False
     inc = (
-        IncrementalEvaluator(problem, points, faults=faults)
+        IncrementalEvaluator(problem, points, faults=faults, kernel=kernel)
         if use_incremental
         else None
     )
@@ -141,7 +146,7 @@ def solve_greedy(
             evaluation = inc.base
             failing = inc.failing_faults()
         else:
-            evaluation = evaluate_placement(problem, points)
+            evaluation = evaluate_placement(problem, points, kernel=kernel)
             failing = evaluation.failing_faults(faults)
         if not failing:
             feasible = True
@@ -161,7 +166,7 @@ def solve_greedy(
             if inc is not None:
                 fixed = inc.candidate_gain(cand)
             else:
-                after = evaluate_placement(problem, points + [cand])
+                after = evaluate_placement(problem, points + [cand], kernel=kernel)
                 fixed = len(failing) - len(after.failing_faults(faults))
             if fixed <= 0:
                 continue
@@ -176,7 +181,9 @@ def solve_greedy(
             inc.rebase(points)
     else:
         evaluation = (
-            inc.base if inc is not None else evaluate_placement(problem, points)
+            inc.base
+            if inc is not None
+            else evaluate_placement(problem, points, kernel=kernel)
         )
         feasible = evaluation.is_feasible(faults)
 

@@ -112,8 +112,14 @@ class IncrementalEvaluator:
         problem: TPIProblem,
         base_points: Sequence[TestPoint] = (),
         faults: Optional[Sequence[Fault]] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.problem = problem
+        #: Kernel mode for the from-scratch base passes (``rebase``); the
+        #: delta re-propagation itself is always interpreted — it touches
+        #: only the dirty region, and its early-stop compares against the
+        #: base values, which the compiled pass reproduces bit-identically.
+        self.kernel = kernel
         self.circuit = problem.circuit
         circuit = self.circuit
         self._topo = circuit.topological_order()
@@ -151,7 +157,7 @@ class IncrementalEvaluator:
         """Recompute the cached base evaluation for ``points`` (full pass)."""
         self.stats["rebases"] += 1
         self.base_points = list(points)
-        self.base = evaluate_placement(self.problem, points)
+        self.base = evaluate_placement(self.problem, points, kernel=self.kernel)
         self._base_stems, self._base_branches = _site_states(points)
         theta = self.problem.threshold - 1e-12
         self._failing: Set[Fault] = {

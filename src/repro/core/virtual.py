@@ -27,6 +27,11 @@ from ..circuit.gates import (
     side_input_sensitization_probability,
 )
 from ..circuit.netlist import Circuit
+from ..sim.compile import (
+    generate_placement_source,
+    get_compiled,
+    resolve_kernel,
+)
 from ..sim.faults import Fault, all_stuck_at_faults
 from .problem import (
     TestPoint,
@@ -152,10 +157,62 @@ class VirtualEvaluation:
 def evaluate_placement(
     problem: TPIProblem,
     points: Sequence[TestPoint],
+    kernel: Optional[str] = None,
 ) -> VirtualEvaluation:
-    """Run the COP passes with the placement's semantics layered in."""
+    """Run the COP passes with the placement's semantics layered in.
+
+    ``kernel="compiled"`` (the default) runs both passes through a
+    per-circuit compiled kernel that takes the placement's site state as
+    data — one compile serves every placement on the circuit, and the
+    floats are bit-identical to the interpreted evaluator
+    (``kernel="interp"``), which remains the ground-truth arbiter.
+    """
     circuit = problem.circuit
     stem_points, branch_points = split_placement(points)
+
+    if resolve_kernel(kernel) == "compiled":
+        fn = get_compiled(circuit).function(
+            "place", lambda: generate_placement_source(circuit)
+        )
+        sctl = {}
+        sobs = set()
+        for site, tps in stem_points.items():
+            ctrl = _site_control(tps)
+            if ctrl:
+                sctl[site] = ctrl
+            if _site_observed(tps):
+                sobs.add(site)
+        bctl = {}
+        bobs = set()
+        for key, tps in branch_points.items():
+            ctrl = _site_control(tps)
+            if ctrl:
+                bctl[key] = ctrl
+            if _site_observed(tps):
+                bobs.add(key)
+        (
+            stem_pre, stem_post, branch_pre, branch_post,
+            wire_obs, branch_obs, stem_post_obs,
+        ) = fn(
+            problem.input_probability,
+            sctl,
+            bctl,
+            sobs,
+            bobs,
+            control_probability_transform,
+            control_observability_factor,
+        )
+        return VirtualEvaluation(
+            problem=problem,
+            points=sorted(points),
+            stem_pre=stem_pre,
+            stem_post=stem_post,
+            wire_obs=wire_obs,
+            branch_pre=branch_pre,
+            branch_post=branch_post,
+            branch_obs=branch_obs,
+            stem_post_obs=stem_post_obs,
+        )
 
     # ------------------------------------------------------------ forward
     stem_pre: Dict[str, float] = {}

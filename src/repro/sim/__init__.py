@@ -18,6 +18,16 @@ from .bitops import (
     unpack_patterns,
     weighted_random_word,
 )
+from .compile import (
+    DEFAULT_KERNEL,
+    KERNEL_MODES,
+    CompiledCircuit,
+    clear_registry,
+    get_compiled,
+    invalidate,
+    resolve_kernel,
+    seed_registry,
+)
 from .fault_sim import FaultSimResult, FaultSimulator, fault_coverage
 from .faults import (
     CollapsedFaultSet,
@@ -44,6 +54,14 @@ from .patterns import (
 )
 
 __all__ = [
+    "DEFAULT_KERNEL",
+    "KERNEL_MODES",
+    "CompiledCircuit",
+    "resolve_kernel",
+    "get_compiled",
+    "seed_registry",
+    "invalidate",
+    "clear_registry",
     "ones_mask",
     "bit_get",
     "bit_set",

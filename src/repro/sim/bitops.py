@@ -131,9 +131,29 @@ def pack_bits(bits: Iterable[int]) -> int:
     return word
 
 
+#: byte value -> its 8 bits, LSB first (drives the byte-at-a-time unpack).
+_BYTE_BITS = [tuple((b >> i) & 1 for i in range(8)) for b in range(256)]
+
+
 def unpack_bits(word: int, n_patterns: int) -> List[int]:
-    """Expand a word into a list of 0/1 ints of length ``n_patterns``."""
-    return [(word >> i) & 1 for i in range(n_patterns)]
+    """Expand a word into a list of 0/1 ints of length ``n_patterns``.
+
+    Chunked through the bignum's byte export plus a 256-entry lookup
+    table — eight bits per step instead of one shift-and-mask per bit.
+    Negative words (infinite two's-complement bit strings) fall back to
+    the per-bit scan.
+    """
+    if n_patterns <= 0:
+        return []
+    if word < 0:
+        return [(word >> i) & 1 for i in range(n_patterns)]
+    low = word & ((1 << n_patterns) - 1)
+    bits: List[int] = []
+    table = _BYTE_BITS
+    for byte in low.to_bytes((n_patterns + 7) >> 3, "little"):
+        bits.extend(table[byte])
+    del bits[n_patterns:]
+    return bits
 
 
 def pack_patterns(patterns: List[List[int]], n_signals: int) -> List[int]:
@@ -141,17 +161,25 @@ def pack_patterns(patterns: List[List[int]], n_signals: int) -> List[int]:
 
     ``patterns[p][s]`` is the value of signal ``s`` under pattern ``p``; the
     result has one word per signal with pattern ``p`` in bit ``p``.
+
+    Bits are staged in per-signal bytearrays and converted once at the
+    end: ``word |= 1 << p`` would copy the whole growing bignum per set
+    bit (O(patterns²) bit-work per signal), while a bytearray store is
+    O(1) and ``int.from_bytes`` is a single linear pass.
     """
-    words = [0] * n_signals
+    n_bytes = (len(patterns) + 7) >> 3
+    buffers = [bytearray(n_bytes) for _ in range(n_signals)]
     for p, pattern in enumerate(patterns):
         if len(pattern) != n_signals:
             raise ValueError(
                 f"pattern {p} has {len(pattern)} values; expected {n_signals}"
             )
-        for s, bit in enumerate(pattern):
-            if bit:
-                words[s] |= 1 << p
-    return words
+        index = p >> 3
+        bit = 1 << (p & 7)
+        for s, value in enumerate(pattern):
+            if value:
+                buffers[s][index] |= bit
+    return [int.from_bytes(buf, "little") for buf in buffers]
 
 
 def unpack_patterns(words: List[int], n_patterns: int) -> List[List[int]]:

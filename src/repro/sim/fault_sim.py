@@ -37,6 +37,7 @@ from ..circuit.netlist import Circuit
 from ..errors import SimulationError
 from ..resilience import Budget
 from .bitops import ones_mask, split_word_blocks
+from .compile import generate_cone_source, get_compiled, resolve_kernel
 from .faults import CollapsedFaultSet, Fault, collapse_faults
 from .logic_sim import LogicSimulator
 
@@ -152,10 +153,19 @@ class FaultSimulator:
     re-evaluates only its fanout cone.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, kernel: Optional[str] = None) -> None:
         circuit.validate()
         self.circuit = circuit
-        self._logic = LogicSimulator(circuit)
+        self.kernel = resolve_kernel(kernel)
+        self._revision = circuit.revision
+        self._logic = LogicSimulator(circuit, kernel=self.kernel)
+        self._compiled = (
+            get_compiled(circuit) if self.kernel == "compiled" else None
+        )
+        # start node -> (kernel fn, gate evals per invocation), one cache
+        # per cone-kernel variant.
+        self._cone_fns: Dict[str, Tuple[object, int]] = {}
+        self._cone_diff_fns: Dict[str, Tuple[object, int]] = {}
         self._level = circuit.levels()
         self._out_set = set(circuit.outputs)
         # Flat per-node lookups for the propagation hot loop (the Circuit
@@ -216,6 +226,28 @@ class FaultSimulator:
             orders[name] = order
         return orders
 
+    def _cone_fn(self, start: str, variant: str) -> Tuple[object, int]:
+        """Compiled cone kernel (and its gate-eval cost) for ``start``."""
+        cache = self._cone_fns if variant == "detect" else self._cone_diff_fns
+        entry = cache.get(start)
+        if entry is None:
+            compiled = self._compiled
+            key = ("cone:" if variant == "detect" else "coneD:") + start
+
+            def generate() -> str:
+                source, n_gates = generate_cone_source(
+                    self.circuit, start, self._cone_order(start), variant
+                )
+                compiled.cone_meta[key] = n_gates
+                return source
+
+            fn = compiled.function(key, generate)
+            n_gates = compiled.cone_meta.get(key)
+            if n_gates is None:  # seeded source without meta
+                n_gates = len(self._cone_order(start)) - 1
+            entry = cache[start] = (fn, n_gates)
+        return entry
+
     def simulate_fault_responses(
         self,
         fault: Fault,
@@ -258,6 +290,13 @@ class FaultSimulator:
         Returns the combined detection word; when ``output_diffs`` is a
         dict it is additionally filled with per-output difference words.
         """
+        if self.circuit.revision != self._revision:
+            raise SimulationError(
+                f"circuit {self.circuit.name!r} was structurally modified "
+                f"after this fault simulator was built (revision "
+                f"{self._revision} -> {self.circuit.revision}); "
+                "create a new simulator"
+            )
         mask = self._masks.get(n_patterns)
         if mask is None:
             mask = self._masks[n_patterns] = ones_mask(n_patterns)
@@ -270,26 +309,39 @@ class FaultSimulator:
             start = fault.node
             if good_values[start] == stuck_word:
                 return 0  # fault never excited anywhere
-            faulty[start] = stuck_word
-            if start in out_set:
-                detect = good_values[start] ^ stuck_word
-                if output_diffs is not None:
-                    output_diffs[start] = detect & mask
+            injected = stuck_word
         else:
             start, pin = fault.branch
             fanin_words = [
                 stuck_word if p == pin else good_values[fi]
                 for p, fi in enumerate(self._fanins[start])
             ]
-            new_word = evaluate_gate(self._gate_types[start], fanin_words, mask)
+            injected = evaluate_gate(self._gate_types[start], fanin_words, mask)
             self.gate_evals += 1
-            if new_word == good_values[start]:
+            if injected == good_values[start]:
                 return 0
-            faulty[start] = new_word
-            if start in out_set:
-                detect = good_values[start] ^ new_word
-                if output_diffs is not None:
-                    output_diffs[start] = detect & mask
+
+        # Compiled path: straight-line evaluation of the whole cone.  A
+        # gate the event-driven walk would skip computes its good value
+        # and contributes a zero diff, so the detection words (and the
+        # per-output diffs) are identical by construction.
+        if self._compiled is not None:
+            if output_diffs is None:
+                fn, n_gates = self._cone_fn(start, "detect")
+                self.gate_evals += n_gates
+                return fn(good_values, injected, mask)
+            fn, n_gates = self._cone_fn(start, "diffs")
+            self.gate_evals += n_gates
+            detect, diffs = fn(good_values, injected, mask)
+            for po, diff in diffs:
+                output_diffs[po] = diff
+            return detect
+
+        faulty[start] = injected
+        if start in out_set:
+            detect = good_values[start] ^ injected
+            if output_diffs is not None:
+                output_diffs[start] = detect & mask
 
         # Walk the precomputed levelized cone order past the injection
         # site; a gate is (re-)evaluated exactly when some fanin's word

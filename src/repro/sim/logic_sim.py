@@ -14,7 +14,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuit.gates import evaluate_gate
 from ..circuit.netlist import Circuit
+from ..errors import SimulationError
 from .bitops import ones_mask
+from .compile import generate_logic_source, get_compiled, resolve_kernel
 
 __all__ = ["LogicSimulator", "simulate", "signal_probabilities_by_simulation"]
 
@@ -26,16 +28,39 @@ class LogicSimulator:
     """Levelized pattern-parallel simulator bound to one circuit.
 
     The circuit must not be structurally modified while the simulator is in
-    use (create a new simulator after netlist rewrites).
+    use (create a new simulator after netlist rewrites); any mutation bumps
+    the circuit's structural revision and subsequent :meth:`run` calls raise
+    :class:`~repro.errors.SimulationError` instead of returning stale
+    values.
+
+    ``kernel="compiled"`` (the default) runs force-free simulations through
+    a per-circuit compiled kernel (see :mod:`repro.sim.compile`);
+    ``kernel="interp"`` keeps the interpreted gate walk, which remains the
+    ground-truth arbiter.  Forced-value runs always interpret.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, kernel: Optional[str] = None) -> None:
         circuit.validate()
         self.circuit = circuit
+        self.kernel = resolve_kernel(kernel)
+        self._revision = circuit.revision
         self._order: List[str] = [
             name for name in circuit.topological_order() if circuit.node(name).is_gate
         ]
         self._inputs = circuit.inputs
+        self._compiled = (
+            get_compiled(circuit) if self.kernel == "compiled" else None
+        )
+        self._logic_fn = None
+
+    def _check_revision(self) -> None:
+        if self.circuit.revision != self._revision:
+            raise SimulationError(
+                f"circuit {self.circuit.name!r} was structurally modified "
+                f"after this simulator was built (revision "
+                f"{self._revision} -> {self.circuit.revision}); "
+                "create a new simulator"
+            )
 
     def run(
         self,
@@ -60,6 +85,15 @@ class LogicSimulator:
             Map ``(sink, pin)`` → packed word; only that fan-in connection
             sees the forced word (fanout-branch faults).
         """
+        self._check_revision()
+        if not node_forces and not connection_forces and self._compiled is not None:
+            fn = self._logic_fn
+            if fn is None:
+                circuit = self.circuit
+                fn = self._logic_fn = self._compiled.function(
+                    "logic", lambda: generate_logic_source(circuit)
+                )
+            return fn(stimulus, ones_mask(n_patterns))
         mask = ones_mask(n_patterns)
         values: Dict[str, int] = {}
         node_forces = node_forces or {}

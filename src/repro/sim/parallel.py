@@ -36,6 +36,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from .. import obs
 from ..errors import BudgetExceededError, SimulationError
 from ..resilience import Budget
+from .compile import get_compiled, resolve_kernel, seed_registry
 from .fault_sim import FaultSimResult, FaultSimulator
 from .faults import Fault
 
@@ -61,14 +62,26 @@ def _init_worker(
     block: int,
     good_values: Optional[Mapping[str, int]],
     good_blocks: Optional[List[Tuple[int, Mapping[str, int]]]],
+    kernel: str = "interp",
+    kernel_sources: Optional[Dict[str, str]] = None,
+    kernel_cone_meta: Optional[Dict[str, int]] = None,
 ) -> None:
-    """Prime one worker process with the shared simulation state."""
+    """Prime one worker process with the shared simulation state.
+
+    ``kernel_sources`` carries the parent's already-generated kernel
+    *source strings* (compiled code objects don't pickle); the worker
+    seeds its registry with them and re-``exec``s each kernel lazily on
+    first use, so chunk work never re-derives codegen the parent already
+    paid for.
+    """
     global _WORKER_STATE
     # The parent's recorder (file handles, span stacks) must not be
     # inherited into forked workers — concurrent writes would interleave.
     obs.set_recorder(None)
+    if kernel == "compiled" and kernel_sources:
+        seed_registry(circuit, kernel_sources, kernel_cone_meta)
     _WORKER_STATE = {
-        "sim": FaultSimulator(circuit),
+        "sim": FaultSimulator(circuit, kernel=kernel),
         "stimulus": stimulus,
         "n_patterns": n_patterns,
         "mode": mode,
@@ -176,6 +189,7 @@ def run_parallel(
     mode: str = "exact",
     block: int = 64,
     budget: Optional[Budget] = None,
+    kernel: Optional[str] = None,
 ) -> FaultSimResult:
     """Fault-simulate with the fault list fanned out over ``jobs`` processes.
 
@@ -198,10 +212,15 @@ def run_parallel(
         ``max_patterns`` share; exhaustion in any chunk raises
         :class:`BudgetExceededError` in the parent (first chunk in fault
         order wins, for determinism).
+    kernel:
+        ``"compiled"`` (default) or ``"interp"``; forwarded to every
+        worker's simulator.  Workers receive the parent's generated
+        kernel sources and rebuild the code objects on first use.
     """
     if mode not in ("exact", "coverage"):
         raise SimulationError(f"unknown parallel fault-sim mode {mode!r}")
-    sim = FaultSimulator(circuit)
+    kernel = resolve_kernel(kernel)
+    sim = FaultSimulator(circuit, kernel=kernel)
     faults = sim._resolve_faults(faults, collapse)
 
     def serial() -> FaultSimResult:
@@ -224,6 +243,12 @@ def run_parallel(
         good_values = sim._logic.run(stimulus, n_patterns)
     else:
         good_blocks = list(sim.coverage_blocks(stimulus, n_patterns, block))
+    kernel_sources: Optional[Dict[str, str]] = None
+    kernel_cone_meta: Optional[Dict[str, int]] = None
+    if kernel == "compiled":
+        entry = get_compiled(circuit)
+        kernel_sources = dict(entry.sources)
+        kernel_cone_meta = dict(entry.cone_meta)
     with obs.span(
         "fault_sim.parallel",
         circuit=circuit.name,
@@ -253,6 +278,9 @@ def run_parallel(
                     block,
                     good_values,
                     good_blocks,
+                    kernel,
+                    kernel_sources,
+                    kernel_cone_meta,
                 ),
             ) as pool:
                 payloads = list(

@@ -24,6 +24,12 @@ from ..circuit.gates import (
     side_input_sensitization_probability,
 )
 from ..circuit.netlist import Circuit
+from ..sim.compile import (
+    generate_cop_backward_source,
+    generate_cop_forward_source,
+    get_compiled,
+    resolve_kernel,
+)
 
 __all__ = ["COPResult", "signal_probabilities", "observabilities", "cop_measures"]
 
@@ -64,6 +70,7 @@ def signal_probabilities(
     circuit: Circuit,
     input_probabilities: Optional[Mapping[str, float]] = None,
     overrides: Optional[Mapping[str, float]] = None,
+    kernel: Optional[str] = None,
 ) -> Dict[str, float]:
     """Forward COP pass: P[node = 1] for every node.
 
@@ -76,9 +83,19 @@ def signal_probabilities(
         Nodes whose probability is *forced* (used to model control points:
         a scan-driven CP forces 0.5, an AND-type CP in test mode forces 0).
         Overrides win over computed values and are propagated downstream.
+    kernel:
+        ``"compiled"`` (default) runs the override-free pass through the
+        per-circuit compiled kernel; ``"interp"`` forces the interpreted
+        walk.  Runs with ``overrides`` always interpret.  Both produce
+        bit-identical floats.
     """
     input_probabilities = input_probabilities or {}
     overrides = overrides or {}
+    if resolve_kernel(kernel) == "compiled" and not overrides:
+        fn = get_compiled(circuit).function(
+            "cop_fwd", lambda: generate_cop_forward_source(circuit)
+        )
+        return fn(input_probabilities.get)
     probs: Dict[str, float] = {}
     for name in circuit.topological_order():
         if name in overrides:
@@ -99,6 +116,7 @@ def observabilities(
     probability: Mapping[str, float],
     observed: Optional[Mapping[str, float]] = None,
     stem_combine: str = "or",
+    kernel: Optional[str] = None,
 ) -> Tuple[Dict[str, float], Dict[Tuple[str, str, int], float]]:
     """Backward COP pass: node and branch observabilities.
 
@@ -121,10 +139,19 @@ def observabilities(
         ``node_obs[n]`` is the stem observability; ``branch_obs[(d, s, p)]``
         the observability of the branch from driver ``d`` into pin ``p`` of
         sink ``s``.
+
+    ``kernel`` selects the compiled backward pass (default) or the
+    interpreted walk; runs with ``observed`` injections always interpret.
     """
     if stem_combine not in _STEM_COMBINE_MODES:
         raise ValueError(f"stem_combine must be one of {_STEM_COMBINE_MODES}")
     observed = observed or {}
+    if resolve_kernel(kernel) == "compiled" and not observed:
+        fn = get_compiled(circuit).function(
+            f"cop_bwd:{stem_combine}",
+            lambda: generate_cop_backward_source(circuit, stem_combine),
+        )
+        return fn(probability)
     out_set = set(circuit.outputs)
     node_obs: Dict[str, float] = {}
     branch_obs: Dict[Tuple[str, str, int], float] = {}
@@ -165,13 +192,16 @@ def cop_measures(
     probability_overrides: Optional[Mapping[str, float]] = None,
     observed: Optional[Mapping[str, float]] = None,
     stem_combine: str = "or",
+    kernel: Optional[str] = None,
 ) -> COPResult:
     """Run both COP passes and return a :class:`COPResult`."""
     probs = signal_probabilities(
-        circuit, input_probabilities, overrides=probability_overrides
+        circuit, input_probabilities, overrides=probability_overrides,
+        kernel=kernel,
     )
     node_obs, branch_obs = observabilities(
-        circuit, probs, observed=observed, stem_combine=stem_combine
+        circuit, probs, observed=observed, stem_combine=stem_combine,
+        kernel=kernel,
     )
     return COPResult(
         probability=probs,
