@@ -12,7 +12,6 @@ computational kernel of each experiment.
 from __future__ import annotations
 
 import datetime
-import json
 import sys
 from pathlib import Path
 
@@ -20,6 +19,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
+from repro.ioutil import atomic_write_json, atomic_write_text  # noqa: E402
 from repro.obs.recorder import run_metadata  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -33,7 +33,7 @@ def record_result():
     def _record(result) -> None:
         text = result.render()
         stem = result.experiment_id.lower()
-        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        atomic_write_text(RESULTS_DIR / f"{stem}.txt", text + "\n")
         payload = {
             "experiment_id": result.experiment_id,
             "description": result.description,
@@ -45,8 +45,8 @@ def record_result():
                 ).isoformat(timespec="seconds"),
             ),
         }
-        (RESULTS_DIR / f"{stem}.json").write_text(
-            json.dumps(payload, indent=2, default=str) + "\n"
+        atomic_write_json(
+            RESULTS_DIR / f"{stem}.json", payload, sort_keys=False, default=str
         )
         print("\n" + text, file=sys.stderr)
 

@@ -16,12 +16,14 @@ the same at experiment granularity.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..circuit.analysis import has_reconvergent_fanout, is_fanout_free
+from ..ioutil import atomic_write_text
 from ..circuit.bench_io import parse_bench_file
 from ..circuit.generators import random_tree
 from ..circuit.library import benchmark, benchmark_names
@@ -785,17 +787,73 @@ def _sweep_one(
     )
 
 
+def _quarantine_checkpoint_lines(
+    path: Path,
+    lines: Sequence[str],
+    reason: str,
+    survivors: Optional[Sequence[str]] = None,
+) -> Path:
+    """Move unusable checkpoint lines to a ``.bad`` sidecar, loudly.
+
+    The lines are preserved verbatim in the sidecar (appended — corruption
+    is evidence, not garbage).  When ``survivors`` is given the checkpoint
+    itself is atomically rewritten to just those lines, so the bad lines
+    are *moved*, not copied, and the next resume is clean.
+    """
+    sidecar = path.with_name(path.name + ".bad")
+    with sidecar.open("a", encoding="utf-8") as sink:
+        for line in lines:
+            sink.write(line + "\n")
+    if survivors is not None:
+        atomic_write_text(
+            path, "".join(line + "\n" for line in survivors)
+        )
+    warnings.warn(
+        f"quarantined {len(lines)} corrupt checkpoint line(s) from "
+        f"{path} to {sidecar} ({reason}); resuming with the rest",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    obs.event(
+        "sweep_checkpoint_quarantined",
+        path=str(path),
+        sidecar=str(sidecar),
+        n_lines=len(lines),
+        reason=reason,
+    )
+    obs.count("sweep.quarantined_lines", len(lines))
+    return sidecar
+
+
 def _read_checkpoint_lines(path: Path) -> List[dict]:
-    """Parse a JSONL checkpoint, tolerating a torn final line (killed run)."""
+    """Parse a JSONL checkpoint, quarantining unparseable lines.
+
+    A killed run tears at most the final line, but a corrupted disk or a
+    concurrent writer can mangle any of them; every line that fails to
+    decode (or decodes to a non-object) is moved to the ``.bad`` sidecar
+    via :func:`_quarantine_checkpoint_lines` and the rest are returned.
+    """
     records = []
+    good: List[str] = []
+    bad: List[str] = []
     for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
+        stripped = line.strip()
+        if not stripped:
             continue
         try:
-            records.append(json.loads(line))
+            record = json.loads(stripped)
         except json.JSONDecodeError:
+            bad.append(line)
             continue
+        if not isinstance(record, dict):
+            bad.append(line)
+            continue
+        records.append(record)
+        good.append(line)
+    if bad:
+        _quarantine_checkpoint_lines(
+            path, bad, "undecodable JSONL", survivors=good
+        )
     return records
 
 
@@ -848,14 +906,24 @@ def run_circuit_sweep(
     file_paths = [Path(p) for p in paths]
     completed: Dict[str, SweepOutcome] = {}
     if resume and results_path.exists():
+        mistyped: List[str] = []
         for record in _read_checkpoint_lines(results_path):
             try:
                 outcome = SweepOutcome(**record)
-            except TypeError as exc:
-                raise ExperimentError(
-                    f"corrupt sweep checkpoint {results_path}: {exc}"
-                ) from exc
+            except TypeError:
+                # Decoded fine but doesn't match the outcome schema (stale
+                # format, foreign writer): quarantine it and rerun that
+                # circuit rather than abort the whole resume.
+                mistyped.append(json.dumps(record, sort_keys=True))
+                continue
             completed[outcome.path] = outcome
+        if mistyped:
+            _quarantine_checkpoint_lines(
+                results_path,
+                mistyped,
+                "not a SweepOutcome record",
+                survivors=[o.to_json() for o in completed.values()],
+            )
     if results_path.parent != Path(""):
         results_path.parent.mkdir(parents=True, exist_ok=True)
 

@@ -1,0 +1,654 @@
+"""Differential fuzzing of the simulation and solver stack (``repro-tpi fuzz``).
+
+The compiled kernels, the incremental evaluator, and the parallel fan-out
+all exist to be *faster* than the interpreted reference while computing
+the *same* answer.  The shadow guards (:mod:`repro.verify`) check that
+equivalence opportunistically on production inputs; this module attacks
+it deliberately: a time-budgeted loop draws seeded random circuits from
+:mod:`repro.circuit.generators` and cross-checks every fast path against
+its arbiter —
+
+* compiled logic simulation vs the interpreter (full node-word map);
+* compiled per-cone fault simulation vs the interpreter, fault by fault;
+* fault dropping (:meth:`run_coverage`) vs the exact run it must match;
+* compiled COP passes vs the interpreted passes;
+* :class:`IncrementalEvaluator` deltas vs a from-scratch full pass;
+* the DP's claimed optimum vs exhaustive search under the quantized
+  objective, on small fanout-free instances (the paper's exactness
+  regime);
+* the chaos-hardened parallel fan-out vs a serial run.
+
+A divergence is minimized with :func:`shrink_circuit` — greedy structural
+reduction (drop to one output's cone, collapse gates to buffers, cut
+fan-ins to fresh primary inputs) that keeps only reductions preserving
+the failure — and then persisted as a replayable repro bundle
+(``repro-tpi replay <dir>``).  Everything is derived from ``seed``, so a
+failing fuzz run replays exactly.
+
+The ``saboteur`` hook plants a bug (e.g.
+:func:`repro.verify.plant_logic_bug`) into every circuit the fuzzer
+builds — the self-test that proves the harness can actually find and
+shrink a real miscompile.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import obs
+from ..circuit.generators import random_dag, random_tree
+from ..circuit.netlist import Circuit
+from ..core.dp import quantized_tree_check, solve_tree
+from ..core.exhaustive import solve_exhaustive
+from ..core.incremental import IncrementalEvaluator
+from ..core.problem import TestPoint, TPIProblem
+from ..core.virtual import evaluate_placement
+from ..errors import BudgetExceededError, SolverError
+from ..resilience import Budget
+from ..sim.compile import clear_registry, get_compiled
+from ..sim.fault_sim import FaultSimulator
+from ..sim.logic_sim import LogicSimulator
+from ..sim.patterns import UniformRandomSource
+from ..testability.cop import cop_measures
+from ..verify.bundle import (
+    fault_to_payload,
+    point_to_payload,
+    problem_to_payload,
+    write_bundle,
+)
+
+__all__ = ["FuzzFailure", "FuzzReport", "run_fuzz", "shrink_circuit"]
+
+#: Exhaustive-search subset cap for the DP-vs-exhaustive oracle.
+_DP_MAX_SUBSET = 4
+#: Gate-count ceiling for instances handed to the exhaustive oracle.
+_DP_MAX_GATES = 8
+#: Run the parallel fan-out cross-check on every Nth trial (it forks a
+#: process pool, which dwarfs every other check).
+_PARALLEL_EVERY = 8
+_COST_TOLERANCE = 1e-9
+
+Saboteur = Callable[[Circuit], object]
+
+
+@dataclass
+class _Divergence:
+    """One observed fast-vs-arbiter mismatch, ready to bundle."""
+
+    kind: str
+    context: dict
+    expected: object
+    actual: object
+    message: str
+    sources: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FuzzFailure:
+    """A confirmed, minimized, bundled divergence."""
+
+    kind: str
+    message: str
+    bundle: str
+    trial: int
+    gates_found: int
+    gates_shrunk: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind} (trial {self.trial}): shrunk "
+            f"{self.gates_found} -> {self.gates_shrunk} gates — "
+            f"{self.message} [{self.bundle}]"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` campaign."""
+
+    seed: int
+    budget_ms: float
+    elapsed_ms: float = 0.0
+    trials: int = 0
+    checks: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        verdict = "clean" if self.clean else f"{len(self.failures)} FAILURE(S)"
+        lines = [
+            f"fuzz seed={self.seed}: {self.trials} trials, "
+            f"{self.checks} checks in {self.elapsed_ms:.0f} ms — {verdict}"
+        ]
+        lines.extend("  " + f.describe() for f in self.failures)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Differential checks.  Each takes the circuit plus trial-local seeds and
+# returns None (agreement) or a ready-to-bundle _Divergence.
+# ---------------------------------------------------------------------------
+
+
+def _kernel_sources(circuit: Circuit) -> Dict[str, str]:
+    """Snapshot the kernel sources the fast path actually executed."""
+    return dict(get_compiled(circuit).sources)
+
+
+def _stimulus(circuit: Circuit, seed: int, n_patterns: int) -> Dict[str, int]:
+    return UniformRandomSource(seed).generate(circuit.inputs, n_patterns)
+
+
+def _check_logic_sim(
+    circuit: Circuit, seed: int, n_patterns: int
+) -> Optional[_Divergence]:
+    stimulus = _stimulus(circuit, seed, n_patterns)
+    fast = LogicSimulator(circuit, kernel="compiled").run(stimulus, n_patterns)
+    slow = LogicSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
+    if fast == slow:
+        return None
+    return _Divergence(
+        kind="fuzz.logic_sim",
+        context={"stimulus": stimulus, "n_patterns": n_patterns},
+        expected=slow,
+        actual=fast,
+        message="compiled logic kernel disagrees with interpreter",
+        sources=_kernel_sources(circuit),
+    )
+
+
+def _check_fault_sim(
+    circuit: Circuit, seed: int, n_patterns: int
+) -> Optional[_Divergence]:
+    stimulus = _stimulus(circuit, seed, n_patterns)
+    fast = FaultSimulator(circuit, kernel="compiled").run(stimulus, n_patterns)
+    slow = FaultSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
+    bad = next(
+        (
+            f
+            for f in slow.faults
+            if fast.detection_word.get(f) != slow.detection_word[f]
+            or fast.first_detect.get(f) != slow.first_detect[f]
+        ),
+        None,
+    )
+    if bad is None:
+        return None
+    good_values = LogicSimulator(circuit, kernel="interp").run(
+        stimulus, n_patterns
+    )
+    return _Divergence(
+        kind="fuzz.fault_sim",
+        context={
+            "fault": fault_to_payload(bad),
+            "n_patterns": n_patterns,
+            "good_values": good_values,
+            "variant": "detect",
+        },
+        expected={str(f): w for f, w in slow.detection_word.items()},
+        actual={str(f): w for f, w in fast.detection_word.items()},
+        message=f"compiled cone kernel disagrees with interpreter on {bad}",
+        sources=_kernel_sources(circuit),
+    )
+
+
+def _check_coverage(
+    circuit: Circuit, seed: int, n_patterns: int
+) -> Optional[_Divergence]:
+    stimulus = _stimulus(circuit, seed, n_patterns)
+    sim = FaultSimulator(circuit, kernel="compiled")
+    exact = sim.run(stimulus, n_patterns)
+    dropped = sim.run_coverage(stimulus, n_patterns, block=16)
+
+    def summary(res):
+        return {
+            "coverage": res.coverage(),
+            "first_detect": {str(f): i for f, i in res.first_detect.items()},
+        }
+
+    fast, slow = summary(dropped), summary(exact)
+    if fast == slow:
+        return None
+    return _Divergence(
+        kind="fuzz.coverage",
+        context={"stimulus": stimulus, "n_patterns": n_patterns, "block": 16},
+        expected=slow,
+        actual=fast,
+        message="fault dropping changed coverage/first-detect vs exact run",
+        sources=_kernel_sources(circuit),
+    )
+
+
+def _check_cop(circuit: Circuit, seed: int) -> Optional[_Divergence]:
+    def payload(res):
+        return {
+            "probability": res.probability,
+            "observability": res.observability,
+            "branch_observability": res.branch_observability,
+        }
+
+    fast = payload(cop_measures(circuit, kernel="compiled"))
+    slow = payload(cop_measures(circuit, kernel="interp"))
+    if fast == slow:
+        return None
+    return _Divergence(
+        kind="fuzz.cop",
+        context={"input_probabilities": None, "stem_combine": "or"},
+        expected=slow,
+        actual=fast,
+        message="compiled COP passes disagree with interpreter",
+        sources=_kernel_sources(circuit),
+    )
+
+
+def _random_points(
+    problem: TPIProblem, rng: random.Random, n: int
+) -> List[TestPoint]:
+    sites = [g.name for g in problem.circuit.gates]
+    if not sites:
+        return []
+    points = []
+    for _ in range(n):
+        points.append(
+            TestPoint(
+                node=rng.choice(sites),
+                kind=rng.choice(list(problem.allowed_types)),
+            )
+        )
+    # One control point per site at most; keep the first.
+    seen = set()
+    unique = []
+    for tp in points:
+        key = (tp.node, tp.kind.is_control)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(tp)
+    return unique
+
+
+def _evaluation_payload(evaluation) -> dict:
+    return {
+        "stem_pre": evaluation.stem_pre,
+        "stem_post": evaluation.stem_post,
+        "wire_obs": evaluation.wire_obs,
+        "branch_pre": evaluation.branch_pre,
+        "branch_post": evaluation.branch_post,
+        "branch_obs": evaluation.branch_obs,
+        "stem_post_obs": evaluation.stem_post_obs,
+    }
+
+
+def _check_incremental(circuit: Circuit, seed: int) -> Optional[_Divergence]:
+    rng = random.Random(f"fuzz-inc:{seed}")
+    problem = TPIProblem.from_test_length(circuit, n_patterns=64)
+    points = _random_points(problem, rng, rng.randint(1, 3))
+    base = points[: rng.randint(0, len(points))]
+    inc = IncrementalEvaluator(problem, base)
+    fast = _evaluation_payload(inc.evaluate(points))
+    slow = _evaluation_payload(
+        evaluate_placement(problem, points, kernel="interp")
+    )
+    if fast == slow:
+        return None
+    return _Divergence(
+        kind="fuzz.incremental",
+        context={
+            "problem": problem_to_payload(problem),
+            "base_points": [point_to_payload(p) for p in base],
+            "points": [point_to_payload(p) for p in points],
+            "kernel": inc.kernel,
+        },
+        expected=slow,
+        actual=fast,
+        message="incremental delta disagrees with from-scratch full pass",
+        sources=_kernel_sources(circuit),
+    )
+
+
+def _check_dp_vs_exhaustive(
+    circuit: Circuit, seed: int, budget_ms: float = 10_000.0
+) -> Optional[_Divergence]:
+    problem = TPIProblem.from_test_length(
+        circuit, n_patterns=32, escape_budget=0.05
+    )
+    try:
+        dp = solve_tree(problem)
+    except SolverError:
+        return None  # not fanout-free (shrink surgery can introduce stems)
+    if dp.feasible and len(dp.points) > _DP_MAX_SUBSET:
+        return None  # exhaustive oracle cannot reach the DP's optimum
+    try:
+        # The subset search is combinatorial in the candidate count: an
+        # unlucky instance can cost more than a whole fuzz campaign, so
+        # the oracle gets a slice of wall clock and an over-budget trial
+        # is skipped rather than blowing the deadline.
+        exhaustive = solve_exhaustive(
+            problem,
+            feasibility=lambda pts: quantized_tree_check(problem, pts),
+            max_subset_size=_DP_MAX_SUBSET,
+            budget=Budget(wall_ms=budget_ms),
+        )
+    except BudgetExceededError:
+        obs.count("fuzz.dp_oracle_skipped")
+        return None
+    agree = dp.feasible == exhaustive.feasible and (
+        not dp.feasible or abs(dp.cost - exhaustive.cost) <= _COST_TOLERANCE
+    )
+    if agree:
+        return None
+    return _Divergence(
+        kind="fuzz.dp_vs_exhaustive",
+        context={
+            "problem": problem_to_payload(problem),
+            "max_subset_size": _DP_MAX_SUBSET,
+        },
+        expected={"cost": exhaustive.cost, "feasible": exhaustive.feasible},
+        actual={"cost": dp.cost, "feasible": dp.feasible},
+        message="DP optimum disagrees with exhaustive search "
+        "under the quantized objective",
+        sources={},
+    )
+
+
+def _check_parallel(
+    circuit: Circuit, seed: int, n_patterns: int
+) -> Optional[_Divergence]:
+    from ..sim.parallel import run_parallel
+
+    stimulus = _stimulus(circuit, seed, n_patterns)
+    parallel = run_parallel(circuit, stimulus, n_patterns, jobs=2)
+    serial = FaultSimulator(circuit, kernel="compiled").run(
+        stimulus, n_patterns
+    )
+    fast = {str(f): w for f, w in parallel.detection_word.items()}
+    slow = {str(f): w for f, w in serial.detection_word.items()}
+    if fast == slow:
+        return None
+    return _Divergence(
+        kind="fuzz.parallel",
+        context={
+            "stimulus": stimulus,
+            "n_patterns": n_patterns,
+            "jobs": 2,
+            "mode": "exact",
+        },
+        expected=slow,
+        actual=fast,
+        message="parallel fan-out disagrees with serial fault simulation",
+        sources=_kernel_sources(circuit),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Greedy circuit shrinking.
+# ---------------------------------------------------------------------------
+
+
+def _rebuild(
+    circuit: Circuit,
+    replace: Optional[Dict[str, Tuple]] = None,
+    outputs: Optional[Sequence[str]] = None,
+) -> Circuit:
+    """Copy ``circuit`` applying gate surgeries, then garbage-collect.
+
+    ``replace`` maps a gate name to ``("input",)`` (sever its cone: the
+    gate becomes a fresh primary input) or ``("buf", driver)`` (collapse
+    it to a buffer of one existing fan-in).  Nodes left outside every
+    output's fan-in cone are dropped.
+    """
+    replace = replace or {}
+    wanted = list(outputs if outputs is not None else circuit.outputs)
+    staged = Circuit(name=circuit.name)
+    for name in circuit.topological_order():
+        node = circuit.node(name)
+        action = replace.get(name)
+        if node.is_input or (action is not None and action[0] == "input"):
+            staged.add_input(name)
+        elif action is not None and action[0] == "buf":
+            from ..circuit.gates import GateType
+
+            staged.add_gate(name, GateType.BUF, [action[1]])
+        else:
+            staged.add_gate(name, node.gate_type, list(node.fanins))
+    keep = set()
+    for out in wanted:
+        keep |= staged.fanin_cone(out)
+        keep.add(out)
+    final = Circuit(name=circuit.name)
+    for name in staged.topological_order():
+        if name not in keep:
+            continue
+        node = staged.node(name)
+        if node.is_input:
+            final.add_input(name)
+        else:
+            final.add_gate(name, node.gate_type, list(node.fanins))
+    for out in wanted:
+        final.mark_output(out)
+    return final
+
+
+def _metric(circuit: Circuit) -> Tuple[int, int, int]:
+    edges = sum(len(g.fanins) for g in circuit.gates)
+    return (circuit.gate_count(), edges, len(circuit))
+
+
+def _usable(circuit: Circuit) -> bool:
+    if circuit.gate_count() < 1 or not circuit.inputs or not circuit.outputs:
+        return False
+    try:
+        circuit.validate()
+    except Exception:
+        return False
+    return True
+
+
+def _candidates(circuit: Circuit):
+    if len(circuit.outputs) > 1:
+        for out in circuit.outputs:
+            yield _rebuild(circuit, outputs=[out])
+    for gate in circuit.gates:
+        yield _rebuild(circuit, replace={gate.name: ("input",)})
+        if gate.fanins and not (
+            len(gate.fanins) == 1 and gate.gate_type.name == "BUF"
+        ):
+            yield _rebuild(circuit, replace={gate.name: ("buf", gate.fanins[0])})
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    still_fails: Callable[[Circuit], bool],
+    max_probes: int = 400,
+) -> Circuit:
+    """Greedily minimize ``circuit`` while ``still_fails`` stays true.
+
+    Reductions tried each round: restrict to a single output's fan-in
+    cone, sever a gate into a fresh primary input, collapse a gate to a
+    buffer of its first fan-in.  The first strictly-smaller candidate
+    that still fails is adopted; rounds repeat to a fixpoint (or until
+    ``max_probes`` failure-predicate evaluations are spent).
+    """
+    best = circuit
+    probes = 0
+    seen = {best.structural_hash()}
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        for cand in _candidates(best):
+            if probes >= max_probes:
+                break
+            if not _usable(cand) or _metric(cand) >= _metric(best):
+                continue
+            h = cand.structural_hash()
+            if h in seen:
+                continue
+            seen.add(h)
+            probes += 1
+            if still_fails(cand):
+                best = cand
+                improved = True
+                break
+    return best
+
+
+# ---------------------------------------------------------------------------
+# The campaign loop.
+# ---------------------------------------------------------------------------
+
+
+def _build_circuit(trial: int, seed: int, max_gates: int) -> Circuit:
+    rng = random.Random(f"fuzz:{seed}:{trial}")
+    sub_seed = rng.randrange(2**31)
+    if trial % 2 == 0:
+        return random_tree(rng.randint(1, max(1, max_gates // 2)), seed=sub_seed)
+    return random_dag(
+        n_inputs=rng.randint(2, 6),
+        n_gates=rng.randint(1, max_gates),
+        seed=sub_seed,
+    )
+
+
+def run_fuzz(
+    budget_ms: float,
+    seed: int = 0,
+    bundle_dir: str = "repro_bundles",
+    max_gates: int = 40,
+    n_patterns: int = 64,
+    max_failures: int = 1,
+    saboteur: Optional[Saboteur] = None,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Run a time-budgeted differential fuzzing campaign.
+
+    Stops at the first ``max_failures`` confirmed divergences (each is
+    shrunk and written as a repro bundle under ``bundle_dir``) or when
+    ``budget_ms`` of wall clock is spent, whichever comes first.  Fully
+    deterministic for a given ``seed`` (modulo the budget cutting the
+    trial sequence short at a machine-dependent point — but any failure
+    found is reproducible from its bundle regardless).
+    """
+    report = FuzzReport(seed=seed, budget_ms=budget_ms)
+    start = time.monotonic()
+    deadline = start + budget_ms / 1000.0
+    sabotaged = set()
+
+    def sabotage(c: Circuit) -> None:
+        # Plant at most once per structure: the planting swaps are not
+        # idempotent, and the shrink predicate re-runs checks repeatedly.
+        if saboteur is None:
+            return
+        h = c.structural_hash()
+        if h not in sabotaged:
+            sabotaged.add(h)
+            saboteur(c)
+
+    def run_check(check: Callable[[Circuit], Optional[_Divergence]], c: Circuit):
+        sabotage(c)
+        return check(c)
+
+    try:
+        trial = 0
+        with obs.span("fuzz.campaign", seed=seed, budget_ms=budget_ms):
+            while (
+                time.monotonic() < deadline
+                and len(report.failures) < max_failures
+            ):
+                circuit = _build_circuit(trial, seed, max_gates)
+                stim_seed = trial * 7919 + seed
+                checks: List[Callable[[Circuit], Optional[_Divergence]]] = [
+                    lambda c: _check_logic_sim(c, stim_seed, n_patterns),
+                    lambda c: _check_fault_sim(c, stim_seed, n_patterns),
+                    lambda c: _check_coverage(c, stim_seed, n_patterns),
+                    lambda c: _check_cop(c, stim_seed),
+                    lambda c: _check_incremental(c, stim_seed),
+                ]
+                if trial % 2 == 0 and circuit.gate_count() <= _DP_MAX_GATES:
+                    checks.append(
+                        lambda c: _check_dp_vs_exhaustive(
+                            c,
+                            stim_seed,
+                            # Never hand the oracle more clock than the
+                            # campaign has left.
+                            budget_ms=min(
+                                10_000.0,
+                                max(
+                                    100.0,
+                                    (deadline - time.monotonic()) * 1000.0,
+                                ),
+                            ),
+                        )
+                    )
+                if (
+                    trial % _PARALLEL_EVERY == _PARALLEL_EVERY - 1
+                    and deadline - time.monotonic() > 5.0
+                ):
+                    # Pool spawn costs seconds; skip it when the budget is
+                    # nearly spent so the campaign lands near its deadline.
+                    checks.append(
+                        lambda c: _check_parallel(c, stim_seed, n_patterns)
+                    )
+                report.trials += 1
+                obs.count("fuzz.trials")
+                for check in checks:
+                    if time.monotonic() >= deadline:
+                        break
+                    divergence = run_check(check, circuit)
+                    report.checks += 1
+                    obs.count("fuzz.checks")
+                    if divergence is None:
+                        continue
+                    gates_found = circuit.gate_count()
+                    minimized = circuit
+                    if shrink:
+                        minimized = shrink_circuit(
+                            circuit,
+                            lambda c: run_check(check, c) is not None,
+                        )
+                        final = run_check(check, minimized)
+                        if final is None:  # pragma: no cover - paranoia
+                            final, minimized = divergence, circuit
+                        divergence = final
+                    path = write_bundle(
+                        divergence.kind,
+                        circuit=minimized,
+                        context=divergence.context,
+                        expected=divergence.expected,
+                        actual=divergence.actual,
+                        message=divergence.message,
+                        sources=divergence.sources,
+                        bundle_dir=bundle_dir,
+                    )
+                    failure = FuzzFailure(
+                        kind=divergence.kind,
+                        message=divergence.message,
+                        bundle=str(path),
+                        trial=trial,
+                        gates_found=gates_found,
+                        gates_shrunk=minimized.gate_count(),
+                    )
+                    report.failures.append(failure)
+                    obs.count("fuzz.failures")
+                    obs.event(
+                        "fuzz.divergence",
+                        kind=divergence.kind,
+                        trial=trial,
+                        bundle=str(path),
+                        gates_found=gates_found,
+                        gates_shrunk=minimized.gate_count(),
+                    )
+                    break
+                trial += 1
+    finally:
+        report.elapsed_ms = (time.monotonic() - start) * 1000.0
+        if saboteur is not None:
+            # Planted kernel corruption must not leak into later work in
+            # this process; the bundles keep the corrupt sources.
+            clear_registry()
+    return report

@@ -10,6 +10,12 @@ Subcommands:
 * ``experiments`` — run the reconstructed evaluation suite (T1–T4, F1–F4);
 * ``sweep`` — plan test points over many netlist files with per-circuit
   crash isolation and a resumable JSONL results file;
+* ``fuzz`` — time-budgeted differential fuzzer over random circuits,
+  cross-checking interp vs compiled vs parallel vs incremental engines
+  and DP vs exhaustive solvers; failures are shrunk and written as
+  repro bundles;
+* ``replay`` — deterministically re-run a divergence repro bundle and
+  report whether it still reproduces;
 * ``list`` — list built-in benchmark circuits.
 
 A circuit argument is either the name of a built-in benchmark (see
@@ -26,6 +32,15 @@ as a degradation cascade (``dp → greedy → random``) that records every
 fallback as a ``solver_fallback`` trace event.  Exit codes are stable:
 0 success, 1 infeasible result, 2 usage/parse error, 3 budget exceeded
 with no fallback left, 4 other internal library error.
+
+Self-checking: ``--guard [FRACTION]`` (default 0.01 when given) runs the
+command inside a :class:`repro.verify.GuardedSession` — a seeded sample
+of compiled/incremental results is shadow re-executed on the interpreter
+arbiters, and every solver answer is independently certified.  A
+mismatch aborts with a replayable repro bundle (exit 4) under
+``--bundle-dir`` (default ``repro_bundles/``); ``--guard-seed`` fixes
+which results are sampled.  ``repro-tpi replay <bundle>`` exits 0 when
+the divergence still reproduces, 1 when it does not.
 """
 
 from __future__ import annotations
@@ -55,6 +70,7 @@ from .sim.fault_sim import FaultSimulator
 from .sim.faults import collapse_faults
 from .sim.parallel import run_parallel
 from .sim.patterns import UniformRandomSource
+from .verify import GuardedSession, maybe_certify, replay_bundle
 
 __all__ = [
     "main",
@@ -142,15 +158,62 @@ def _solve(problem: TPIProblem, args: argparse.Namespace) -> TPISolution:
             stages = DEFAULT_CASCADE[DEFAULT_CASCADE.index(start):]
             solution = solve_with_fallback(problem, solvers=stages, budget=budget)
         elif args.solver == "greedy":
-            solution = solve_greedy(problem)
+            solution = maybe_certify(problem, solve_greedy(problem))
         else:
-            solution = solve_dp_heuristic(problem)
+            solution = maybe_certify(problem, solve_dp_heuristic(problem))
         sp.set(
             cost=solution.cost,
             points=len(solution.points),
             feasible=solution.feasible,
         )
     return solution
+
+
+@contextlib.contextmanager
+def _guarded(args: argparse.Namespace) -> Iterator[None]:
+    """Install an ambient GuardedSession for ``--guard`` runs."""
+    fraction = getattr(args, "guard", None)
+    if fraction is None:
+        yield
+        return
+    with GuardedSession(
+        fraction=fraction,
+        seed=getattr(args, "guard_seed", 0),
+        bundle_dir=getattr(args, "bundle_dir", None),
+    ) as guard:
+        yield
+    print(
+        f"guard: {guard.checks} shadow checks, "
+        f"{guard.divergences} divergences",
+        file=sys.stderr,
+    )
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .analysis.fuzz import run_fuzz
+
+    report = run_fuzz(
+        budget_ms=args.budget_ms,
+        seed=args.seed,
+        bundle_dir=args.bundle_dir,
+        max_gates=args.max_gates,
+    )
+    print(report.describe())
+    if report.failures:
+        for failure in report.failures:
+            print(f"repro-tpi: divergence: {failure}", file=sys.stderr)
+        return EXIT_INTERNAL
+    return EXIT_OK
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        result = replay_bundle(args.bundle)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"repro-tpi: cannot replay {args.bundle!r}: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(result.describe())
+    return EXIT_OK if result.reproduced else EXIT_INFEASIBLE
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -426,6 +489,29 @@ def build_parser() -> argparse.ArgumentParser:
             "interpreted ground-truth gate walk",
         )
 
+    def add_guard(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "self-checking",
+            "shadow-verify a sampled fraction of fast-path results "
+            "against the interpreted arbiter and certify solver output; "
+            "a mismatch aborts with a replayable repro bundle (exit 4)",
+        )
+        g.add_argument(
+            "--guard", type=float, nargs="?", const=0.01, default=None,
+            metavar="FRACTION",
+            help="enable guard mode, checking FRACTION of results "
+            "(default 0.01 when the flag is given bare)",
+        )
+        g.add_argument(
+            "--guard-seed", type=int, default=0, metavar="N",
+            help="seed of the guard's sampling stream",
+        )
+        g.add_argument(
+            "--bundle-dir", default=None, metavar="DIR",
+            help="where divergence repro bundles are written "
+            "(default: repro_bundles/)",
+        )
+
     def add_budget(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group(
             "solve budget",
@@ -454,12 +540,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     add_observability(p)
     add_simflags(p)
+    add_guard(p)
     p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("insert", help="plan test points and print the placement")
     add_common(p)
     add_observability(p)
     add_budget(p)
+    add_guard(p)
     p.add_argument("--solver", choices=["dp", "greedy", "cascade"], default="dp")
     p.set_defaults(fn=_cmd_insert)
 
@@ -468,6 +556,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_observability(p)
     add_budget(p)
     add_simflags(p)
+    add_guard(p)
     p.add_argument("--solver", choices=["dp", "greedy", "cascade"], default="dp")
     p.set_defaults(fn=_cmd_coverage)
 
@@ -536,6 +625,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_observability(p)
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzer: cross-check interp/compiled/parallel/"
+        "incremental kernels and DP vs exhaustive on random circuits",
+    )
+    p.add_argument(
+        "--budget-ms", type=float, default=60_000.0, metavar="MS",
+        help="wall-clock fuzz budget (default 60000)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="fuzzer seed")
+    p.add_argument(
+        "--max-gates", type=int, default=40, metavar="N",
+        help="largest random circuit to generate",
+    )
+    p.add_argument(
+        "--bundle-dir", default="repro_bundles", metavar="DIR",
+        help="where failure repro bundles are written",
+    )
+    add_observability(p)
+    p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-run a divergence repro bundle deterministically "
+        "(exit 0: reproduced, 1: not reproduced, 2: unreadable)",
+    )
+    p.add_argument("bundle", help="bundle directory or its manifest.json")
+    p.set_defaults(fn=_cmd_replay)
     return parser
 
 
@@ -548,7 +666,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     args = build_parser().parse_args(argv)
     try:
-        with _observability(args):
+        with _observability(args), _guarded(args):
             return args.fn(args)
     except BudgetExceededError as exc:
         print(f"repro-tpi: budget exceeded: {exc}", file=sys.stderr)

@@ -112,5 +112,11 @@ def solve_with_fallback(
             )
             continue
         solution.stats["fallbacks"] = float(index)
-        return solution
+        # Runtime-lazy: repro.verify imports solver modules.  The "dp"
+        # cascade stage is solve_dp_heuristic (method "dp-heuristic",
+        # continuous feasibility), so the generic certification applies to
+        # every stage; true method="dp" solves certify inside solve_tree.
+        from ..verify.certify import maybe_certify
+
+        return maybe_certify(problem, solution)
     raise AssertionError("unreachable: cascade neither returned nor raised")

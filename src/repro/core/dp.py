@@ -526,8 +526,13 @@ def solve_tree(
     ``margin > 1`` makes the DP plan against ``θ × margin``, buying back the
     quantization slack so solutions also satisfy the *continuous* COP model
     (margin ≈ 1.5–2 suffices empirically; see the verification tests).
+
+    Under an ambient :class:`repro.verify.GuardedSession` the returned
+    solution is independently certified — re-checked with
+    :func:`quantized_tree_check` under this solve's exact grid and
+    context — before being handed back.
     """
-    return DPSolver(
+    solution = DPSolver(
         problem,
         grid=grid,
         root_observabilities=root_observabilities,
@@ -536,3 +541,37 @@ def solve_tree(
         margin=margin,
         budget=budget,
     ).solve()
+    # Runtime-lazy: repro.verify imports solver modules.
+    from ..verify.certify import maybe_certify
+
+    def dp_check(points) -> bool:
+        return quantized_tree_check(
+            problem,
+            points,
+            grid=grid,
+            root_observabilities=root_observabilities,
+            leaf_probabilities=leaf_probabilities,
+            enforced_faults=enforced_faults,
+            margin=margin,
+        )
+
+    dp_context = {
+        "grid_values": list(grid.values()) if grid is not None else None,
+        "root_observabilities": (
+            dict(root_observabilities)
+            if root_observabilities is not None
+            else None
+        ),
+        "leaf_probabilities": (
+            dict(leaf_probabilities) if leaf_probabilities is not None else None
+        ),
+        "enforced_faults": (
+            {k: list(v) for k, v in enforced_faults.items()}
+            if enforced_faults is not None
+            else None
+        ),
+        "margin": margin,
+    }
+    return maybe_certify(
+        problem, solution, dp_check=dp_check, dp_context=dp_context
+    )

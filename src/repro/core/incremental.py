@@ -113,8 +113,16 @@ class IncrementalEvaluator:
         base_points: Sequence[TestPoint] = (),
         faults: Optional[Sequence[Fault]] = None,
         kernel: Optional[str] = None,
+        guard=None,
     ) -> None:
         self.problem = problem
+        #: Optional explicit shadow-verification guard; an ambient
+        #: :class:`repro.verify.GuardedSession` applies when ``None``.
+        self._guard = guard
+        # Runtime-lazy: repro.verify imports this module.
+        from ..verify.guard import active_guard
+
+        self._active_guard = active_guard
         #: Kernel mode for the from-scratch base passes (``rebase``); the
         #: delta re-propagation itself is always interpreted — it touches
         #: only the dirty region, and its early-stop compares against the
@@ -419,7 +427,7 @@ class IncrementalEvaluator:
             out.update(patch)
             return out
 
-        return VirtualEvaluation(
+        result = VirtualEvaluation(
             problem=self.problem,
             points=sorted(points),
             stem_pre=merged(self.base.stem_pre, stem_pre),
@@ -429,6 +437,49 @@ class IncrementalEvaluator:
             branch_post=merged(self.base.branch_post, branch_post),
             branch_obs=merged(self.base.branch_obs, branch_obs),
             stem_post_obs=merged(self.base.stem_post_obs, stem_post_obs),
+        )
+        guard = self._active_guard(self._guard)
+        if guard is not None and guard.should_check():
+            self._shadow_check(guard, points, result)
+        return result
+
+    def _shadow_check(
+        self,
+        guard,
+        points: Sequence[TestPoint],
+        result: VirtualEvaluation,
+    ) -> None:
+        """Compare one delta evaluation against a from-scratch full pass."""
+        from ..verify.bundle import point_to_payload, problem_to_payload
+
+        arbiter = evaluate_placement(self.problem, points, kernel="interp")
+
+        def payload(ev: VirtualEvaluation) -> dict:
+            return {
+                "stem_pre": ev.stem_pre,
+                "stem_post": ev.stem_post,
+                "wire_obs": ev.wire_obs,
+                "branch_pre": ev.branch_pre,
+                "branch_post": ev.branch_post,
+                "branch_obs": ev.branch_obs,
+                "stem_post_obs": ev.stem_post_obs,
+            }
+
+        guard.confirm(
+            "incremental.evaluate",
+            expected=payload(arbiter),
+            actual=payload(result),
+            circuit=self.circuit,
+            context={
+                "problem": problem_to_payload(self.problem),
+                "base_points": [point_to_payload(p) for p in self.base_points],
+                "points": [point_to_payload(p) for p in sorted(points)],
+                "kernel": self.kernel,
+            },
+            message=(
+                "incremental delta evaluation disagrees with the "
+                "from-scratch interpreted pass"
+            ),
         )
 
     def candidate_gain(self, candidate: TestPoint) -> int:

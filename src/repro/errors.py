@@ -18,7 +18,11 @@ solver cascade) can tell principled failures apart from genuine bugs:
 * :class:`SimulationError` — a simulation request is inconsistent with
   the circuit (foreign faults, empty pattern budget);
 * :class:`ExperimentError` — an experiment-harness level failure
-  (unknown experiment id, corrupt checkpoint file).
+  (unknown experiment id, corrupt checkpoint file);
+* :class:`DivergenceError` — a self-check caught two execution paths
+  disagreeing (compiled kernel vs interpreter, incremental vs full pass,
+  a solver's claimed objective vs independent re-evaluation); carries
+  the path of the replayable repro bundle written for the mismatch.
 
 Most leaves also derive from the builtin the pre-taxonomy code raised
 (``ValueError`` / ``RuntimeError``), so existing ``except`` clauses and
@@ -37,6 +41,7 @@ __all__ = [
     "BudgetExceededError",
     "SimulationError",
     "ExperimentError",
+    "DivergenceError",
 ]
 
 
@@ -129,3 +134,53 @@ class SimulationError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment-harness level failure (bad id, corrupt checkpoint)."""
+
+
+class DivergenceError(ReproError, RuntimeError):
+    """Two execution paths that must agree bit-identically disagreed.
+
+    Raised by the self-checking layer (:mod:`repro.verify`) when a
+    sampled shadow re-execution or a solver certification finds a
+    mismatch — the silent-corruption failure mode every fast path
+    (compiled kernels, incremental evaluation, parallel fan-out, the DP)
+    is guarded against.
+
+    Attributes
+    ----------
+    kind:
+        Which check diverged (``"fault_sim.cone"``, ``"cop.measures"``,
+        ``"incremental.evaluate"``, ``"solver.cost"``, ...).
+    bundle_path:
+        Directory of the self-contained repro bundle written for the
+        mismatch (``None`` when bundle writing itself failed), replayable
+        with ``repro-tpi replay``.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        bundle_path: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.bundle_path = bundle_path
+        suffix = f" [repro bundle: {bundle_path}]" if bundle_path else ""
+        super().__init__(f"{kind}: {message}{suffix}")
+
+    def __reduce__(self):
+        # Custom-constructor exceptions don't pickle by default; workers
+        # may raise this across a process boundary.
+        return (
+            DivergenceError,
+            (self.kind, self._raw_message(), self.bundle_path),
+        )
+
+    def _raw_message(self) -> str:
+        text = self.args[0] if self.args else ""
+        prefix = f"{self.kind}: "
+        if text.startswith(prefix):
+            text = text[len(prefix):]
+        suffix = f" [repro bundle: {self.bundle_path}]"
+        if self.bundle_path and text.endswith(suffix):
+            text = text[: -len(suffix)]
+        return text

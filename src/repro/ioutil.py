@@ -1,0 +1,78 @@
+"""Atomic file-write helpers shared by every artifact producer.
+
+Results files, perf snapshots, checkpoints' sidecars, and repro bundles
+are all read by *other* processes (CI artifact uploads, resumed sweeps,
+``repro-tpi replay``), so a crash mid-write must never leave a torn file
+behind.  The classic POSIX recipe is used throughout: write to a
+temporary file in the same directory, flush + fsync, then ``os.replace``
+— readers observe either the old content or the complete new content,
+never a prefix.
+
+Append-mode JSONL streams (sweep checkpoints, trace recorders) are the
+deliberate exception: they are torn-tolerant by design — the checkpoint
+reader quarantines corrupt lines (see
+:func:`repro.analysis.experiments._read_checkpoint_lines`) instead of
+requiring whole-file atomicity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+__all__ = ["atomic_write_text", "atomic_write_json", "atomic_replace_dir"]
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, encoding: str = "utf-8"
+) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    try:
+        with tmp.open("w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():  # replace failed / raised: leave no droppings
+            tmp.unlink()
+    return path
+
+
+def atomic_write_json(
+    path: Union[str, Path],
+    payload: object,
+    indent: int = 2,
+    sort_keys: bool = True,
+    default=None,
+) -> Path:
+    """Serialize ``payload`` as JSON and write it atomically to ``path``."""
+    text = json.dumps(
+        payload, indent=indent, sort_keys=sort_keys, default=default
+    )
+    return atomic_write_text(path, text + "\n")
+
+
+def atomic_replace_dir(tmp_dir: Union[str, Path], final_dir: Union[str, Path]) -> Path:
+    """Move a fully-written ``tmp_dir`` into place as ``final_dir``.
+
+    Uses ``os.rename`` so the directory appears atomically.  If
+    ``final_dir`` already exists (an identical bundle was written by a
+    concurrent process — bundle names are content-addressed), the new
+    copy is discarded and the existing directory wins.
+    """
+    tmp_dir, final_dir = Path(tmp_dir), Path(final_dir)
+    try:
+        os.rename(tmp_dir, final_dir)
+    except OSError:
+        if final_dir.is_dir():  # lost the race to an identical writer
+            import shutil
+
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+        else:
+            raise
+    return final_dir

@@ -11,15 +11,20 @@ The resilience layer has three parts, threaded through the whole pipeline:
 * the solver cascade (:mod:`repro.core.cascade`) and the crash-isolated
   experiment runner (:mod:`repro.analysis.experiments`), which *consume*
   budget failures: the cascade degrades to a cheaper solver, the runner
-  records the failure and moves on to the next circuit.
+  records the failure and moves on to the next circuit;
+* deterministic chaos hooks (:class:`ChaosSpec`) that inject worker
+  crashes / hangs / corrupted payloads into the parallel fault-sim
+  fan-out, so the hardened retry/respawn/degrade machinery in
+  :mod:`repro.sim.parallel` is provable rather than hopeful.
 
 DESIGN.md §8 describes the degradation cascade and why NP-completeness
-makes budgets first-class here.
+makes budgets first-class here; §11 covers the chaos hook contract.
 """
 
 from ..errors import (
     BudgetExceededError,
     CircuitError,
+    DivergenceError,
     ExperimentError,
     ParseError,
     ReproError,
@@ -27,11 +32,15 @@ from ..errors import (
     SolverError,
 )
 from .budget import Budget, Deadline
+from .chaos import CHAOS_ACTIONS, ChaosSpec
 
 __all__ = [
     "Budget",
+    "CHAOS_ACTIONS",
+    "ChaosSpec",
     "Deadline",
     "BudgetExceededError",
+    "DivergenceError",
     "CircuitError",
     "ExperimentError",
     "ParseError",

@@ -1,0 +1,109 @@
+"""Deterministic fault injection for the parallel fan-out (chaos hooks).
+
+The hardened :func:`repro.sim.parallel.run_parallel` promises that worker
+crashes, hangs, corrupted chunk payloads, and spurious worker exceptions
+never change the *result* — only the wall clock.  That promise is worth
+nothing untested, and real crashes are not reproducible; a
+:class:`ChaosSpec` makes them so.  It is carried into every worker and
+consulted once per ``(chunk, attempt)``:
+
+* ``crash`` — the worker process dies hard (``os._exit``), breaking the
+  pool mid-flight (exercises pool respawn + chunk re-dispatch);
+* ``hang`` — the worker sleeps ``hang_seconds`` before computing
+  (exercises the per-chunk deadline and stale-result handling);
+* ``corrupt`` — the worker returns a truncated payload (exercises the
+  parent's shape validation + retry);
+* ``spurious`` — the worker raises a ``RuntimeError`` (exercises plain
+  per-chunk retry).
+
+Injection is **seeded and deterministic**: the decision for a chunk is a
+pure function of ``(seed, chunk_index, attempt)``, so a failing run
+replays exactly.  ``forced`` pins specific chunks to specific actions for
+targeted tests.  By default (``first_attempt_only=True``) chaos applies
+only to a chunk's first attempt, so every hardened run must converge to
+the serial result — which is exactly the property the chaos tests
+assert.
+
+Nothing here ever fires in production: ``run_parallel(chaos=None)`` (the
+default) skips every hook.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["CHAOS_ACTIONS", "ChaosSpec"]
+
+#: Everything a chaos hook can do to a chunk attempt.
+CHAOS_ACTIONS = ("crash", "hang", "corrupt", "spurious")
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded fault-injection plan for one ``run_parallel`` call.
+
+    ``crash``/``hang``/``corrupt``/``spurious`` are per-chunk
+    probabilities (bands of one uniform draw, so they must sum to at most
+    1).  ``forced`` overrides the draw for specific chunk indices:
+    ``((0, "crash"), (1, "hang"))`` crashes chunk 0's worker and hangs
+    chunk 1's.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    hang: float = 0.0
+    corrupt: float = 0.0
+    spurious: float = 0.0
+    #: How long a "hang" sleeps before computing (keep well above the
+    #: caller's ``chunk_timeout`` so the deadline actually fires).
+    hang_seconds: float = 30.0
+    #: With True (default) chaos only strikes a chunk's first attempt, so
+    #: retries converge; False re-rolls per attempt (torture mode).
+    first_attempt_only: bool = True
+    forced: Tuple[Tuple[int, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        total = self.crash + self.hang + self.corrupt + self.spurious
+        if total > 1.0 + 1e-12:
+            raise ValueError(
+                f"chaos probabilities sum to {total:g} > 1"
+            )
+        for _idx, act in self.forced:
+            if act not in CHAOS_ACTIONS:
+                raise ValueError(
+                    f"unknown chaos action {act!r} "
+                    f"(choose from {CHAOS_ACTIONS})"
+                )
+
+    def action(self, chunk_index: int, attempt: int) -> Optional[str]:
+        """The action (if any) to inflict on this chunk attempt.
+
+        Pure and deterministic: same spec + same ``(chunk_index,
+        attempt)`` always returns the same answer, in the parent and in
+        any worker.
+        """
+        if attempt > 0 and self.first_attempt_only:
+            return None
+        for idx, act in self.forced:
+            if idx == chunk_index:
+                return act
+        if not (self.crash or self.hang or self.corrupt or self.spurious):
+            return None
+        roll = random.Random(
+            f"chaos:{self.seed}:{chunk_index}:{attempt}"
+        ).random()
+        edge = self.crash
+        if roll < edge:
+            return "crash"
+        edge += self.hang
+        if roll < edge:
+            return "hang"
+        edge += self.corrupt
+        if roll < edge:
+            return "corrupt"
+        edge += self.spurious
+        if roll < edge:
+            return "spurious"
+        return None

@@ -60,6 +60,7 @@ show how the one-time codegen cost amortizes over a run.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -127,6 +128,10 @@ class CompiledCircuit:
         #: (keeps the ``gate_evals`` throughput counter meaningful).
         self.cone_meta: Dict[str, int] = {}
         self._fns: Dict[str, Callable] = {}
+        # Registry entries are shared across threads; generation/exec of
+        # one kernel must happen exactly once (RLock: ``generate`` may
+        # recurse into this entry for a sibling kernel).
+        self._lock = threading.RLock()
 
     # -- pickling: ship sources, rebuild callables lazily ---------------
     def __getstate__(self) -> Dict[str, object]:
@@ -143,6 +148,7 @@ class CompiledCircuit:
         self.sources = dict(state["sources"])  # type: ignore[arg-type]
         self.cone_meta = dict(state["cone_meta"])  # type: ignore[arg-type]
         self._fns = {}
+        self._lock = threading.RLock()
 
     # -- kernel access ---------------------------------------------------
     def function(self, key: str, generate: Callable[[], str]) -> Callable:
@@ -156,14 +162,19 @@ class CompiledCircuit:
         if fn is not None:
             obs.count("kernel.cache_hits")
             return fn
-        source = self.sources.get(key)
-        if source is None:
-            source = generate()
-            self.sources[key] = source
-            obs.count("kernel.source_gens")
-        fn = self._materialize(key, source)
-        self._fns[key] = fn
-        return fn
+        with self._lock:
+            fn = self._fns.get(key)
+            if fn is not None:  # lost the race; the winner compiled it
+                obs.count("kernel.cache_hits")
+                return fn
+            source = self.sources.get(key)
+            if source is None:
+                source = generate()
+                self.sources[key] = source
+                obs.count("kernel.source_gens")
+            fn = self._materialize(key, source)
+            self._fns[key] = fn
+            return fn
 
     def _materialize(self, key: str, source: str) -> Callable:
         with obs.span("kernel.compile", circuit=self.name, kernel=key):
@@ -179,23 +190,33 @@ class CompiledCircuit:
 
 
 #: structural hash → CompiledCircuit, LRU-bounded (simulators keep their
-#: own reference, so eviction only drops the shared cache entry).
+#: own reference, so eviction only drops the shared cache entry).  All
+#: access goes through ``_REGISTRY_LOCK``: the registry is process-global
+#: and e.g. a thread pool fanning incremental evaluators out over one
+#: circuit hits it concurrently.
 _REGISTRY: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
 _REGISTRY_CAP = 128
+_REGISTRY_LOCK = threading.RLock()
 
 
 def get_compiled(circuit: Circuit) -> CompiledCircuit:
-    """The (shared) compiled-kernel container for ``circuit``'s structure."""
+    """The (shared) compiled-kernel container for ``circuit``'s structure.
+
+    Thread-safe: concurrent callers for the same structure receive the
+    same :class:`CompiledCircuit`, whose own lock serializes kernel
+    materialization.
+    """
     key = circuit.structural_hash()
-    entry = _REGISTRY.get(key)
-    if entry is None:
-        entry = CompiledCircuit(key, circuit.name)
-        _REGISTRY[key] = entry
-        while len(_REGISTRY) > _REGISTRY_CAP:
-            _REGISTRY.popitem(last=False)
-    else:
-        _REGISTRY.move_to_end(key)
-    return entry
+    with _REGISTRY_LOCK:
+        entry = _REGISTRY.get(key)
+        if entry is None:
+            entry = CompiledCircuit(key, circuit.name)
+            _REGISTRY[key] = entry
+            while len(_REGISTRY) > _REGISTRY_CAP:
+                _REGISTRY.popitem(last=False)
+        else:
+            _REGISTRY.move_to_end(key)
+        return entry
 
 
 def seed_registry(
@@ -209,27 +230,31 @@ def seed_registry(
     callables are rebuilt lazily on first use.
     """
     entry = get_compiled(circuit)
-    for key, source in sources.items():
-        entry.sources.setdefault(key, source)
-    if cone_meta:
-        for key, n in cone_meta.items():
-            entry.cone_meta.setdefault(key, n)
+    with entry._lock:
+        for key, source in sources.items():
+            entry.sources.setdefault(key, source)
+        if cone_meta:
+            for key, n in cone_meta.items():
+                entry.cone_meta.setdefault(key, n)
     return entry
 
 
 def invalidate(circuit: Circuit) -> bool:
     """Drop the registry entry for ``circuit``'s current structure."""
-    return _REGISTRY.pop(circuit.structural_hash(), None) is not None
+    with _REGISTRY_LOCK:
+        return _REGISTRY.pop(circuit.structural_hash(), None) is not None
 
 
 def clear_registry() -> None:
     """Evict every cached compiled circuit (tests / memory pressure)."""
-    _REGISTRY.clear()
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
 
 
 def registry_size() -> int:
     """Number of circuit structures currently cached."""
-    return len(_REGISTRY)
+    with _REGISTRY_LOCK:
+        return len(_REGISTRY)
 
 
 # ---------------------------------------------------------------------------

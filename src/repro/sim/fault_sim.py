@@ -151,12 +151,27 @@ class FaultSimulator:
 
     The good-circuit values are computed once per stimulus; each fault then
     re-evaluates only its fanout cone.
+
+    ``guard`` (or an ambient :class:`repro.verify.GuardedSession`)
+    shadow-re-executes a sampled fraction of compiled cone-kernel results
+    through the interpreted event-driven walk and raises
+    :class:`~repro.errors.DivergenceError` on any mismatch.
     """
 
-    def __init__(self, circuit: Circuit, kernel: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        kernel: Optional[str] = None,
+        guard=None,
+    ) -> None:
         circuit.validate()
         self.circuit = circuit
         self.kernel = resolve_kernel(kernel)
+        self._guard = guard
+        # Runtime-lazy: repro.verify imports this module.
+        from ..verify.guard import active_guard
+
+        self._active_guard = active_guard
         self._revision = circuit.revision
         self._logic = LogicSimulator(circuit, kernel=self.kernel)
         self._compiled = (
@@ -180,8 +195,10 @@ class FaultSimulator:
             self._fanout_counts[name] = circuit.fanout_count(name)
         self._masks: Dict[int, int] = {}
         # Every node's levelized fanout-cone order, built together in one
-        # reverse-topological pass on first use.
+        # reverse-topological pass on first use (interp kernel); compiled
+        # simulators cache the few they need site by site instead.
         self._cone_orders: Optional[Dict[str, List[str]]] = None
+        self._single_cone_cache: Dict[str, List[str]] = {}
         #: Faulty-machine gate evaluations performed over this
         #: simulator's lifetime (each one is word-parallel over the
         #: pattern budget) — the unit of fault-sim throughput.
@@ -190,9 +207,35 @@ class FaultSimulator:
     # ------------------------------------------------------------------
     def _cone_order(self, start: str) -> List[str]:
         """Gates in the fanout cone of ``start``, levelized (incl. start)."""
-        if self._cone_orders is None:
+        if self._cone_orders is not None:
+            return self._cone_orders[start]
+        if self.kernel == "interp":
+            # Interpreted runs walk a cone per collapsed fault — nearly
+            # every site — so the one-pass all-nodes build amortizes.
             self._cone_orders = self._build_cone_orders()
-        return self._cone_orders[start]
+            return self._cone_orders[start]
+        # Compiled-kernel simulators touch cone orders rarely (guard
+        # shadow checks, registry misses): a per-site DFS is microseconds
+        # while the all-nodes pass costs more than the whole warm run.
+        order = self._single_cone_cache.get(start)
+        if order is None:
+            order = self._build_single_cone_order(start)
+            self._single_cone_cache[start] = order
+        return order
+
+    def _build_single_cone_order(self, start: str) -> List[str]:
+        """One node's levelized fanout-cone order, without the full pass."""
+        level = self._level
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for sink, _pin in self.circuit.fanouts(node):
+                if sink not in seen:
+                    seen.add(sink)
+                    stack.append(sink)
+        seen.discard(start)
+        return [start] + sorted(seen, key=lambda n: (level[n], n))
 
     def _build_cone_orders(self) -> Dict[str, List[str]]:
         """All cone orders at once, in a single reverse-topological pass.
@@ -301,9 +344,6 @@ class FaultSimulator:
         if mask is None:
             mask = self._masks[n_patterns] = ones_mask(n_patterns)
         stuck_word = mask if fault.value else 0
-        faulty: Dict[str, int] = {}
-        out_set = self._out_set
-        detect = 0
 
         if fault.branch is None:
             start = fault.node
@@ -326,16 +366,45 @@ class FaultSimulator:
         # and contributes a zero diff, so the detection words (and the
         # per-output diffs) are identical by construction.
         if self._compiled is not None:
+            guard = self._active_guard(self._guard)
             if output_diffs is None:
                 fn, n_gates = self._cone_fn(start, "detect")
                 self.gate_evals += n_gates
-                return fn(good_values, injected, mask)
+                detect = fn(good_values, injected, mask)
+                if guard is not None and guard.should_check():
+                    self._shadow_check(
+                        guard, fault, start, injected, good_values,
+                        n_patterns, mask, detect, None,
+                    )
+                return detect
             fn, n_gates = self._cone_fn(start, "diffs")
             self.gate_evals += n_gates
             detect, diffs = fn(good_values, injected, mask)
             for po, diff in diffs:
                 output_diffs[po] = diff
+            if guard is not None and guard.should_check():
+                self._shadow_check(
+                    guard, fault, start, injected, good_values,
+                    n_patterns, mask, detect, dict(output_diffs),
+                )
             return detect
+
+        return self._interp_propagate(
+            start, injected, good_values, mask, output_diffs
+        )
+
+    def _interp_propagate(
+        self,
+        start: str,
+        injected: int,
+        good_values: Mapping[str, int],
+        mask: int,
+        output_diffs: Optional[Dict[str, int]],
+    ) -> int:
+        """Interpreted event-driven cone walk (the compiled path's arbiter)."""
+        out_set = self._out_set
+        faulty: Dict[str, int] = {}
+        detect = 0
 
         faulty[start] = injected
         if start in out_set:
@@ -382,6 +451,72 @@ class FaultSimulator:
                 if output_diffs is not None:
                     output_diffs[name] = diff & mask
         return detect & mask
+
+    def _shadow_check(
+        self,
+        guard,
+        fault: Fault,
+        start: str,
+        injected: int,
+        good_values: Mapping[str, int],
+        n_patterns: int,
+        mask: int,
+        detect: int,
+        diffs_actual: Optional[Dict[str, int]],
+    ) -> None:
+        """Re-run one compiled cone result through the interpreted walk.
+
+        The arbiter's gate evaluations are rolled back from ``gate_evals``
+        so throughput counters keep measuring real (fast-path) work.
+        """
+        saved_evals = self.gate_evals
+        arbiter_diffs: Optional[Dict[str, int]] = (
+            None
+            if diffs_actual is None
+            else {po: 0 for po in self.circuit.outputs}
+        )
+        try:
+            expected_detect = self._interp_propagate(
+                start, injected, good_values, mask, arbiter_diffs
+            )
+        finally:
+            self.gate_evals = saved_evals
+        variant = "detect" if diffs_actual is None else "diffs"
+        if variant == "detect":
+            expected, actual = expected_detect, detect
+        else:
+            expected = {"detect": expected_detect, "diffs": arbiter_diffs}
+            actual = {"detect": detect, "diffs": diffs_actual}
+        if expected == actual:
+            guard.checks += 1
+            obs.count("guard.checks")
+            return
+        from ..verify.bundle import fault_to_payload
+
+        key = ("cone:" if variant == "detect" else "coneD:") + start
+        sources = {}
+        source = self._compiled.sources.get(key)
+        if source is not None:
+            sources[key] = source
+        guard.checks += 1
+        guard.diverge(
+            "fault_sim.cone",
+            expected=expected,
+            actual=actual,
+            circuit=self.circuit,
+            context={
+                "fault": fault_to_payload(fault),
+                "n_patterns": n_patterns,
+                "good_values": dict(good_values),
+                "variant": variant,
+                "start": start,
+            },
+            sources=sources,
+            message=(
+                f"compiled cone kernel for {start!r} disagrees with the "
+                f"interpreted walk on fault {fault}"
+            ),
+        )
 
     # ------------------------------------------------------------------
     def _resolve_faults(

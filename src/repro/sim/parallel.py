@@ -21,21 +21,33 @@ Design notes:
   pickling (it has a custom constructor), so workers return a sentinel
   payload the parent re-raises as the real exception, first chunk first —
   deterministic regardless of which worker finished when;
+* the fan-out is hardened against misbehaving workers: every chunk is
+  submitted individually, validated on return, retried with capped
+  exponential backoff on crash/corruption/timeout, re-dispatched after
+  one pool respawn on :class:`BrokenProcessPool`, and finally computed
+  serially in the parent (``parallel.degraded``) — the merged result is
+  the same bits no matter which of those paths each chunk took;
 * anything that prevents the pool from working (unpicklable circuit, a
   sandbox that forbids ``fork``, a broken pool) degrades to the serial
-  path with the caller's original budget, never to an error.
+  path with the caller's original budget, never to an error;
+* all of that machinery is testable deterministically by passing a
+  seeded :class:`~repro.resilience.chaos.ChaosSpec` (``chaos=``), which
+  makes workers crash / hang / corrupt their payloads on purpose.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .. import obs
 from ..errors import BudgetExceededError, SimulationError
 from ..resilience import Budget
+from ..resilience.chaos import ChaosSpec
 from .compile import get_compiled, resolve_kernel, seed_registry
 from .fault_sim import FaultSimResult, FaultSimulator
 from .faults import Fault
@@ -45,6 +57,15 @@ __all__ = ["run_parallel", "split_chunks"]
 #: Below this many faults per requested job the pool overhead cannot pay
 #: for itself; the call silently runs serially.
 MIN_FAULTS_PER_JOB = 4
+
+#: Attempts per chunk (first try + retries) before the parent computes
+#: the chunk itself.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Exponential backoff before chunk retries: ``0.05 * 2**(attempt-1)``
+#: seconds, capped.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 0.5
 
 # ---------------------------------------------------------------------------
 # Worker side.  State is primed once per worker process via the pool
@@ -65,6 +86,7 @@ def _init_worker(
     kernel: str = "interp",
     kernel_sources: Optional[Dict[str, str]] = None,
     kernel_cone_meta: Optional[Dict[str, int]] = None,
+    chaos: Optional[ChaosSpec] = None,
 ) -> None:
     """Prime one worker process with the shared simulation state.
 
@@ -88,23 +110,41 @@ def _init_worker(
         "block": block,
         "good_values": good_values,
         "good_blocks": good_blocks,
+        "chaos": chaos,
     }
 
 
 def _simulate_chunk(
-    task: Tuple[Sequence[Fault], Optional[Dict[str, Optional[float]]]],
+    task: Tuple[
+        Sequence[Fault], Optional[Dict[str, Optional[float]]], int, int
+    ],
 ):
     """Simulate one fault chunk; returns a picklable result payload.
+
+    ``task`` is ``(chunk, budget_spec, chunk_index, attempt)`` — the
+    index/attempt pair feeds the (optional) chaos hook and makes retried
+    submissions distinguishable in worker-side decisions.
 
     Success payload: ``("ok", words, first_detects, gate_evals)`` with the
     lists aligned to the chunk's fault order.  Budget exhaustion payload:
     ``("budget", resource, limit, spent, where)`` — the parent re-raises,
     because :class:`BudgetExceededError` itself cannot round-trip pickle.
     """
-    chunk, budget_spec = task
+    chunk, budget_spec, chunk_index, attempt = task
     state = _WORKER_STATE
     assert state is not None, "worker used before initialization"
     sim: FaultSimulator = state["sim"]  # type: ignore[assignment]
+    chaos: Optional[ChaosSpec] = state.get("chaos")  # type: ignore[assignment]
+    action = chaos.action(chunk_index, attempt) if chaos is not None else None
+    if action == "crash":
+        os._exit(13)  # a hard worker death, not an exception
+    if action == "spurious":
+        raise RuntimeError(
+            f"chaos: spurious exception in chunk {chunk_index} "
+            f"attempt {attempt}"
+        )
+    if action == "hang":
+        time.sleep(chaos.hang_seconds)
     budget = None
     if budget_spec is not None:
         budget = Budget(
@@ -134,6 +174,10 @@ def _simulate_chunk(
         return ("budget", exc.resource, exc.limit, exc.spent, exc.where)
     words = [result.detection_word[f] for f in chunk]
     firsts = [result.first_detect[f] for f in chunk]
+    if action == "corrupt":
+        # A torn payload: one fault's result silently missing.  The
+        # parent's shape validation must reject this and retry.
+        words = words[:-1]
     return ("ok", words, firsts, sim.gate_evals - evals_before)
 
 
@@ -179,6 +223,206 @@ def _chunk_budget_specs(
     return specs
 
 
+def _fan_out(
+    chunks: Sequence[Sequence[Fault]],
+    specs: Sequence[Optional[Dict[str, Optional[float]]]],
+    max_workers: int,
+    initargs: tuple,
+    chunk_timeout: Optional[float],
+    max_attempts: int,
+    serial_chunk,
+) -> List[tuple]:
+    """Submit every chunk, survive misbehaving workers, return payloads.
+
+    One future per chunk (not ``pool.map``): each chunk is individually
+    validated, retried with capped exponential backoff, re-dispatched
+    after a single pool respawn on :class:`BrokenProcessPool`, deadline-
+    enforced when ``chunk_timeout`` is set, and finally handed to
+    ``serial_chunk`` (in-parent computation) when its attempts run out.
+    The returned list is indexed by chunk — merge order, and therefore
+    the result, is independent of scheduling, retries, and degradation.
+    """
+    n = len(chunks)
+    payloads: List[Optional[tuple]] = [None] * n
+    attempts = [0] * n
+    respawned = False
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=initargs,
+        )
+
+    pool = make_pool()
+    pending: Dict[object, Tuple[int, int]] = {}  # future -> (chunk, attempt)
+    deadlines: Dict[object, float] = {}
+    current: Dict[int, object] = {}  # chunk -> its latest future
+
+    def submit(idx: int) -> None:
+        fut = pool.submit(
+            _simulate_chunk, (chunks[idx], specs[idx], idx, attempts[idx])
+        )
+        pending[fut] = (idx, attempts[idx])
+        if chunk_timeout is not None:
+            deadlines[fut] = time.monotonic() + chunk_timeout
+        current[idx] = fut
+
+    def degrade(idx: int) -> None:
+        obs.count("parallel.degraded")
+        obs.event(
+            "parallel.chunk_degraded", chunk=idx, attempts=attempts[idx]
+        )
+        payloads[idx] = serial_chunk(idx)
+        current.pop(idx, None)
+
+    def retry(idx: int, reason: str) -> None:
+        attempts[idx] += 1
+        if attempts[idx] >= max_attempts:
+            degrade(idx)
+            return
+        obs.count("parallel.retries")
+        obs.event(
+            "parallel.chunk_retry",
+            chunk=idx,
+            attempt=attempts[idx],
+            reason=reason,
+        )
+        time.sleep(
+            min(_BACKOFF_BASE * (2 ** (attempts[idx] - 1)), _BACKOFF_CAP)
+        )
+        submit(idx)
+
+    def handle_broken() -> None:
+        nonlocal pool, respawned
+        pending.clear()
+        deadlines.clear()
+        current.clear()
+        try:
+            pool.shutdown(wait=False)
+        except Exception:
+            pass
+        unresolved = [i for i in range(n) if payloads[i] is None]
+        if respawned:
+            # Second break: stop trusting pools, finish in the parent.
+            obs.event(
+                "parallel.pool_broken_again", unresolved=len(unresolved)
+            )
+            for idx in unresolved:
+                degrade(idx)
+            return
+        respawned = True
+        obs.event("parallel.pool_respawn", unresolved=len(unresolved))
+        pool = make_pool()
+        # retry() (not submit()) so the lost attempt is counted — a
+        # deterministic first-attempt chaos crash must not be able to
+        # break the respawned pool a second time.
+        for idx in unresolved:
+            retry(idx, "pool_broken")
+
+    try:
+        try:
+            for idx in range(n):
+                submit(idx)
+        except BrokenProcessPool:
+            handle_broken()
+        while any(p is None for p in payloads):
+            if not pending:
+                for idx in range(n):
+                    if payloads[idx] is None:
+                        degrade(idx)
+                break
+            try:
+                timeout = None
+                if deadlines:
+                    timeout = max(
+                        0.0, min(deadlines.values()) - time.monotonic()
+                    )
+                done, _not_done = wait(
+                    list(pending), timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                for fut in done:
+                    idx, _attempt = pending.pop(fut)
+                    deadlines.pop(fut, None)
+                    is_current = current.get(idx) is fut
+                    if is_current:
+                        current.pop(idx, None)
+                    exc = fut.exception()
+                    if exc is not None:
+                        if isinstance(exc, BrokenProcessPool):
+                            raise exc
+                        if payloads[idx] is None and is_current:
+                            retry(idx, type(exc).__name__)
+                        continue
+                    payload = fut.result()
+                    if payloads[idx] is not None:
+                        continue  # a retry already resolved this chunk
+                    if _valid_payload(payload, chunks[idx]):
+                        # A late (stale) but valid result is as good as a
+                        # fresh one — accept it.
+                        payloads[idx] = payload
+                    elif is_current:
+                        retry(idx, "corrupt_payload")
+                # Deadline scan: the hung attempt stays in ``pending`` (it
+                # cannot be cancelled once running) but loses its claim —
+                # its late result is only used if the retry hasn't landed.
+                if deadlines:
+                    now = time.monotonic()
+                    for fut in [
+                        f for f, d in deadlines.items() if d <= now
+                    ]:
+                        deadlines.pop(fut, None)
+                        idx, attempt = pending[fut]
+                        if payloads[idx] is not None:
+                            continue
+                        if current.get(idx) is not fut:
+                            continue
+                        obs.event(
+                            "parallel.chunk_timeout",
+                            chunk=idx,
+                            attempt=attempt,
+                        )
+                        retry(idx, "timeout")
+            except BrokenProcessPool:
+                handle_broken()
+        # Belt and braces: the merge zips payloads against chunks, so a
+        # hole here would silently misalign results.  Fill any remaining
+        # gap serially instead.
+        for idx in range(n):
+            if payloads[idx] is None:
+                degrade(idx)
+        return payloads  # type: ignore[return-value]
+    finally:
+        # Never block the caller on hung chaos workers; queued stale
+        # tasks are dropped, running ones finish into the void.
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def _valid_payload(payload, chunk: Sequence[Fault]) -> bool:
+    """Shape-validate a worker payload before trusting it.
+
+    A corrupted payload (chaos, a worker dying mid-pickle, a codec bug)
+    must never silently drop faults from the merged result.
+    """
+    if not isinstance(payload, tuple) or not payload:
+        return False
+    if payload[0] == "budget":
+        return len(payload) == 5
+    if payload[0] == "ok":
+        return (
+            len(payload) == 4
+            and isinstance(payload[1], list)
+            and isinstance(payload[2], list)
+            and len(payload[1]) == len(chunk)
+            and len(payload[2]) == len(chunk)
+        )
+    return False
+
+
 def run_parallel(
     circuit,
     stimulus: Mapping[str, int],
@@ -190,6 +434,9 @@ def run_parallel(
     block: int = 64,
     budget: Optional[Budget] = None,
     kernel: Optional[str] = None,
+    chaos: Optional[ChaosSpec] = None,
+    chunk_timeout: Optional[float] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
 ) -> FaultSimResult:
     """Fault-simulate with the fault list fanned out over ``jobs`` processes.
 
@@ -216,6 +463,27 @@ def run_parallel(
         ``"compiled"`` (default) or ``"interp"``; forwarded to every
         worker's simulator.  Workers receive the parent's generated
         kernel sources and rebuild the code objects on first use.
+    chaos:
+        Optional deterministic fault-injection plan
+        (:class:`~repro.resilience.chaos.ChaosSpec`) — test-only; makes
+        workers crash / hang / corrupt payloads on purpose to exercise
+        the hardening below.
+    chunk_timeout:
+        Per-chunk deadline in seconds.  A chunk still unfinished past its
+        deadline is re-dispatched (the hung attempt's late result is used
+        only if the retry has not landed first).  ``None`` disables
+        deadline enforcement.
+    max_attempts:
+        Worker attempts per chunk (first try + retries, with capped
+        exponential backoff) before the parent computes the chunk
+        serially itself (``parallel.degraded``).
+
+    Failure handling never changes the result, only the wall clock:
+    crashed/hung/corrupt chunks are retried (``parallel.retries``), one
+    :class:`BrokenProcessPool` respawns the pool and re-dispatches every
+    unresolved chunk (``parallel.pool_respawn``), and a chunk that
+    exhausts its attempts — or a second pool break — degrades to an
+    in-parent serial computation (``parallel.degraded``).
     """
     if mode not in ("exact", "coverage"):
         raise SimulationError(f"unknown parallel fault-sim mode {mode!r}")
@@ -258,6 +526,44 @@ def run_parallel(
         mode=mode,
     ) as sp:
         start = perf_counter()
+
+        def serial_chunk(idx: int):
+            """Compute one chunk in the parent (last-resort degradation)."""
+            spec = specs[idx]
+            chunk_budget = None
+            if spec is not None:
+                chunk_budget = Budget(
+                    wall_ms=spec.get("wall_ms"),
+                    max_patterns=spec.get("max_patterns"),
+                )
+            evals_before = sim.gate_evals
+            try:
+                if mode == "coverage":
+                    res = sim.run_coverage(
+                        stimulus,
+                        n_patterns,
+                        faults=chunks[idx],
+                        budget=chunk_budget,
+                        block=block,
+                        good_blocks=good_blocks,
+                    )
+                else:
+                    res = sim.run(
+                        stimulus,
+                        n_patterns,
+                        faults=chunks[idx],
+                        budget=chunk_budget,
+                        good_values=good_values,
+                    )
+            except BudgetExceededError as exc:
+                return ("budget", exc.resource, exc.limit, exc.spent, exc.where)
+            return (
+                "ok",
+                [res.detection_word[f] for f in chunks[idx]],
+                [res.first_detect[f] for f in chunks[idx]],
+                sim.gate_evals - evals_before,
+            )
+
         try:
             # ``jobs`` fixes the chunking (and therefore the merge order and
             # budget shares); the worker count is additionally capped at the
@@ -267,9 +573,10 @@ def run_parallel(
                 usable = len(os.sched_getaffinity(0))
             except AttributeError:  # platforms without affinity support
                 usable = os.cpu_count() or 1
-            with ProcessPoolExecutor(
+            payloads = _fan_out(
+                chunks=chunks,
+                specs=specs,
                 max_workers=min(len(chunks), max(usable, 1)),
-                initializer=_init_worker,
                 initargs=(
                     circuit,
                     stimulus,
@@ -281,11 +588,12 @@ def run_parallel(
                     kernel,
                     kernel_sources,
                     kernel_cone_meta,
+                    chaos,
                 ),
-            ) as pool:
-                payloads = list(
-                    pool.map(_simulate_chunk, zip(chunks, specs))
-                )
+                chunk_timeout=chunk_timeout,
+                max_attempts=max_attempts,
+                serial_chunk=serial_chunk,
+            )
         except BudgetExceededError:
             raise
         except Exception as exc:  # pool unusable: degrade, don't fail

@@ -193,8 +193,15 @@ def cop_measures(
     observed: Optional[Mapping[str, float]] = None,
     stem_combine: str = "or",
     kernel: Optional[str] = None,
+    guard=None,
 ) -> COPResult:
-    """Run both COP passes and return a :class:`COPResult`."""
+    """Run both COP passes and return a :class:`COPResult`.
+
+    ``guard`` (or an ambient :class:`repro.verify.GuardedSession`)
+    shadow-re-runs a sampled fraction of compiled-kernel results through
+    the interpreted passes and raises
+    :class:`~repro.errors.DivergenceError` on mismatch.
+    """
     probs = signal_probabilities(
         circuit, input_probabilities, overrides=probability_overrides,
         kernel=kernel,
@@ -203,8 +210,74 @@ def cop_measures(
         circuit, probs, observed=observed, stem_combine=stem_combine,
         kernel=kernel,
     )
-    return COPResult(
+    result = COPResult(
         probability=probs,
         observability=node_obs,
         branch_observability=branch_obs,
+    )
+    # Overrides / pre-observed maps force the interpreted passes anyway;
+    # only shadow-check when at least one pass actually ran compiled.
+    if resolve_kernel(kernel) == "compiled" and (
+        probability_overrides is None or observed is None
+    ):
+        _shadow_check_cop(
+            circuit, input_probabilities, probability_overrides, observed,
+            stem_combine, result, guard,
+        )
+    return result
+
+
+def _shadow_check_cop(
+    circuit: Circuit,
+    input_probabilities,
+    probability_overrides,
+    observed,
+    stem_combine: str,
+    result: COPResult,
+    guard,
+) -> None:
+    """Sampled shadow re-run of a compiled COP result via the interpreter."""
+    # Runtime-lazy: repro.verify imports this module's package siblings.
+    from ..verify.guard import active_guard
+
+    g = active_guard(guard)
+    if g is None or not g.should_check():
+        return
+    arbiter = cop_measures(
+        circuit,
+        input_probabilities,
+        probability_overrides=probability_overrides,
+        observed=observed,
+        stem_combine=stem_combine,
+        kernel="interp",
+    )
+
+    def payload(res: COPResult) -> dict:
+        return {
+            "probability": res.probability,
+            "observability": res.observability,
+            "branch_observability": res.branch_observability,
+        }
+
+    entry = get_compiled(circuit)
+    sources = {
+        key: src
+        for key, src in entry.sources.items()
+        if key == "cop_fwd" or key.startswith("cop_bwd:")
+    }
+    g.confirm(
+        "cop.measures",
+        expected=payload(arbiter),
+        actual=payload(result),
+        circuit=circuit,
+        context={
+            "input_probabilities": (
+                dict(input_probabilities) if input_probabilities else None
+            ),
+            "stem_combine": stem_combine,
+            "has_overrides": probability_overrides is not None,
+            "has_observed": observed is not None,
+        },
+        sources=sources,
+        message="compiled COP passes disagree with the interpreted passes",
     )

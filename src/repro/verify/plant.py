@@ -1,0 +1,88 @@
+"""Deliberate bug planting — the self-check layer's own test fixture.
+
+A verification layer that has never caught a bug is indistinguishable
+from one that cannot.  These helpers inject a *controlled* miscompile
+into the kernel registry (mutating one generated source string and
+dropping the materialized callable so the corrupt source is re-exec'd on
+next use) so the tests — and the differential fuzzer's self-test mode —
+can prove end-to-end that a single-gate kernel bug is caught, bundled,
+shrunk, and replayed.
+
+Nothing in this module runs in normal operation; it only ever mutates
+the in-process registry, never files on disk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..circuit.netlist import Circuit
+from ..sim.compile import generate_logic_source, get_compiled
+
+__all__ = ["corrupt_source", "plant_kernel_bug", "plant_logic_bug"]
+
+#: Operator swaps attempted in order; the first one present in the source
+#: is applied exactly once.  Each changes the semantics of a single gate.
+_SWAPS: Tuple[Tuple[str, str], ...] = (
+    (" & ", " | "),
+    (" | ", " & "),
+    (" ^ mask", ""),
+    (" ^ ", " & "),
+    # Last resort (cone kernels made of pure buffers/inverters): invert
+    # the injected value itself.
+    ("fstart", "(fstart ^ mask)"),
+)
+
+
+def corrupt_source(source: str) -> Tuple[str, str]:
+    """Return ``(corrupted, description)`` — one operator swapped once.
+
+    Raises :class:`ValueError` when the source contains none of the
+    swappable operators (degenerate single-buffer kernels).
+    """
+    # Never mutate the first line — that's the kernel's def signature.
+    body_start = source.find("\n") + 1
+    for old, new in _SWAPS:
+        index = source.find(old, body_start)
+        if index < 0:
+            continue
+        corrupted = source[:index] + new + source[index + len(old):]
+        line = source.count("\n", 0, index) + 1
+        return corrupted, f"swapped {old.strip() or old!r} -> {new.strip() or 'nothing'} at line {line}"
+    raise ValueError("kernel source has no corruptible operator")
+
+
+def plant_kernel_bug(circuit: Circuit, key: str) -> str:
+    """Corrupt the already-generated kernel ``key`` for ``circuit``.
+
+    The source must exist in the registry (run the kernel once first, or
+    use :func:`plant_logic_bug` which generates it).  Existing
+    *simulator-level* caches are unaffected — build a **new** simulator
+    after planting so it materializes the corrupt source.
+
+    Returns a one-line description of the mutation (for test messages).
+    """
+    entry = get_compiled(circuit)
+    source = entry.sources.get(key)
+    if source is None:
+        raise KeyError(
+            f"kernel {key!r} has no generated source for "
+            f"{circuit.name!r}; run it once before planting"
+        )
+    corrupted, description = corrupt_source(source)
+    entry.sources[key] = corrupted
+    # Reach into the materialized-callable cache so the next
+    # ``function(key, ...)`` re-execs the corrupt source.
+    entry._fns.pop(key, None)
+    return description
+
+
+def plant_logic_bug(circuit: Circuit, key: Optional[str] = None) -> str:
+    """Plant a miscompile in the good-machine ``logic`` kernel.
+
+    Generates the logic source if it is not cached yet, then corrupts it.
+    """
+    entry = get_compiled(circuit)
+    if "logic" not in entry.sources:
+        entry.sources["logic"] = generate_logic_source(circuit)
+    return plant_kernel_bug(circuit, key or "logic")

@@ -1,0 +1,310 @@
+"""Deterministic re-execution of repro bundles (``repro-tpi replay``).
+
+Every divergence bundle carries its complete replay inputs — the circuit
+``.bench``, the exact kernel *sources* that produced the fast-path
+result (a miscompiled kernel replays as miscompiled, even though a fresh
+process would regenerate correct code), seeds, pattern configs, and both
+recorded results.  :func:`replay_bundle` re-runs the recorded comparison
+from those inputs and reports whether the divergence reproduces.
+
+Exit-code contract of the CLI command: ``0`` when the divergence
+reproduces (the bundle is a confirmed, actionable failure), ``1`` when
+it does not (stale bundle / environment-dependent flake), ``2`` for an
+unreadable or unsupported bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from ..core.incremental import IncrementalEvaluator
+from ..core.virtual import evaluate_placement
+from ..sim.compile import clear_registry, seed_registry
+from ..sim.fault_sim import FaultSimulator
+from ..sim.logic_sim import LogicSimulator
+from ..testability.cop import cop_measures
+from .bundle import (
+    fault_from_payload,
+    jsonable,
+    load_bundle,
+    point_from_payload,
+    problem_from_payload,
+    solution_from_payload,
+)
+from .certify import certify_solution
+
+__all__ = ["ReplayResult", "replay_bundle"]
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one bundle."""
+
+    kind: str
+    reproduced: bool
+    detail: str
+    bundle: str
+
+    def describe(self) -> str:
+        verdict = "REPRODUCED" if self.reproduced else "not reproduced"
+        return f"{self.kind}: {verdict} — {self.detail} ({self.bundle})"
+
+
+def _seed_sources(circuit, manifest) -> None:
+    """Install the bundle's recorded kernel sources for this circuit.
+
+    The registry is cleared first so a previously-compiled (correct)
+    kernel for the same structure cannot shadow the recorded one.
+    """
+    clear_registry()
+    sources = manifest.get("sources") or {}
+    if sources:
+        seed_registry(circuit, dict(sources))
+
+
+def _words(context, key) -> dict:
+    return {name: int(word) for name, word in context[key].items()}
+
+
+def _replay_fault_sim(manifest, circuit) -> tuple:
+    context = manifest["context"]
+    fault = fault_from_payload(context["fault"])
+    n_patterns = int(context["n_patterns"])
+    good_values = _words(context, "good_values")
+    variant = context.get("variant", "detect")
+    _seed_sources(circuit, manifest)
+    fast_sim = FaultSimulator(circuit, kernel="compiled")
+    arbiter_sim = FaultSimulator(circuit, kernel="interp")
+    if variant == "diffs":
+        fast = fast_sim.simulate_fault_responses(fault, good_values, n_patterns)
+        slow = arbiter_sim.simulate_fault_responses(
+            fault, good_values, n_patterns
+        )
+    else:
+        fast = fast_sim.simulate_fault(fault, good_values, n_patterns)
+        slow = arbiter_sim.simulate_fault(fault, good_values, n_patterns)
+    return fast, slow, f"fault {fault} over {n_patterns} patterns"
+
+
+def _replay_logic_sim(manifest, circuit) -> tuple:
+    context = manifest["context"]
+    stimulus = _words(context, "stimulus")
+    n_patterns = int(context["n_patterns"])
+    _seed_sources(circuit, manifest)
+    fast = LogicSimulator(circuit, kernel="compiled").run(stimulus, n_patterns)
+    slow = LogicSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
+    return fast, slow, f"logic sim over {n_patterns} patterns"
+
+
+def _replay_coverage(manifest, circuit) -> tuple:
+    context = manifest["context"]
+    stimulus = _words(context, "stimulus")
+    n_patterns = int(context["n_patterns"])
+    block = int(context.get("block", 64))
+    _seed_sources(circuit, manifest)
+    sim = FaultSimulator(circuit, kernel="compiled")
+    exact = sim.run(stimulus, n_patterns)
+    dropped = sim.run_coverage(stimulus, n_patterns, block=block)
+
+    def summary(res):
+        return {
+            "coverage": res.coverage(),
+            "first_detect": {str(f): i for f, i in res.first_detect.items()},
+        }
+
+    return (
+        summary(dropped),
+        summary(exact),
+        f"fault dropping (block={block}) vs exact run",
+    )
+
+
+def _replay_cop(manifest, circuit) -> tuple:
+    context = manifest["context"]
+    input_probabilities = context.get("input_probabilities") or None
+    stem_combine = context.get("stem_combine", "or")
+    _seed_sources(circuit, manifest)
+
+    def result_payload(res):
+        return {
+            "probability": res.probability,
+            "observability": res.observability,
+            "branch_observability": res.branch_observability,
+        }
+
+    fast = result_payload(
+        cop_measures(
+            circuit, input_probabilities, stem_combine=stem_combine,
+            kernel="compiled",
+        )
+    )
+    slow = result_payload(
+        cop_measures(
+            circuit, input_probabilities, stem_combine=stem_combine,
+            kernel="interp",
+        )
+    )
+    return fast, slow, f"COP measures (stem_combine={stem_combine})"
+
+
+def _evaluation_payload(evaluation) -> dict:
+    return {
+        "stem_pre": evaluation.stem_pre,
+        "stem_post": evaluation.stem_post,
+        "wire_obs": evaluation.wire_obs,
+        "branch_pre": evaluation.branch_pre,
+        "branch_post": evaluation.branch_post,
+        "branch_obs": evaluation.branch_obs,
+        "stem_post_obs": evaluation.stem_post_obs,
+    }
+
+
+def _replay_incremental(manifest, circuit) -> tuple:
+    context = manifest["context"]
+    problem = problem_from_payload(circuit, context["problem"])
+    base_points = [point_from_payload(p) for p in context["base_points"]]
+    points = [point_from_payload(p) for p in context["points"]]
+    kernel = context.get("kernel") or "interp"
+    _seed_sources(circuit, manifest)
+    inc = IncrementalEvaluator(problem, base_points, kernel=kernel)
+    fast = _evaluation_payload(inc.evaluate(points))
+    slow = _evaluation_payload(
+        evaluate_placement(problem, points, kernel="interp")
+    )
+    detail = (
+        f"incremental delta over base of {len(base_points)} point(s) "
+        f"-> {len(points)} point(s)"
+    )
+    return fast, slow, detail
+
+
+def _replay_solver(manifest, circuit) -> ReplayResult:
+    from ..errors import DivergenceError
+
+    context = manifest["context"]
+    problem = problem_from_payload(circuit, context["problem"])
+    solution = solution_from_payload(context["solution"])
+    dp_check = None
+    dp_context = context.get("dp")
+    if dp_context is not None:
+        from ..core.dp import quantized_tree_check
+        from ..core.quantize import ProbabilityGrid
+
+        grid_values = dp_context.get("grid_values")
+        grid = (
+            ProbabilityGrid(values=grid_values)
+            if grid_values is not None
+            else None
+        )
+        enforced = {
+            name: tuple(flags)
+            for name, flags in (dp_context.get("enforced_faults") or {}).items()
+        }
+
+        def dp_check(points):
+            return quantized_tree_check(
+                problem,
+                points,
+                grid=grid,
+                root_observabilities=dp_context.get("root_observabilities"),
+                leaf_probabilities=dp_context.get("leaf_probabilities"),
+                enforced_faults=enforced or None,
+                margin=dp_context.get("margin", 1.0),
+            )
+
+    try:
+        certify_solution(problem, solution, dp_check=dp_check)
+    except DivergenceError as exc:
+        return ReplayResult(
+            kind=manifest["kind"],
+            reproduced=exc.kind == manifest["kind"],
+            detail=f"re-certification raised {exc.kind}: {exc._raw_message()}",
+            bundle="",
+        )
+    return ReplayResult(
+        kind=manifest["kind"],
+        reproduced=False,
+        detail="re-certification accepted the recorded solution",
+        bundle="",
+    )
+
+
+def _replay_dp_vs_exhaustive(manifest, circuit) -> tuple:
+    from ..core.dp import quantized_tree_check, solve_tree
+    from ..core.exhaustive import solve_exhaustive
+
+    context = manifest["context"]
+    problem = problem_from_payload(circuit, context["problem"])
+    dp = solve_tree(problem)
+    exhaustive = solve_exhaustive(
+        problem,
+        feasibility=lambda pts: quantized_tree_check(problem, pts),
+        max_subset_size=int(context.get("max_subset_size", 4)),
+    )
+    fast = {"cost": dp.cost, "feasible": dp.feasible}
+    slow = {"cost": exhaustive.cost, "feasible": exhaustive.feasible}
+    return fast, slow, "DP vs exhaustive under the quantized objective"
+
+
+def _replay_parallel(manifest, circuit) -> tuple:
+    from ..sim.parallel import run_parallel
+
+    context = manifest["context"]
+    stimulus = _words(context, "stimulus")
+    n_patterns = int(context["n_patterns"])
+    jobs = int(context.get("jobs", 2))
+    mode = context.get("mode", "exact")
+    _seed_sources(circuit, manifest)
+    parallel = run_parallel(
+        circuit, stimulus, n_patterns, jobs=jobs, mode=mode
+    )
+    serial = FaultSimulator(circuit, kernel="compiled").run(
+        stimulus, n_patterns
+    )
+    fast = {str(f): w for f, w in parallel.detection_word.items()}
+    slow = {str(f): w for f, w in serial.detection_word.items()}
+    return fast, slow, f"parallel jobs={jobs} vs serial"
+
+
+#: kind (or "prefix.") → replayer.  Two-result replayers return
+#: ``(fast, slow, detail)``; ``solver.`` handles its own verdict.
+_REPLAYERS = {
+    "fault_sim.cone": _replay_fault_sim,
+    "fuzz.fault_sim": _replay_fault_sim,
+    "fuzz.logic_sim": _replay_logic_sim,
+    "fuzz.coverage": _replay_coverage,
+    "cop.measures": _replay_cop,
+    "fuzz.cop": _replay_cop,
+    "incremental.evaluate": _replay_incremental,
+    "fuzz.incremental": _replay_incremental,
+    "fuzz.dp_vs_exhaustive": _replay_dp_vs_exhaustive,
+    "fuzz.parallel": _replay_parallel,
+}
+
+
+def replay_bundle(path: Union[str, Path]) -> ReplayResult:
+    """Re-run the comparison recorded in the bundle at ``path``."""
+    manifest, circuit = load_bundle(path)
+    kind = manifest["kind"]
+    try:
+        if kind.startswith("solver."):
+            result = _replay_solver(manifest, circuit)
+            result.bundle = str(path)
+            return result
+        replayer = _REPLAYERS.get(kind)
+        if replayer is None:
+            raise ValueError(f"no replayer for bundle kind {kind!r}")
+        fast, slow, detail = replayer(manifest, circuit)
+        reproduced = jsonable(fast) != jsonable(slow)
+        return ReplayResult(
+            kind=kind,
+            reproduced=reproduced,
+            detail=detail,
+            bundle=str(path),
+        )
+    finally:
+        # The bundle's (possibly corrupt) kernel sources were seeded into
+        # the process-wide registry; never leak them past the replay.
+        clear_registry()

@@ -1,0 +1,116 @@
+"""Thread safety of the compiled-kernel registry.
+
+The registry is process-global; concurrent simulators (thread-pooled
+incremental evaluators, guard shadow checks racing production runs) hit
+``get_compiled`` / ``function`` / ``clear_registry`` simultaneously.
+The contract: no exceptions, one shared entry per structure, kernels
+compiled exactly once per process, results identical to serial.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.circuit import generators
+from repro.sim import FaultSimulator, LogicSimulator, UniformRandomSource
+from repro.sim.compile import (
+    clear_registry,
+    get_compiled,
+    registry_size,
+    seed_registry,
+)
+
+
+def _run_threads(n, fn):
+    errors = []
+
+    def wrapped(i):
+        try:
+            fn(i)
+        except Exception as exc:  # noqa: BLE001 - collected for assertion
+            errors.append(exc)
+
+    barrier = threading.Barrier(n)
+
+    def synced(i):
+        barrier.wait()
+        wrapped(i)
+
+    threads = [
+        threading.Thread(target=synced, args=(i,)) for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+class TestRegistryConcurrency:
+    def test_concurrent_get_compiled_shares_one_entry(self):
+        clear_registry()
+        circuit = generators.c17()
+        entries = [None] * 16
+        _run_threads(16, lambda i: entries.__setitem__(i, get_compiled(circuit)))
+        assert all(e is entries[0] for e in entries)
+        assert registry_size() == 1
+        clear_registry()
+
+    def test_concurrent_logic_sim_identical_results(self):
+        clear_registry()
+        circuit = generators.random_dag(5, 40, seed=8)
+        n = 128
+        stimulus = UniformRandomSource(seed=1).generate(circuit.inputs, n)
+        reference = LogicSimulator(circuit, kernel="interp").run(stimulus, n)
+        results = [None] * 12
+
+        def work(i):
+            sim = LogicSimulator(circuit, kernel="compiled")
+            results[i] = sim.run(stimulus, n)
+
+        _run_threads(12, work)
+        assert all(r == reference for r in results)
+        # The logic kernel was generated once, not once per thread.
+        entry = get_compiled(circuit)
+        assert list(entry.sources).count("logic") == 1
+        clear_registry()
+
+    def test_concurrent_fault_sim_over_distinct_circuits(self):
+        clear_registry()
+        circuits = [generators.random_dag(4, 20, seed=s) for s in range(8)]
+        stimuli = [
+            UniformRandomSource(seed=s).generate(c.inputs, 64)
+            for s, c in enumerate(circuits)
+        ]
+        expected = [
+            FaultSimulator(c, kernel="interp").run(st, 64).detection_word
+            for c, st in zip(circuits, stimuli)
+        ]
+        results = [None] * 8
+
+        def work(i):
+            sim = FaultSimulator(circuits[i], kernel="compiled")
+            results[i] = sim.run(stimuli[i], 64).detection_word
+
+        _run_threads(8, work)
+        assert results == expected
+        clear_registry()
+
+    def test_concurrent_seed_and_clear_never_crashes(self):
+        clear_registry()
+        circuit = generators.c17()
+        sources = dict(
+            get_compiled(circuit).sources
+        ) or {"logic": "def kernel(stim, mask):\n    return {}\n"}
+
+        def work(i):
+            for _ in range(50):
+                if i % 3 == 0:
+                    clear_registry()
+                elif i % 3 == 1:
+                    seed_registry(circuit, sources)
+                else:
+                    get_compiled(circuit)
+
+        _run_threads(9, work)
+        clear_registry()

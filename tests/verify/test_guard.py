@@ -1,0 +1,218 @@
+"""Shadow verification: planted kernel bugs must be caught and bundled."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuit.generators import c17, random_dag
+from repro.errors import DivergenceError
+from repro.sim.compile import clear_registry
+from repro.sim.fault_sim import FaultSimulator
+from repro.sim.logic_sim import LogicSimulator
+from repro.sim.patterns import UniformRandomSource
+from repro.testability.cop import cop_measures
+from repro.verify import (
+    Guard,
+    GuardedSession,
+    load_bundle,
+    plant_kernel_bug,
+    replay_bundle,
+)
+from repro.verify.plant import corrupt_source
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+def _stim(circuit, n=64, seed=3):
+    return UniformRandomSource(seed).generate(circuit.inputs, n)
+
+
+class TestGuardSampling:
+    def test_fraction_zero_never_checks(self):
+        guard = Guard(fraction=0.0, seed=0)
+        assert not any(guard.should_check() for _ in range(200))
+
+    def test_fraction_one_always_checks(self):
+        guard = Guard(fraction=1.0, seed=0)
+        assert all(guard.should_check() for _ in range(200))
+
+    def test_sampling_is_seeded(self):
+        a = [Guard(fraction=0.3, seed=7).should_check() for _ in range(50)]
+        b = [Guard(fraction=0.3, seed=7).should_check() for _ in range(50)]
+        assert a == b
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Guard(fraction=1.5)
+
+
+class TestFaultSimGuard:
+    def test_clean_circuit_passes_full_shadowing(self, tmp_path):
+        circuit = c17()
+        stim = _stim(circuit)
+        guard = Guard(fraction=1.0, seed=0, bundle_dir=tmp_path)
+        sim = FaultSimulator(circuit, kernel="compiled", guard=guard)
+        result = sim.run(stim, 64)
+        assert guard.checks > 0
+        assert guard.divergences == 0
+        arbiter = FaultSimulator(circuit, kernel="interp").run(stim, 64)
+        assert result.detection_word == arbiter.detection_word
+
+    def test_planted_cone_bug_raises_with_bundle(self, tmp_path):
+        circuit = c17()
+        stim = _stim(circuit)
+        # Compile the real kernels once, then corrupt one cone kernel the
+        # way a miscompile would: the source in the registry changes, the
+        # cached callable is dropped, the next run executes the bad code.
+        sim = FaultSimulator(circuit, kernel="compiled")
+        sim.run(stim, 64)
+        from repro.sim.compile import get_compiled
+
+        key = next(
+            k for k in get_compiled(circuit).sources if k.startswith("cone:")
+        )
+        plant_kernel_bug(circuit, key)
+
+        guard = Guard(fraction=1.0, seed=0, bundle_dir=tmp_path)
+        bad_sim = FaultSimulator(circuit, kernel="compiled", guard=guard)
+        with pytest.raises(DivergenceError) as info:
+            bad_sim.run(stim, 64)
+        exc = info.value
+        assert exc.kind == "fault_sim.cone"
+        assert exc.bundle_path is not None
+        manifest, bundled_circuit = load_bundle(exc.bundle_path)
+        assert manifest["kind"] == "fault_sim.cone"
+        assert key in manifest["sources"]
+        assert sorted(bundled_circuit.inputs) == sorted(circuit.inputs)
+
+    def test_bundle_replays_deterministically(self, tmp_path):
+        circuit = c17()
+        stim = _stim(circuit)
+        FaultSimulator(circuit, kernel="compiled").run(stim, 64)
+        from repro.sim.compile import get_compiled
+
+        key = next(
+            k for k in get_compiled(circuit).sources if k.startswith("cone:")
+        )
+        plant_kernel_bug(circuit, key)
+        guard = Guard(fraction=1.0, seed=0, bundle_dir=tmp_path)
+        with pytest.raises(DivergenceError) as info:
+            FaultSimulator(circuit, kernel="compiled", guard=guard).run(
+                stim, 64
+            )
+        for _ in range(2):  # deterministic: replays identically twice
+            result = replay_bundle(info.value.bundle_path)
+            assert result.reproduced
+
+    def test_unguarded_run_is_unaffected(self):
+        circuit = c17()
+        stim = _stim(circuit)
+        result = FaultSimulator(circuit, kernel="compiled").run(stim, 64)
+        arbiter = FaultSimulator(circuit, kernel="interp").run(stim, 64)
+        assert result.detection_word == arbiter.detection_word
+
+
+class TestCopAndIncrementalGuards:
+    def test_cop_clean_under_full_shadowing(self, tmp_path):
+        circuit = random_dag(n_inputs=4, n_gates=12, seed=5)
+        guard = Guard(fraction=1.0, seed=0, bundle_dir=tmp_path)
+        cop_measures(circuit, kernel="compiled", guard=guard)
+        assert guard.checks >= 1
+        assert guard.divergences == 0
+
+    def test_incremental_clean_under_ambient_session(self, tmp_path):
+        from repro.core.incremental import IncrementalEvaluator
+        from repro.core.problem import TPIProblem
+
+        circuit = random_dag(n_inputs=4, n_gates=12, seed=5)
+        problem = TPIProblem.from_test_length(circuit, n_patterns=64)
+        with GuardedSession(
+            fraction=1.0, seed=0, bundle_dir=tmp_path
+        ) as guard:
+            IncrementalEvaluator(problem).evaluate(())
+        assert guard.divergences == 0
+
+
+class TestGuardedSession:
+    def test_ambient_guard_catches_planted_bug(self, tmp_path):
+        circuit = c17()
+        stim = _stim(circuit)
+        FaultSimulator(circuit, kernel="compiled").run(stim, 64)
+        from repro.sim.compile import get_compiled
+
+        key = next(
+            k for k in get_compiled(circuit).sources if k.startswith("cone:")
+        )
+        plant_kernel_bug(circuit, key)
+        with pytest.raises(DivergenceError):
+            with GuardedSession(fraction=1.0, seed=0, bundle_dir=tmp_path):
+                FaultSimulator(circuit, kernel="compiled").run(stim, 64)
+
+    def test_session_restores_previous_guard(self, tmp_path):
+        from repro.verify import active_guard
+
+        assert active_guard(None) is None
+        with GuardedSession(fraction=0.5, bundle_dir=tmp_path) as outer:
+            with GuardedSession(fraction=1.0, bundle_dir=tmp_path) as inner:
+                assert active_guard(None) is inner
+            assert active_guard(None) is outer
+        assert active_guard(None) is None
+
+
+class TestPlanting:
+    def test_corrupt_source_changes_body_not_signature(self):
+        source = "def kernel(gv, fstart, mask):\n    a = b & c\n    return a\n"
+        corrupted, description = corrupt_source(source)
+        assert corrupted != source
+        assert "&" in description
+        assert corrupted.splitlines()[0] == source.splitlines()[0]
+
+    def test_corrupt_source_requires_an_operator(self):
+        with pytest.raises(ValueError):
+            corrupt_source("def kernel():\n    return 0\n")
+
+    def test_planted_logic_bug_changes_simulation(self):
+        from repro.verify import plant_logic_bug
+
+        circuit = c17()
+        stim = _stim(circuit)
+        reference = LogicSimulator(circuit, kernel="interp").run(stim, 64)
+        plant_logic_bug(circuit)
+        corrupted = LogicSimulator(circuit, kernel="compiled").run(stim, 64)
+        assert corrupted != reference
+
+
+class TestBundleFormat:
+    def test_manifest_is_json_and_content_addressed(self, tmp_path):
+        from repro.verify import write_bundle
+
+        circuit = c17()
+        path1 = write_bundle(
+            "fuzz.logic_sim",
+            circuit=circuit,
+            context={"n_patterns": 8, "stimulus": {}},
+            expected={"a": 1},
+            actual={"a": 2},
+            message="test",
+            bundle_dir=tmp_path,
+        )
+        path2 = write_bundle(
+            "fuzz.logic_sim",
+            circuit=circuit,
+            context={"n_patterns": 8, "stimulus": {}},
+            expected={"a": 1},
+            actual={"a": 2},
+            message="test",
+            bundle_dir=tmp_path,
+        )
+        assert path1 == path2  # identical divergence -> identical bundle
+        manifest = json.loads((path1 / "manifest.json").read_text())
+        assert manifest["schema"] == "repro-bundle/1"
+        assert (path1 / "circuit.bench").exists()
