@@ -23,9 +23,13 @@ Two families, mirroring the performance layer:
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py \
-        [--quick] [--jobs N] [--out FILE] \
+        [--quick] [--jobs N] [--out FILE] [--history FILE] \
         [--min-t3-speedup X] [--min-greedy-speedup X] [--min-sim-speedup X] \
         [--min-kernel-sim-speedup X] [--min-kernel-cov-speedup X]
+
+``--history`` additionally appends one schema-versioned record per
+benchmark to the JSONL history consumed by ``repro-tpi bench-compare``
+(see :mod:`repro.obs.history`).
 
 ``--quick`` shrinks the workloads to CI-smoke size (tens of seconds).
 Each ``--min-*-speedup`` guard makes the run exit 1 when the measured
@@ -52,6 +56,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
 from repro import obs  # noqa: E402
+from repro.obs import history as perf_history  # noqa: E402
 from repro.circuit.generators import random_tree, rpr_mixed  # noqa: E402
 from repro.circuit.library import benchmark  # noqa: E402
 from repro.core import (  # noqa: E402
@@ -497,6 +502,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fail unless compiled run_coverage speedup >= X")
     parser.add_argument("--max-guard-overhead-pct", type=float, default=None,
                         help="fail if the shadow-guard overhead exceeds X%%")
+    parser.add_argument("--history", type=Path, default=None, metavar="FILE",
+                        help="append this run to the JSONL benchmark history "
+                        "(see repro.obs.history and repro-tpi bench-compare)")
     args = parser.parse_args(argv)
 
     benches, counters = run_all(args.quick, args.jobs, args.repeats)
@@ -504,6 +512,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schema": 1,
         "mode": "quick" if args.quick else "full",
         "jobs": args.jobs,
+        "kernel": "compiled",
         "python": platform.python_version(),
         "cpus": os.cpu_count(),
         "benchmarks": benches,
@@ -513,6 +522,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     atomic_write_text(args.out, json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwritten to {args.out}", file=sys.stderr)
+
+    if args.history is not None:
+        entries = perf_history.entries_from_bench_perf(
+            payload, git_rev=obs.git_revision()
+        )
+        perf_history.append_history(args.history, entries)
+        print(
+            f"{len(entries)} history entries appended to {args.history}",
+            file=sys.stderr,
+        )
 
     failures = []
     guards = [

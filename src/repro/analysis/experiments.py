@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..circuit.analysis import has_reconvergent_fanout, is_fanout_free
-from ..ioutil import atomic_write_text
+from ..ioutil import atomic_write_text, read_jsonl_tolerant
 from ..circuit.bench_io import parse_bench_file
 from ..circuit.generators import random_tree
 from ..circuit.library import benchmark, benchmark_names
@@ -833,23 +833,7 @@ def _read_checkpoint_lines(path: Path) -> List[dict]:
     decode (or decodes to a non-object) is moved to the ``.bad`` sidecar
     via :func:`_quarantine_checkpoint_lines` and the rest are returned.
     """
-    records = []
-    good: List[str] = []
-    bad: List[str] = []
-    for line in path.read_text(encoding="utf-8").splitlines():
-        stripped = line.strip()
-        if not stripped:
-            continue
-        try:
-            record = json.loads(stripped)
-        except json.JSONDecodeError:
-            bad.append(line)
-            continue
-        if not isinstance(record, dict):
-            bad.append(line)
-            continue
-        records.append(record)
-        good.append(line)
+    records, good, bad = read_jsonl_tolerant(path)
     if bad:
         _quarantine_checkpoint_lines(
             path, bad, "undecodable JSONL", survivors=good
@@ -932,8 +916,14 @@ def run_circuit_sweep(
     with obs.span(
         "sweep", n_circuits=len(file_paths), results=str(results_path)
     ) as sweep_span:
+        heartbeat = obs.Heartbeat("sweep")
         with results_path.open("a", encoding="utf-8") as sink:
             for path in file_paths:
+                heartbeat.beat(
+                    circuits_done=len(outcomes),
+                    circuits_total=len(file_paths),
+                    circuits_ran=ran,
+                )
                 prior = completed.get(str(path))
                 if prior is not None:
                     obs.count("sweep.skipped")

@@ -16,6 +16,8 @@ Subcommands:
   repro bundles;
 * ``replay`` — deterministically re-run a divergence repro bundle and
   report whether it still reproduces;
+* ``bench-compare <BENCH_PERF.json>`` — regression-gate fresh benchmark
+  numbers against the rolling ``benchmarks/history/`` baseline;
 * ``list`` — list built-in benchmark circuits.
 
 A circuit argument is either the name of a built-in benchmark (see
@@ -24,7 +26,13 @@ A circuit argument is either the name of a built-in benchmark (see
 Observability: ``--trace-out FILE`` records a structured JSONL trace of
 the run (spans, counters, run metadata — see :mod:`repro.obs`), and
 ``--metrics`` prints the metrics snapshot after the command finishes.
-``repro-tpi report run.jsonl`` renders a recorded trace.
+``repro-tpi report run.jsonl`` renders a recorded trace; ``--self-time``
+/ ``--critical-path`` print trace analytics and ``--chrome-out`` exports
+Chrome trace-event JSON for Perfetto.  ``--profile-out`` profiles the
+command (sampling profiler by default, folded stacks; ``--profile-mode
+cprofile`` with optional ``--profile-span``, pstats).  ``bench-compare``
+gates a fresh ``BENCH_PERF.json`` against the benchmark history with a
+noise-aware tolerance (exit 1 on regression).
 
 Resilience: ``--budget-ms`` / ``--max-cells`` / ``--max-backtracks`` /
 ``--max-patterns`` impose a cooperative solve budget; the solver then runs
@@ -288,12 +296,37 @@ def _cmd_coverage(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     spec = args.circuit
+    trace_flags = (
+        getattr(args, "self_time", False)
+        or getattr(args, "critical_path", False)
+        or getattr(args, "chrome_out", None) is not None
+    )
     if Path(spec).suffix == ".jsonl":
-        # A recorded trace, not a circuit: render its summary.
+        # A recorded trace, not a circuit: render its summary/analytics.
         if not Path(spec).exists():
             raise SystemExit(f"no such trace file: {spec!r}")
-        print(obs.render_trace(spec))
+        trace = obs.load_trace(spec)
+        sections: List[str] = []
+        if args.self_time:
+            sections.append(obs.render_self_time(trace.spans))
+        if args.critical_path:
+            sections.append(obs.render_critical_path(trace.spans))
+        if not sections:
+            sections.append(obs.render_trace(spec))
+        print("\n\n".join(sections))
+        if args.chrome_out is not None:
+            obs.write_chrome_trace(trace, args.chrome_out)
+            print(
+                f"chrome trace written to {args.chrome_out} "
+                f"(open in Perfetto or chrome://tracing)",
+                file=sys.stderr,
+            )
         return 0
+    if trace_flags:
+        raise _usage_exit(
+            "--self-time/--critical-path/--chrome-out need a recorded "
+            f"trace (.jsonl), not a circuit ({spec!r})"
+        )
 
     from .analysis import testability_report
 
@@ -439,6 +472,97 @@ def _observability(args: argparse.Namespace) -> Iterator[None]:
             )
 
 
+@contextlib.contextmanager
+def _profiled(args: argparse.Namespace) -> Iterator[None]:
+    """Run the command under ``--profile-out`` profiling, if requested.
+
+    ``--profile-mode sample`` (default) runs the sampling profiler and
+    writes folded stacks; ``cprofile`` runs deterministic cProfile,
+    optionally scoped to ``--profile-span NAME`` spans, and writes a
+    pstats dump.
+    """
+    out = getattr(args, "profile_out", None)
+    if out is None:
+        yield
+        return
+    mode = getattr(args, "profile_mode", "sample")
+    if mode == "sample":
+        span_name = getattr(args, "profile_span", None)
+        if span_name is not None:
+            raise _usage_exit(
+                "--profile-span needs --profile-mode cprofile "
+                "(the sampler profiles the whole command)"
+            )
+        interval_ms = getattr(args, "profile_interval_ms", 5.0)
+        try:
+            sampler = obs.SamplingProfiler(interval_s=interval_ms / 1000.0)
+        except ValueError as exc:
+            raise _usage_exit(f"--profile-interval-ms: {exc}")
+        with sampler:
+            yield
+        sampler.write_folded(out)
+        print(
+            f"profile: {sampler.samples} samples over "
+            f"{sampler.elapsed_s:.2f}s -> {out} "
+            f"(folded stacks; render with flamegraph.pl or speedscope)",
+            file=sys.stderr,
+        )
+        return
+    profile = obs.SpanScopedProfile(span_name=getattr(args, "profile_span", None))
+    with contextlib.ExitStack() as stack:
+        if profile.span_name is not None and not obs.enabled():
+            # Span scoping needs real spans; without --trace-out/--metrics
+            # the hot path hands out NULL_SPANs, so install a metrics-only
+            # recorder for the profiled extent.
+            stack.enter_context(obs.recording(obs.RunRecorder(None)))
+        stack.enter_context(profile)
+        yield
+    profile.write_stats(out)
+    scope = (
+        f"spans named {profile.span_name!r}"
+        if profile.span_name is not None
+        else "the whole command"
+    )
+    print(
+        f"profile: cProfile of {scope} -> {out} "
+        f"(inspect with python -m pstats)",
+        file=sys.stderr,
+    )
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import history as hist
+
+    try:
+        payload = json.loads(Path(args.current).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise _usage_exit(f"cannot read benchmark payload {args.current!r}: {exc}")
+    if not isinstance(payload, dict):
+        raise _usage_exit(f"not a BENCH_PERF payload: {args.current!r}")
+    current = hist.entries_from_bench_perf(payload, git_rev=obs.git_revision())
+    if not current:
+        raise _usage_exit(f"no benchmarks in payload {args.current!r}")
+    history = hist.load_history(args.history)
+    report = hist.compare_to_history(
+        history,
+        current,
+        tolerance=args.tolerance,
+        window=args.window,
+        same_host_only=args.same_host_only,
+        relative_only=args.relative_only,
+    )
+    print(hist.render_comparison(report, verbose=args.verbose))
+    if args.record:
+        hist.append_history(args.history, current)
+        print(
+            f"recorded {len(current)} entries to {args.history}",
+            file=sys.stderr,
+        )
+    return EXIT_OK if report.ok else EXIT_INFEASIBLE
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -468,6 +592,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--patterns", type=int, default=4096, help="pattern budget")
         p.add_argument("--escape", type=float, default=0.001, help="escape budget ε")
         p.add_argument("--seed", type=int, default=1, help="pattern source seed")
+
+    def add_profile(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group(
+            "profiling",
+            "opt-in profiler around the whole command; zero cost when "
+            "--profile-out is not given",
+        )
+        g.add_argument(
+            "--profile-out", metavar="FILE",
+            help="write a profile of the run: folded stacks "
+            "(--profile-mode sample) or a pstats dump (cprofile)",
+        )
+        g.add_argument(
+            "--profile-mode", choices=["sample", "cprofile"],
+            default="sample",
+            help="sampling profiler (flamegraph-ready folded stacks, "
+            "default) or deterministic cProfile",
+        )
+        g.add_argument(
+            "--profile-span", metavar="NAME", default=None,
+            help="with cprofile: only profile while a span of this name "
+            "is open (e.g. solve, fault_sim.run)",
+        )
+        g.add_argument(
+            "--profile-interval-ms", type=float, default=5.0, metavar="MS",
+            help="sampling interval (default 5 ms)",
+        )
 
     def add_simflags(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group(
@@ -539,6 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("stats", help="circuit statistics and baseline coverage")
     add_common(p)
     add_observability(p)
+    add_profile(p)
     add_simflags(p)
     add_guard(p)
     p.set_defaults(fn=_cmd_stats)
@@ -546,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("insert", help="plan test points and print the placement")
     add_common(p)
     add_observability(p)
+    add_profile(p)
     add_budget(p)
     add_guard(p)
     p.add_argument("--solver", choices=["dp", "greedy", "cascade"], default="dp")
@@ -554,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("coverage", help="plan, insert, fault simulate, report")
     add_common(p)
     add_observability(p)
+    add_profile(p)
     add_budget(p)
     add_simflags(p)
     add_guard(p)
@@ -598,15 +752,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for coverage fault simulation",
     )
     add_observability(p)
+    add_profile(p)
     add_budget(p)
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
         "report",
-        help="testability profile of a circuit, or summary of a .jsonl trace",
+        help="testability profile of a circuit, or summary/analytics of a "
+        ".jsonl trace",
     )
     add_common(p)
+    g = p.add_argument_group(
+        "trace analytics", "only valid when the argument is a .jsonl trace"
+    )
+    g.add_argument(
+        "--self-time", action="store_true",
+        help="per-span-name table of cumulative vs self time",
+    )
+    g.add_argument(
+        "--critical-path", action="store_true",
+        help="longest root-to-leaf span chain with per-step self time",
+    )
+    g.add_argument(
+        "--chrome-out", metavar="FILE",
+        help="export the trace as Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing)",
+    )
     p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="gate a BENCH_PERF.json against the benchmark history "
+        "(exit 0: within tolerance, 1: regression, 2: unreadable)",
+    )
+    p.add_argument("current", help="BENCH_PERF.json produced by run_perf.py")
+    p.add_argument(
+        "--history", default="benchmarks/history/history.jsonl",
+        metavar="FILE", help="JSONL benchmark history to compare against",
+    )
+    p.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="FRACTION",
+        help="minimum fractional regression gate (default 0.15; the "
+        "gate widens automatically on noisy baselines)",
+    )
+    p.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="trailing history records feeding the baseline median",
+    )
+    p.add_argument(
+        "--record", action="store_true",
+        help="append this run to the history after comparing",
+    )
+    p.add_argument(
+        "--same-host-only", action="store_true",
+        help="only compare against history from this host fingerprint",
+    )
+    p.add_argument(
+        "--relative-only", action="store_true",
+        help="gate only machine-relative metrics (speedup*/overhead*); "
+        "use for cross-host CI",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="also print passing metrics and skip reasons",
+    )
+    p.set_defaults(fn=_cmd_bench_compare)
 
     p = sub.add_parser("experiments", help="run the evaluation suite")
     p.add_argument(
@@ -666,7 +876,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     args = build_parser().parse_args(argv)
     try:
-        with _observability(args), _guarded(args):
+        with _observability(args), _profiled(args), _guarded(args):
             return args.fn(args)
     except BudgetExceededError as exc:
         print(f"repro-tpi: budget exceeded: {exc}", file=sys.stderr)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..resilience import Budget
 from ..sim.faults import Fault, testable_stuck_at_faults
 from .incremental import IncrementalEvaluator
@@ -138,10 +139,16 @@ def solve_greedy(
         else None
     )
 
+    heartbeat = obs.Heartbeat("greedy.solve")
     for _ in range(max_iterations):
         iterations += 1
         if budget is not None:
             budget.tick("greedy.iteration")
+        heartbeat.beat(
+            iterations=iterations,
+            points=len(points),
+            evaluations=evaluations,
+        )
         if inc is not None:
             evaluation = inc.base
             failing = inc.failing_faults()
@@ -163,6 +170,11 @@ def solve_greedy(
             evaluations += 1
             if budget is not None:
                 budget.tick("greedy.candidate")
+            heartbeat.beat(
+                iterations=iterations,
+                points=len(points),
+                evaluations=evaluations,
+            )
             if inc is not None:
                 fixed = inc.candidate_gain(cand)
             else:

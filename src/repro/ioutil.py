@@ -20,9 +20,14 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Union
+from typing import List, Tuple, Union
 
-__all__ = ["atomic_write_text", "atomic_write_json", "atomic_replace_dir"]
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "atomic_replace_dir",
+    "read_jsonl_tolerant",
+]
 
 
 def atomic_write_text(
@@ -55,6 +60,39 @@ def atomic_write_json(
         payload, indent=indent, sort_keys=sort_keys, default=default
     )
     return atomic_write_text(path, text + "\n")
+
+
+def read_jsonl_tolerant(
+    path: Union[str, Path],
+) -> Tuple[List[dict], List[str], List[str]]:
+    """Read a JSONL file, tolerating torn/corrupt lines.
+
+    Returns ``(records, good_lines, bad_lines)``: every line that decodes
+    to a JSON object becomes a record (its raw text preserved in
+    ``good_lines``, index-aligned); every line that fails to decode — the
+    torn final line of a killed writer, a disk-corrupted middle line, a
+    non-object — lands verbatim in ``bad_lines``.  Callers decide what to
+    do with the casualties: the sweep checkpoint reader quarantines them
+    to a ``.bad`` sidecar, the trace loaders merely count them.
+    """
+    records: List[dict] = []
+    good: List[str] = []
+    bad: List[str] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            bad.append(line)
+            continue
+        if not isinstance(record, dict):
+            bad.append(line)
+            continue
+        records.append(record)
+        good.append(line)
+    return records, good, bad
 
 
 def atomic_replace_dir(tmp_dir: Union[str, Path], final_dir: Union[str, Path]) -> Path:

@@ -24,21 +24,46 @@ from __future__ import annotations
 
 from typing import Any, Optional, Union
 
+from .analyze import (
+    aggregate_spans,
+    critical_path,
+    phase_table,
+    render_critical_path,
+    render_phases,
+    render_self_time,
+)
+from .export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from .heartbeat import Heartbeat
 from .metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from .profile import SamplingProfiler, SpanScopedProfile
 from .recorder import RunRecorder, git_revision, run_metadata
-from .spans import NULL_SPAN, NullSpan, Span, current_span
+from .spans import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    add_span_hooks,
+    current_span,
+    remove_span_hooks,
+)
 from .trace_report import Trace, load_trace, render_metrics, render_trace
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "Heartbeat",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
     "RunRecorder",
+    "SamplingProfiler",
     "Span",
+    "SpanScopedProfile",
     "Trace",
+    "add_span_hooks",
+    "aggregate_spans",
+    "chrome_trace",
     "count",
+    "critical_path",
     "current_span",
     "enabled",
     "event",
@@ -47,13 +72,20 @@ __all__ = [
     "git_revision",
     "load_trace",
     "observe",
+    "phase_table",
     "recording",
+    "remove_span_hooks",
+    "render_critical_path",
     "render_metrics",
+    "render_phases",
+    "render_self_time",
     "render_trace",
     "run_metadata",
     "set_recorder",
     "span",
     "timed",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]
 
 #: The process-wide recorder; ``None`` means observability is disabled.

@@ -1,0 +1,282 @@
+"""Trace analytics: self-time attribution, critical paths, phase tables.
+
+The recorder (:mod:`repro.obs.recorder`) writes one ``span`` event per
+*completed* span; this module turns that flat stream back into answers:
+
+* :func:`aggregate_spans` — per-name cumulative time, **self time**
+  (cumulative minus direct children — where the clock was actually
+  spent), call counts, min/max;
+* :func:`critical_path` — the chain of spans that dominates the wall
+  clock: starting from the longest root, descend into the longest child
+  at every level;
+* :func:`phase_table` — attribution of the run across its top-level
+  phases (``prepare`` / ``solve`` / ``insert`` / …), as a share of the
+  recorded run duration.
+
+All functions operate on the span dictionaries of a loaded
+:class:`~repro.obs.trace_report.Trace` and tolerate torn traces: span
+records missing required fields are skipped (the loader already counts
+them), and children whose parent span never completed (the parent was
+still open when the run died) are treated as roots.
+
+Surfaced as ``repro-tpi report <trace.jsonl> --self-time`` /
+``--critical-path``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "NameStats",
+    "PathStep",
+    "PhaseRow",
+    "aggregate_spans",
+    "critical_path",
+    "phase_table",
+    "render_self_time",
+    "render_critical_path",
+    "render_phases",
+]
+
+
+@dataclass
+class NameStats:
+    """Aggregate timing for every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_ns: int = 0
+    self_ns: int = 0
+    min_ns: int = 0
+    max_ns: int = 0
+
+
+@dataclass
+class PathStep:
+    """One span on the critical path."""
+
+    name: str
+    span_id: int
+    dur_ns: int
+    self_ns: int
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PhaseRow:
+    """One top-level phase's share of the run."""
+
+    name: str
+    count: int
+    total_ns: int
+    share: float  # fraction of the run duration (0..1), 0 when unknown
+
+
+def _usable(spans: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Span records carrying the fields the analytics need.
+
+    A torn or foreign trace can contain span lines with fields missing;
+    they are dropped here rather than raising mid-report.
+    """
+    out = []
+    for span in spans:
+        name = span.get("name")
+        dur = span.get("dur_ns")
+        if isinstance(name, str) and isinstance(dur, (int, float)):
+            out.append(span)
+    return out
+
+
+def _child_totals(spans: Sequence[Dict[str, Any]]) -> Dict[int, int]:
+    """Sum of direct children's durations, keyed by parent span id."""
+    totals: Dict[int, int] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None:
+            totals[parent] = totals.get(parent, 0) + int(span["dur_ns"])
+    return totals
+
+
+def _self_ns(span: Dict[str, Any], child_totals: Dict[int, int]) -> int:
+    """A span's self time: duration minus its direct children.
+
+    Clamped at zero: children running on other threads (the parallel
+    fan-out's merge loop) can legitimately overlap their parent.
+    """
+    return max(int(span["dur_ns"]) - child_totals.get(span.get("id"), 0), 0)
+
+
+def aggregate_spans(
+    spans: Sequence[Dict[str, Any]],
+) -> Dict[str, NameStats]:
+    """Per-name cumulative/self-time aggregates over span records."""
+    spans = _usable(spans)
+    child_totals = _child_totals(spans)
+    stats: Dict[str, NameStats] = {}
+    for span in spans:
+        dur = int(span["dur_ns"])
+        entry = stats.get(span["name"])
+        if entry is None:
+            entry = stats[span["name"]] = NameStats(
+                span["name"], min_ns=dur, max_ns=dur
+            )
+        entry.count += 1
+        entry.total_ns += dur
+        entry.self_ns += _self_ns(span, child_totals)
+        entry.min_ns = min(entry.min_ns, dur)
+        entry.max_ns = max(entry.max_ns, dur)
+    return stats
+
+
+def critical_path(spans: Sequence[Dict[str, Any]]) -> List[PathStep]:
+    """The wall-clock-dominating chain of spans.
+
+    Starts at the root span (no recorded parent) with the largest
+    duration and descends, at each level, into the direct child with the
+    largest duration.  Ties break on later start, then id, so the result
+    is deterministic for any input order.
+    """
+    spans = _usable(spans)
+    if not spans:
+        return []
+    ids = {span.get("id") for span in spans}
+    children: Dict[int, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent")
+        if parent is not None and parent in ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    child_totals = _child_totals(spans)
+
+    def weight(span: Dict[str, Any]):
+        return (
+            int(span["dur_ns"]),
+            span.get("start_ns", 0),
+            span.get("id", 0),
+        )
+
+    path: List[PathStep] = []
+    node: Optional[Dict[str, Any]] = max(roots, key=weight, default=None)
+    while node is not None:
+        path.append(
+            PathStep(
+                name=node["name"],
+                span_id=node.get("id", 0),
+                dur_ns=int(node["dur_ns"]),
+                self_ns=_self_ns(node, child_totals),
+                depth=node.get("depth", len(path)),
+                attrs=dict(node.get("attrs") or {}),
+            )
+        )
+        node = max(children.get(node.get("id"), []), key=weight, default=None)
+    return path
+
+
+def phase_table(
+    spans: Sequence[Dict[str, Any]], run_dur_ns: Optional[int] = None
+) -> List[PhaseRow]:
+    """Attribution of the run across its top-level (root) spans.
+
+    Roots are grouped by name; each group's share is its total duration
+    over ``run_dur_ns`` (the ``run_end`` duration) when known, else over
+    the sum of all root durations.
+    """
+    spans = _usable(spans)
+    ids = {span.get("id") for span in spans}
+    groups: Dict[str, List[int]] = {}
+    for span in spans:
+        parent = span.get("parent")
+        if parent is None or parent not in ids:
+            groups.setdefault(span["name"], []).append(int(span["dur_ns"]))
+    denom = run_dur_ns if run_dur_ns else sum(sum(d) for d in groups.values())
+    rows = [
+        PhaseRow(
+            name=name,
+            count=len(durs),
+            total_ns=sum(durs),
+            share=(sum(durs) / denom) if denom else 0.0,
+        )
+        for name, durs in groups.items()
+    ]
+    rows.sort(key=lambda r: (-r.total_ns, r.name))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def _ms(ns: float) -> str:
+    return f"{ns / 1e6:10.3f}"
+
+
+def render_self_time(
+    spans: Sequence[Dict[str, Any]], limit: int = 40
+) -> str:
+    """Per-name table sorted by self time (where the clock really went)."""
+    stats = sorted(
+        aggregate_spans(spans).values(), key=lambda s: (-s.self_ns, s.name)
+    )
+    if not stats:
+        return "(no spans recorded)"
+    total_self = sum(s.self_ns for s in stats) or 1
+    width = max(len(s.name) for s in stats[:limit])
+    lines = [
+        f"  {'span':<{width}s} {'count':>7s} {'self ms':>10s} {'self %':>7s} "
+        f"{'total ms':>10s} {'mean ms':>10s} {'max ms':>10s}"
+    ]
+    for s in stats[:limit]:
+        lines.append(
+            f"  {s.name:<{width}s} {s.count:7d} {_ms(s.self_ns)} "
+            f"{100 * s.self_ns / total_self:6.1f}% {_ms(s.total_ns)} "
+            f"{_ms(s.total_ns / s.count)} {_ms(s.max_ns)}"
+        )
+    if len(stats) > limit:
+        lines.append(f"  … {len(stats) - limit} more span names")
+    return "\n".join(["self-time by span name"] + lines)
+
+
+def render_critical_path(spans: Sequence[Dict[str, Any]]) -> str:
+    """The critical path as an indented chain with self-time annotation."""
+    path = critical_path(spans)
+    if not path:
+        return "(no spans recorded)"
+    root_ns = path[0].dur_ns or 1
+    lines = ["critical path (longest child at every level)"]
+    for step in path:
+        attrs = (
+            " [" + ", ".join(f"{k}={v}" for k, v in step.attrs.items()) + "]"
+            if step.attrs
+            else ""
+        )
+        lines.append(
+            f"  {'  ' * step.depth}{step.name}  "
+            f"{step.dur_ns / 1e6:.3f} ms "
+            f"({100 * step.dur_ns / root_ns:.1f}% of path root, "
+            f"self {step.self_ns / 1e6:.3f} ms){attrs}"
+        )
+    return "\n".join(lines)
+
+
+def render_phases(
+    spans: Sequence[Dict[str, Any]], run_dur_ns: Optional[int] = None
+) -> str:
+    """Per-phase attribution table over the top-level spans."""
+    rows = phase_table(spans, run_dur_ns)
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len(r.name) for r in rows)
+    lines = [
+        "phase attribution (top-level spans)",
+        f"  {'phase':<{width}s} {'count':>7s} {'total ms':>10s} {'share':>7s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"  {r.name:<{width}s} {r.count:7d} {_ms(r.total_ns)} "
+            f"{100 * r.share:6.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Chrome trace-event export: open any recorded trace in Perfetto.
+
+Converts a recorded JSONL trace (:class:`~repro.obs.trace_report.Trace`)
+into the Chrome trace-event JSON format understood by ``ui.perfetto.dev``
+and ``chrome://tracing``:
+
+* every completed span becomes a ``"ph": "X"`` complete event
+  (microsecond ``ts``/``dur``, span attributes as ``args``);
+* every free-form trace event becomes a ``"ph": "i"`` instant event;
+* the final metrics counters become one ``"ph": "C"`` counter sample so
+  totals are visible on the timeline.
+
+Span records carry the recorder's compact thread id (``tid``); worker
+telemetry events merged by :func:`repro.sim.parallel.run_parallel` carry
+a ``pid`` field and are mapped onto per-worker tracks so chunk work is
+visually attributed to the worker that did it.
+
+``validate_chrome_trace`` is a dependency-free schema check used by the
+round-trip tests and by CI before uploading the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .trace_report import Trace, load_trace
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Phases this exporter emits (a subset of the Chrome trace-event spec).
+_PHASES = {"X", "i", "C", "M"}
+
+
+def _metadata_events(trace: Trace) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": "repro-tpi"},
+        }
+    ]
+    return events
+
+
+def chrome_trace(source: Union[str, Path, Trace]) -> Dict[str, Any]:
+    """Build the Chrome trace-event object for a recorded trace."""
+    trace = source if isinstance(source, Trace) else load_trace(source)
+    events = _metadata_events(trace)
+    for span in trace.spans:
+        name = span.get("name")
+        dur = span.get("dur_ns")
+        if not isinstance(name, str) or not isinstance(dur, (int, float)):
+            continue  # torn/foreign record: skip, never raise
+        events.append(
+            {
+                "name": name,
+                "ph": "X",
+                "pid": 0,
+                "tid": span.get("tid", 0),
+                "ts": span.get("start_ns", 0) / 1e3,
+                "dur": dur / 1e3,
+                "args": dict(span.get("attrs") or {}),
+            }
+        )
+    worker_pids: Dict[int, int] = {}
+    for record in trace.events:
+        name = record.get("name")
+        if not isinstance(name, str):
+            continue
+        args = {
+            k: v
+            for k, v in record.items()
+            if k not in ("event", "name", "t_ns")
+        }
+        pid = 0
+        raw_pid = record.get("pid")
+        if name == "parallel.chunk_telemetry" and isinstance(raw_pid, int):
+            # One synthetic process track per worker pid, so chunk events
+            # group under the worker that produced them.
+            pid = worker_pids.setdefault(raw_pid, len(worker_pids) + 1)
+        events.append(
+            {
+                "name": name,
+                "ph": "i",
+                "s": "g",
+                "pid": pid,
+                "tid": 0,
+                "ts": record.get("t_ns", 0) / 1e3,
+                "args": args,
+            }
+        )
+    for pid_real, pid_track in sorted(worker_pids.items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_track,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": f"worker pid {pid_real}"},
+            }
+        )
+    counters = (trace.metrics or {}).get("counters") or {}
+    if counters:
+        events.append(
+            {
+                "name": "counters",
+                "ph": "C",
+                "pid": 0,
+                "tid": 0,
+                "ts": (trace.run_dur_ns or 0) / 1e3,
+                "args": {
+                    k: v
+                    for k, v in counters.items()
+                    if isinstance(v, (int, float))
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(trace.meta),
+    }
+
+
+def write_chrome_trace(
+    source: Union[str, Path, Trace], out_path: Union[str, Path]
+) -> Path:
+    """Export ``source`` to ``out_path`` as Chrome trace-event JSON."""
+    payload = chrome_trace(source)
+    errors = validate_chrome_trace(payload)
+    if errors:  # an exporter bug, not an input problem: fail loudly
+        raise ValueError(
+            f"generated chrome trace failed schema check: {errors[:3]}"
+        )
+    out_path = Path(out_path)
+    out_path.write_text(
+        json.dumps(payload, separators=(",", ":")) + "\n", encoding="utf-8"
+    )
+    return out_path
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Schema-check a Chrome trace-event object; returns problems found.
+
+    An empty list means the object is structurally valid: a dict with a
+    ``traceEvents`` list whose entries each carry a string ``name``, a
+    known ``ph``, numeric non-negative ``ts``, integer ``pid``/``tid``,
+    and (for ``"X"`` events) a numeric non-negative ``dur``.
+    """
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not an object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: name missing or not a string")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts missing or negative")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: {key} missing or not an int")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: X event dur missing or negative")
+        args = ev.get("args")
+        if args is not None and not isinstance(args, dict):
+            errors.append(f"{where}: args is not an object")
+    return errors

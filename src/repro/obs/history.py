@@ -1,0 +1,357 @@
+"""Benchmark history: append-only perf records + noise-aware regression gates.
+
+Every BENCH_PERF run can be appended to a schema-versioned JSONL history
+(one line per benchmark), keyed by ``(bench, mode, kernel)`` plus a host
+fingerprint.  ``repro-tpi bench-compare`` then compares a fresh
+``BENCH_PERF.json`` against the rolling baseline (median of the last
+*window* matching records) and exits non-zero when any metric regresses
+beyond a noise-aware tolerance — the gate CI perf-smoke runs against the
+committed ``benchmarks/history/history.jsonl``.
+
+Metric direction is inferred from the name:
+
+* ``seconds*`` and ``overhead_pct`` are **lower-is-better** — regression
+  when ``current > baseline * (1 + margin)``;
+* ``speedup*`` and ``*_per_sec*`` are **higher-is-better** — regression
+  when ``current < baseline / (1 + margin)``;
+* anything else (coverage, booleans, counts) is ignored.
+
+The margin is ``max(tolerance, NOISE_MULT * rel_mad)`` where ``rel_mad``
+is the baseline window's median-absolute-deviation over its median — a
+noisy metric earns itself a wider gate instead of flapping CI.
+
+Cross-host comparability: absolute ``seconds*`` metrics only mean
+anything on the recording host, so comparisons can be restricted to the
+same host fingerprint (``same_host_only``) or to machine-relative ratio
+metrics only (``relative_only`` — what CI uses, since speedups cancel
+the runner's absolute speed).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import time
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..ioutil import read_jsonl_tolerant
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "MetricComparison",
+    "ComparisonReport",
+    "host_fingerprint",
+    "fingerprint_key",
+    "entries_from_bench_perf",
+    "append_history",
+    "load_history",
+    "rolling_baseline",
+    "compare_to_history",
+    "render_comparison",
+]
+
+HISTORY_SCHEMA = 1
+
+#: Baseline window: records per (bench, metric) feeding the rolling median.
+DEFAULT_WINDOW = 5
+
+#: Default regression tolerance (fractional): 15% beyond baseline fails,
+#: so the acceptance-level "planted 20% slowdown" is always caught on a
+#: clean history.
+DEFAULT_TOLERANCE = 0.15
+
+#: How many relative-MADs of baseline noise widen the gate.
+NOISE_MULT = 4.0
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """A stable-ish identity for the machine producing benchmark numbers."""
+    return {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def fingerprint_key(fp: Optional[Dict[str, Any]]) -> str:
+    """Canonical string form of a host fingerprint (for grouping)."""
+    fp = fp or {}
+    return "|".join(
+        f"{k}={fp.get(k)}" for k in ("python", "platform", "machine", "cpus")
+    )
+
+
+def _is_lower_better(metric: str) -> bool:
+    return metric.startswith("seconds") or metric.startswith("overhead")
+
+
+def _is_higher_better(metric: str) -> bool:
+    return metric.startswith("speedup") or "per_sec" in metric
+
+
+def _is_relative(metric: str) -> bool:
+    """Machine-relative ratio metrics, comparable across hosts."""
+    return metric.startswith("speedup") or metric.startswith("overhead")
+
+
+def _gated_metrics(bench_payload: Dict[str, Any]) -> Dict[str, float]:
+    """The numeric, direction-ful metrics of one BENCH_PERF benchmark."""
+    out: Dict[str, float] = {}
+    for key, value in bench_payload.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if _is_lower_better(key) or _is_higher_better(key):
+            out[key] = float(value)
+    return out
+
+
+def entries_from_bench_perf(
+    payload: Dict[str, Any],
+    ts: Optional[float] = None,
+    git_rev: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """History entries (one per benchmark) from a BENCH_PERF payload."""
+    ts = time() if ts is None else ts
+    entries: List[Dict[str, Any]] = []
+    for bench, bench_payload in sorted(
+        (payload.get("benchmarks") or {}).items()
+    ):
+        metrics = _gated_metrics(bench_payload)
+        if not metrics:
+            continue
+        entries.append(
+            {
+                "schema": HISTORY_SCHEMA,
+                "ts": ts,
+                "bench": bench,
+                "mode": payload.get("mode", "full"),
+                "kernel": payload.get("kernel", "compiled"),
+                "host": host_fingerprint(),
+                "git_rev": git_rev,
+                "metrics": metrics,
+            }
+        )
+    return entries
+
+
+def append_history(
+    path: Union[str, Path], entries: Sequence[Dict[str, Any]]
+) -> Path:
+    """Append entries to the JSONL history (created, with parents, if new)."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as sink:
+        for entry in entries:
+            sink.write(json.dumps(entry, sort_keys=True) + "\n")
+        sink.flush()
+    return path
+
+
+def load_history(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load history records, tolerating torn/corrupt lines.
+
+    Records from a future schema or missing the key fields are skipped —
+    an old gate must not crash on a newer writer's file.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records, _good, _bad = read_jsonl_tolerant(path)
+    out: List[Dict[str, Any]] = []
+    for record in records:
+        if record.get("schema") != HISTORY_SCHEMA:
+            continue
+        if not isinstance(record.get("bench"), str):
+            continue
+        if not isinstance(record.get("metrics"), dict):
+            continue
+        out.append(record)
+    out.sort(key=lambda r: r.get("ts") or 0.0)
+    return out
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def rolling_baseline(
+    values: Sequence[float], window: int = DEFAULT_WINDOW
+) -> Dict[str, float]:
+    """Baseline statistics over the trailing ``window`` of ``values``.
+
+    Returns ``{"baseline": median, "rel_mad": mad/median, "n": count}``
+    (``rel_mad`` is 0 for an empty/zero baseline).
+    """
+    tail = list(values)[-window:]
+    if not tail:
+        return {"baseline": 0.0, "rel_mad": 0.0, "n": 0}
+    med = _median(tail)
+    mad = _median([abs(v - med) for v in tail])
+    rel = (mad / med) if med > 0 else 0.0
+    return {"baseline": med, "rel_mad": rel, "n": len(tail)}
+
+
+@dataclass
+class MetricComparison:
+    """One metric's current value against its rolling baseline."""
+
+    bench: str
+    metric: str
+    current: float
+    baseline: float
+    n_baseline: int
+    margin: float  # fractional gate actually applied
+    regressed: bool
+    lower_is_better: bool
+
+    @property
+    def ratio(self) -> float:
+        """current/baseline for lower-is-better, inverted otherwise —
+        >1 always means "worse"."""
+        if self.baseline <= 0 or self.current <= 0:
+            return 1.0
+        raw = self.current / self.baseline
+        return raw if self.lower_is_better else 1.0 / raw
+
+    def describe(self) -> str:
+        arrow = "REGRESSION" if self.regressed else "ok"
+        direction = "↓better" if self.lower_is_better else "↑better"
+        return (
+            f"{self.bench}.{self.metric} ({direction}): "
+            f"{self.current:g} vs baseline {self.baseline:g} "
+            f"(n={self.n_baseline}, gate ±{100 * self.margin:.0f}%, "
+            f"worse-ratio {self.ratio:.2f}) {arrow}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of one bench-compare run."""
+
+    checked: List[MetricComparison] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricComparison]:
+        return [c for c in self.checked if c.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_to_history(
+    history: Sequence[Dict[str, Any]],
+    current_entries: Sequence[Dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+    window: int = DEFAULT_WINDOW,
+    same_host_only: bool = False,
+    relative_only: bool = False,
+) -> ComparisonReport:
+    """Compare current entries against the rolling history baseline.
+
+    Parameters
+    ----------
+    history:
+        Records from :func:`load_history`.
+    current_entries:
+        Records from :func:`entries_from_bench_perf` for the fresh run.
+    tolerance:
+        Minimum fractional margin before a change counts as a regression.
+    window:
+        Trailing records per (bench, metric) feeding the baseline median.
+    same_host_only:
+        Only compare against history recorded by this host's fingerprint.
+    relative_only:
+        Gate only machine-relative ratio metrics (``speedup*`` /
+        ``overhead*``) — the cross-host mode CI uses.
+
+    Metrics with no matching baseline are reported in ``skipped``, never
+    failed: a brand-new benchmark cannot regress.
+    """
+    report = ComparisonReport()
+    my_host = fingerprint_key(host_fingerprint())
+    for entry in current_entries:
+        key = (entry["bench"], entry.get("mode"), entry.get("kernel"))
+        matching = [
+            r
+            for r in history
+            if (r["bench"], r.get("mode"), r.get("kernel")) == key
+            and (
+                not same_host_only
+                or fingerprint_key(r.get("host")) == my_host
+            )
+        ]
+        if not matching:
+            report.skipped.append(
+                f"{entry['bench']}: no history for "
+                f"mode={entry.get('mode')} kernel={entry.get('kernel')}"
+                + (" on this host" if same_host_only else "")
+            )
+            continue
+        for metric, current in sorted(entry["metrics"].items()):
+            if relative_only and not _is_relative(metric):
+                continue
+            series = [
+                float(r["metrics"][metric])
+                for r in matching
+                if isinstance(r["metrics"].get(metric), (int, float))
+            ]
+            stats = rolling_baseline(series, window)
+            if stats["n"] == 0:
+                report.skipped.append(
+                    f"{entry['bench']}.{metric}: no baseline values"
+                )
+                continue
+            baseline = stats["baseline"]
+            margin = max(tolerance, NOISE_MULT * stats["rel_mad"])
+            lower = _is_lower_better(metric)
+            if baseline <= 0:
+                regressed = False
+            elif lower:
+                regressed = current > baseline * (1.0 + margin)
+            else:
+                regressed = current < baseline / (1.0 + margin)
+            report.checked.append(
+                MetricComparison(
+                    bench=entry["bench"],
+                    metric=metric,
+                    current=float(current),
+                    baseline=baseline,
+                    n_baseline=int(stats["n"]),
+                    margin=margin,
+                    regressed=regressed,
+                    lower_is_better=lower,
+                )
+            )
+    return report
+
+
+def render_comparison(report: ComparisonReport, verbose: bool = False) -> str:
+    """Human-readable bench-compare summary."""
+    lines: List[str] = []
+    regs = report.regressions
+    lines.append(
+        f"bench-compare: {len(report.checked)} metric(s) checked, "
+        f"{len(regs)} regression(s), {len(report.skipped)} skipped"
+    )
+    for comparison in regs:
+        lines.append(f"  {comparison.describe()}")
+    if verbose:
+        for comparison in report.checked:
+            if not comparison.regressed:
+                lines.append(f"  {comparison.describe()}")
+        for reason in report.skipped:
+            lines.append(f"  skipped: {reason}")
+    return "\n".join(lines)

@@ -61,7 +61,13 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready view; empty buckets are elided for compactness."""
+        """JSON-ready view; empty buckets are elided for compactness.
+
+        ``bounds`` carries the full upper-bound ladder (including empty
+        buckets) so external tooling can reconstruct the bucket layout
+        without knowing :data:`DEFAULT_BUCKETS`; ``buckets`` stays the
+        sparse occupied view keyed by ``repr(bound)``.
+        """
         buckets = {
             repr(bound): n
             for bound, n in zip(self.bounds, self.counts)
@@ -75,6 +81,7 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            "bounds": list(self.bounds),
             "buckets": buckets,
         }
 

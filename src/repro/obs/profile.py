@@ -1,0 +1,232 @@
+"""Opt-in profiling hooks: sampling profiler + span-scoped cProfile.
+
+Two complementary tools, both zero-cost unless started:
+
+* :class:`SamplingProfiler` — a daemon thread periodically snapshots the
+  target thread's stack via ``sys._current_frames()`` and folds it into
+  ``caller;…;callee count`` lines — the *folded stack* format consumed
+  directly by ``flamegraph.pl`` / speedscope / inferno.  Sampling never
+  instruments the workload, so overhead is bounded by the sampling
+  interval regardless of how hot the profiled loops are.
+* :class:`SpanScopedProfile` — deterministic ``cProfile`` that is only
+  *enabled* while a span with the requested name is on the calling
+  thread's span stack (hooked via
+  :func:`repro.obs.spans.add_span_hooks`), so ``--profile-span solve``
+  prices exactly the solve phase and nothing else.  With no span name it
+  profiles its whole extent.
+
+The CLI surfaces both as ``--profile-out FILE`` (plus ``--profile-mode``,
+``--profile-span``, ``--profile-interval-ms``) on ``stats`` / ``insert``
+/ ``coverage`` / ``sweep``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import threading
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Union
+
+from .spans import Span, add_span_hooks, remove_span_hooks
+
+__all__ = ["SamplingProfiler", "SpanScopedProfile", "fold_frame"]
+
+
+def fold_frame(frame) -> str:
+    """Fold a live frame's stack into a ``root;…;leaf`` folded-stack key."""
+    parts: List[str] = []
+    while frame is not None:
+        code = frame.f_code
+        parts.append(f"{Path(code.co_filename).stem}.{code.co_name}")
+        frame = frame.f_back
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Wall-clock sampling profiler producing folded stacks.
+
+    Parameters
+    ----------
+    interval_s:
+        Target seconds between samples (default 5 ms ≈ 200 Hz).
+    thread_id:
+        Thread to sample (default: the thread calling :meth:`start`).
+
+    Usage::
+
+        prof = SamplingProfiler()
+        prof.start()
+        ...                      # the workload
+        prof.stop()
+        prof.write_folded("run.folded")
+
+    The sampler runs on a daemon thread and reads stacks through
+    ``sys._current_frames()`` — the GIL guarantees each snapshot is a
+    consistent stack, and the workload itself is never instrumented.
+    """
+
+    def __init__(
+        self, interval_s: float = 0.005, thread_id: Optional[int] = None
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval_s = interval_s
+        self._thread_id = thread_id
+        self._counts: Dict[str, int] = {}
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at: Optional[float] = None
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        if self._thread_id is None:
+            self._thread_id = threading.get_ident()
+        self._stop.clear()
+        self._started_at = perf_counter()
+        self._thread = threading.Thread(
+            target=self._sample_loop, name="repro-sampling-profiler",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self._elapsed += perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self._thread_id)
+            if frame is None:  # target thread exited
+                break
+            key = fold_frame(frame)
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self._samples += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Total samples taken so far."""
+        return self._samples
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds the profiler has been running."""
+        if self._started_at is not None:
+            return self._elapsed + (perf_counter() - self._started_at)
+        return self._elapsed
+
+    def folded(self) -> Dict[str, int]:
+        """Folded-stack sample counts (``root;…;leaf`` → samples)."""
+        return dict(self._counts)
+
+    def folded_lines(self) -> List[str]:
+        """Folded stacks as flamegraph-ready text lines, sorted."""
+        return [
+            f"{stack} {count}"
+            for stack, count in sorted(self._counts.items())
+        ]
+
+    def write_folded(self, path: Union[str, Path]) -> Path:
+        """Write the folded stacks to ``path`` (one stack per line)."""
+        path = Path(path)
+        path.write_text(
+            "".join(line + "\n" for line in self.folded_lines()),
+            encoding="utf-8",
+        )
+        return path
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+
+class SpanScopedProfile:
+    """Deterministic ``cProfile`` limited to the extent of named spans.
+
+    With ``span_name`` given, the profiler is enabled when a span of that
+    name is entered on the *owning* thread and disabled when the
+    outermost such span exits — nested same-named spans keep it enabled
+    through a depth counter.  With ``span_name=None`` it profiles its
+    whole context-manager extent.
+
+    ``cProfile`` cannot be enabled twice concurrently, so the hook only
+    reacts to spans on the thread that created this object.
+    """
+
+    def __init__(self, span_name: Optional[str] = None) -> None:
+        self.span_name = span_name
+        self.profiler = cProfile.Profile()
+        self._depth = 0
+        self._owner = threading.get_ident()
+        self._handle: Optional[tuple] = None
+        self._enabled = False
+
+    # ------------------------------------------------------------------
+    def _on_enter(self, span: Span) -> None:
+        if (
+            span.name == self.span_name
+            and threading.get_ident() == self._owner
+        ):
+            self._depth += 1
+            if self._depth == 1 and not self._enabled:
+                self._enabled = True
+                self.profiler.enable()
+
+    def _on_exit(self, span: Span) -> None:
+        if (
+            span.name == self.span_name
+            and threading.get_ident() == self._owner
+        ):
+            self._depth -= 1
+            if self._depth <= 0 and self._enabled:
+                self._depth = 0
+                self._enabled = False
+                self.profiler.disable()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SpanScopedProfile":
+        if self.span_name is None:
+            self._enabled = True
+            self.profiler.enable()
+        else:
+            self._handle = add_span_hooks(self._on_enter, self._on_exit)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        if self._handle is not None:
+            remove_span_hooks(self._handle)
+            self._handle = None
+        if self._enabled:
+            self._enabled = False
+            self.profiler.disable()
+        return False
+
+    # ------------------------------------------------------------------
+    def write_stats(self, path: Union[str, Path]) -> Path:
+        """Dump pstats data to ``path`` (load with :mod:`pstats`)."""
+        path = Path(path)
+        self.profiler.dump_stats(str(path))
+        return path
+
+    def stats(self) -> pstats.Stats:
+        """The collected profile as a :class:`pstats.Stats`."""
+        return pstats.Stats(self.profiler)

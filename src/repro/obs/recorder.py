@@ -22,6 +22,7 @@ import platform
 import subprocess
 import sys
 import threading
+import uuid
 from pathlib import Path
 from time import perf_counter_ns, time
 from typing import Any, Dict, Optional, Union
@@ -92,14 +93,21 @@ class RunRecorder:
         path: Optional[Union[str, Path]] = None,
         metadata: Optional[Dict[str, Any]] = None,
         registry: Optional[MetricsRegistry] = None,
+        run_id: Optional[str] = None,
     ) -> None:
         self.metadata = dict(metadata or {})
         self.metrics = registry if registry is not None else MetricsRegistry()
+        #: Stable identifier for this run, propagated to parallel workers
+        #: so their telemetry can be attributed back to the parent trace.
+        self.run_id: str = run_id or uuid.uuid4().hex[:16]
         self._lock = threading.Lock()
         self._epoch_ns = perf_counter_ns()
         self._n_spans = 0
         self._closed = False
         self._file = None
+        #: Compact per-run thread ids: the first thread to emit a span is
+        #: tid 0, the next 1, … — stable within a trace, small in JSON.
+        self._tids: Dict[int, int] = {}
         self.path: Optional[Path] = None
         if path is not None:
             self.path = Path(path)
@@ -108,6 +116,7 @@ class RunRecorder:
             {
                 "event": "run_start",
                 "schema": SCHEMA_VERSION,
+                "run_id": self.run_id,
                 "ts": time(),
                 "meta": _jsonable(self.metadata),
             }
@@ -153,6 +162,9 @@ class RunRecorder:
     def _emit_span(self, span: Span) -> None:
         """Called by :meth:`Span.__exit__`; spans arrive innermost-first."""
         self._n_spans += 1
+        ident = threading.get_ident()
+        with self._lock:
+            tid = self._tids.setdefault(ident, len(self._tids))
         record: Dict[str, Any] = {
             "event": "span",
             "name": span.name,
@@ -160,6 +172,7 @@ class RunRecorder:
             "start_ns": span.start_ns - self._epoch_ns,
             "dur_ns": span.duration_ns,
             "depth": span.depth,
+            "tid": tid,
         }
         if span.parent_id is not None:
             record["parent"] = span.parent_id

@@ -19,10 +19,44 @@ import threading
 from time import perf_counter_ns
 from typing import Any, Dict, Optional
 
-__all__ = ["Span", "NullSpan", "NULL_SPAN", "current_span"]
+__all__ = [
+    "Span",
+    "NullSpan",
+    "NULL_SPAN",
+    "current_span",
+    "add_span_hooks",
+    "remove_span_hooks",
+]
 
 #: Process-wide span id source (``next`` on a C iterator is GIL-atomic).
 _ids = itertools.count(1)
+
+#: Registered ``(on_enter, on_exit)`` hook pairs.  The list is almost
+#: always empty, so the hot path pays one global load and a truthiness
+#: check; the span-scoped profiler (:mod:`repro.obs.profile`) installs a
+#: pair for its extent.
+_hooks: list = []
+
+
+def add_span_hooks(on_enter, on_exit) -> tuple:
+    """Register callbacks invoked with every span at enter/exit time.
+
+    Either callback may be ``None``.  Returns the handle to pass to
+    :func:`remove_span_hooks`.  Hooks observe *every* span, including
+    unrecorded :func:`repro.obs.timed` ones; exceptions they raise
+    propagate to the span's caller, so hooks must be cheap and safe.
+    """
+    handle = (on_enter, on_exit)
+    _hooks.append(handle)
+    return handle
+
+
+def remove_span_hooks(handle: tuple) -> None:
+    """Unregister a hook pair returned by :func:`add_span_hooks`."""
+    try:
+        _hooks.remove(handle)
+    except ValueError:
+        pass
 
 _stack_local = threading.local()
 
@@ -125,11 +159,19 @@ class Span:
             self.parent_id = parent.span_id
             self.depth = parent.depth + 1
         stack.append(self)
+        if _hooks:
+            for on_enter, _ in _hooks:
+                if on_enter is not None:
+                    on_enter(self)
         self.start_ns = perf_counter_ns()
         return self
 
     def __exit__(self, *exc: object) -> bool:
         self.end_ns = perf_counter_ns()
+        if _hooks:
+            for _, on_exit in _hooks:
+                if on_exit is not None:
+                    on_exit(self)
         stack = _stack()
         if stack and stack[-1] is self:
             stack.pop()

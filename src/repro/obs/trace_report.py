@@ -8,10 +8,11 @@ individual spans as a tree, and the final metrics snapshot.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
+
+from ..ioutil import read_jsonl_tolerant
 
 __all__ = ["Trace", "load_trace", "render_trace", "render_metrics"]
 
@@ -30,30 +31,36 @@ class Trace:
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Parse a JSONL trace.  Unparseable lines are counted, not fatal."""
+    """Parse a JSONL trace.  Unparseable lines are counted, not fatal.
+
+    Tolerance mirrors the sweep checkpoint reader
+    (:func:`repro.ioutil.read_jsonl_tolerant`): a torn final line from a
+    killed recorder — or any corrupt middle line — is counted in
+    ``n_bad_lines`` and skipped, as is a ``span`` record missing the
+    fields every renderer/analyzer needs.  A truncated trace therefore
+    always loads; it is simply missing its tail.
+    """
     trace = Trace()
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
-            trace.n_lines += 1
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                trace.n_bad_lines += 1
-                continue
-            kind = record.get("event")
-            if kind == "run_start":
-                trace.meta = record.get("meta", {})
-            elif kind == "span":
+    records, good, bad = read_jsonl_tolerant(path)
+    trace.n_lines = len(good) + len(bad)
+    trace.n_bad_lines = len(bad)
+    for record in records:
+        kind = record.get("event")
+        if kind == "run_start":
+            trace.meta = record.get("meta", {})
+        elif kind == "span":
+            if isinstance(record.get("name"), str) and isinstance(
+                record.get("dur_ns"), (int, float)
+            ):
                 trace.spans.append(record)
-            elif kind == "event":
-                trace.events.append(record)
-            elif kind == "metrics":
-                trace.metrics = record.get("metrics", {})
-            elif kind == "run_end":
-                trace.run_dur_ns = record.get("dur_ns")
+            else:  # torn/foreign span record: unusable downstream
+                trace.n_bad_lines += 1
+        elif kind == "event":
+            trace.events.append(record)
+        elif kind == "metrics":
+            trace.metrics = record.get("metrics", {})
+        elif kind == "run_end":
+            trace.run_dur_ns = record.get("dur_ns")
     return trace
 
 
@@ -155,9 +162,13 @@ def render_trace(source: Union[str, Path, Trace]) -> str:
         + (f", {trace.n_bad_lines} unparseable" if trace.n_bad_lines else "")
     )
     if trace.spans:
+        from .analyze import render_phases  # late: sibling module
+
         lines.append("")
         lines.append("spans by name (sorted by total time)")
         lines.extend(_span_table(trace.spans))
+        lines.append("")
+        lines.append(render_phases(trace.spans, trace.run_dur_ns))
         lines.append("")
         lines.append("span tree (chronological)")
         lines.extend(_span_tree(trace.spans))

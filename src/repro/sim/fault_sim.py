@@ -585,9 +585,13 @@ class FaultSimulator:
                 good_values = self._logic.run(stimulus, n_patterns)
             result = FaultSimResult(n_patterns=n_patterns)
             detected = 0
-            for fault in faults:
+            heartbeat = obs.Heartbeat("fault_sim.run")
+            for i, fault in enumerate(faults):
                 if budget is not None:
                     budget.charge("patterns", n_patterns, "fault_sim.fault")
+                heartbeat.beat(
+                    faults_done=i, faults_total=len(faults)
+                )
                 word = self.simulate_fault(fault, good_values, n_patterns)
                 result.detection_word[fault] = word
                 result.first_detect[fault] = _first_set_bit(word)
@@ -714,6 +718,7 @@ class FaultSimulator:
             if good_blocks is None:
                 good_blocks = self.coverage_blocks(stimulus, n_patterns, block)
             offset = 0
+            heartbeat = obs.Heartbeat("fault_sim.run_coverage")
             for blk_n, good_block in good_blocks:
                 if not remaining:
                     break
@@ -722,6 +727,12 @@ class FaultSimulator:
                     if budget is not None:
                         budget.charge("patterns", blk_n, "fault_sim.block")
                     sims += 1
+                    heartbeat.beat(
+                        block_patterns=blk_n,
+                        pattern_offset=offset,
+                        faults_remaining=len(remaining),
+                        fault_block_sims=sims,
+                    )
                     word = self.simulate_fault(fault, good_block, blk_n)
                     if word:
                         result.detection_word[fault] = word << offset

@@ -30,6 +30,14 @@ Design notes:
 * anything that prevents the pool from working (unpicklable circuit, a
   sandbox that forbids ``fork``, a broken pool) degrades to the serial
   path with the caller's original budget, never to an error;
+* workers are not black boxes: every chunk captures the counter deltas
+  its simulators emitted (through a chunk-local recorder) and ships them
+  back beside the results, tagged with the worker pid and the parent's
+  run id; the parent merges exactly one telemetry record per chunk into
+  its registry under the ``worker.`` namespace and into its trace as
+  ``parallel.chunk_telemetry`` / ``parallel.worker_summary`` events —
+  retries, degradation, and kernel rebuilds inside workers are visible
+  with per-worker attribution and no double counting;
 * all of that machinery is testable deterministically by passing a
   seeded :class:`~repro.resilience.chaos.ChaosSpec` (``chaos=``), which
   makes workers crash / hang / corrupt their payloads on purpose.
@@ -87,6 +95,7 @@ def _init_worker(
     kernel_sources: Optional[Dict[str, str]] = None,
     kernel_cone_meta: Optional[Dict[str, int]] = None,
     chaos: Optional[ChaosSpec] = None,
+    run_id: Optional[str] = None,
 ) -> None:
     """Prime one worker process with the shared simulation state.
 
@@ -94,7 +103,9 @@ def _init_worker(
     *source strings* (compiled code objects don't pickle); the worker
     seeds its registry with them and re-``exec``s each kernel lazily on
     first use, so chunk work never re-derives codegen the parent already
-    paid for.
+    paid for.  ``run_id`` is the parent recorder's run identifier — it
+    rides back in every chunk's telemetry so worker-side activity can be
+    attributed to the parent trace.
     """
     global _WORKER_STATE
     # The parent's recorder (file handles, span stacks) must not be
@@ -111,6 +122,7 @@ def _init_worker(
         "good_values": good_values,
         "good_blocks": good_blocks,
         "chaos": chaos,
+        "run_id": run_id,
     }
 
 
@@ -125,10 +137,15 @@ def _simulate_chunk(
     index/attempt pair feeds the (optional) chaos hook and makes retried
     submissions distinguishable in worker-side decisions.
 
-    Success payload: ``("ok", words, first_detects, gate_evals)`` with the
-    lists aligned to the chunk's fault order.  Budget exhaustion payload:
-    ``("budget", resource, limit, spent, where)`` — the parent re-raises,
-    because :class:`BudgetExceededError` itself cannot round-trip pickle.
+    Success payload: ``("ok", words, first_detects, gate_evals, telem)``
+    with the lists aligned to the chunk's fault order and ``telem`` the
+    chunk's telemetry summary (pid, run id, attempt, seconds, and the
+    counter deltas the simulators emitted while computing this chunk —
+    captured through a chunk-local recorder, so the numbers are exact
+    deltas no matter how many chunks a worker has already served).
+    Budget exhaustion payload: ``("budget", resource, limit, spent,
+    where)`` — the parent re-raises, because
+    :class:`BudgetExceededError` itself cannot round-trip pickle.
     """
     chunk, budget_spec, chunk_index, attempt = task
     state = _WORKER_STATE
@@ -152,33 +169,47 @@ def _simulate_chunk(
             max_patterns=budget_spec.get("max_patterns"),
         )
     evals_before = sim.gate_evals
+    capture = obs.RunRecorder(None)
+    previous = obs.set_recorder(capture)
+    start = perf_counter()
     try:
-        if state["mode"] == "coverage":
-            result = sim.run_coverage(
-                state["stimulus"],  # type: ignore[arg-type]
-                state["n_patterns"],  # type: ignore[arg-type]
-                faults=chunk,
-                budget=budget,
-                block=state["block"],  # type: ignore[arg-type]
-                good_blocks=state["good_blocks"],  # type: ignore[arg-type]
-            )
-        else:
-            result = sim.run(
-                state["stimulus"],  # type: ignore[arg-type]
-                state["n_patterns"],  # type: ignore[arg-type]
-                faults=chunk,
-                budget=budget,
-                good_values=state["good_values"],  # type: ignore[arg-type]
-            )
-    except BudgetExceededError as exc:
-        return ("budget", exc.resource, exc.limit, exc.spent, exc.where)
+        try:
+            if state["mode"] == "coverage":
+                result = sim.run_coverage(
+                    state["stimulus"],  # type: ignore[arg-type]
+                    state["n_patterns"],  # type: ignore[arg-type]
+                    faults=chunk,
+                    budget=budget,
+                    block=state["block"],  # type: ignore[arg-type]
+                    good_blocks=state["good_blocks"],  # type: ignore[arg-type]
+                )
+            else:
+                result = sim.run(
+                    state["stimulus"],  # type: ignore[arg-type]
+                    state["n_patterns"],  # type: ignore[arg-type]
+                    faults=chunk,
+                    budget=budget,
+                    good_values=state["good_values"],  # type: ignore[arg-type]
+                )
+        except BudgetExceededError as exc:
+            return ("budget", exc.resource, exc.limit, exc.spent, exc.where)
+    finally:
+        obs.set_recorder(previous)
+    telem = {
+        "pid": os.getpid(),
+        "run_id": state.get("run_id"),
+        "attempt": attempt,
+        "in_parent": False,
+        "seconds": round(perf_counter() - start, 6),
+        "counters": capture.metrics.snapshot()["counters"],
+    }
     words = [result.detection_word[f] for f in chunk]
     firsts = [result.first_detect[f] for f in chunk]
     if action == "corrupt":
         # A torn payload: one fault's result silently missing.  The
         # parent's shape validation must reject this and retry.
         words = words[:-1]
-    return ("ok", words, firsts, sim.gate_evals - evals_before)
+    return ("ok", words, firsts, sim.gate_evals - evals_before, telem)
 
 
 # ---------------------------------------------------------------------------
@@ -414,13 +445,83 @@ def _valid_payload(payload, chunk: Sequence[Fault]) -> bool:
         return len(payload) == 5
     if payload[0] == "ok":
         return (
-            len(payload) == 4
+            len(payload) == 5
             and isinstance(payload[1], list)
             and isinstance(payload[2], list)
             and len(payload[1]) == len(chunk)
             and len(payload[2]) == len(chunk)
+            and (payload[4] is None or isinstance(payload[4], dict))
         )
     return False
+
+
+def _merge_telemetry(
+    telemetries: Sequence[Tuple[int, Dict[str, object]]],
+    run_id: Optional[str],
+) -> None:
+    """Fold accepted chunks' telemetry into the parent registry + trace.
+
+    Exactly-once by construction: the fan-out resolves one payload per
+    chunk (retried attempts' payloads are discarded before this point),
+    and every worker-side counter is namespaced under ``worker.`` so the
+    merge can never collide with the parent's own counts of the same
+    events.  Each chunk also leaves a ``parallel.chunk_telemetry`` trace
+    event attributing the work to the process that did it, and each
+    reporting process a ``parallel.worker_summary`` rollup.
+    """
+    if not telemetries or not obs.enabled():
+        return
+    totals: Dict[str, float] = {}
+    by_pid: Dict[int, Dict[str, object]] = {}
+    for idx, telem in telemetries:
+        counters = telem.get("counters") or {}
+        obs.event(
+            "parallel.chunk_telemetry",
+            chunk=idx,
+            pid=telem.get("pid"),
+            run_id=telem.get("run_id") or run_id,
+            attempt=telem.get("attempt"),
+            in_parent=bool(telem.get("in_parent")),
+            seconds=telem.get("seconds"),
+            counters=counters,
+        )
+        pid = telem.get("pid")
+        if isinstance(pid, int):
+            summary = by_pid.setdefault(
+                pid,
+                {
+                    "chunks": 0,
+                    "seconds": 0.0,
+                    "in_parent": bool(telem.get("in_parent")),
+                    "counters": {},
+                },
+            )
+            summary["chunks"] += 1  # type: ignore[operator]
+            summary["seconds"] += float(telem.get("seconds") or 0.0)  # type: ignore[operator]
+            per_pid: Dict[str, float] = summary["counters"]  # type: ignore[assignment]
+            for name, value in counters.items():
+                if isinstance(value, (int, float)):
+                    per_pid[name] = per_pid.get(name, 0.0) + value
+        for name, value in counters.items():
+            if isinstance(value, (int, float)):
+                totals[name] = totals.get(name, 0.0) + value
+    for name, value in sorted(totals.items()):
+        obs.count(f"worker.{name}", value)
+    for pid, summary in sorted(by_pid.items()):
+        obs.event(
+            "parallel.worker_summary",
+            pid=pid,
+            run_id=run_id,
+            chunks=summary["chunks"],
+            seconds=round(float(summary["seconds"]), 6),  # type: ignore[arg-type]
+            in_parent=summary["in_parent"],
+            counters=summary["counters"],
+        )
+    obs.count("parallel.chunks_merged", len(telemetries))
+    obs.gauge(
+        "parallel.workers_reporting",
+        sum(1 for s in by_pid.values() if not s["in_parent"]),
+    )
 
 
 def run_parallel(
@@ -517,6 +618,8 @@ def run_parallel(
         entry = get_compiled(circuit)
         kernel_sources = dict(entry.sources)
         kernel_cone_meta = dict(entry.cone_meta)
+    parent_recorder = obs.get_recorder()
+    run_id = parent_recorder.run_id if parent_recorder is not None else None
     with obs.span(
         "fault_sim.parallel",
         circuit=circuit.name,
@@ -528,7 +631,15 @@ def run_parallel(
         start = perf_counter()
 
         def serial_chunk(idx: int):
-            """Compute one chunk in the parent (last-resort degradation)."""
+            """Compute one chunk in the parent (last-resort degradation).
+
+            Counter deltas are captured through a chunk-local recorder —
+            exactly as a worker would — so a degraded chunk's telemetry
+            is merged once, through the same path, instead of leaking
+            unattributed into the parent registry.  Spans the simulators
+            open during this window go to the capture recorder (and are
+            dropped); the chunk's telemetry event is the record of it.
+            """
             spec = specs[idx]
             chunk_budget = None
             if spec is not None:
@@ -537,31 +648,48 @@ def run_parallel(
                     max_patterns=spec.get("max_patterns"),
                 )
             evals_before = sim.gate_evals
+            capture = obs.RunRecorder(None)
+            previous = obs.set_recorder(capture)
+            chunk_start = perf_counter()
             try:
-                if mode == "coverage":
-                    res = sim.run_coverage(
-                        stimulus,
-                        n_patterns,
-                        faults=chunks[idx],
-                        budget=chunk_budget,
-                        block=block,
-                        good_blocks=good_blocks,
+                try:
+                    if mode == "coverage":
+                        res = sim.run_coverage(
+                            stimulus,
+                            n_patterns,
+                            faults=chunks[idx],
+                            budget=chunk_budget,
+                            block=block,
+                            good_blocks=good_blocks,
+                        )
+                    else:
+                        res = sim.run(
+                            stimulus,
+                            n_patterns,
+                            faults=chunks[idx],
+                            budget=chunk_budget,
+                            good_values=good_values,
+                        )
+                except BudgetExceededError as exc:
+                    return (
+                        "budget", exc.resource, exc.limit, exc.spent, exc.where
                     )
-                else:
-                    res = sim.run(
-                        stimulus,
-                        n_patterns,
-                        faults=chunks[idx],
-                        budget=chunk_budget,
-                        good_values=good_values,
-                    )
-            except BudgetExceededError as exc:
-                return ("budget", exc.resource, exc.limit, exc.spent, exc.where)
+            finally:
+                obs.set_recorder(previous)
+            telem = {
+                "pid": os.getpid(),
+                "run_id": run_id,
+                "attempt": None,
+                "in_parent": True,
+                "seconds": round(perf_counter() - chunk_start, 6),
+                "counters": capture.metrics.snapshot()["counters"],
+            }
             return (
                 "ok",
                 [res.detection_word[f] for f in chunks[idx]],
                 [res.first_detect[f] for f in chunks[idx]],
                 sim.gate_evals - evals_before,
+                telem,
             )
 
         try:
@@ -589,6 +717,7 @@ def run_parallel(
                     kernel_sources,
                     kernel_cone_meta,
                     chaos,
+                    run_id,
                 ),
                 chunk_timeout=chunk_timeout,
                 max_attempts=max_attempts,
@@ -609,20 +738,24 @@ def run_parallel(
         )
         detected = 0
         worker_evals = 0
-        for chunk, payload in zip(chunks, payloads):
+        telemetries: List[Tuple[int, Dict[str, object]]] = []
+        for idx, (chunk, payload) in enumerate(zip(chunks, payloads)):
             if payload[0] == "budget":
                 _tag, resource, limit, spent, where = payload
                 raise BudgetExceededError(
                     resource, limit, spent, where=where or "fault_sim.parallel"
                 )
-            _tag, words, firsts, evals = payload
+            _tag, words, firsts, evals, telem = payload
             worker_evals += evals
+            if telem:
+                telemetries.append((idx, telem))
             for fault, word, first in zip(chunk, words, firsts):
                 result.detection_word[fault] = word
                 result.first_detect[fault] = first
                 if word:
                     detected += 1
         result._n_detected = detected
+        _merge_telemetry(telemetries, run_id)
         seconds = perf_counter() - start
         sp.set(detected=detected, gate_evals=worker_evals, seconds=seconds)
     obs.count("fault_sim.runs")

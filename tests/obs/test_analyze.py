@@ -1,0 +1,152 @@
+"""Trace analytics: self-time, critical path, phase attribution.
+
+The acceptance fixture is a hand-built span tree with known durations,
+so every aggregate is checked against numbers computed by hand.
+"""
+
+import pytest
+
+from repro.obs.analyze import (
+    aggregate_spans,
+    critical_path,
+    phase_table,
+    render_critical_path,
+    render_phases,
+    render_self_time,
+)
+
+
+def _span(name, id, dur, parent=None, start=0, **attrs):
+    record = {
+        "event": "span",
+        "name": name,
+        "id": id,
+        "start_ns": start,
+        "dur_ns": dur,
+        "tid": 0,
+    }
+    if parent is not None:
+        record["parent"] = parent
+    if attrs:
+        record["attrs"] = attrs
+    return record
+
+
+@pytest.fixture()
+def tree():
+    """solve(100) -> dp(60) -> dp.table(40), solve -> sim(30); prepare(20).
+
+    Hand-computed self times: solve 10, dp 20, dp.table 40, sim 30,
+    prepare 20.
+    """
+    return [
+        _span("solve", 1, 100, start=20, solver="dp"),
+        _span("dp", 2, 60, parent=1, start=25),
+        _span("dp.table", 3, 40, parent=2, start=30),
+        _span("sim", 4, 30, parent=1, start=88),
+        _span("prepare", 5, 20, start=0),
+    ]
+
+
+class TestAggregateSpans:
+    def test_self_time_is_duration_minus_direct_children(self, tree):
+        stats = aggregate_spans(tree)
+        assert stats["solve"].self_ns == 100 - (60 + 30)
+        assert stats["dp"].self_ns == 60 - 40
+        assert stats["dp.table"].self_ns == 40  # leaf: self == total
+        assert stats["sim"].self_ns == 30
+        assert stats["prepare"].self_ns == 20
+
+    def test_totals_and_counts(self, tree):
+        # Two same-named spans aggregate into one row.
+        tree.append(_span("sim", 6, 10, parent=1, start=50))
+        stats = aggregate_spans(tree)
+        assert stats["sim"].count == 2
+        assert stats["sim"].total_ns == 40
+        assert stats["sim"].min_ns == 10
+        assert stats["sim"].max_ns == 30
+        # The extra child reduces the parent's self time.
+        assert stats["solve"].self_ns == 100 - (60 + 30 + 10)
+
+    def test_self_time_clamped_when_children_overlap(self):
+        # Parallel children can sum past the parent (other threads).
+        spans = [
+            _span("parent", 1, 100),
+            _span("w0", 2, 80, parent=1),
+            _span("w1", 3, 80, parent=1),
+        ]
+        assert aggregate_spans(spans)["parent"].self_ns == 0
+
+    def test_torn_records_skipped(self, tree):
+        tree.append({"event": "span", "name": "torn"})  # no dur_ns
+        tree.append({"event": "span", "dur_ns": 5})  # no name
+        stats = aggregate_spans(tree)
+        assert "torn" not in stats
+        assert len(stats) == 5
+
+
+class TestCriticalPath:
+    def test_descends_longest_child(self, tree):
+        path = critical_path(tree)
+        assert [step.name for step in path] == ["solve", "dp", "dp.table"]
+        assert [step.dur_ns for step in path] == [100, 60, 40]
+        assert [step.self_ns for step in path] == [10, 20, 40]
+
+    def test_starts_at_longest_root(self, tree):
+        assert critical_path(tree)[0].name == "solve"
+        assert critical_path(tree)[0].attrs == {"solver": "dp"}
+
+    def test_orphaned_child_treated_as_root(self):
+        # Parent id 99 never completed (run died): child becomes a root.
+        spans = [_span("orphan", 1, 50, parent=99), _span("other", 2, 10)]
+        assert critical_path(spans)[0].name == "orphan"
+
+    def test_empty(self):
+        assert critical_path([]) == []
+        assert "no spans" in render_critical_path([])
+
+    def test_deterministic_under_reordering(self, tree):
+        assert [s.span_id for s in critical_path(tree)] == [
+            s.span_id for s in critical_path(list(reversed(tree)))
+        ]
+
+
+class TestPhaseTable:
+    def test_shares_over_run_duration(self, tree):
+        rows = phase_table(tree, run_dur_ns=200)
+        by_name = {r.name: r for r in rows}
+        assert set(by_name) == {"solve", "prepare"}  # roots only
+        assert by_name["solve"].share == pytest.approx(0.5)
+        assert by_name["prepare"].share == pytest.approx(0.1)
+
+    def test_shares_over_root_sum_without_run_duration(self, tree):
+        rows = phase_table(tree, run_dur_ns=None)
+        by_name = {r.name: r for r in rows}
+        assert by_name["solve"].share == pytest.approx(100 / 120)
+
+    def test_sorted_by_total_descending(self, tree):
+        rows = phase_table(tree, run_dur_ns=200)
+        assert [r.name for r in rows] == ["solve", "prepare"]
+
+
+class TestRendering:
+    def test_self_time_table(self, tree):
+        text = render_self_time(tree)
+        lines = text.splitlines()
+        # Sorted by self time: dp.table (40) first.
+        assert lines[2].split()[0] == "dp.table"
+        assert "solve" in text and "self %" in text
+
+    def test_self_time_limit(self, tree):
+        text = render_self_time(tree, limit=2)
+        assert "3 more span names" in text
+
+    def test_critical_path_render(self, tree):
+        text = render_critical_path(tree)
+        assert "solve" in text and "dp.table" in text
+        assert "solver=dp" in text
+
+    def test_phase_render(self, tree):
+        text = render_phases(tree, 200)
+        assert "phase attribution" in text
+        assert "50.0%" in text

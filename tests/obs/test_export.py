@@ -1,0 +1,135 @@
+"""Chrome trace-event export: conversion + schema round-trip."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import chrome_trace, validate_chrome_trace, write_chrome_trace
+from repro.obs.recorder import RunRecorder
+from repro.obs.trace_report import load_trace
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with obs.recording(RunRecorder(path, metadata={"circuit": "c17"})):
+        with obs.span("solve", solver="dp"):
+            with obs.span("dp.solve"):
+                obs.count("dp.table_cells", 64)
+        obs.event("note", detail="hello")
+        obs.event(
+            "parallel.chunk_telemetry", chunk=0, pid=4242, seconds=0.01
+        )
+        obs.event(
+            "parallel.chunk_telemetry", chunk=1, pid=4243, seconds=0.02
+        )
+    return path
+
+
+class TestChromeTrace:
+    def test_round_trips_schema_check(self, trace_path):
+        payload = chrome_trace(trace_path)
+        assert validate_chrome_trace(payload) == []
+        # And survives an actual JSON round trip.
+        assert validate_chrome_trace(json.loads(json.dumps(payload))) == []
+
+    def test_spans_become_complete_events(self, trace_path):
+        events = chrome_trace(trace_path)["traceEvents"]
+        xs = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert set(xs) == {"solve", "dp.solve"}
+        assert xs["solve"]["args"] == {"solver": "dp"}
+        assert xs["solve"]["dur"] >= xs["dp.solve"]["dur"]
+
+    def test_events_become_instants(self, trace_path):
+        events = chrome_trace(trace_path)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == {
+            "note",
+            "parallel.chunk_telemetry",
+        }
+
+    def test_worker_pids_get_own_tracks(self, trace_path):
+        events = chrome_trace(trace_path)["traceEvents"]
+        chunk_pids = {
+            e["pid"]
+            for e in events
+            if e["name"] == "parallel.chunk_telemetry"
+        }
+        assert chunk_pids == {1, 2}  # synthetic per-worker tracks, not 0
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert "worker pid 4242" in names
+        assert "worker pid 4243" in names
+
+    def test_counters_emitted(self, trace_path):
+        events = chrome_trace(trace_path)["traceEvents"]
+        (counter,) = [e for e in events if e["ph"] == "C"]
+        assert counter["args"]["dp.table_cells"] == 64
+
+    def test_metadata_carried(self, trace_path):
+        payload = chrome_trace(trace_path)
+        assert payload["otherData"]["circuit"] == "c17"
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_torn_records_skipped(self, trace_path, tmp_path):
+        mangled = tmp_path / "mangled.jsonl"
+        mangled.write_text(
+            trace_path.read_text() + '{"event": "span", "name": 3}\n'
+        )
+        payload = chrome_trace(mangled)
+        assert validate_chrome_trace(payload) == []
+        assert len([e for e in payload["traceEvents"] if e["ph"] == "X"]) == 2
+
+    def test_accepts_loaded_trace(self, trace_path):
+        assert validate_chrome_trace(chrome_trace(load_trace(trace_path))) == []
+
+
+class TestWriteChromeTrace:
+    def test_written_file_is_valid_json(self, trace_path, tmp_path):
+        out = tmp_path / "out.trace.json"
+        assert write_chrome_trace(trace_path, out) == out
+        obj = json.loads(out.read_text())
+        assert validate_chrome_trace(obj) == []
+
+
+class TestValidate:
+    def test_rejects_non_dict(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"foo": 1}) != []
+
+    def test_reports_event_problems(self):
+        bad = {
+            "traceEvents": [
+                {"name": 7, "ph": "X", "ts": 0, "pid": 0, "tid": 0, "dur": 1},
+                {"name": "ok", "ph": "Z", "ts": 0, "pid": 0, "tid": 0},
+                {"name": "ok", "ph": "X", "ts": -5, "pid": 0, "tid": 0, "dur": 1},
+                {"name": "ok", "ph": "X", "ts": 0, "pid": 0, "tid": 0},
+            ]
+        }
+        errors = validate_chrome_trace(bad)
+        assert len(errors) == 4
+        assert any("name" in e for e in errors)
+        assert any("phase" in e for e in errors)
+        assert any("ts" in e for e in errors)
+        assert any("dur" in e for e in errors)
+
+    def test_accepts_minimal_valid(self):
+        ok = {
+            "traceEvents": [
+                {"name": "a", "ph": "i", "ts": 0, "pid": 0, "tid": 0}
+            ]
+        }
+        assert validate_chrome_trace(ok) == []

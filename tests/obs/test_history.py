@@ -1,0 +1,212 @@
+"""Benchmark history: rolling baselines + noise-aware regression gates."""
+
+import json
+
+import pytest
+
+from repro.obs import history as hist
+
+
+def _payload(speedup=3.0, seconds=1.0, bench="kernel_logic_sim", **extra):
+    metrics = {
+        "workload": "fake",
+        "speedup": speedup,
+        "seconds_compiled": seconds,
+        "bit_identical": True,  # bool: never gated
+        "coverage": 0.99,  # directionless: never gated
+    }
+    metrics.update(extra)
+    return {
+        "schema": 1,
+        "mode": "quick",
+        "kernel": "compiled",
+        "benchmarks": {bench: metrics},
+    }
+
+
+def _seed_history(path, n=5, speedup=3.0, seconds=1.0):
+    for i in range(n):
+        hist.append_history(
+            path, hist.entries_from_bench_perf(_payload(speedup, seconds), ts=float(i))
+        )
+
+
+class TestEntries:
+    def test_one_entry_per_benchmark_with_gated_metrics_only(self):
+        (entry,) = hist.entries_from_bench_perf(_payload(), ts=7.0)
+        assert entry["schema"] == hist.HISTORY_SCHEMA
+        assert entry["bench"] == "kernel_logic_sim"
+        assert entry["mode"] == "quick"
+        assert entry["kernel"] == "compiled"
+        assert entry["ts"] == 7.0
+        # Only direction-ful numerics survive: no workload/bools/coverage.
+        assert set(entry["metrics"]) == {"speedup", "seconds_compiled"}
+
+    def test_benchmark_without_gated_metrics_dropped(self):
+        payload = {"benchmarks": {"odd": {"workload": "x", "count": 3}}}
+        assert hist.entries_from_bench_perf(payload) == []
+
+
+class TestHistoryIO:
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "hist" / "history.jsonl"
+        _seed_history(path, n=3)
+        records = hist.load_history(path)
+        assert len(records) == 3
+        assert [r["ts"] for r in records] == [0.0, 1.0, 2.0]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert hist.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=2)
+        with path.open("a") as sink:
+            sink.write('{"schema": 999, "bench": "future"}\n')
+            sink.write("not json at all\n")
+            sink.write('{"schema": 1, "bench": "x"}\n')  # no metrics
+            sink.write('{"truncated": ')  # torn final line
+        assert len(hist.load_history(path)) == 2
+
+
+class TestRollingBaseline:
+    def test_median_of_trailing_window(self):
+        stats = hist.rolling_baseline([10, 10, 1, 2, 3], window=3)
+        assert stats["baseline"] == 2
+        assert stats["n"] == 3
+
+    def test_rel_mad(self):
+        stats = hist.rolling_baseline([90, 100, 110], window=5)
+        assert stats["baseline"] == 100
+        assert stats["rel_mad"] == pytest.approx(0.1)
+
+    def test_empty(self):
+        assert hist.rolling_baseline([])["n"] == 0
+
+
+class TestCompare:
+    def test_planted_20pct_slowdown_fails_clean_rerun_passes(self, tmp_path):
+        # The acceptance scenario, end to end through the file formats.
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=5, speedup=3.0, seconds=1.0)
+        history = hist.load_history(path)
+
+        clean = hist.entries_from_bench_perf(_payload(3.0, 1.0))
+        assert hist.compare_to_history(history, clean).ok
+
+        # >=20% regression on both directions: slower seconds, lower speedup.
+        slow = hist.entries_from_bench_perf(_payload(3.0 / 1.25, 1.25))
+        report = hist.compare_to_history(history, slow)
+        assert not report.ok
+        assert {c.metric for c in report.regressions} == {
+            "speedup",
+            "seconds_compiled",
+        }
+        for comparison in report.regressions:
+            assert comparison.ratio == pytest.approx(1.25, rel=1e-6)
+
+    def test_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=5)
+        history = hist.load_history(path)
+        wobble = hist.entries_from_bench_perf(_payload(2.9, 1.05))
+        assert hist.compare_to_history(history, wobble).ok
+
+    def test_noisy_baseline_widens_gate(self):
+        # rel_mad 0.1 -> margin max(0.15, 4*0.1) = 0.4: a 30% slowdown
+        # that would fail a quiet baseline passes a noisy one.
+        def entry(ts, seconds):
+            return hist.entries_from_bench_perf(
+                _payload(seconds=seconds), ts=ts
+            )[0]
+
+        noisy = [entry(float(i), s) for i, s in enumerate([0.9, 1.0, 1.1])]
+        current = hist.entries_from_bench_perf(_payload(seconds=1.3))
+        report = hist.compare_to_history(noisy, current)
+        seconds = [c for c in report.checked if c.metric == "seconds_compiled"]
+        assert seconds[0].margin == pytest.approx(0.4)
+        assert not seconds[0].regressed
+
+    def test_new_benchmark_skipped_not_failed(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=3)
+        history = hist.load_history(path)
+        fresh = hist.entries_from_bench_perf(_payload(bench="brand_new"))
+        report = hist.compare_to_history(history, fresh)
+        assert report.ok
+        assert report.skipped
+
+    def test_mode_kernel_mismatch_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=3)
+        history = hist.load_history(path)
+        full = _payload()
+        full["mode"] = "full"
+        report = hist.compare_to_history(
+            history, hist.entries_from_bench_perf(full)
+        )
+        assert report.ok and report.skipped and not report.checked
+
+    def test_relative_only_ignores_absolute_seconds(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=5)
+        history = hist.load_history(path)
+        # Seconds doubled (another machine) but speedup held: CI mode passes.
+        other_host = hist.entries_from_bench_perf(_payload(3.0, 2.0))
+        report = hist.compare_to_history(history, other_host, relative_only=True)
+        assert report.ok
+        assert {c.metric for c in report.checked} == {"speedup"}
+
+    def test_same_host_only_filters_foreign_history(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=3)
+        foreign = hist.load_history(path)
+        for record in foreign:
+            record["host"] = {"python": "0.0", "platform": "plan9",
+                              "machine": "pdp11", "cpus": 1}
+        report = hist.compare_to_history(
+            foreign,
+            hist.entries_from_bench_perf(_payload()),
+            same_host_only=True,
+        )
+        assert not report.checked and report.skipped
+
+    def test_improvement_never_regresses(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=5)
+        history = hist.load_history(path)
+        faster = hist.entries_from_bench_perf(_payload(9.0, 0.1))
+        assert hist.compare_to_history(history, faster).ok
+
+
+class TestRender:
+    def test_mentions_counts_and_regressions(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=5)
+        history = hist.load_history(path)
+        slow = hist.entries_from_bench_perf(_payload(1.0, 2.0))
+        report = hist.compare_to_history(history, slow)
+        text = hist.render_comparison(report)
+        assert "regression" in text
+        assert "kernel_logic_sim.speedup" in text
+
+    def test_verbose_includes_passing(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        _seed_history(path, n=5)
+        history = hist.load_history(path)
+        clean = hist.entries_from_bench_perf(_payload())
+        text = hist.render_comparison(
+            hist.compare_to_history(history, clean), verbose=True
+        )
+        assert "ok" in text
+
+
+class TestHostFingerprint:
+    def test_round_trips_through_json(self):
+        fp = hist.host_fingerprint()
+        assert hist.fingerprint_key(json.loads(json.dumps(fp))) == (
+            hist.fingerprint_key(fp)
+        )
+
+    def test_key_is_stable_and_none_safe(self):
+        assert hist.fingerprint_key(None) == hist.fingerprint_key({})

@@ -1,0 +1,168 @@
+"""Profiling hooks: sampling profiler + span-scoped cProfile."""
+
+import threading
+from time import perf_counter
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import SamplingProfiler, SpanScopedProfile, fold_frame
+from repro.obs.recorder import RunRecorder
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+def _spin(seconds):
+    """Burn CPU under a recognizable frame name."""
+    deadline = perf_counter() + seconds
+    total = 0
+    while perf_counter() < deadline:
+        total += sum(range(100))
+    return total
+
+
+class TestFoldFrame:
+    def test_folds_caller_to_callee(self):
+        import sys
+
+        def inner():
+            return fold_frame(sys._getframe())
+
+        def outer():
+            return inner()
+
+        folded = outer()
+        parts = folded.split(";")
+        # Leaf last, caller order preserved.
+        assert parts[-1] == "test_profile.inner"
+        assert parts[-2] == "test_profile.outer"
+
+
+class TestSamplingProfiler:
+    def test_samples_the_workload(self):
+        with SamplingProfiler(interval_s=0.001) as prof:
+            _spin(0.15)
+        assert prof.samples > 10
+        folded = prof.folded()
+        assert sum(folded.values()) == prof.samples
+        assert any("test_profile._spin" in stack for stack in folded)
+
+    def test_folded_lines_and_file(self, tmp_path):
+        prof = SamplingProfiler(interval_s=0.001)
+        prof.start()
+        _spin(0.1)
+        prof.stop()
+        out = tmp_path / "run.folded"
+        prof.write_folded(out)
+        lines = out.read_text().splitlines()
+        assert lines == prof.folded_lines()
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack and int(count) > 0
+
+    def test_samples_only_target_thread(self):
+        # Profiler started on the main thread must not sample a worker.
+        seen_worker = threading.Event()
+
+        def worker():
+            _spin(0.05)
+            seen_worker.set()
+
+        t = threading.Thread(target=worker)
+        with SamplingProfiler(interval_s=0.001) as prof:
+            t.start()
+            t.join()
+        assert seen_worker.is_set()
+        assert all("worker" not in stack for stack in prof.folded())
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval_s=0)
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(interval_s=0.01).start()
+        try:
+            with pytest.raises(RuntimeError):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_idempotent(self):
+        prof = SamplingProfiler(interval_s=0.01).start()
+        prof.stop()
+        prof.stop()
+        assert prof.elapsed_s > 0
+
+
+def _in_span_work():
+    return _spin(0.02)
+
+
+def _outside_span_work():
+    return _spin(0.02)
+
+
+def _profiled_functions(profile):
+    try:
+        stats = profile.stats()
+    except TypeError:  # pstats refuses a profile with no data collected
+        return set()
+    return {func for _file, _line, func in stats.stats}
+
+
+class TestSpanScopedProfile:
+    def test_whole_extent_without_span_name(self):
+        with SpanScopedProfile() as profile:
+            _in_span_work()
+        assert "_in_span_work" in _profiled_functions(profile)
+
+    def test_scoped_to_named_span(self):
+        with obs.recording(RunRecorder(None)):
+            with SpanScopedProfile(span_name="solve") as profile:
+                _outside_span_work()
+                with obs.span("solve"):
+                    _in_span_work()
+                _outside_span_work()
+        funcs = _profiled_functions(profile)
+        assert "_in_span_work" in funcs
+        assert "_outside_span_work" not in funcs
+
+    def test_nested_same_named_spans_stay_enabled(self):
+        with obs.recording(RunRecorder(None)):
+            with SpanScopedProfile(span_name="solve") as profile:
+                with obs.span("solve"):
+                    with obs.span("solve"):
+                        pass
+                    _in_span_work()  # outer still open: still profiling
+        assert "_in_span_work" in _profiled_functions(profile)
+
+    def test_other_span_names_ignored(self):
+        with obs.recording(RunRecorder(None)):
+            with SpanScopedProfile(span_name="solve") as profile:
+                with obs.span("fault_sim.run"):
+                    _in_span_work()
+        assert "_in_span_work" not in _profiled_functions(profile)
+
+    def test_hooks_removed_on_exit(self):
+        from repro.obs import spans as spans_mod
+
+        before = len(spans_mod._hooks)
+        with obs.recording(RunRecorder(None)):
+            with SpanScopedProfile(span_name="solve"):
+                assert len(spans_mod._hooks) == before + 1
+        assert len(spans_mod._hooks) == before
+
+    def test_write_stats(self, tmp_path):
+        import pstats
+
+        with SpanScopedProfile() as profile:
+            _in_span_work()
+        out = tmp_path / "prof.pstats"
+        profile.write_stats(out)
+        loaded = pstats.Stats(str(out))
+        assert any(func == "_in_span_work" for _f, _l, func in loaded.stats)

@@ -1,0 +1,190 @@
+"""Worker telemetry: per-chunk counters merged exactly once into the parent.
+
+The contract under test: every chunk of a parallel fault-sim run ships
+back a telemetry record (pid, parent run id, attempt, counter deltas),
+the parent merges exactly one record per chunk — across retries, pool
+respawns, and in-parent degradation — under the ``worker.`` namespace,
+and none of it ever changes the simulation results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.circuit import generators
+from repro.obs.recorder import RunRecorder
+from repro.resilience import ChaosSpec
+from repro.sim import FaultSimulator, UniformRandomSource, run_parallel
+from repro.sim.parallel import MIN_FAULTS_PER_JOB
+
+JOBS = 4
+
+
+def _workload(seed=0, n_gates=40, n_patterns=128):
+    circuit = generators.random_dag(5, n_gates, seed=seed)
+    stimulus = UniformRandomSource(seed=seed).generate(
+        circuit.inputs, n_patterns
+    )
+    return circuit, stimulus, n_patterns
+
+
+def _traced_run(tmp_path, jobs=JOBS, **kwargs):
+    """run_parallel under a file recorder; returns (result, trace bits)."""
+    circuit, stimulus, n_patterns = _workload()
+    path = tmp_path / "run.jsonl"
+    recorder = RunRecorder(path)
+    previous = obs.set_recorder(recorder)
+    try:
+        result = run_parallel(
+            circuit, stimulus, n_patterns, jobs=jobs, **kwargs
+        )
+    finally:
+        obs.set_recorder(previous)
+        recorder.close()
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    counters = next(
+        r for r in records if r.get("event") == "metrics"
+    )["metrics"]["counters"]
+    events = [r for r in records if r.get("event") == "event"]
+    return result, counters, events, recorder.run_id
+
+
+def _serial_reference(**kwargs):
+    circuit, stimulus, n_patterns = _workload()
+    return FaultSimulator(circuit).run(stimulus, n_patterns, **kwargs)
+
+
+def _chunk_events(events):
+    return [e for e in events if e["name"] == "parallel.chunk_telemetry"]
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_recorder():
+    previous = obs.set_recorder(None)
+    yield
+    obs.set_recorder(previous)
+
+
+@pytest.fixture(scope="module")
+def n_faults():
+    circuit, _stim, _n = _workload()
+    faults = FaultSimulator(circuit)._resolve_faults(None, True)
+    assert len(faults) >= MIN_FAULTS_PER_JOB * JOBS, (
+        "workload too small to actually fan out"
+    )
+    return len(faults)
+
+
+class TestCleanRun:
+    def test_one_telemetry_event_per_chunk_with_attribution(self, tmp_path):
+        _result, counters, events, run_id = _traced_run(tmp_path)
+        chunk_events = _chunk_events(events)
+        assert sorted(e["chunk"] for e in chunk_events) == list(range(JOBS))
+        for e in chunk_events:
+            assert e["run_id"] == run_id
+            assert isinstance(e["pid"], int) and e["pid"] != os.getpid()
+            assert e["in_parent"] is False
+            assert e["attempt"] == 0
+            assert e["seconds"] >= 0
+            assert e["counters"]["fault_sim.runs"] == 1.0
+        assert counters["parallel.chunks_merged"] == JOBS
+
+    def test_counters_merged_exactly_once(self, tmp_path, n_faults):
+        _result, counters, _events, _rid = _traced_run(tmp_path)
+        # Every fault simulated once across all workers: the namespaced
+        # totals reconstruct the whole run, no double counting.
+        assert counters["worker.fault_sim.faults"] == n_faults
+        assert counters["worker.fault_sim.runs"] == JOBS
+        # Worker-side gate-eval counts agree with the payload-side tally
+        # the parent recorded independently.
+        assert counters["worker.fault_sim.gate_evals"] == (
+            counters["fault_sim.gate_evals"]
+        )
+        # Namespacing keeps parent-level counts at run granularity.
+        assert counters["fault_sim.runs"] == 1.0
+        assert counters["fault_sim.faults"] == n_faults
+
+    def test_worker_summaries_roll_up_chunks(self, tmp_path):
+        _result, _counters, events, run_id = _traced_run(tmp_path)
+        summaries = [
+            e for e in events if e["name"] == "parallel.worker_summary"
+        ]
+        assert summaries, "no per-worker rollups emitted"
+        assert sum(s["chunks"] for s in summaries) == JOBS
+        for s in summaries:
+            assert s["run_id"] == run_id
+            assert s["counters"]["fault_sim.runs"] == s["chunks"]
+
+    def test_results_bit_identical_to_serial(self, tmp_path):
+        result, _c, _e, _r = _traced_run(tmp_path)
+        serial = _serial_reference()
+        assert result.detection_word == serial.detection_word
+        assert result.first_detect == serial.first_detect
+
+    def test_coverage_mode_also_reports(self, tmp_path):
+        _result, counters, events, _rid = _traced_run(
+            tmp_path, mode="coverage"
+        )
+        assert len(_chunk_events(events)) == JOBS
+        assert counters["parallel.chunks_merged"] == JOBS
+
+
+class TestChaosPaths:
+    def test_crash_retry_merges_once(self, tmp_path, n_faults):
+        chaos = ChaosSpec(seed=0, forced=((0, "crash"),))
+        result, counters, events, _rid = _traced_run(tmp_path, chaos=chaos)
+        assert counters["parallel.retries"] >= 1
+        chunk_events = _chunk_events(events)
+        assert sorted(e["chunk"] for e in chunk_events) == list(range(JOBS))
+        (chunk0,) = [e for e in chunk_events if e["chunk"] == 0]
+        assert chunk0["attempt"] == 1  # the retry's telemetry, once
+        assert counters["worker.fault_sim.faults"] == n_faults
+        serial = _serial_reference()
+        assert result.detection_word == serial.detection_word
+        assert result.first_detect == serial.first_detect
+
+    def test_corrupt_payload_telemetry_discarded_with_it(
+        self, tmp_path, n_faults
+    ):
+        # The corrupt attempt built a telemetry record too — rejecting
+        # the payload must reject the telemetry, or faults double-count.
+        chaos = ChaosSpec(seed=0, forced=((1, "corrupt"),))
+        _result, counters, events, _rid = _traced_run(tmp_path, chaos=chaos)
+        assert counters["parallel.retries"] >= 1
+        assert len(_chunk_events(events)) == JOBS
+        assert counters["worker.fault_sim.faults"] == n_faults
+        assert counters["parallel.chunks_merged"] == JOBS
+
+    def test_degraded_chunk_reports_in_parent(self, tmp_path, n_faults):
+        # max_attempts=1: the crashed chunk goes straight to the parent.
+        chaos = ChaosSpec(seed=0, forced=((2, "crash"),))
+        result, counters, events, run_id = _traced_run(
+            tmp_path, chaos=chaos, max_attempts=1
+        )
+        # The crash kills the shared pool, so sibling chunks in flight may
+        # degrade with it — at least the crashed chunk always does.
+        assert counters["parallel.degraded"] >= 1.0
+        (chunk2,) = [e for e in _chunk_events(events) if e["chunk"] == 2]
+        assert chunk2["in_parent"] is True
+        assert chunk2["pid"] == os.getpid()
+        assert chunk2["run_id"] == run_id
+        # The degraded chunk's counters flow through the same merge:
+        # totals still cover every fault exactly once.
+        assert counters["worker.fault_sim.faults"] == n_faults
+        assert counters["parallel.chunks_merged"] == JOBS
+        serial = _serial_reference()
+        assert result.detection_word == serial.detection_word
+        assert result.first_detect == serial.first_detect
+
+
+class TestDisabledObservability:
+    def test_runs_without_recorder(self):
+        circuit, stimulus, n_patterns = _workload()
+        assert obs.get_recorder() is None
+        result = run_parallel(circuit, stimulus, n_patterns, jobs=JOBS)
+        serial = _serial_reference()
+        assert result.detection_word == serial.detection_word

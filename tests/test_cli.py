@@ -168,3 +168,165 @@ class TestModuleEntryPoint:
         )
         assert proc.returncode == 0, proc.stderr
         assert "c17" in proc.stdout
+
+
+class TestTraceAnalyticsFlags:
+    @pytest.fixture()
+    def trace(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(
+            ["coverage", "wand16", "--patterns", "256",
+             "--trace-out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_self_time(self, trace, capsys):
+        assert main(["report", str(trace), "--self-time"]) == 0
+        out = capsys.readouterr().out
+        assert "self-time by span name" in out
+        assert "dp.solve" in out
+        assert "Trace summary" not in out  # analytics replace the summary
+
+    def test_critical_path(self, trace, capsys):
+        assert main(["report", str(trace), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "solve" in out
+
+    def test_chrome_export(self, trace, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "run.trace.json"
+        assert main(
+            ["report", str(trace), "--chrome-out", str(out_path)]
+        ) == 0
+        obj = json.loads(out_path.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert "chrome trace written" in capsys.readouterr().err
+
+    def test_default_summary_includes_phases(self, trace, capsys):
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "phase attribution" in out
+
+    def test_flags_rejected_for_circuit_argument(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["report", "wand16", "--self-time"])
+        assert exc.value.code == 2
+
+    def test_tolerates_torn_final_line(self, trace, capsys):
+        with trace.open("a") as sink:
+            sink.write('{"event": "span", "name": "torn')
+        assert main(["report", str(trace), "--self-time"]) == 0
+        assert "dp.solve" in capsys.readouterr().out
+
+
+class TestProfileFlags:
+    def test_sampling_profile_writes_folded(self, tmp_path, capsys):
+        out = tmp_path / "run.folded"
+        assert main(
+            ["coverage", "wand16", "--patterns", "256",
+             "--profile-out", str(out),
+             "--profile-interval-ms", "1"]
+        ) == 0
+        assert "profile:" in capsys.readouterr().err
+        for line in out.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert int(count) > 0
+
+    def test_cprofile_span_scoped(self, tmp_path, capsys):
+        import pstats
+
+        out = tmp_path / "solve.pstats"
+        assert main(
+            ["insert", "wand16", "--patterns", "512",
+             "--profile-out", str(out),
+             "--profile-mode", "cprofile",
+             "--profile-span", "solve"]
+        ) == 0
+        funcs = {
+            func for _f, _l, func in pstats.Stats(str(out)).stats
+        }
+        assert any("solve" in f for f in funcs)
+
+    def test_profile_span_requires_cprofile_mode(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                ["stats", "c17", "--patterns", "64",
+                 "--profile-out", str(tmp_path / "x"),
+                 "--profile-span", "solve"]
+            )
+        assert exc.value.code == 2
+
+
+class TestBenchCompare:
+    def _payload(self, tmp_path, speedup=3.0, seconds=1.0):
+        payload = {
+            "schema": 1,
+            "mode": "quick",
+            "kernel": "compiled",
+            "benchmarks": {
+                "kernel_logic_sim": {
+                    "speedup": speedup,
+                    "seconds_compiled": seconds,
+                }
+            },
+        }
+        path = tmp_path / "BENCH_PERF.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def _seed(self, tmp_path, n=5):
+        from repro.obs import history as hist
+
+        history = tmp_path / "history.jsonl"
+        for i in range(n):
+            payload = json.loads(self._payload(tmp_path).read_text())
+            hist.append_history(
+                history,
+                hist.entries_from_bench_perf(payload, ts=float(i)),
+            )
+        return history
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        history = self._seed(tmp_path)
+        current = self._payload(tmp_path)
+        assert main(
+            ["bench-compare", str(current), "--history", str(history)]
+        ) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_planted_slowdown_exits_nonzero(self, tmp_path, capsys):
+        history = self._seed(tmp_path)
+        current = self._payload(tmp_path, speedup=2.0, seconds=1.5)
+        assert main(
+            ["bench-compare", str(current), "--history", str(history)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_record_appends(self, tmp_path, capsys):
+        from repro.obs import history as hist
+
+        history = self._seed(tmp_path, n=2)
+        current = self._payload(tmp_path)
+        assert main(
+            ["bench-compare", str(current), "--history", str(history),
+             "--record"]
+        ) == 0
+        assert len(hist.load_history(history)) == 3
+
+    def test_empty_history_skips_cleanly(self, tmp_path, capsys):
+        current = self._payload(tmp_path)
+        assert main(
+            ["bench-compare", str(current),
+             "--history", str(tmp_path / "missing.jsonl")]
+        ) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_unreadable_payload_is_usage_error(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        with pytest.raises(SystemExit) as exc:
+            main(["bench-compare", str(bad)])
+        assert exc.value.code == 2
