@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Seeded fabric chaos campaign: injected mayhem, bit-identical results.
+
+Runs the same sweep twice — once serially (ground truth), then
+repeatedly on the fabric under a probabilistic mix of every injected
+fault (worker crashes, stalled heartbeats, corrupt payloads, spurious
+exceptions, ENOSPC on journal appends, duplicate completions) — until a
+wall-clock budget runs out.  After every round it asserts the fabric's
+acceptance bar:
+
+* the outcome list is **bit-identical** to the serial sweep's, and
+* every job is committed **exactly once** across the journal's whole
+  history.
+
+Any violation leaves the journal and quarantine artifacts in
+``--out-dir`` and exits 1.  Rounds are deterministic in ``--seed`` (the
+round index perturbs the chaos seed), so a failing campaign replays
+exactly.
+
+Usage (CI runs this as the chaos-smoke job)::
+
+    python benchmarks/chaos/run_chaos.py --seed 0 --budget-ms 60000 \
+        --out-dir chaos-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.analysis.experiments import run_circuit_sweep
+from repro.circuit import generators, write_bench_file
+from repro.fabric import quarantine_dir_for
+from repro.resilience.chaos import FabricChaosSpec
+
+N_CIRCUITS = 14
+N_PATTERNS = 128
+
+#: The probabilistic fault mix each round rolls per (job, attempt).
+CHAOS_MIX = dict(
+    crash=0.12,
+    stall=0.06,
+    corrupt=0.12,
+    spurious=0.12,
+    enospc=0.12,
+    duplicate=0.12,
+)
+
+
+def _make_circuits(out_dir: Path, seed: int) -> list:
+    d = out_dir / "circuits"
+    d.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for i in range(N_CIRCUITS):
+        circuit = generators.random_dag(5, 22, seed=seed * 1000 + i)
+        p = d / f"chaos{i:02d}.bench"
+        write_bench_file(circuit, p)
+        paths.append(p)
+    return paths
+
+
+def _commit_counts(journal_path: Path) -> dict:
+    counts: dict = {}
+    for line in journal_path.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn line: crash evidence, not a commit
+        if record.get("type") == "commit":
+            counts[record["job_id"]] = counts.get(record["job_id"], 0) + 1
+    return counts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--budget-ms", type=int, default=60_000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-rounds", type=int, default=1_000)
+    parser.add_argument("--out-dir", type=Path, default=Path("chaos-artifacts"))
+    args = parser.parse_args(argv)
+
+    out_dir: Path = args.out_dir
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = _make_circuits(out_dir, args.seed)
+
+    serial = [
+        asdict(o)
+        for o in run_circuit_sweep(
+            paths,
+            out_dir / "serial.jsonl",
+            n_patterns=N_PATTERNS,
+            measure_coverage=True,
+        )
+    ]
+    print(f"serial baseline: {len(serial)} circuits", flush=True)
+
+    deadline = time.monotonic() + args.budget_ms / 1000.0
+    rounds = 0
+    failures = []
+    while time.monotonic() < deadline and rounds < args.max_rounds:
+        rounds += 1
+        chaos = FabricChaosSpec(
+            seed=args.seed * 100_003 + rounds,
+            stall_seconds=3.0,
+            **CHAOS_MIX,
+        )
+        journal = out_dir / f"round{rounds:03d}.journal"
+        fabric = [
+            asdict(o)
+            for o in run_circuit_sweep(
+                paths,
+                journal,
+                n_patterns=N_PATTERNS,
+                measure_coverage=True,
+                fabric=True,
+                workers=args.workers,
+                lease_timeout_s=1.0,
+                chaos=chaos,
+            )
+        ]
+        counts = _commit_counts(journal)
+        problems = []
+        if fabric != serial:
+            # Quarantines are a legal, visible difference only when the
+            # injected fault genuinely exhausted a job's attempts; with
+            # first_attempt_only chaos (the default) retries must
+            # converge, so *any* difference is a violation.
+            problems.append("results differ from serial baseline")
+        if any(n != 1 for n in counts.values()):
+            problems.append(
+                "duplicate commits: "
+                + ", ".join(j for j, n in counts.items() if n != 1)
+            )
+        if len(counts) != N_CIRCUITS:
+            problems.append(
+                f"expected {N_CIRCUITS} committed jobs, found {len(counts)}"
+            )
+        if problems:
+            failures.append((rounds, chaos.seed, problems))
+            print(
+                f"round {rounds:3d} seed {chaos.seed}: "
+                f"FAIL ({'; '.join(problems)})",
+                flush=True,
+            )
+            continue
+        print(
+            f"round {rounds:3d} seed {chaos.seed}: ok "
+            f"({len(counts)} commits, exactly once)",
+            flush=True,
+        )
+        # Passing rounds clean up after themselves; failing rounds leave
+        # their journal and quarantine dirs behind as artifacts.
+        journal.unlink()
+        shutil.rmtree(quarantine_dir_for(journal), ignore_errors=True)
+
+    print(
+        f"chaos campaign: {rounds} round(s), {len(failures)} failure(s), "
+        f"seed {args.seed}",
+        flush=True,
+    )
+    if failures:
+        print(
+            f"artifacts (journals + quarantine dirs) kept in {out_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    if rounds == 0:
+        print("budget too small: no chaos round completed", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ the same at experiment granularity.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import warnings
 from dataclasses import asdict, dataclass, field
@@ -49,6 +50,8 @@ from .tables import Table
 __all__ = [
     "ExperimentResult",
     "SweepOutcome",
+    "execute_experiment_job",
+    "execute_sweep_job",
     "run_circuit_sweep",
     "experiment_runners",
     "run_experiments_checkpointed",
@@ -787,6 +790,98 @@ def _sweep_one(
     )
 
 
+# ---------------------------------------------------------------------------
+# Fabric executors and payload plumbing.  Executors are module-level and
+# take/return plain JSON-able data: they are dispatched by kind inside
+# worker processes (repro.fabric.worker) and their results land verbatim
+# in the fabric's journal.  Domain failures (parse errors, budget
+# exhaustion, experiment crashes) are *results* here, exactly as in the
+# serial drivers; only an exception escaping the executor is a fabric
+# failure that triggers retry/quarantine.
+# ---------------------------------------------------------------------------
+def _budget_spec(budget: Optional[Budget]) -> Optional[Dict[str, object]]:
+    """JSON-able budget limits (clocks restart on reconstruction)."""
+    if budget is None:
+        return None
+    return {
+        "wall_ms": budget.wall_ms,
+        "max_dp_cells": budget.limits["dp_cells"],
+        "max_backtracks": budget.limits["backtracks"],
+        "max_patterns": budget.limits["patterns"],
+    }
+
+
+def _budget_from_spec(spec: Optional[Dict[str, object]]) -> Optional[Budget]:
+    if not spec:
+        return None
+    return Budget(
+        wall_ms=spec.get("wall_ms"),  # type: ignore[arg-type]
+        max_dp_cells=spec.get("max_dp_cells"),  # type: ignore[arg-type]
+        max_backtracks=spec.get("max_backtracks"),  # type: ignore[arg-type]
+        max_patterns=spec.get("max_patterns"),  # type: ignore[arg-type]
+    )
+
+
+def execute_sweep_job(payload: Dict[str, object]) -> dict:
+    """Fabric executor for one sweep circuit (kind ``sweep_circuit``)."""
+    outcome = _sweep_one(
+        Path(str(payload["path"])),
+        int(payload["n_patterns"]),  # type: ignore[arg-type]
+        float(payload["escape_budget"]),  # type: ignore[arg-type]
+        _budget_from_spec(payload.get("budget")),  # type: ignore[arg-type]
+        tuple(payload.get("solvers") or DEFAULT_CASCADE),  # type: ignore[arg-type]
+        measure_coverage=bool(payload.get("measure_coverage", False)),
+        jobs=int(payload.get("jobs", 1)),  # type: ignore[arg-type]
+    )
+    return asdict(outcome)
+
+
+def execute_experiment_job(payload: Dict[str, object]) -> dict:
+    """Fabric executor for one experiment table (kind ``experiment``)."""
+    key = str(payload["experiment"])
+    runners = experiment_runners()
+    if key not in runners:
+        # A campaign bug, not a domain failure: let the fabric quarantine.
+        raise ExperimentError(f"unknown experiment {key!r}")
+    try:
+        with obs.span(f"experiment.{key}"):
+            rendered = runners[key]().render()
+        return {"experiment": key, "status": "ok", "rendered": rendered}
+    except Exception as exc:  # isolation: record, keep going
+        obs.event(
+            "experiment_failed",
+            experiment=key,
+            error=type(exc).__name__,
+            reason=str(exc),
+        )
+        obs.count("experiments.failures")
+        return {
+            "experiment": key,
+            "status": "error",
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+        }
+
+
+def _sweep_content_key(path: Path) -> str:
+    """Content address for one netlist file, most to least precise.
+
+    Parseable circuits key on ``Circuit.structural_hash()`` — two files
+    with identical structure under the same config are one fabric job.
+    Unparseable files key on their raw bytes (the parse error *is* the
+    result, and identical bytes fail identically); unreadable paths key
+    on the path string (the read error is all there is).
+    """
+    try:
+        return "circuit:" + _load_netlist_file(path).structural_hash()
+    except Exception:
+        try:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()[:32]
+            return "file:" + digest
+        except OSError:
+            return "path:" + str(path)
+
+
 def _quarantine_checkpoint_lines(
     path: Path,
     lines: Sequence[str],
@@ -853,6 +948,11 @@ def run_circuit_sweep(
     max_circuits: Optional[int] = None,
     measure_coverage: bool = False,
     jobs: int = 1,
+    fabric: bool = False,
+    workers: int = 1,
+    lease_timeout_s: float = 30.0,
+    chaos=None,
+    interrupt=None,
 ) -> List[SweepOutcome]:
     """Plan test points for every circuit file, surviving bad apples.
 
@@ -868,7 +968,9 @@ def run_circuit_sweep(
     paths:
         Netlist files (``.bench`` / ``.v`` / ``.sv``).
     results_path:
-        JSONL checkpoint/results file (created if missing).
+        JSONL checkpoint/results file (created if missing).  In fabric
+        mode this is the fabric *journal* — a different (typed, durable)
+        record format; don't mix serial and fabric runs on one file.
     budget:
         Per-circuit cooperative budget; each circuit gets a fresh clock
         (:meth:`~repro.resilience.Budget.renewed`).
@@ -882,12 +984,47 @@ def run_circuit_sweep(
         never materialized).
     jobs:
         Worker processes for the coverage measurement's fault simulation.
+    fabric:
+        Run the sweep as a supervised fabric campaign
+        (:class:`~repro.fabric.FabricSupervisor`): content-addressed
+        dedup, leased workers, exactly-once journal commits, poison-job
+        quarantine.  Results are bit-identical to the serial path.
+        Fabric campaigns are always resumable (the journal is
+        content-addressed), so ``resume`` is ignored.
+    workers:
+        Fabric pool width (``<= 1`` runs the fabric serially in-process).
+    lease_timeout_s:
+        Fabric lease liveness window.
+    chaos:
+        Optional :class:`~repro.resilience.chaos.FabricChaosSpec` for
+        fault-injection campaigns (fabric mode only).
+    interrupt:
+        Optional :class:`~repro.resilience.interrupt.GracefulInterrupt`;
+        when it reports SIGTERM/SIGINT the sweep stops at the next item
+        boundary (checkpoint already flushed) by raising
+        :class:`~repro.errors.SweepInterrupted`.
 
     Returns the outcomes for all circuits in ``paths`` that have run so
     far, recorded-or-fresh, in ``paths`` order.
     """
     results_path = Path(results_path)
     file_paths = [Path(p) for p in paths]
+    if fabric:
+        return _run_sweep_fabric(
+            file_paths,
+            results_path,
+            n_patterns=n_patterns,
+            escape_budget=escape_budget,
+            budget=budget,
+            solvers=solvers,
+            max_circuits=max_circuits,
+            measure_coverage=measure_coverage,
+            jobs=jobs,
+            workers=workers,
+            lease_timeout_s=lease_timeout_s,
+            chaos=chaos,
+            interrupt=interrupt,
+        )
     completed: Dict[str, SweepOutcome] = {}
     if resume and results_path.exists():
         mistyped: List[str] = []
@@ -947,12 +1084,137 @@ def run_circuit_sweep(
                 sink.flush()
                 obs.count("sweep.circuits")
                 outcomes.append(outcome)
+                if interrupt is not None:
+                    # Item boundary: the outcome above is already durable,
+                    # so stopping here is always resumable.
+                    interrupt.check(
+                        completed=len(outcomes),
+                        remaining=len(file_paths) - len(outcomes),
+                    )
         sweep_span.set(
             ran=ran,
             skipped=len(outcomes) - ran,
             failures=sum(1 for o in outcomes if not o.ok),
         )
     return outcomes
+
+
+def _run_sweep_fabric(
+    file_paths: List[Path],
+    results_path: Path,
+    *,
+    n_patterns: int,
+    escape_budget: float,
+    budget: Optional[Budget],
+    solvers: Sequence[str],
+    max_circuits: Optional[int],
+    measure_coverage: bool,
+    jobs: int,
+    workers: int,
+    lease_timeout_s: float,
+    chaos,
+    interrupt,
+) -> List[SweepOutcome]:
+    """Sweep as a fabric campaign: dedup, leases, exactly-once commits.
+
+    Each netlist becomes one content-addressed job (structurally
+    identical circuits under the same config collapse to a single job);
+    committed results are rehydrated per requested path, so the returned
+    outcome list is bit-identical to the serial driver's, in ``paths``
+    order.  Quarantined (poison) jobs surface as ``status="quarantined"``
+    outcomes carrying their last fabric error.
+    """
+    from ..fabric import FabricSupervisor, ResultJournal
+    from ..fabric.jobs import Job
+
+    if results_path.parent != Path(""):
+        results_path.parent.mkdir(parents=True, exist_ok=True)
+    # Everything that can change a result belongs in the identity config;
+    # ``jobs`` (inner fault-sim parallelism) is excluded on purpose — the
+    # parallel simulator is bit-identical to serial, so it must not split
+    # the dedup space.
+    config: Dict[str, object] = {
+        "schema": "sweep-job/1",
+        "n_patterns": int(n_patterns),
+        "escape_budget": float(escape_budget),
+        "budget": _budget_spec(budget),
+        "solvers": list(solvers),
+        "measure_coverage": bool(measure_coverage),
+    }
+    journal = ResultJournal(results_path)
+    try:
+        campaign: List[Job] = []
+        by_path: Dict[str, str] = {}
+        seen: Dict[str, Job] = {}
+        fresh = 0
+        for path in file_paths:
+            content_key = _sweep_content_key(path)
+            job = Job.build(
+                "sweep_circuit",
+                content_key,
+                config,
+                payload={
+                    "path": str(path),
+                    "n_patterns": int(n_patterns),
+                    "escape_budget": float(escape_budget),
+                    "budget": _budget_spec(budget),
+                    "solvers": list(solvers),
+                    "measure_coverage": bool(measure_coverage),
+                    "jobs": int(jobs),
+                },
+                index=len(campaign),
+            )
+            by_path[str(path)] = job.job_id
+            if job.job_id in seen:
+                obs.count("sweep.deduped")
+                continue
+            if not journal.is_done(job.job_id):
+                if max_circuits is not None and fresh >= max_circuits:
+                    continue  # left for a later resume, like serial
+                fresh += 1
+            seen[job.job_id] = job
+            campaign.append(job)
+        supervisor = FabricSupervisor(
+            journal,
+            workers=workers,
+            lease_timeout_s=lease_timeout_s,
+            chaos=chaos,
+            interrupt=interrupt,
+        )
+        results = supervisor.run(campaign)
+        outcomes: List[SweepOutcome] = []
+        for path in file_paths:
+            job_id = by_path[str(path)]
+            result = results.get(job_id)
+            if result is not None:
+                # Rehydrate the shared (deduped) result for this path.
+                outcomes.append(
+                    SweepOutcome(
+                        **{
+                            **result,
+                            "circuit": path.stem,
+                            "path": str(path),
+                        }
+                    )
+                )
+                continue
+            record = journal.quarantined.get(job_id)
+            if record is not None:
+                errors = record.get("errors") or []
+                last = errors[-1] if errors else {}
+                outcomes.append(
+                    SweepOutcome(
+                        circuit=path.stem,
+                        path=str(path),
+                        status="quarantined",
+                        error_type=last.get("type"),
+                        error=last.get("message"),
+                    )
+                )
+            # else: capped by max_circuits — not run yet, like serial.
+        return outcomes
+    finally:
+        journal.close()
 
 
 def experiment_runners() -> Dict[str, Callable[[], ExperimentResult]]:
@@ -978,13 +1240,23 @@ def run_experiments_checkpointed(
     keys: Sequence[str],
     results_path: Union[str, Path],
     resume: bool = True,
+    fabric: bool = False,
+    workers: int = 1,
+    lease_timeout_s: float = 30.0,
+    chaos=None,
+    interrupt=None,
 ) -> List[dict]:
     """Run experiments with per-experiment crash isolation and resume.
 
     Mirrors :func:`run_circuit_sweep` at experiment granularity: each
     experiment's rendered table (or failure) is appended to
     ``results_path`` as one JSONL record as soon as it finishes, and with
-    ``resume=True`` already-recorded experiments are not rerun.
+    ``resume=True`` already-recorded experiments are not rerun.  With
+    ``fabric=True`` the campaign runs on the sweep fabric instead
+    (leased workers, exactly-once journal at ``results_path``, poison
+    quarantine); fabric campaigns are always resumable, so ``resume`` is
+    ignored there.  ``interrupt`` stops at the next experiment boundary
+    by raising :class:`~repro.errors.SweepInterrupted`.
     """
     runners = experiment_runners()
     unknown = [k for k in keys if k not in runners]
@@ -993,6 +1265,15 @@ def run_experiments_checkpointed(
             f"unknown experiments {unknown} (choose from {list(runners)})"
         )
     results_path = Path(results_path)
+    if fabric:
+        return _run_experiments_fabric(
+            list(keys),
+            results_path,
+            workers=workers,
+            lease_timeout_s=lease_timeout_s,
+            chaos=chaos,
+            interrupt=interrupt,
+        )
     done: Dict[str, dict] = {}
     if resume and results_path.exists():
         for record in _read_checkpoint_lines(results_path):
@@ -1007,25 +1288,76 @@ def run_experiments_checkpointed(
                 obs.count("experiments.skipped")
                 records.append(prior)
                 continue
-            try:
-                with obs.span(f"experiment.{key}"):
-                    rendered = runners[key]().render()
-                record = {"experiment": key, "status": "ok", "rendered": rendered}
-            except Exception as exc:  # isolation: record, keep going
-                record = {
-                    "experiment": key,
-                    "status": "error",
-                    "error_type": type(exc).__name__,
-                    "error": str(exc),
-                }
-                obs.event(
-                    "experiment_failed",
-                    experiment=key,
-                    error=type(exc).__name__,
-                    reason=str(exc),
-                )
-                obs.count("experiments.failures")
+            record = execute_experiment_job({"experiment": key})
             sink.write(json.dumps(record, sort_keys=True) + "\n")
             sink.flush()
             records.append(record)
+            if interrupt is not None:
+                interrupt.check(
+                    completed=len(records),
+                    remaining=len(keys) - len(records),
+                )
     return records
+
+
+def _run_experiments_fabric(
+    keys: List[str],
+    results_path: Path,
+    *,
+    workers: int,
+    lease_timeout_s: float,
+    chaos,
+    interrupt,
+) -> List[dict]:
+    """Experiment campaign on the fabric; records in ``keys`` order."""
+    from ..fabric import FabricSupervisor, ResultJournal
+    from ..fabric.jobs import Job
+
+    if results_path.parent != Path(""):
+        results_path.parent.mkdir(parents=True, exist_ok=True)
+    config: Dict[str, object] = {"schema": "experiment-job/1"}
+    journal = ResultJournal(results_path)
+    try:
+        campaign: List[Job] = []
+        by_key: Dict[str, str] = {}
+        for key in keys:
+            if key in by_key:
+                continue
+            job = Job.build(
+                "experiment",
+                f"experiment:{key}",
+                config,
+                payload={"experiment": key},
+                index=len(campaign),
+            )
+            by_key[key] = job.job_id
+            campaign.append(job)
+        supervisor = FabricSupervisor(
+            journal,
+            workers=workers,
+            lease_timeout_s=lease_timeout_s,
+            chaos=chaos,
+            interrupt=interrupt,
+        )
+        results = supervisor.run(campaign)
+        records: List[dict] = []
+        for key in keys:
+            job_id = by_key[key]
+            result = results.get(job_id)
+            if result is not None:
+                records.append(dict(result))
+                continue
+            record = journal.quarantined.get(job_id)
+            errors = (record or {}).get("errors") or []
+            last = errors[-1] if errors else {}
+            records.append(
+                {
+                    "experiment": key,
+                    "status": "quarantined",
+                    "error_type": last.get("type"),
+                    "error": last.get("message"),
+                }
+            )
+        return records
+    finally:
+        journal.close()

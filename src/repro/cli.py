@@ -9,7 +9,12 @@ Subcommands:
   circuit, or a human-readable summary of a recorded trace;
 * ``experiments`` — run the reconstructed evaluation suite (T1–T4, F1–F4);
 * ``sweep`` — plan test points over many netlist files with per-circuit
-  crash isolation and a resumable JSONL results file;
+  crash isolation and a resumable JSONL results file; ``--fabric
+  --workers N`` runs it as a supervised fabric campaign (leased worker
+  processes, content-addressed dedup, exactly-once journal commits,
+  poison-job quarantine) with bit-identical results;
+* ``fabric-status <journal>`` — inspect a fabric journal: commits,
+  quarantined jobs, crash evidence (torn lines);
 * ``fuzz`` — time-budgeted differential fuzzer over random circuits,
   cross-checking interp vs compiled vs parallel vs incremental engines
   and DP vs exhaustive solvers; failures are shrunk and written as
@@ -37,9 +42,13 @@ noise-aware tolerance (exit 1 on regression).
 Resilience: ``--budget-ms`` / ``--max-cells`` / ``--max-backtracks`` /
 ``--max-patterns`` impose a cooperative solve budget; the solver then runs
 as a degradation cascade (``dp → greedy → random``) that records every
-fallback as a ``solver_fallback`` trace event.  Exit codes are stable:
-0 success, 1 infeasible result, 2 usage/parse error, 3 budget exceeded
-with no fallback left, 4 other internal library error.
+fallback as a ``solver_fallback`` trace event.  Long campaigns handle
+SIGTERM/SIGINT gracefully: the in-flight item finishes, its record is
+flushed, and the run stops resumably (a second signal kills
+immediately).  Exit codes are stable: 0 success, 1 infeasible result,
+2 usage/parse error, 3 budget exceeded with no fallback left, 4 other
+internal library error, 5 interrupted by signal but resumable (rerun
+the same command to continue).
 
 Self-checking: ``--guard [FRACTION]`` (default 0.01 when given) runs the
 command inside a :class:`repro.verify.GuardedSession` — a seeded sample
@@ -71,8 +80,9 @@ from .core.prepare import prepare_for_tpi
 from .core.greedy import solve_greedy
 from .core.heuristic import solve_dp_heuristic
 from .core.problem import TPIProblem, TPISolution
-from .errors import BudgetExceededError, ParseError, ReproError
+from .errors import BudgetExceededError, ParseError, ReproError, SweepInterrupted
 from .resilience import Budget
+from .resilience.interrupt import GracefulInterrupt
 from .sim.compile import DEFAULT_KERNEL, KERNEL_MODES
 from .sim.fault_sim import FaultSimulator
 from .sim.faults import collapse_faults
@@ -87,6 +97,7 @@ __all__ = [
     "EXIT_USAGE",
     "EXIT_BUDGET",
     "EXIT_INTERNAL",
+    "EXIT_INTERRUPTED",
 ]
 
 EXIT_OK = 0
@@ -94,6 +105,9 @@ EXIT_INFEASIBLE = 1
 EXIT_USAGE = 2
 EXIT_BUDGET = 3
 EXIT_INTERNAL = 4
+#: Stopped by SIGTERM/SIGINT at an item boundary with all completed work
+#: flushed durably — rerunning the same command resumes where it stopped.
+EXIT_INTERRUPTED = 5
 
 
 def _usage_exit(message: str) -> SystemExit:
@@ -346,11 +360,24 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             raise _usage_exit(
                 f"unknown experiment {key!r} (choose from {list(runners)})"
             )
+    if args.fabric and args.results is None:
+        raise _usage_exit("--fabric needs --results (the fabric journal)")
+    if args.fabric and args.no_resume:
+        raise _usage_exit(
+            "--no-resume is meaningless with --fabric: the journal is "
+            "content-addressed (delete the journal file to start over)"
+        )
     if args.results is not None:
         # Checkpointed mode: crash-isolated, resumable per experiment.
-        records = exps.run_experiments_checkpointed(
-            selected, args.results, resume=not args.no_resume
-        )
+        with GracefulInterrupt() as stop:
+            records = exps.run_experiments_checkpointed(
+                selected,
+                args.results,
+                resume=not args.no_resume,
+                fabric=args.fabric,
+                workers=args.workers,
+                interrupt=stop,
+            )
         failures = 0
         for record in records:
             if record["status"] == "ok":
@@ -395,18 +422,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             raise _usage_exit(f"no such file or directory: {spec!r}")
     if not paths:
         raise _usage_exit("no netlist files (.bench/.v/.sv) to sweep")
-    outcomes = exps.run_circuit_sweep(
-        paths,
-        args.results,
-        n_patterns=args.patterns,
-        escape_budget=args.escape,
-        budget=_budget_from_args(args),
-        solvers=tuple(args.solvers),
-        resume=not args.no_resume,
-        max_circuits=args.max_circuits,
-        measure_coverage=args.measure_coverage,
-        jobs=args.jobs,
-    )
+    if args.no_resume and args.fabric:
+        raise _usage_exit(
+            "--no-resume is meaningless with --fabric: the journal is "
+            "content-addressed (delete the journal file to start over)"
+        )
+    with GracefulInterrupt() as stop:
+        outcomes = exps.run_circuit_sweep(
+            paths,
+            args.results,
+            n_patterns=args.patterns,
+            escape_budget=args.escape,
+            budget=_budget_from_args(args),
+            solvers=tuple(args.solvers),
+            resume=not args.no_resume,
+            max_circuits=args.max_circuits,
+            measure_coverage=args.measure_coverage,
+            jobs=args.jobs,
+            fabric=args.fabric,
+            workers=args.workers,
+            lease_timeout_s=args.lease_timeout,
+            interrupt=stop,
+        )
     for outcome in outcomes:
         print(outcome.describe())
     n_failed = sum(1 for o in outcomes if not o.ok)
@@ -418,6 +455,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if remaining:
         summary += f", {remaining} not yet run"
     print(f"{summary} (results: {args.results})", file=sys.stderr)
+    return EXIT_OK
+
+
+def _cmd_fabric_status(args: argparse.Namespace) -> int:
+    from .fabric import format_status, journal_status
+
+    try:
+        status = journal_status(args.journal)
+    except FileNotFoundError as exc:
+        raise _usage_exit(str(exc))
+    if args.json:
+        import json
+
+        print(json.dumps(status, sort_keys=True, indent=2))
+    else:
+        print(format_status(status))
     return EXIT_OK
 
 
@@ -751,10 +804,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for coverage fault simulation",
     )
+    g = p.add_argument_group(
+        "fabric",
+        "supervised campaign execution: leased worker processes, "
+        "content-addressed dedup, exactly-once journal commits, "
+        "poison-job quarantine; results are bit-identical to serial",
+    )
+    g.add_argument(
+        "--fabric", action="store_true",
+        help="run the sweep on the fabric (--results becomes the "
+        "fabric journal)",
+    )
+    g.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="fabric pool width (default 2; 1 = in-process serial fabric)",
+    )
+    g.add_argument(
+        "--lease-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="liveness window per leased job: a worker that stops "
+        "heartbeating this long is declared dead and its job "
+        "re-dispatched (default 30)",
+    )
     add_observability(p)
     add_profile(p)
     add_budget(p)
     p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser(
+        "fabric-status",
+        help="inspect a fabric journal: commits, quarantined jobs, "
+        "crash evidence",
+    )
+    p.add_argument("journal", help="fabric journal file (sweep --fabric --results)")
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON instead of the human summary",
+    )
+    p.set_defaults(fn=_cmd_fabric_status)
 
     p = sub.add_parser(
         "report",
@@ -833,6 +919,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume", action="store_true",
         help="with --results: re-run experiments already recorded",
     )
+    g = p.add_argument_group(
+        "fabric", "supervised campaign over a worker pool (with --results)"
+    )
+    g.add_argument(
+        "--fabric", action="store_true",
+        help="run as a fabric campaign: leased workers, exactly-once "
+        "journal at --results, poison-job quarantine",
+    )
+    g.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fabric pool width (default 1: serial in-process)",
+    )
     add_observability(p)
     p.set_defaults(fn=_cmd_experiments)
 
@@ -872,12 +970,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Every deliberate library error (:class:`~repro.errors.ReproError`) is
     caught here and rendered as one stderr line with a stable exit code:
-    2 usage/parse, 3 budget exceeded, 4 anything else.
+    2 usage/parse, 3 budget exceeded, 5 signal-interrupted but
+    resumable, 4 anything else.
     """
     args = build_parser().parse_args(argv)
     try:
         with _observability(args), _profiled(args), _guarded(args):
             return args.fn(args)
+    except SweepInterrupted as exc:
+        print(
+            f"repro-tpi: {exc} — completed work is flushed; rerun the "
+            f"same command to resume",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     except BudgetExceededError as exc:
         print(f"repro-tpi: budget exceeded: {exc}", file=sys.stderr)
         return EXIT_BUDGET

@@ -42,6 +42,8 @@ __all__ = [
     "SimulationError",
     "ExperimentError",
     "DivergenceError",
+    "ArtifactWriteError",
+    "SweepInterrupted",
 ]
 
 
@@ -134,6 +136,95 @@ class SimulationError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment-harness level failure (bad id, corrupt checkpoint)."""
+
+
+class ArtifactWriteError(ReproError, OSError):
+    """A durable artifact (journal, checkpoint, bundle) failed to write.
+
+    Raised by :mod:`repro.ioutil` when the filesystem refuses a write —
+    ENOSPC, a vanished directory, a permission flip — after the helper
+    has cleaned up any temporary droppings.  Dual-inherits
+    :class:`OSError` so pre-taxonomy ``except OSError`` clauses keep
+    working, but carries structure the bare builtin lacks:
+
+    Attributes
+    ----------
+    op:
+        Which write step failed (``"write"``, ``"fsync"``, ``"replace"``,
+        ``"append"``).
+    path:
+        The destination the caller asked for (not the temp file).
+    errno:
+        The underlying OS errno when known (e.g. ``errno.ENOSPC``).
+    """
+
+    def __init__(
+        self,
+        op: str,
+        path: str,
+        message: str,
+        errno: Optional[int] = None,
+    ) -> None:
+        self.op = op
+        self.path = path
+        # OSError.__init__ with a single arg leaves .errno unset; stash
+        # and re-apply after so pattern-matching on errno keeps working.
+        super().__init__(f"{op} failed for {path}: {message}")
+        self.errno = errno
+
+    def __reduce__(self):
+        # OSError's default reduce re-invokes with (errno, strerror) —
+        # wrong constructor shape here; pickle must round-trip workers.
+        return (
+            ArtifactWriteError,
+            (self.op, self.path, self._raw_message(), self.errno),
+        )
+
+    def _raw_message(self) -> str:
+        text = self.args[0] if self.args else ""
+        prefix = f"{self.op} failed for {self.path}: "
+        if isinstance(text, str) and text.startswith(prefix):
+            return text[len(prefix):]
+        return str(text)
+
+
+class SweepInterrupted(ReproError, RuntimeError):
+    """A sweep/experiment campaign stopped on SIGTERM/SIGINT, resumably.
+
+    Raised at the next job boundary after a termination signal: the
+    in-flight record has been flushed to the checkpoint/journal, so a
+    rerun with the same results file resumes exactly where this run
+    stopped.  The CLI maps it to its own exit code
+    (:data:`repro.cli.EXIT_INTERRUPTED`) so callers can tell "killed but
+    resumable" apart from a real failure.
+
+    Attributes
+    ----------
+    signal_name:
+        Which signal stopped the run (``"SIGTERM"`` / ``"SIGINT"``).
+    completed:
+        Items committed before the stop (safe to resume past).
+    remaining:
+        Items not yet run.
+    """
+
+    def __init__(
+        self, signal_name: str, completed: int, remaining: int
+    ) -> None:
+        self.signal_name = signal_name
+        self.completed = completed
+        self.remaining = remaining
+        super().__init__(
+            f"interrupted by {signal_name} after {completed} item(s); "
+            f"{remaining} remaining — rerun with the same results file "
+            f"to resume"
+        )
+
+    def __reduce__(self):
+        return (
+            SweepInterrupted,
+            (self.signal_name, self.completed, self.remaining),
+        )
 
 
 class DivergenceError(ReproError, RuntimeError):

@@ -1,0 +1,44 @@
+"""Supervised sweep fabric: leased jobs, durable journal, exactly-once.
+
+The fabric turns a campaign (a sweep over circuits, a table of
+experiments) into content-addressed jobs executed by a supervised
+process pool and committed — exactly once each — to an append-only,
+crash-consistent result journal.  The moving parts:
+
+* :mod:`repro.fabric.jobs` — job identity: ``(circuit-hash,
+  config-digest)`` content addressing, dedup, payloads;
+* :mod:`repro.fabric.queue` — the lease/retry/quarantine state machine;
+* :mod:`repro.fabric.journal` — the WAL: durable appends, torn-line
+  tolerant replay, the exactly-once commit gate;
+* :mod:`repro.fabric.worker` — worker-process execution with heartbeats
+  and structured errors;
+* :mod:`repro.fabric.supervisor` — the loop tying them together, with
+  lease expiry, pool respawn, circuit breaking, and serial degradation;
+* :mod:`repro.fabric.status` — read-only journal inspection for the CLI.
+
+The drivers in :mod:`repro.analysis.experiments` build jobs and feed
+them through a supervisor; nothing else needs to know the fabric exists.
+"""
+
+from .jobs import Job, config_digest, job_id_for
+from .journal import JOURNAL_SCHEMA, ResultJournal
+from .queue import Lease, WorkQueue
+from .status import format_status, journal_status
+from .supervisor import FabricSupervisor, quarantine_dir_for
+from .worker import execute_job, init_fabric_worker
+
+__all__ = [
+    "FabricSupervisor",
+    "JOURNAL_SCHEMA",
+    "Job",
+    "Lease",
+    "ResultJournal",
+    "WorkQueue",
+    "config_digest",
+    "execute_job",
+    "format_status",
+    "init_fabric_worker",
+    "job_id_for",
+    "journal_status",
+    "quarantine_dir_for",
+]

@@ -1,0 +1,126 @@
+"""Content-addressed job identities for the sweep fabric.
+
+A fabric campaign is a set of *jobs*, each the pair the ROADMAP calls
+``(circuit-hash, config-digest)``: *what* is being computed (the
+structural hash of the circuit, via ``Circuit.structural_hash()``, or a
+symbolic key for non-circuit work like experiment tables) and *under
+which configuration* (pattern budget, solver cascade, thresholds — a
+canonical digest of the config mapping).  The job id is a digest of
+both, which buys three properties at once:
+
+* **dedup** — two netlist files that parse to structurally identical
+  circuits under the same config are *one* job; the fabric computes it
+  once and every requester shares the committed result;
+* **exactly-once across restarts** — the result journal keys commits by
+  job id, so a resumed campaign recognizes completed work regardless of
+  which worker, attempt, or process lifetime produced it;
+* **free re-runs** — re-running any (circuit, config) pair against the
+  same journal is a cache hit, never a recomputation.
+
+Payloads are plain JSON-able dicts (paths, ints, strings): they cross
+process boundaries in both directions and land verbatim in quarantine
+artifacts, so they must never hold live objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = ["Job", "config_digest", "job_id_for"]
+
+#: Hex digits kept from each sha256 — 128 bits, collision-proof at any
+#: plausible campaign size while keeping journal lines readable.
+_DIGEST_CHARS = 32
+
+
+def config_digest(config: Mapping[str, object]) -> str:
+    """Canonical digest of a job configuration mapping.
+
+    Key order, whitespace, and container identity do not matter; values
+    must be JSON-serializable (enforced here, loudly, because a silently
+    unstable digest would break dedup and resume).
+    """
+    try:
+        canonical = json.dumps(
+            dict(config), sort_keys=True, separators=(",", ":")
+        )
+    except TypeError as exc:
+        raise ValueError(
+            f"job config is not canonically serializable: {exc}"
+        ) from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[
+        :_DIGEST_CHARS
+    ]
+
+
+def job_id_for(kind: str, content_key: str, cfg_digest: str) -> str:
+    """The content-addressed identity of one (kind, content, config) job."""
+    h = hashlib.sha256()
+    for part in (kind, content_key, cfg_digest):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:_DIGEST_CHARS]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of fabric work.
+
+    Attributes
+    ----------
+    job_id:
+        Content-addressed identity (see :func:`job_id_for`).  Everything
+        durable — journal commits, quarantine artifacts, dedup — keys on
+        this.
+    kind:
+        Executor dispatch key (``"sweep_circuit"``, ``"experiment"``;
+        see :mod:`repro.fabric.worker`).
+    content_key:
+        The *what*: circuit structural hash, or a symbolic key for
+        non-circuit jobs.
+    config_digest:
+        The *how*: canonical digest of the configuration mapping.
+    payload:
+        JSON-able executor arguments.
+    index:
+        Campaign-order position — fixes deterministic dispatch order and
+        keys the chaos roll, exactly as chunk indices do for the
+        parallel fan-out.
+    """
+
+    job_id: str
+    kind: str
+    content_key: str
+    config_digest: str
+    payload: Dict[str, object] = field(default_factory=dict)
+    index: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        kind: str,
+        content_key: str,
+        config: Mapping[str, object],
+        payload: Optional[Mapping[str, object]] = None,
+        index: int = 0,
+    ) -> "Job":
+        """Construct a job, deriving the digest and id from content."""
+        digest = config_digest(config)
+        return cls(
+            job_id=job_id_for(kind, content_key, digest),
+            kind=kind,
+            content_key=content_key,
+            config_digest=digest,
+            payload=dict(payload or {}),
+            index=index,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form (journal records, quarantine artifacts)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        return f"{self.kind}:{self.content_key[:12]}@{self.job_id[:12]}"

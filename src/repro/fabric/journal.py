@@ -1,0 +1,230 @@
+"""Crash-consistent, exactly-once result journal (the fabric's WAL).
+
+The journal is the fabric's single durable truth: a job *happened* iff
+its ``commit`` record is in the journal, exactly once, no matter how
+many workers attempted it, how many leases expired, how many times the
+pool was respawned, or how many times the supervisor process itself was
+``kill -9``-ed and resumed.  The design is a classic write-ahead log,
+restricted to what the campaign actually needs:
+
+* **append-only JSONL** — one record per line, written with
+  :func:`repro.ioutil.append_durable_line` (write + flush + fsync), so a
+  record that was acknowledged survives power loss;
+* **torn-line tolerance** — a crash can tear at most the line in
+  flight; on open the reader skips undecodable lines
+  (:func:`~repro.ioutil.read_jsonl_tolerant`) and
+  :func:`~repro.ioutil.repair_jsonl_tail` restores line alignment so
+  the next append cannot concatenate onto a torn fragment.  A torn
+  commit simply means that job re-runs — idempotent by content
+  addressing;
+* **exactly-once at the commit point** — :meth:`ResultJournal.commit`
+  is the *only* way a result becomes real, and it refuses duplicates
+  (late results from expired leases, double completions, replays after
+  resume) by checking the in-memory committed set loaded from the log.
+  Duplicate offers return False and are counted, never written;
+* **quarantine records** — a poison job's terminal state is as durable
+  as a result: the ``quarantine`` record (with its error history and
+  artifact path) stops resumed campaigns from retrying it forever.
+
+Monotonic ``seq`` numbers order records for the inspector; gaps are
+legal (torn lines) and meaningful (evidence of a crash).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Union
+
+from .. import obs
+from ..ioutil import append_durable_line, read_jsonl_tolerant, repair_jsonl_tail
+from .jobs import Job
+
+__all__ = ["ResultJournal", "JOURNAL_SCHEMA"]
+
+#: Journal format identifier, written in every record.
+JOURNAL_SCHEMA = "fabric-journal/1"
+
+#: Record types the journal understands; anything else in the file is a
+#: foreign record (counted, preserved, ignored).
+_RECORD_TYPES = ("commit", "quarantine")
+
+
+class ResultJournal:
+    """Append-only exactly-once result log for one campaign.
+
+    Opening an existing journal replays it: committed results and
+    quarantined jobs become immediately queryable, torn lines are
+    counted and skipped, and the append position is repaired to a line
+    boundary.  The journal never rewrites history — resuming, retrying,
+    and re-running are all append-side decisions.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._handle: Optional[TextIO] = None
+        self._committed: Dict[str, dict] = {}
+        self._quarantined: Dict[str, dict] = {}
+        self.torn_lines = 0
+        self.foreign_records = 0
+        self._seq = 0
+        if self.path.exists():
+            self._replay()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _replay(self) -> None:
+        repaired = repair_jsonl_tail(self.path)
+        records, _good, bad = read_jsonl_tolerant(self.path)
+        self.torn_lines = len(bad)
+        for record in records:
+            rtype = record.get("type")
+            job_id = record.get("job_id")
+            if rtype not in _RECORD_TYPES or not isinstance(job_id, str):
+                self.foreign_records += 1
+                continue
+            seq = record.get("seq")
+            if isinstance(seq, int) and seq >= self._seq:
+                self._seq = seq + 1
+            if rtype == "commit":
+                # First commit wins; a duplicate line could only exist if
+                # a pre-fix writer produced one — never trust the later.
+                self._committed.setdefault(job_id, record)
+            else:
+                self._quarantined.setdefault(job_id, record)
+        if repaired or bad:
+            obs.event(
+                "fabric.journal_recovered",
+                path=str(self.path),
+                repaired_tail=repaired,
+                torn_lines=len(bad),
+                commits=len(self._committed),
+            )
+            obs.count("fabric.journal_torn_lines", len(bad))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def committed(self) -> Dict[str, dict]:
+        """job_id → commit record (live view; treat as read-only)."""
+        return self._committed
+
+    @property
+    def quarantined(self) -> Dict[str, dict]:
+        """job_id → quarantine record (live view; treat as read-only)."""
+        return self._quarantined
+
+    def result_for(self, job_id: str) -> Optional[dict]:
+        """The committed result payload for a job, or None."""
+        record = self._committed.get(job_id)
+        if record is None:
+            return None
+        return record.get("result")  # type: ignore[return-value]
+
+    def is_done(self, job_id: str) -> bool:
+        """True when the job needs no further work (committed or poison)."""
+        return job_id in self._committed or job_id in self._quarantined
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            if self.path.parent != Path(""):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        record = {"schema": JOURNAL_SCHEMA, "seq": self._seq, **record}
+        append_durable_line(
+            self._handle,
+            json.dumps(record, sort_keys=True),
+            path=self.path,
+        )
+        self._seq += 1
+
+    def commit(self, job: Job, result: dict) -> bool:
+        """Durably record a job's result — the exactly-once gate.
+
+        Returns True when this call performed the commit; False when the
+        job was already committed (or quarantined), in which case
+        nothing is written and the earlier record stands.  The append is
+        durable (fsynced) before the in-memory index is updated, so an
+        acknowledged commit can never be lost, and a lost commit is
+        never acknowledged.
+        """
+        if self.is_done(job.job_id):
+            obs.count("fabric.duplicates_rejected")
+            obs.event(
+                "fabric.duplicate_completion",
+                job_id=job.job_id,
+                kind=job.kind,
+            )
+            return False
+        record = {
+            "type": "commit",
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "content_key": job.content_key,
+            "config_digest": job.config_digest,
+            "result": result,
+        }
+        self._append(record)
+        self._committed[job.job_id] = record
+        obs.count("fabric.commits")
+        return True
+
+    def record_quarantine(
+        self,
+        job: Job,
+        attempts: int,
+        errors: List[dict],
+        artifact: Optional[str] = None,
+    ) -> bool:
+        """Durably mark a job as poison; resumed campaigns skip it."""
+        if self.is_done(job.job_id):
+            return False
+        record = {
+            "type": "quarantine",
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "content_key": job.content_key,
+            "config_digest": job.config_digest,
+            "attempts": attempts,
+            "errors": errors,
+            "artifact": artifact,
+        }
+        self._append(record)
+        self._quarantined[job.job_id] = record
+        obs.count("fabric.quarantined")
+        return True
+
+    def recover_append(self) -> None:
+        """Realign the journal after a failed append, before a retry.
+
+        A failed :meth:`commit` (ENOSPC, EIO) may have written a partial
+        line; appending the retry directly after it would weld two
+        records into one corrupt line.  This closes the handle and
+        repairs the tail to a line boundary — the partial fragment
+        becomes its own undecodable line, which replay skips.  Safe to
+        call even when nothing was written.
+        """
+        self.close()
+        repair_jsonl_tail(self.path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            finally:
+                self._handle = None
+
+    def __enter__(self) -> "ResultJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False

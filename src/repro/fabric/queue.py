@@ -1,0 +1,229 @@
+"""Leased work queue: the supervisor's bookkeeping brain.
+
+The queue owns the *state machine* of a campaign; the supervisor owns
+the processes.  Every job is in exactly one state:
+
+::
+
+    pending ──lease──▶ leased ──complete──▶ done (committed)
+       ▲                 │
+       │                 ├─ fail (retryable) ──▶ pending   (attempts++)
+       └─────────────────┘
+                         └─ fail (exhausted) ──▶ quarantined (poison)
+
+Leases carry an expiry that worker heartbeats extend: a live worker
+computing a long job keeps its lease indefinitely; a crashed or stalled
+worker stops beating, the lease expires, and the supervisor re-leases
+the job to someone else.  Late results from an expired lease are not
+lost — they are offered to the journal's exactly-once commit gate, which
+accepts them only if the re-dispatched attempt has not landed first.
+
+The queue is deliberately synchronous and single-owner (the supervisor
+thread); all concurrency lives in the process pool.  That keeps the
+state machine auditable — every transition below is a plain method call
+with no locks to reason about.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from .jobs import Job
+
+__all__ = ["Lease", "WorkQueue"]
+
+
+@dataclass
+class Lease:
+    """One job leased to one attempt; expiry advances on heartbeats."""
+
+    job: Job
+    attempt: int            # 0-based attempt index this lease represents
+    expires_at: float       # supervisor monotonic time
+    heartbeats: int = 0
+
+    def beat(self, now: float, lease_timeout_s: float) -> None:
+        self.expires_at = now + lease_timeout_s
+        self.heartbeats += 1
+
+
+class WorkQueue:
+    """Single-owner lease/retry/quarantine state machine.
+
+    Parameters
+    ----------
+    lease_timeout_s:
+        Liveness window: a lease whose last heartbeat (or grant) is
+        older than this is considered dead and re-dispatched.
+    max_attempts:
+        Tries per job (first + retries) before it is declared poison.
+    """
+
+    def __init__(
+        self, lease_timeout_s: float = 30.0, max_attempts: int = 3
+    ) -> None:
+        if lease_timeout_s <= 0:
+            raise ValueError("lease timeout must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.lease_timeout_s = lease_timeout_s
+        self.max_attempts = max_attempts
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._pending: Deque[str] = deque()
+        self._leases: Dict[str, Lease] = {}
+        self._attempts: Dict[str, int] = {}
+        self._done: Dict[str, str] = {}  # job_id -> "committed"|"quarantined"
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add(self, job: Job) -> bool:
+        """Enqueue a job; duplicates (same job_id) are merged, not queued
+        twice — content addressing makes the second submission free."""
+        if job.job_id in self._jobs:
+            return False
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        self._pending.append(job.job_id)
+        self._attempts[job.job_id] = 0
+        return True
+
+    def job_ids(self) -> List[str]:
+        """All distinct job ids, campaign order."""
+        return list(self._order)
+
+    def mark_done(self, job_id: str, how: str = "committed") -> None:
+        """Pre-resolve a job (journal replay on resume)."""
+        if job_id not in self._jobs:
+            return
+        self._done[job_id] = how
+        self._leases.pop(job_id, None)
+        try:
+            self._pending.remove(job_id)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Lease lifecycle
+    # ------------------------------------------------------------------
+    def lease_next(self, now: float) -> Optional[Lease]:
+        """Grant a lease on the next pending job (campaign order)."""
+        while self._pending:
+            job_id = self._pending.popleft()
+            if job_id in self._done:
+                continue
+            attempt = self._attempts[job_id]
+            self._attempts[job_id] = attempt + 1
+            lease = Lease(
+                job=self._jobs[job_id],
+                attempt=attempt,
+                expires_at=now + self.lease_timeout_s,
+            )
+            self._leases[job_id] = lease
+            return lease
+        return None
+
+    def release(self, lease: Lease) -> None:
+        """Undo a lease whose dispatch never happened (submit failed).
+
+        The attempt is uncounted and the job returns to the front of the
+        pending queue, exactly as if the lease had never been granted.
+        """
+        job_id = lease.job.job_id
+        if job_id in self._done or self._leases.get(job_id) is not lease:
+            return
+        self._leases.pop(job_id, None)
+        self._attempts[job_id] = lease.attempt
+        self._pending.appendleft(job_id)
+
+    def heartbeat(self, job_id: str, now: float) -> bool:
+        """A worker signalled liveness for its leased job."""
+        lease = self._leases.get(job_id)
+        if lease is None:
+            return False  # late beat from an expired/settled lease
+        lease.beat(now, self.lease_timeout_s)
+        return True
+
+    def expired(self, now: float) -> List[Lease]:
+        """Leases whose liveness window has lapsed (not yet released)."""
+        return [
+            lease
+            for lease in self._leases.values()
+            if lease.expires_at <= now
+        ]
+
+    def next_expiry(self) -> Optional[float]:
+        """Earliest lease expiry, for the supervisor's wait timeout."""
+        if not self._leases:
+            return None
+        return min(lease.expires_at for lease in self._leases.values())
+
+    # ------------------------------------------------------------------
+    # Settlement
+    # ------------------------------------------------------------------
+    def complete(self, job_id: str) -> bool:
+        """Settle a job as done; False if it already was (late result)."""
+        if job_id in self._done or job_id not in self._jobs:
+            return False
+        self.mark_done(job_id, "committed")
+        return True
+
+    def fail(self, job_id: str) -> str:
+        """Record a failed attempt; returns the next move.
+
+        ``"retry"`` — the job went back to the front of the pending
+        queue (front, so a flaky job resolves before new work starts
+        and the campaign's completion order stays as close to the
+        serial order as scheduling allows); ``"quarantine"`` — attempts
+        are exhausted, the caller must quarantine; ``"settled"`` — a
+        concurrent path already resolved the job.
+        """
+        if job_id in self._done:
+            return "settled"
+        self._leases.pop(job_id, None)
+        if self._attempts.get(job_id, 0) >= self.max_attempts:
+            return "quarantine"
+        self._pending.appendleft(job_id)
+        return "retry"
+
+    def quarantine(self, job_id: str) -> None:
+        """Settle a job as poison."""
+        self.mark_done(job_id, "quarantined")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def attempts(self, job_id: str) -> int:
+        return self._attempts.get(job_id, 0)
+
+    def job(self, job_id: str) -> Job:
+        return self._jobs[job_id]
+
+    @property
+    def unfinished(self) -> int:
+        return len(self._jobs) - len(self._done)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
+
+    @property
+    def n_leased(self) -> int:
+        return len(self._leases)
+
+    @property
+    def n_done(self) -> int:
+        return len(self._done)
+
+    @property
+    def n_quarantined(self) -> int:
+        return sum(1 for how in self._done.values() if how == "quarantined")
+
+    def is_leased(self, job_id: str) -> bool:
+        return job_id in self._leases
+
+    def lease_of(self, job_id: str) -> Optional[Lease]:
+        return self._leases.get(job_id)

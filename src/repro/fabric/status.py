@@ -1,0 +1,92 @@
+"""Journal inspection: what a campaign did, read straight off the WAL.
+
+``repro-tpi fabric-status <journal>`` answers the operator questions a
+long campaign raises — *how far did it get? did anything get poisoned?
+did it crash and recover?* — from the journal alone, with no access to
+the process that wrote it.  Everything here is read-only: opening a
+journal replays it (tail repair included) but writes nothing new.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .journal import ResultJournal
+from .supervisor import quarantine_dir_for
+
+__all__ = ["format_status", "journal_status"]
+
+
+def journal_status(path: Union[str, Path]) -> Dict[str, object]:
+    """Summarize one fabric journal as a JSON-able dict."""
+    journal_path = Path(path)
+    if not journal_path.exists():
+        raise FileNotFoundError(f"no fabric journal at {journal_path}")
+    journal = ResultJournal(journal_path)
+    try:
+        kinds: Dict[str, int] = {}
+        for record in journal.committed.values():
+            kind = str(record.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        quarantined: List[dict] = []
+        for job_id, record in sorted(journal.quarantined.items()):
+            errors = record.get("errors") or []
+            artifact = record.get("artifact")
+            quarantined.append(
+                {
+                    "job_id": job_id,
+                    "kind": record.get("kind"),
+                    "content_key": record.get("content_key"),
+                    "attempts": record.get("attempts"),
+                    "last_error": (
+                        errors[-1].get("type") if errors else None
+                    ),
+                    "artifact": artifact,
+                    "artifact_present": bool(
+                        artifact and Path(str(artifact)).exists()
+                    ),
+                }
+            )
+        return {
+            "journal": str(journal_path),
+            "commits": len(journal.committed),
+            "quarantined": len(journal.quarantined),
+            "torn_lines": journal.torn_lines,
+            "foreign_records": journal.foreign_records,
+            "kinds": kinds,
+            "quarantine_dir": str(quarantine_dir_for(journal_path)),
+            "quarantine": quarantined,
+        }
+    finally:
+        journal.close()
+
+
+def format_status(status: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`journal_status`."""
+    lines = [
+        f"fabric journal  {status['journal']}",
+        f"  committed     {status['commits']}",
+        f"  quarantined   {status['quarantined']}",
+        f"  torn lines    {status['torn_lines']}"
+        + ("  (crash evidence; repaired on open)" if status["torn_lines"] else ""),
+    ]
+    if status["foreign_records"]:
+        lines.append(f"  foreign recs  {status['foreign_records']}")
+    kinds = status.get("kinds") or {}
+    if kinds:
+        by_kind = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(kinds.items())
+        )
+        lines.append(f"  by kind       {by_kind}")
+    quarantined = status.get("quarantine") or []
+    for entry in quarantined:
+        marker = "+" if entry["artifact_present"] else "-"
+        lines.append(
+            f"  poison [{marker}] {entry['kind']}:{entry['job_id'][:12]} "
+            f"attempts={entry['attempts']} "
+            f"last_error={entry['last_error']}"
+        )
+        if entry["artifact"]:
+            lines.append(f"             artifact: {entry['artifact']}")
+    return "\n".join(lines)

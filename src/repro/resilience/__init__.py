@@ -22,6 +22,7 @@ makes budgets first-class here; §11 covers the chaos hook contract.
 """
 
 from ..errors import (
+    ArtifactWriteError,
     BudgetExceededError,
     CircuitError,
     DivergenceError,
@@ -30,15 +31,29 @@ from ..errors import (
     ReproError,
     SimulationError,
     SolverError,
+    SweepInterrupted,
 )
 from .budget import Budget, Deadline
-from .chaos import CHAOS_ACTIONS, ChaosSpec
+from .chaos import (
+    CHAOS_ACTIONS,
+    FABRIC_CHAOS_ACTIONS,
+    ChaosSpec,
+    FabricChaosSpec,
+)
+from .interrupt import GracefulInterrupt
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "Budget",
     "CHAOS_ACTIONS",
     "ChaosSpec",
+    "FABRIC_CHAOS_ACTIONS",
+    "FabricChaosSpec",
     "Deadline",
+    "DEFAULT_RETRY_POLICY",
+    "GracefulInterrupt",
+    "RetryPolicy",
+    "ArtifactWriteError",
     "BudgetExceededError",
     "DivergenceError",
     "CircuitError",
@@ -47,4 +62,5 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "SolverError",
+    "SweepInterrupted",
 ]

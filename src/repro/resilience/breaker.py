@@ -1,0 +1,103 @@
+"""Circuit breaker: stop trusting a failing substrate, degrade instead.
+
+The fabric's process pool can fail in ways retry cannot fix — a fork
+bomb of dying workers, a poisoned interpreter state, a sandbox that
+kills children on sight.  Retrying individual jobs against a substrate
+that is *systematically* broken burns the whole campaign's wall clock
+discovering the same fact over and over.  A :class:`CircuitBreaker`
+watches the failure stream and **trips** when it sees cascade shape:
+
+* too many *consecutive* job-attempt failures with no success between
+  them (isolated flakes reset the streak; cascades don't), or
+* the process pool breaking more times than a respawn is worth.
+
+Once tripped it stays tripped for the campaign (no half-open probing —
+a campaign is finite; the caller degrades to in-process serial
+execution, which cannot cascade, and the next campaign starts with a
+fresh breaker).  Purely supervisor-side bookkeeping: deterministic,
+lock-free, and trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import obs
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Trip on cascading failures; stay tripped until discarded.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failed job attempts (across all jobs, any success
+        resets) that trip the breaker.
+    pool_break_threshold:
+        :class:`BrokenProcessPool` events that trip it (2 by default:
+        one break earns a respawn, a second proves the respawn didn't
+        help — the same policy the parallel fan-out hardcodes).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        pool_break_threshold: int = 2,
+    ) -> None:
+        if failure_threshold < 1 or pool_break_threshold < 1:
+            raise ValueError("breaker thresholds must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.pool_break_threshold = pool_break_threshold
+        self.consecutive_failures = 0
+        self.pool_breaks = 0
+        self.total_failures = 0
+        self._tripped = False
+        self.trip_reason: Optional[str] = None
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped
+
+    def _trip(self, reason: str) -> None:
+        if self._tripped:
+            return
+        self._tripped = True
+        self.trip_reason = reason
+        obs.count("fabric.breaker_trips")
+        obs.event(
+            "fabric.breaker_open",
+            reason=reason,
+            consecutive_failures=self.consecutive_failures,
+            pool_breaks=self.pool_breaks,
+        )
+
+    def record_success(self) -> None:
+        """A job attempt succeeded; an isolated flake is not a cascade."""
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """A job attempt failed; returns True when this trips the breaker."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            self._trip(
+                f"{self.consecutive_failures} consecutive job failures"
+            )
+        return self._tripped
+
+    def record_pool_break(self) -> bool:
+        """The process pool broke; returns True when this trips the breaker."""
+        self.pool_breaks += 1
+        if self.pool_breaks >= self.pool_break_threshold:
+            self._trip(f"process pool broke {self.pool_breaks} times")
+        return self._tripped
+
+    def describe(self) -> str:
+        state = f"OPEN ({self.trip_reason})" if self._tripped else "closed"
+        return (
+            f"breaker {state}: {self.total_failures} failures "
+            f"({self.consecutive_failures} consecutive), "
+            f"{self.pool_breaks} pool breaks"
+        )

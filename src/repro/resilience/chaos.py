@@ -24,17 +24,28 @@ only to a chunk's first attempt, so every hardened run must converge to
 the serial result — which is exactly the property the chaos tests
 assert.
 
-Nothing here ever fires in production: ``run_parallel(chaos=None)`` (the
-default) skips every hook.
+The sweep fabric (:mod:`repro.fabric`) has its own, wider fault surface —
+besides worker-process mayhem it must survive *supervisor-side* failures
+(journal writes hitting ENOSPC, duplicate completions racing the commit
+point).  :class:`FabricChaosSpec` covers it with the same contract:
+seeded, deterministic per ``(job_index, attempt)``, and off by default.
+
+Nothing here ever fires in production: ``run_parallel(chaos=None)`` /
+``FabricSupervisor(chaos=None)`` (the defaults) skip every hook.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
-__all__ = ["CHAOS_ACTIONS", "ChaosSpec"]
+__all__ = [
+    "CHAOS_ACTIONS",
+    "ChaosSpec",
+    "FABRIC_CHAOS_ACTIONS",
+    "FabricChaosSpec",
+]
 
 #: Everything a chaos hook can do to a chunk attempt.
 CHAOS_ACTIONS = ("crash", "hang", "corrupt", "spurious")
@@ -89,21 +100,123 @@ class ChaosSpec:
         for idx, act in self.forced:
             if idx == chunk_index:
                 return act
-        if not (self.crash or self.hang or self.corrupt or self.spurious):
-            return None
-        roll = random.Random(
-            f"chaos:{self.seed}:{chunk_index}:{attempt}"
-        ).random()
-        edge = self.crash
-        if roll < edge:
-            return "crash"
-        edge += self.hang
-        if roll < edge:
-            return "hang"
-        edge += self.corrupt
-        if roll < edge:
-            return "corrupt"
-        edge += self.spurious
-        if roll < edge:
-            return "spurious"
+        bands = (
+            ("crash", self.crash),
+            ("hang", self.hang),
+            ("corrupt", self.corrupt),
+            ("spurious", self.spurious),
+        )
+        return _banded_roll(
+            f"chaos:{self.seed}:{chunk_index}:{attempt}", bands
+        )
+
+
+def _banded_roll(
+    seed_key: str, bands: Sequence[Tuple[str, float]]
+) -> Optional[str]:
+    """One uniform draw partitioned into probability bands.
+
+    The draw is keyed by ``seed_key`` alone, so the same key always
+    lands in the same band — in the parent, in any worker, on any host.
+    """
+    if not any(p for _name, p in bands):
         return None
+    roll = random.Random(seed_key).random()
+    edge = 0.0
+    for name, p in bands:
+        edge += p
+        if roll < edge:
+            return name
+    return None
+
+
+#: Everything fabric chaos can do to a job attempt.  The first four are
+#: inflicted inside the worker process; ``enospc`` and ``duplicate``
+#: strike the *supervisor* side (journal append failure, double commit).
+FABRIC_CHAOS_ACTIONS = (
+    "crash",      # worker process dies hard mid-lease (os._exit)
+    "stall",      # worker stops heartbeating and sleeps past lease expiry
+    "corrupt",    # worker returns a malformed result payload
+    "spurious",   # worker raises an unexpected exception
+    "enospc",     # the journal append for this job's commit fails once
+    "duplicate",  # a second completion for the job races the commit
+)
+
+
+@dataclass(frozen=True)
+class FabricChaosSpec:
+    """Seeded fault-injection plan for one fabric campaign.
+
+    Mirrors :class:`ChaosSpec` (banded probabilities over one uniform
+    draw per ``(job_index, attempt)``, ``forced`` pins, first-attempt-
+    only by default) over the fabric's fault surface:
+
+    * ``crash`` — the worker leasing the job dies hard, breaking the
+      pool (exercises pool respawn, lease bookkeeping, the breaker);
+    * ``stall`` — the worker suppresses its heartbeat and sleeps
+      ``stall_seconds`` (exercises heartbeat-based lease expiry and
+      re-dispatch; the stalled attempt's late result must lose to the
+      exactly-once commit);
+    * ``corrupt`` — the worker returns a malformed payload (exercises
+      supervisor-side shape validation + retry);
+    * ``spurious`` — the worker raises (plain retry path);
+    * ``enospc`` — the journal append committing this job fails once
+      with ``ENOSPC`` (exercises commit retry; the job must still
+      commit exactly once);
+    * ``duplicate`` — a duplicate completion for the job is offered to
+      the journal after the real commit (must be rejected, not
+      double-counted).
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    stall: float = 0.0
+    corrupt: float = 0.0
+    spurious: float = 0.0
+    enospc: float = 0.0
+    duplicate: float = 0.0
+    #: How long a stalled worker sleeps (keep well above the
+    #: supervisor's ``lease_timeout_s`` so the lease actually expires).
+    stall_seconds: float = 30.0
+    #: With True (default) chaos only strikes a job's first attempt, so
+    #: retries converge; False re-rolls per attempt (torture mode).
+    first_attempt_only: bool = True
+    forced: Tuple[Tuple[int, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        total = (
+            self.crash + self.stall + self.corrupt
+            + self.spurious + self.enospc + self.duplicate
+        )
+        if total > 1.0 + 1e-12:
+            raise ValueError(f"chaos probabilities sum to {total:g} > 1")
+        for _idx, act in self.forced:
+            if act not in FABRIC_CHAOS_ACTIONS:
+                raise ValueError(
+                    f"unknown fabric chaos action {act!r} "
+                    f"(choose from {FABRIC_CHAOS_ACTIONS})"
+                )
+
+    def action(self, job_index: int, attempt: int) -> Optional[str]:
+        """The action (if any) to inflict on this job attempt.
+
+        Pure and deterministic — the supervisor and the worker agree on
+        the answer without communicating, which is what lets worker-side
+        and supervisor-side faults share one spec.
+        """
+        if attempt > 0 and self.first_attempt_only:
+            return None
+        for idx, act in self.forced:
+            if idx == job_index:
+                return act
+        bands = (
+            ("crash", self.crash),
+            ("stall", self.stall),
+            ("corrupt", self.corrupt),
+            ("spurious", self.spurious),
+            ("enospc", self.enospc),
+            ("duplicate", self.duplicate),
+        )
+        return _banded_roll(
+            f"fabric-chaos:{self.seed}:{job_index}:{attempt}", bands
+        )

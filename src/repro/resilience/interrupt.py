@@ -1,0 +1,125 @@
+"""Cooperative SIGTERM/SIGINT handling for long campaigns.
+
+A sweep or experiment campaign can run for hours; the operator (or the
+CI runner, or a preempting scheduler) stopping it must not cost the work
+already done.  The checkpoint/journal writers already make every
+completed item durable, so the only thing a signal needs to do is stop
+the loop *at the next item boundary* — no item is ever torn, and a rerun
+with the same results file resumes exactly where the stop landed.
+
+:class:`GracefulInterrupt` implements that: it swaps in handlers that
+set a flag (first signal) and restore default behavior (second signal —
+the escape hatch when the current item itself hangs), and the campaign
+loops call :meth:`check` between items, which raises
+:class:`~repro.errors.SweepInterrupted`.  The CLI maps that error to its
+own exit code (``5``) so wrappers can tell "killed but resumable" apart
+from failure.
+
+Signal handlers are process-global and only installable from the main
+thread; off the main thread (a fabric worker, a test harness thread)
+the context manager degrades to a no-op flag that only
+:meth:`request` can set — the campaign still works, it just cannot be
+signalled.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from types import FrameType
+from typing import Optional
+
+from ..errors import SweepInterrupted
+
+__all__ = ["GracefulInterrupt"]
+
+#: The signals a campaign treats as "stop soon, resumably".
+_HANDLED = (signal.SIGTERM, signal.SIGINT)
+
+
+class GracefulInterrupt:
+    """Context manager turning SIGTERM/SIGINT into a checked flag.
+
+    Usage::
+
+        with GracefulInterrupt() as stop:
+            for item in items:
+                run(item)            # item result flushed durably
+                stop.check(done, remaining)   # raises SweepInterrupted
+
+    The first signal sets the flag; the second restores the previous
+    handlers and re-raises immediately (so a stuck item can still be
+    killed the ordinary way).  On exit the previous handlers are always
+    restored.
+    """
+
+    def __init__(self, install: bool = True) -> None:
+        self._flag = threading.Event()
+        self._signal_name: Optional[str] = None
+        self._previous: dict = {}
+        self._installed = False
+        self._want_install = install
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "GracefulInterrupt":
+        if (
+            self._want_install
+            and threading.current_thread() is threading.main_thread()
+        ):
+            try:
+                for sig in _HANDLED:
+                    self._previous[sig] = signal.signal(sig, self._handle)
+                self._installed = True
+            except (ValueError, OSError):
+                # Another harness owns signal dispatch here; degrade to
+                # the request()-only flag.
+                self._restore()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._restore()
+        return False
+
+    def _restore(self) -> None:
+        for sig, handler in self._previous.items():
+            try:
+                signal.signal(sig, handler)
+            except (ValueError, OSError):
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    # -- signal side ----------------------------------------------------
+    def _handle(self, signum: int, _frame: Optional[FrameType]) -> None:
+        if self._flag.is_set():
+            # Second signal: the operator means it.  Restore the old
+            # handlers and re-deliver so default disposition applies.
+            self._restore()
+            signal.raise_signal(signum)
+            return
+        self._signal_name = signal.Signals(signum).name
+        self._flag.set()
+
+    # -- campaign side --------------------------------------------------
+    @property
+    def requested(self) -> bool:
+        """True once a stop has been requested (signal or :meth:`request`)."""
+        return self._flag.is_set()
+
+    @property
+    def signal_name(self) -> str:
+        return self._signal_name or "SIGTERM"
+
+    def request(self, signal_name: str = "SIGTERM") -> None:
+        """Programmatic stop request (tests, embedding harnesses)."""
+        self._signal_name = signal_name
+        self._flag.set()
+
+    def check(self, completed: int = 0, remaining: int = 0) -> None:
+        """Raise :class:`SweepInterrupted` if a stop was requested.
+
+        Call at item boundaries only — after the in-flight item's record
+        has been flushed — so the raise is always resumable.
+        """
+        if self._flag.is_set():
+            raise SweepInterrupted(self.signal_name, completed, remaining)

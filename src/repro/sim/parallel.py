@@ -56,6 +56,7 @@ from .. import obs
 from ..errors import BudgetExceededError, SimulationError
 from ..resilience import Budget
 from ..resilience.chaos import ChaosSpec
+from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .compile import get_compiled, resolve_kernel, seed_registry
 from .fault_sim import FaultSimResult, FaultSimulator
 from .faults import Fault
@@ -68,12 +69,7 @@ MIN_FAULTS_PER_JOB = 4
 
 #: Attempts per chunk (first try + retries) before the parent computes
 #: the chunk itself.
-DEFAULT_MAX_ATTEMPTS = 3
-
-#: Exponential backoff before chunk retries: ``0.05 * 2**(attempt-1)``
-#: seconds, capped.
-_BACKOFF_BASE = 0.05
-_BACKOFF_CAP = 0.5
+DEFAULT_MAX_ATTEMPTS = DEFAULT_RETRY_POLICY.max_attempts
 
 # ---------------------------------------------------------------------------
 # Worker side.  State is primed once per worker process via the pool
@@ -260,7 +256,7 @@ def _fan_out(
     max_workers: int,
     initargs: tuple,
     chunk_timeout: Optional[float],
-    max_attempts: int,
+    retry_policy: RetryPolicy,
     serial_chunk,
 ) -> List[tuple]:
     """Submit every chunk, survive misbehaving workers, return payloads.
@@ -309,7 +305,7 @@ def _fan_out(
 
     def retry(idx: int, reason: str) -> None:
         attempts[idx] += 1
-        if attempts[idx] >= max_attempts:
+        if not retry_policy.should_retry(attempts[idx]):
             degrade(idx)
             return
         obs.count("parallel.retries")
@@ -319,9 +315,7 @@ def _fan_out(
             attempt=attempts[idx],
             reason=reason,
         )
-        time.sleep(
-            min(_BACKOFF_BASE * (2 ** (attempts[idx] - 1)), _BACKOFF_CAP)
-        )
+        retry_policy.sleep(attempts[idx], key=str(idx))
         submit(idx)
 
     def handle_broken() -> None:
@@ -538,6 +532,7 @@ def run_parallel(
     chaos: Optional[ChaosSpec] = None,
     chunk_timeout: Optional[float] = None,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> FaultSimResult:
     """Fault-simulate with the fault list fanned out over ``jobs`` processes.
 
@@ -578,6 +573,12 @@ def run_parallel(
         Worker attempts per chunk (first try + retries, with capped
         exponential backoff) before the parent computes the chunk
         serially itself (``parallel.degraded``).
+    retry_policy:
+        Full backoff schedule (:class:`~repro.resilience.retry.
+        RetryPolicy`).  Defaults to the shared
+        :data:`~repro.resilience.retry.DEFAULT_RETRY_POLICY` with
+        ``max_attempts`` applied; passing both keeps the policy's
+        schedule but ``retry_policy.max_attempts`` wins.
 
     Failure handling never changes the result, only the wall clock:
     crashed/hung/corrupt chunks are retried (``parallel.retries``), one
@@ -588,6 +589,10 @@ def run_parallel(
     """
     if mode not in ("exact", "coverage"):
         raise SimulationError(f"unknown parallel fault-sim mode {mode!r}")
+    if retry_policy is None:
+        retry_policy = DEFAULT_RETRY_POLICY.replaced(
+            max_attempts=max_attempts
+        )
     kernel = resolve_kernel(kernel)
     sim = FaultSimulator(circuit, kernel=kernel)
     faults = sim._resolve_faults(faults, collapse)
@@ -720,7 +725,7 @@ def run_parallel(
                     run_id,
                 ),
                 chunk_timeout=chunk_timeout,
-                max_attempts=max_attempts,
+                retry_policy=retry_policy,
                 serial_chunk=serial_chunk,
             )
         except BudgetExceededError:

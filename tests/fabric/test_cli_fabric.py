@@ -1,0 +1,130 @@
+"""The fabric's CLI surface: sweep --fabric and fabric-status."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_OK, EXIT_USAGE, main
+from repro.resilience.chaos import FabricChaosSpec
+
+
+class TestSweepFabric:
+    def test_fabric_sweep_runs_and_resumes(
+        self, tmp_path, bench_paths, capsys
+    ):
+        journal = tmp_path / "sweep.journal"
+        argv = [
+            "sweep",
+            str(bench_paths[0].parent),
+            "--results",
+            str(journal),
+            "--patterns",
+            "64",
+            "--fabric",
+            "--workers",
+            "2",
+        ]
+        assert main(argv) == EXIT_OK
+        err = capsys.readouterr().err
+        assert f"swept {len(bench_paths)}/{len(bench_paths)}" in err
+        before = journal.read_text()
+        # A rerun serves everything from the journal and writes nothing.
+        assert main(argv) == EXIT_OK
+        assert journal.read_text() == before
+
+    def test_no_resume_with_fabric_is_a_usage_error(
+        self, tmp_path, bench_paths, capsys
+    ):
+        with pytest.raises(SystemExit) as ei:
+            main(
+                [
+                    "sweep",
+                    str(bench_paths[0].parent),
+                    "--results",
+                    str(tmp_path / "j.journal"),
+                    "--fabric",
+                    "--no-resume",
+                ]
+            )
+        assert ei.value.code == EXIT_USAGE
+        assert "content-addressed" in capsys.readouterr().err
+
+
+class TestExperimentsFabric:
+    def test_fabric_campaign_runs_and_resumes(self, tmp_path, capsys):
+        journal = tmp_path / "exp.journal"
+        argv = [
+            "experiments",
+            "--only",
+            "t2",
+            "--results",
+            str(journal),
+            "--fabric",
+        ]
+        assert main(argv) == EXIT_OK
+        assert "1 ok, 0 failed" in capsys.readouterr().err
+        before = journal.read_text()
+        assert main(argv) == EXIT_OK
+        assert journal.read_text() == before
+
+    def test_fabric_without_results_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["experiments", "--only", "t2", "--fabric"])
+        assert ei.value.code == EXIT_USAGE
+        assert "--results" in capsys.readouterr().err
+
+    def test_no_resume_with_fabric_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(
+                [
+                    "experiments",
+                    "--only",
+                    "t2",
+                    "--results",
+                    str(tmp_path / "exp.journal"),
+                    "--fabric",
+                    "--no-resume",
+                ]
+            )
+        assert ei.value.code == EXIT_USAGE
+        assert "content-addressed" in capsys.readouterr().err
+
+
+class TestFabricStatus:
+    def test_status_reports_commits_and_poison(
+        self, tmp_path, bench_paths, capsys
+    ):
+        from repro.analysis import experiments as exps
+
+        journal = tmp_path / "sweep.journal"
+        exps.run_circuit_sweep(
+            bench_paths,
+            journal,
+            n_patterns=64,
+            fabric=True,
+            workers=2,
+            chaos=FabricChaosSpec(
+                forced=((1, "spurious"),), first_attempt_only=False
+            ),
+        )
+        assert main(["fabric-status", str(journal)]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert f"committed     {len(bench_paths) - 1}" in out
+        assert "quarantined   1" in out
+        assert "poison [+]" in out  # artifact written and present
+
+        assert main(["fabric-status", str(journal), "--json"]) == EXIT_OK
+        status = json.loads(capsys.readouterr().out)
+        assert status["commits"] == len(bench_paths) - 1
+        assert status["quarantined"] == 1
+        assert status["kinds"] == {"sweep_circuit": len(bench_paths) - 1}
+        assert status["quarantine"][0]["last_error"] == "RuntimeError"
+        assert status["quarantine"][0]["artifact_present"] is True
+
+    def test_missing_journal_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["fabric-status", str(tmp_path / "nope.journal")])
+        assert ei.value.code == EXIT_USAGE
+        assert "no fabric journal" in capsys.readouterr().err

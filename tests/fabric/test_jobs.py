@@ -1,0 +1,66 @@
+"""Job identity: content addressing must be canonical and collision-free."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import Job, config_digest, job_id_for
+
+
+class TestConfigDigest:
+    def test_key_order_does_not_matter(self):
+        a = config_digest({"x": 1, "y": [1, 2], "z": None})
+        b = config_digest({"z": None, "y": [1, 2], "x": 1})
+        assert a == b
+
+    def test_values_matter(self):
+        assert config_digest({"x": 1}) != config_digest({"x": 2})
+
+    def test_container_identity_does_not_matter(self):
+        class Mapping(dict):
+            pass
+
+        assert config_digest({"x": 1}) == config_digest(Mapping(x=1))
+
+    def test_non_serializable_is_loud(self):
+        with pytest.raises(ValueError, match="serializable"):
+            config_digest({"x": object()})
+
+
+class TestJobId:
+    def test_all_three_parts_distinguish(self):
+        base = job_id_for("sweep_circuit", "circuit:abc", "cfg1")
+        assert job_id_for("experiment", "circuit:abc", "cfg1") != base
+        assert job_id_for("sweep_circuit", "circuit:abd", "cfg1") != base
+        assert job_id_for("sweep_circuit", "circuit:abc", "cfg2") != base
+
+    def test_concatenation_is_not_ambiguous(self):
+        # NUL separators: ("ab","c") must not collide with ("a","bc").
+        assert job_id_for("k", "ab", "c") != job_id_for("k", "a", "bc")
+
+
+class TestJobBuild:
+    def test_build_derives_identity(self):
+        job = Job.build("sweep_circuit", "circuit:xyz", {"n": 4})
+        assert job.job_id == job_id_for(
+            "sweep_circuit", "circuit:xyz", config_digest({"n": 4})
+        )
+
+    def test_same_content_same_id(self):
+        a = Job.build("sweep_circuit", "c", {"n": 4}, payload={"p": "one"})
+        b = Job.build(
+            "sweep_circuit", "c", {"n": 4}, payload={"p": "two"}, index=9
+        )
+        # Payload and index are execution details, not identity.
+        assert a.job_id == b.job_id
+
+    def test_to_dict_round_trip(self):
+        job = Job.build("experiment", "experiment:t1", {}, index=3)
+        clone = Job(**job.to_dict())
+        assert clone == job
+
+    def test_payload_is_copied(self):
+        payload = {"path": "a.bench"}
+        job = Job.build("sweep_circuit", "c", {}, payload=payload)
+        payload["path"] = "mutated"
+        assert job.payload["path"] == "a.bench"

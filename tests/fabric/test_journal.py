@@ -1,0 +1,165 @@
+"""The result journal: durable, torn-tolerant, exactly-once.
+
+Every test here is about one invariant: a job's commit record exists in
+the journal exactly once, no matter how the file was torn, reopened,
+or offered duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.fabric import Job, ResultJournal
+
+
+def _job(n=0):
+    return Job.build(
+        "sweep_circuit", f"circuit:{n}", {"n": n}, payload={"i": n}, index=n
+    )
+
+
+class TestCommit:
+    def test_commit_and_query(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            job = _job()
+            assert not journal.is_done(job.job_id)
+            assert journal.commit(job, {"status": "ok"}) is True
+            assert journal.is_done(job.job_id)
+            assert journal.result_for(job.job_id) == {"status": "ok"}
+
+    def test_duplicate_commit_refused(self, tmp_path, counters):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            job = _job()
+            journal.commit(job, {"status": "ok"})
+            with counters() as ctrs:
+                assert journal.commit(job, {"status": "other"}) is False
+            assert ctrs.value("fabric.duplicates_rejected") == 1
+            # The first result stands; nothing extra was written.
+            assert journal.result_for(job.job_id) == {"status": "ok"}
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+
+    def test_exactly_once_across_reopen(self, tmp_path):
+        path = tmp_path / "j.journal"
+        job = _job()
+        with ResultJournal(path) as journal:
+            journal.commit(job, {"status": "ok"})
+        with ResultJournal(path) as reopened:
+            assert reopened.is_done(job.job_id)
+            assert reopened.commit(job, {"status": "replayed"}) is False
+            assert reopened.result_for(job.job_id) == {"status": "ok"}
+
+    def test_seq_is_monotonic_across_reopen(self, tmp_path):
+        path = tmp_path / "j.journal"
+        with ResultJournal(path) as journal:
+            journal.commit(_job(0), {"status": "ok"})
+        with ResultJournal(path) as journal:
+            journal.commit(_job(1), {"status": "ok"})
+        seqs = [
+            json.loads(line)["seq"] for line in path.read_text().splitlines()
+        ]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestQuarantine:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.journal"
+        job = _job()
+        errors = [{"type": "RuntimeError", "message": "boom"}]
+        with ResultJournal(path) as journal:
+            assert journal.record_quarantine(
+                job, attempts=3, errors=errors, artifact="/tmp/q"
+            )
+            assert journal.is_done(job.job_id)
+            assert journal.result_for(job.job_id) is None
+        with ResultJournal(path) as reopened:
+            record = reopened.quarantined[job.job_id]
+            assert record["attempts"] == 3
+            assert record["errors"] == errors
+            assert record["artifact"] == "/tmp/q"
+            # Poison stays poison: commits after quarantine are refused.
+            assert reopened.commit(job, {"status": "ok"}) is False
+
+
+class TestCrashRecovery:
+    def test_torn_tail_is_repaired_and_skipped(self, tmp_path):
+        path = tmp_path / "j.journal"
+        job = _job()
+        with ResultJournal(path) as journal:
+            journal.commit(job, {"status": "ok"})
+        # A crash mid-append tears the last line (no trailing newline).
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "commit", "job_id": "torn-victim", "re')
+        with ResultJournal(path) as recovered:
+            assert recovered.torn_lines == 1
+            assert recovered.is_done(job.job_id)
+            assert not recovered.is_done("torn-victim")
+            # The append position was realigned: a fresh commit decodes.
+            other = _job(1)
+            recovered.commit(other, {"status": "ok"})
+        with ResultJournal(path) as final:
+            assert final.is_done(other.job_id)
+            assert final.torn_lines == 1
+
+    def test_recover_append_realigns_partial_line(self, tmp_path):
+        path = tmp_path / "j.journal"
+        journal = ResultJournal(path)
+        journal.commit(_job(0), {"status": "ok"})
+        # Simulate a failed append that left a partial fragment.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "commit", "jo')
+        journal.recover_append()
+        journal.commit(_job(1), {"status": "ok"})
+        journal.close()
+        with ResultJournal(path) as recovered:
+            assert recovered.torn_lines == 1
+            assert recovered.is_done(_job(0).job_id)
+            assert recovered.is_done(_job(1).job_id)
+
+    def test_foreign_records_preserved_and_ignored(self, tmp_path):
+        path = tmp_path / "j.journal"
+        path.write_text(
+            json.dumps({"circuit": "c0", "status": "ok"}) + "\n"
+        )
+        with ResultJournal(path) as journal:
+            assert journal.foreign_records == 1
+            job = _job()
+            journal.commit(job, {"status": "ok"})
+        # The foreign line is still there, verbatim, first.
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"circuit": "c0", "status": "ok"}
+        assert len(lines) == 2
+
+    def test_empty_and_missing_files(self, tmp_path):
+        missing = ResultJournal(tmp_path / "nope.journal")
+        assert missing.committed == {}
+        empty_path = tmp_path / "empty.journal"
+        empty_path.write_text("")
+        empty = ResultJournal(empty_path)
+        assert empty.committed == {}
+        assert empty.torn_lines == 0
+
+
+class TestFirstCommitWins:
+    def test_replay_keeps_the_earlier_record(self, tmp_path):
+        # A pre-fix writer (or byte-level corruption undone by fsck)
+        # could leave two commit lines for one job; replay must trust
+        # the earlier one.
+        path = tmp_path / "j.journal"
+        job = _job()
+        base = {
+            "schema": "fabric-journal/1",
+            "type": "commit",
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "content_key": job.content_key,
+            "config_digest": job.config_digest,
+        }
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({**base, "seq": 0, "result": {"v": 1}}) + "\n")
+            handle.write(json.dumps({**base, "seq": 1, "result": {"v": 2}}) + "\n")
+        with ResultJournal(path) as journal:
+            assert journal.result_for(job.job_id) == {"v": 1}

@@ -1,0 +1,157 @@
+"""The lease state machine, exercised with a hand-driven clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import Job, WorkQueue
+
+
+def _job(n=0):
+    return Job.build(
+        "sweep_circuit", f"circuit:{n}", {"n": n}, payload={"i": n}, index=n
+    )
+
+
+def _queue(**kw):
+    kw.setdefault("lease_timeout_s", 10.0)
+    kw.setdefault("max_attempts", 3)
+    return WorkQueue(**kw)
+
+
+class TestPopulation:
+    def test_add_and_dedup(self):
+        q = _queue()
+        job = _job()
+        assert q.add(job) is True
+        assert q.add(job) is False  # same job_id: merged, not queued twice
+        assert q.unfinished == 1
+        assert q.job_ids() == [job.job_id]
+
+    def test_lease_order_is_campaign_order(self):
+        q = _queue()
+        jobs = [_job(i) for i in range(3)]
+        for job in jobs:
+            q.add(job)
+        leased = [q.lease_next(now=0.0).job.job_id for _ in jobs]
+        assert leased == [job.job_id for job in jobs]
+        assert q.lease_next(now=0.0) is None  # nothing pending
+
+    def test_mark_done_skips_resumed_jobs(self):
+        q = _queue()
+        a, b = _job(0), _job(1)
+        q.add(a)
+        q.add(b)
+        q.mark_done(a.job_id)
+        lease = q.lease_next(now=0.0)
+        assert lease.job.job_id == b.job_id
+        assert q.unfinished == 1
+
+    def test_bad_parameters_are_loud(self):
+        with pytest.raises(ValueError):
+            WorkQueue(lease_timeout_s=0)
+        with pytest.raises(ValueError):
+            WorkQueue(max_attempts=0)
+
+
+class TestLiveness:
+    def test_heartbeat_extends_expiry(self):
+        q = _queue(lease_timeout_s=10.0)
+        job = _job()
+        q.add(job)
+        lease = q.lease_next(now=0.0)
+        assert lease.expires_at == 10.0
+        assert q.heartbeat(job.job_id, now=8.0) is True
+        assert lease.expires_at == 18.0
+        assert lease.heartbeats == 1
+        assert q.expired(now=17.0) == []
+        assert q.expired(now=18.0) == [lease]
+
+    def test_heartbeat_for_unleased_job_is_ignored(self):
+        q = _queue()
+        job = _job()
+        q.add(job)
+        assert q.heartbeat(job.job_id, now=0.0) is False
+
+    def test_next_expiry_tracks_earliest(self):
+        q = _queue(lease_timeout_s=10.0)
+        a, b = _job(0), _job(1)
+        q.add(a)
+        q.add(b)
+        q.lease_next(now=0.0)
+        q.lease_next(now=3.0)
+        assert q.next_expiry() == 10.0
+        q.heartbeat(a.job_id, now=5.0)
+        assert q.next_expiry() == 13.0
+
+
+class TestSettlement:
+    def test_complete_is_first_wins(self):
+        q = _queue()
+        job = _job()
+        q.add(job)
+        q.lease_next(now=0.0)
+        assert q.complete(job.job_id) is True
+        # A late result from a superseded lease settles nothing.
+        assert q.complete(job.job_id) is False
+        assert q.unfinished == 0
+
+    def test_fail_retries_at_front_of_queue(self):
+        q = _queue()
+        flaky, steady = _job(0), _job(1)
+        q.add(flaky)
+        q.add(steady)
+        q.lease_next(now=0.0)  # flaky, attempt 0
+        assert q.fail(flaky.job_id) == "retry"
+        # The retry preempts jobs that have not started yet.
+        lease = q.lease_next(now=1.0)
+        assert lease.job.job_id == flaky.job_id
+        assert lease.attempt == 1
+
+    def test_fail_exhausts_into_quarantine(self):
+        q = _queue(max_attempts=2)
+        job = _job()
+        q.add(job)
+        q.lease_next(now=0.0)
+        assert q.fail(job.job_id) == "retry"
+        q.lease_next(now=1.0)
+        assert q.fail(job.job_id) == "quarantine"
+        q.quarantine(job.job_id)
+        assert q.n_quarantined == 1
+        assert q.unfinished == 0
+        assert q.fail(job.job_id) == "settled"
+
+    def test_fail_after_settlement_is_settled(self):
+        q = _queue()
+        job = _job()
+        q.add(job)
+        q.lease_next(now=0.0)
+        q.complete(job.job_id)
+        assert q.fail(job.job_id) == "settled"
+
+
+class TestRelease:
+    def test_release_uncounts_the_attempt(self):
+        q = _queue()
+        job = _job()
+        q.add(job)
+        lease = q.lease_next(now=0.0)
+        assert q.attempts(job.job_id) == 1
+        q.release(lease)
+        assert q.attempts(job.job_id) == 0
+        assert not q.is_leased(job.job_id)
+        # The job leases again as if nothing happened.
+        again = q.lease_next(now=1.0)
+        assert again.job.job_id == job.job_id
+        assert again.attempt == 0
+
+    def test_release_of_superseded_lease_is_a_noop(self):
+        q = _queue(lease_timeout_s=1.0)
+        job = _job()
+        q.add(job)
+        stale = q.lease_next(now=0.0)
+        q.fail(job.job_id)  # expiry path: back to pending
+        fresh = q.lease_next(now=2.0)
+        q.release(stale)  # stale handle must not clobber the fresh lease
+        assert q.lease_of(job.job_id) is fresh
+        assert q.attempts(job.job_id) == 2

@@ -7,6 +7,7 @@ import pytest
 from repro.cli import (
     EXIT_BUDGET,
     EXIT_INFEASIBLE,
+    EXIT_INTERRUPTED,
     EXIT_OK,
     EXIT_USAGE,
     main,
@@ -15,12 +16,13 @@ from repro.cli import (
 
 class TestExitCodes:
     def test_constants(self):
-        assert (EXIT_OK, EXIT_INFEASIBLE, EXIT_USAGE, EXIT_BUDGET) == (
-            0,
-            1,
-            2,
-            3,
-        )
+        assert (
+            EXIT_OK,
+            EXIT_INFEASIBLE,
+            EXIT_USAGE,
+            EXIT_BUDGET,
+            EXIT_INTERRUPTED,
+        ) == (0, 1, 2, 3, 5)
 
     def test_parse_error_is_exit_2_with_location(self, tmp_path, capsys):
         path = tmp_path / "broken.bench"

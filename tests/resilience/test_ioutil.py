@@ -1,0 +1,108 @@
+"""Satellite 2: ioutil under injected filesystem failure (ENOSPC et al.)."""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro import ioutil
+from repro.errors import ArtifactWriteError, ReproError
+
+
+def _fail_on(step):
+    def hook(op, path):
+        if op == step:
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+
+    return hook
+
+
+class TestAtomicWrite:
+    @pytest.mark.parametrize("step", ["write", "fsync", "replace"])
+    def test_failure_at_any_step_is_structured_and_clean(
+        self, tmp_path, step
+    ):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old content")
+        with ioutil.inject_faults(_fail_on(step)):
+            with pytest.raises(ArtifactWriteError) as ei:
+                ioutil.atomic_write_text(target, "new content")
+        # Structured: the op that failed and the errno, not a bare string.
+        assert ei.value.op == step
+        assert ei.value.errno == errno.ENOSPC
+        assert isinstance(ei.value, ReproError)
+        # Atomic: the destination still holds the old content.
+        assert target.read_text() == "old content"
+        # Clean: no temporary droppings left behind.
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_success_after_hook_removed(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        with ioutil.inject_faults(_fail_on("fsync")):
+            with pytest.raises(ArtifactWriteError):
+                ioutil.atomic_write_text(target, "x")
+        ioutil.atomic_write_text(target, "x")  # hook restored on exit
+        assert target.read_text() == "x"
+
+    def test_atomic_write_json(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        ioutil.atomic_write_json(target, {"b": 2, "a": 1})
+        assert json.loads(target.read_text()) == {"a": 1, "b": 2}
+
+
+class TestDurableAppend:
+    def test_append_failure_is_structured(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        with target.open("a", encoding="utf-8") as handle:
+            with ioutil.inject_faults(_fail_on("append")):
+                with pytest.raises(ArtifactWriteError) as ei:
+                    ioutil.append_durable_line(handle, "{}", path=target)
+            assert ei.value.op == "append"
+            assert ei.value.errno == errno.ENOSPC
+            # The hook fires before the write: nothing was torn.
+            ioutil.append_durable_line(handle, '{"ok": 1}', path=target)
+        assert target.read_text() == '{"ok": 1}\n'
+
+    def test_embedded_newline_is_rejected(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        with target.open("a", encoding="utf-8") as handle:
+            with pytest.raises(ValueError, match="single line"):
+                ioutil.append_durable_line(handle, "a\nb", path=target)
+
+
+class TestTailRepair:
+    def test_torn_tail_is_terminated(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a": 1}\n{"torn": ')
+        assert ioutil.repair_jsonl_tail(target) is True
+        assert target.read_text().endswith("\n")
+        records, good, bad = ioutil.read_jsonl_tolerant(target)
+        assert records == [{"a": 1}]
+        assert bad == ['{"torn": ']
+
+    def test_aligned_file_is_untouched(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a": 1}\n')
+        assert ioutil.repair_jsonl_tail(target) is False
+        assert ioutil.repair_jsonl_tail(tmp_path / "missing.jsonl") is False
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert ioutil.repair_jsonl_tail(empty) is False
+
+
+class TestTolerantReader:
+    def test_partitions_good_and_bad(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text(
+            '{"a": 1}\n'
+            "not json at all\n"
+            "\n"              # blank lines are skipped, not casualties
+            '[1, 2, 3]\n'     # decodes, but not an object
+            '{"b": 2}\n'
+        )
+        records, good, bad = ioutil.read_jsonl_tolerant(target)
+        assert records == [{"a": 1}, {"b": 2}]
+        assert good == ['{"a": 1}', '{"b": 2}']
+        assert bad == ["not json at all", "[1, 2, 3]"]

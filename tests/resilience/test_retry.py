@@ -1,0 +1,89 @@
+"""Satellite 1: the shared RetryPolicy pins the historical schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+
+class TestSchedule:
+    def test_default_matches_the_historical_fanout_schedule(self):
+        # The parallel fan-out always slept 0.05 * 2**(k-1) capped at
+        # 0.5s; the extraction must be bit-for-bit that schedule.
+        delays = [DEFAULT_RETRY_POLICY.delay_s(k) for k in range(1, 6)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.5]
+
+    def test_cap_holds_forever(self):
+        assert DEFAULT_RETRY_POLICY.delay_s(50) == 0.5
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            DEFAULT_RETRY_POLICY.delay_s(0)
+
+
+class TestShouldRetry:
+    def test_boundary(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(0)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not policy.should_retry(4)
+
+
+class TestJitter:
+    def test_deterministic_per_seed_key_attempt(self):
+        policy = RetryPolicy(jitter=0.5, seed=11)
+        assert policy.delay_s(2, key="job-a") == policy.delay_s(2, key="job-a")
+        assert policy.delay_s(2, key="job-a") != policy.delay_s(2, key="job-b")
+        assert policy.delay_s(2, key="job-a") != policy.delay_s(3, key="job-a")
+        other_seed = policy.replaced(seed=12)
+        assert policy.delay_s(2, key="job-a") != other_seed.delay_s(
+            2, key="job-a"
+        )
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(jitter=0.25, seed=3)
+        for attempt in range(1, 8):
+            base = DEFAULT_RETRY_POLICY.delay_s(attempt)
+            jittered = policy.delay_s(attempt, key="k")
+            assert base <= jittered < base * 1.25
+
+    def test_zero_jitter_ignores_key_and_seed(self):
+        a = RetryPolicy(seed=1).delay_s(3, key="x")
+        b = RetryPolicy(seed=2).delay_s(3, key="y")
+        assert a == b == 0.2
+
+
+class TestValidationAndSleep:
+    def test_bad_parameters_are_loud(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_replaced_is_a_frozen_copy(self):
+        policy = RetryPolicy()
+        longer = policy.replaced(max_attempts=7)
+        assert longer.max_attempts == 7
+        assert policy.max_attempts == 3
+
+    def test_sleep_sleeps_the_computed_delay(self, monkeypatch):
+        import repro.resilience.retry as retry_mod
+
+        slept = []
+        monkeypatch.setattr(retry_mod.time, "sleep", slept.append)
+        policy = RetryPolicy()
+        returned = policy.sleep(2)
+        assert slept == [0.1]
+        assert returned == 0.1
+
+    def test_sleep_skips_zero_delay(self, monkeypatch):
+        import repro.resilience.retry as retry_mod
+
+        slept = []
+        monkeypatch.setattr(retry_mod.time, "sleep", slept.append)
+        RetryPolicy(backoff_base_s=0.0, backoff_cap_s=0.0).sleep(1)
+        assert slept == []
