@@ -19,13 +19,19 @@ Two families, mirroring the performance layer:
   bit-identical; the compiled timings are steady-state (kernels warmed
   before measuring, the regime every sweep runs in after its first
   simulation).
+* **Word-parallel numpy backend** — the batched full-circuit fault sweep
+  (``kernel="numpy"``) versus compiled cones and the interpreter on a
+  gray-code decoder, the adversarial workload for event-driven scalar
+  simulation (XOR chains never skip); plus the shadow-guard overhead on
+  that backend at its production sampling fraction.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/run_perf.py \
         [--quick] [--jobs N] [--out FILE] [--history FILE] \
         [--min-t3-speedup X] [--min-greedy-speedup X] [--min-sim-speedup X] \
-        [--min-kernel-sim-speedup X] [--min-kernel-cov-speedup X]
+        [--min-kernel-sim-speedup X] [--min-kernel-cov-speedup X] \
+        [--min-numpy-sim-speedup X] [--max-guard-overhead-pct X]
 
 ``--history`` additionally appends one schema-versioned record per
 benchmark to the JSONL history consumed by ``repro-tpi bench-compare``
@@ -57,7 +63,11 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
 
 from repro import obs  # noqa: E402
 from repro.obs import history as perf_history  # noqa: E402
-from repro.circuit.generators import random_tree, rpr_mixed  # noqa: E402
+from repro.circuit.generators import (  # noqa: E402
+    gray_to_binary,
+    random_tree,
+    rpr_mixed,
+)
 from repro.circuit.library import benchmark  # noqa: E402
 from repro.core import (  # noqa: E402
     TPIProblem,
@@ -340,8 +350,133 @@ def bench_kernel_fault_sim(repeats: int) -> Dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# Word-parallel numpy backend vs both scalar backends
+# ---------------------------------------------------------------------------
+
+#: Pattern width for the numpy fault-sim bench: one machine word.  The
+#: batched sweep's edge is dispatch amortization, which is largest at
+#: narrow widths; at wide words every backend converges onto raw bit
+#: work, where the bignum and ndarray kernels are within ~2.5x of each
+#: other (DESIGN.md §14 has the regime analysis).
+NUMPY_SIM_PATTERNS = 64
+
+
+def _numpy_sim_workload(quick: bool):
+    """Gray-to-binary decode chains: adversarial for both scalar backends.
+
+    Every output bit is a cumulative XOR of the gray inputs, so (a) the
+    interpreter's event-driven walk can never skip — an XOR re-evaluates
+    on every fan-in toggle — and (b) mean fanout-cone size is about half
+    the circuit, so the batched full-circuit sweep only inflates per-fault
+    work ~2x while collapsing thousands of per-gate Python steps into a
+    few hundred grouped ufunc calls.
+    """
+    size = 256 if quick else 512
+    circuit = gray_to_binary(size)
+    stimulus = UniformRandomSource(seed=7).generate(
+        circuit.inputs, NUMPY_SIM_PATTERNS
+    )
+    faults = FaultSimulator(circuit)._resolve_faults(None, True)
+    return circuit, stimulus, NUMPY_SIM_PATTERNS, faults
+
+
+def bench_numpy_fault_sim(repeats: int, quick: bool) -> Dict[str, object]:
+    """Exact fault sim: batched numpy sweep vs compiled cones vs interp."""
+    circuit, stimulus, n_patterns, faults = _numpy_sim_workload(quick)
+
+    def run(kernel: str):
+        sim = FaultSimulator(circuit, kernel=kernel)
+        return sim.run(stimulus, n_patterns, faults=faults)
+
+    reference = run("interp")
+    run("compiled")  # warm the kernel cache
+    run("numpy")  # warm the plan registry
+    reps = max(repeats, 3)
+    t_numpy, got_n = _best_of(reps, lambda: run("numpy"))
+    t_compiled, got_c = _best_of(reps, lambda: run("compiled"))
+    t_interp, got_i = _best_of(reps, lambda: run("interp"))
+    for got in (got_n, got_c, got_i):
+        assert got.detection_word == reference.detection_word
+        assert got.first_detect == reference.first_detect
+    return {
+        "workload": (
+            f"{circuit.name}, {len(faults)} faults, "
+            f"{n_patterns} patterns, exact run"
+        ),
+        "kernel": "numpy",
+        "coverage": round(reference.coverage(), 4),
+        "seconds_interp": round(t_interp, 4),
+        "seconds_compiled": round(t_compiled, 4),
+        "seconds_numpy": round(t_numpy, 4),
+        "speedup": round(t_interp / t_numpy, 2),
+        "speedup_vs_compiled": round(t_compiled / t_numpy, 2),
+        "bit_identical": True,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Shadow-verification overhead
 # ---------------------------------------------------------------------------
+
+
+def _paired_ratio(
+    repeats: int,
+    batch: int,
+    run_plain: Callable[[], object],
+    run_guarded: Callable[[], object],
+) -> Tuple[float, float, object, object]:
+    """Median guarded/plain wall ratio over alternating paired batches.
+
+    The two variants are compared *within* each rep — a guarded batch
+    timed back-to-back against a plain batch, alternating which goes
+    first — and the overhead is the median of the per-rep ratios.
+    A shared container's clock drifts on the seconds scale, so mins
+    taken from different moments would compare different machines;
+    a time-local ratio cancels the drift and the median sheds the
+    occasional descheduled rep.  GC is paused in the timed region (as
+    ``timeit`` does): after the heavier benches this process holds a
+    large heap, and a gen-2 pass landing inside one variant's batch
+    would swamp the percentage being measured.
+
+    Returns ``(best plain seconds per run, median ratio, last plain
+    result, last guarded result)``.
+    """
+
+    def _batch(fn: Callable[[], object]) -> object:
+        last = None
+        for _ in range(batch):
+            last = fn()
+        return last
+
+    reps = max(repeats, 7)
+    ratios: List[float] = []
+    best_plain = float("inf")
+    got_p = got_g = None
+    gc.collect()
+    gc.disable()
+    try:
+        for rep in range(reps):
+            plain_first = rep % 2 == 0
+            first, second = (
+                (run_plain, run_guarded) if plain_first
+                else (run_guarded, run_plain)
+            )
+            start = time.perf_counter()
+            got_first = _batch(first)
+            mid = time.perf_counter()
+            got_second = _batch(second)
+            end = time.perf_counter()
+            if plain_first:
+                got_p, got_g = got_first, got_second
+                t_p, t_g = mid - start, end - mid
+            else:
+                got_g, got_p = got_first, got_second
+                t_g, t_p = mid - start, end - mid
+            ratios.append(t_g / t_p)
+            best_plain = min(best_plain, t_p)
+    finally:
+        gc.enable()
+    return best_plain / batch, statistics.median(ratios), got_p, got_g
 
 
 def bench_guard_overhead(repeats: int) -> Dict[str, object]:
@@ -377,57 +512,12 @@ def bench_guard_overhead(repeats: int) -> Dict[str, object]:
     reference = run_plain()  # warm the kernel cache
     # One run is a few milliseconds — too small for a stable percentage —
     # so each sample times a batch and divides.
-    batch = 30
-
-    def _batch(fn):
-        last = None
-        for _ in range(batch):
-            last = fn()
-        return last
-
-    # The two variants are compared *within* each rep — a guarded batch
-    # timed back-to-back against a plain batch, alternating which goes
-    # first — and the overhead is the median of the per-rep ratios.
-    # A shared container's clock drifts on the seconds scale, so mins
-    # taken from different moments would compare different machines;
-    # a time-local ratio cancels the drift and the median sheds the
-    # occasional descheduled rep.  GC is paused in the timed region (as
-    # ``timeit`` does): after the heavier benches this process holds a
-    # large heap, and a gen-2 pass landing inside one variant's batch
-    # would swamp the percentage being measured.
-    reps = max(repeats, 7)
-    ratios: List[float] = []
-    pairs: List[Tuple[float, float]] = []
-    got_p = got_g = None
-    gc.collect()
-    gc.disable()
-    try:
-        for rep in range(reps):
-            plain_first = rep % 2 == 0
-            first, second = (
-                (run_plain, run_guarded) if plain_first
-                else (run_guarded, run_plain)
-            )
-            start = time.perf_counter()
-            got_first = _batch(first)
-            mid = time.perf_counter()
-            got_second = _batch(second)
-            end = time.perf_counter()
-            if plain_first:
-                got_p, got_g = got_first, got_second
-                t_p, t_g = mid - start, end - mid
-            else:
-                got_g, got_p = got_first, got_second
-                t_g, t_p = mid - start, end - mid
-            ratios.append(t_g / t_p)
-            pairs.append((t_p, t_g))
-    finally:
-        gc.enable()
+    t_plain, ratio, got_p, got_g = _paired_ratio(
+        repeats, 30, run_plain, run_guarded
+    )
     for got in (got_p, got_g):
         assert got.detection_word == reference.detection_word
         assert got.first_detect == reference.first_detect
-    ratio = statistics.median(ratios)
-    t_plain = min(t for t, _ in pairs) / batch
     t_guarded = t_plain * ratio
     overhead_pct = (ratio - 1.0) * 100.0
     return {
@@ -435,6 +525,71 @@ def bench_guard_overhead(repeats: int) -> Dict[str, object]:
             f"{circuit.name} post-TPI, {len(faults)} faults, "
             f"{n_patterns} patterns, exact run, guard fraction 0.01"
         ),
+        "seconds_unguarded": round(t_plain, 4),
+        "seconds_guarded": round(t_guarded, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "shadow_checks": checks,
+        "divergences": 0,
+        "identical_results": True,
+    }
+
+
+#: Guard sampling fraction for the numpy backend's overhead bench.  A
+#: shadow check costs one interpreted cone walk, so its relative price
+#: scales with how much faster the guarded backend is: each check costs
+#: roughly ``speedup``x the per-fault work it audits, so holding a 10%
+#: budget needs ``fraction <= 0.1 / speedup``.  The batched sweep runs
+#: ~20x over interp on its home workload — and gray-code cones span
+#: about half the circuit, a few times the mean cone — so the numpy
+#: production fraction drops an order of magnitude from compiled's 1%.
+NUMPY_GUARD_FRACTION = 0.001
+
+
+def bench_numpy_guard_overhead(repeats: int, quick: bool) -> Dict[str, object]:
+    """Batched numpy fault sim with and without the shadow guard.
+
+    Same paired-batch methodology as :func:`bench_guard_overhead`, on the
+    numpy backend's home workload.  The sampled fraction is lower (see
+    :data:`NUMPY_GUARD_FRACTION`): each shadow check replays an
+    interpreted cone walk, which the batched sweep has made ~20x more
+    expensive *relative to the run it guards*.
+
+    Measured steady-state on one long-lived simulator, the shape of a
+    real sweep: the arbiter's cone-order table is a one-time per-
+    simulator build (the plain path never touches it), so charging it
+    to every run would measure construction, not the guard.
+    """
+    circuit, stimulus, n_patterns, faults = _numpy_sim_workload(quick)
+    sim = FaultSimulator(circuit, kernel="numpy")
+
+    def run_plain():
+        return sim.run(stimulus, n_patterns, faults=faults)
+
+    checks = 0
+
+    def run_guarded():
+        nonlocal checks
+        with GuardedSession(fraction=NUMPY_GUARD_FRACTION, seed=0) as guard:
+            result = sim.run(stimulus, n_patterns, faults=faults)
+        checks = guard.checks
+        return result
+
+    reference = run_plain()  # warm the plan registry
+    run_guarded()  # warm the arbiter's cone-order table
+    t_plain, ratio, got_p, got_g = _paired_ratio(
+        repeats, 10, run_plain, run_guarded
+    )
+    for got in (got_p, got_g):
+        assert got.detection_word == reference.detection_word
+        assert got.first_detect == reference.first_detect
+    t_guarded = t_plain * ratio
+    overhead_pct = (ratio - 1.0) * 100.0
+    return {
+        "workload": (
+            f"{circuit.name}, {len(faults)} faults, {n_patterns} patterns, "
+            f"exact run, guard fraction {NUMPY_GUARD_FRACTION}"
+        ),
+        "kernel": "numpy",
         "seconds_unguarded": round(t_plain, 4),
         "seconds_guarded": round(t_guarded, 4),
         "overhead_pct": round(overhead_pct, 2),
@@ -462,7 +617,11 @@ def run_all(
             "fault_sim_drop_parallel": bench_fault_sim(jobs, quick),
             "kernel_logic_sim": bench_kernel_logic_sim(repeats),
             "kernel_fault_sim": bench_kernel_fault_sim(repeats),
+            "numpy_fault_sim": bench_numpy_fault_sim(repeats, quick),
             "guard_overhead": bench_guard_overhead(repeats),
+            "numpy_guard_overhead": bench_numpy_guard_overhead(
+                repeats, quick
+            ),
         }
     finally:
         obs.set_recorder(previous)
@@ -500,6 +659,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "speedup >= X")
     parser.add_argument("--min-kernel-cov-speedup", type=float, default=None,
                         help="fail unless compiled run_coverage speedup >= X")
+    parser.add_argument("--min-numpy-sim-speedup", type=float, default=None,
+                        help="fail unless batched numpy fault-sim speedup "
+                        "over interp >= X")
     parser.add_argument("--max-guard-overhead-pct", type=float, default=None,
                         help="fail if the shadow-guard overhead exceeds X%%")
     parser.add_argument("--history", type=Path, default=None, metavar="FILE",
@@ -545,17 +707,20 @@ def main(argv: Optional[List[str]] = None) -> int:
          benches["kernel_logic_sim"]["speedup"]),
         ("kernel run_coverage", args.min_kernel_cov_speedup,
          benches["kernel_fault_sim"]["speedup"]),
+        ("numpy fault sim", args.min_numpy_sim_speedup,
+         benches["numpy_fault_sim"]["speedup"]),
     ]
     for label, minimum, measured in guards:
         if minimum is not None and measured < minimum:
             failures.append(f"{label}: {measured}x < required {minimum}x")
-    overhead = benches["guard_overhead"]["overhead_pct"]
-    if (args.max_guard_overhead_pct is not None
-            and overhead > args.max_guard_overhead_pct):
-        failures.append(
-            f"guard overhead: {overhead}% > "
-            f"allowed {args.max_guard_overhead_pct}%"
-        )
+    if args.max_guard_overhead_pct is not None:
+        for bench in ("guard_overhead", "numpy_guard_overhead"):
+            overhead = benches[bench]["overhead_pct"]
+            if overhead > args.max_guard_overhead_pct:
+                failures.append(
+                    f"{bench}: {overhead}% > "
+                    f"allowed {args.max_guard_overhead_pct}%"
+                )
     for failure in failures:
         print(f"PERF REGRESSION: {failure}", file=sys.stderr)
     return 1 if failures else 0

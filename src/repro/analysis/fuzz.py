@@ -136,8 +136,15 @@ class FuzzReport:
 # ---------------------------------------------------------------------------
 
 
-def _kernel_sources(circuit: Circuit) -> Dict[str, str]:
-    """Snapshot the kernel sources the fast path actually executed."""
+def _kernel_sources(circuit: Circuit, kernel: str = "compiled") -> Dict[str, str]:
+    """Snapshot the kernel sources the fast path actually executed.
+
+    Only the compiled backend has per-circuit generated source; the numpy
+    backend's plan is index arrays, so its bundles identify the backend
+    via the ``kernel`` context field instead.
+    """
+    if kernel != "compiled":
+        return {}
     return dict(get_compiled(circuit).sources)
 
 
@@ -146,28 +153,32 @@ def _stimulus(circuit: Circuit, seed: int, n_patterns: int) -> Dict[str, int]:
 
 
 def _check_logic_sim(
-    circuit: Circuit, seed: int, n_patterns: int
+    circuit: Circuit, seed: int, n_patterns: int, kernel: str = "compiled"
 ) -> Optional[_Divergence]:
     stimulus = _stimulus(circuit, seed, n_patterns)
-    fast = LogicSimulator(circuit, kernel="compiled").run(stimulus, n_patterns)
+    fast = LogicSimulator(circuit, kernel=kernel).run(stimulus, n_patterns)
     slow = LogicSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
     if fast == slow:
         return None
     return _Divergence(
         kind="fuzz.logic_sim",
-        context={"stimulus": stimulus, "n_patterns": n_patterns},
+        context={
+            "stimulus": stimulus,
+            "n_patterns": n_patterns,
+            "kernel": kernel,
+        },
         expected=slow,
-        actual=fast,
-        message="compiled logic kernel disagrees with interpreter",
-        sources=_kernel_sources(circuit),
+        actual=dict(fast),
+        message=f"{kernel} logic backend disagrees with interpreter",
+        sources=_kernel_sources(circuit, kernel),
     )
 
 
 def _check_fault_sim(
-    circuit: Circuit, seed: int, n_patterns: int
+    circuit: Circuit, seed: int, n_patterns: int, kernel: str = "compiled"
 ) -> Optional[_Divergence]:
     stimulus = _stimulus(circuit, seed, n_patterns)
-    fast = FaultSimulator(circuit, kernel="compiled").run(stimulus, n_patterns)
+    fast = FaultSimulator(circuit, kernel=kernel).run(stimulus, n_patterns)
     slow = FaultSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
     bad = next(
         (
@@ -190,19 +201,20 @@ def _check_fault_sim(
             "n_patterns": n_patterns,
             "good_values": good_values,
             "variant": "detect",
+            "kernel": kernel,
         },
         expected={str(f): w for f, w in slow.detection_word.items()},
         actual={str(f): w for f, w in fast.detection_word.items()},
-        message=f"compiled cone kernel disagrees with interpreter on {bad}",
-        sources=_kernel_sources(circuit),
+        message=f"{kernel} cone propagation disagrees with interpreter on {bad}",
+        sources=_kernel_sources(circuit, kernel),
     )
 
 
 def _check_coverage(
-    circuit: Circuit, seed: int, n_patterns: int
+    circuit: Circuit, seed: int, n_patterns: int, kernel: str = "compiled"
 ) -> Optional[_Divergence]:
     stimulus = _stimulus(circuit, seed, n_patterns)
-    sim = FaultSimulator(circuit, kernel="compiled")
+    sim = FaultSimulator(circuit, kernel=kernel)
     exact = sim.run(stimulus, n_patterns)
     dropped = sim.run_coverage(stimulus, n_patterns, block=16)
 
@@ -217,15 +229,22 @@ def _check_coverage(
         return None
     return _Divergence(
         kind="fuzz.coverage",
-        context={"stimulus": stimulus, "n_patterns": n_patterns, "block": 16},
+        context={
+            "stimulus": stimulus,
+            "n_patterns": n_patterns,
+            "block": 16,
+            "kernel": kernel,
+        },
         expected=slow,
         actual=fast,
         message="fault dropping changed coverage/first-detect vs exact run",
-        sources=_kernel_sources(circuit),
+        sources=_kernel_sources(circuit, kernel),
     )
 
 
-def _check_cop(circuit: Circuit, seed: int) -> Optional[_Divergence]:
+def _check_cop(
+    circuit: Circuit, seed: int, kernel: str = "compiled"
+) -> Optional[_Divergence]:
     def payload(res):
         return {
             "probability": res.probability,
@@ -233,17 +252,49 @@ def _check_cop(circuit: Circuit, seed: int) -> Optional[_Divergence]:
             "branch_observability": res.branch_observability,
         }
 
-    fast = payload(cop_measures(circuit, kernel="compiled"))
+    fast = payload(cop_measures(circuit, kernel=kernel))
     slow = payload(cop_measures(circuit, kernel="interp"))
     if fast == slow:
         return None
     return _Divergence(
         kind="fuzz.cop",
-        context={"input_probabilities": None, "stem_combine": "or"},
+        context={
+            "input_probabilities": None,
+            "stem_combine": "or",
+            "kernel": kernel,
+        },
         expected=slow,
         actual=fast,
-        message="compiled COP passes disagree with interpreter",
-        sources=_kernel_sources(circuit),
+        message=f"{kernel} COP passes disagree with interpreter",
+        sources=_kernel_sources(circuit, kernel),
+    )
+
+
+def _check_placement(
+    circuit: Circuit, seed: int, kernel: str = "compiled"
+) -> Optional[_Divergence]:
+    rng = random.Random(f"fuzz-place:{seed}")
+    problem = TPIProblem.from_test_length(circuit, n_patterns=64)
+    points = _random_points(problem, rng, rng.randint(0, 3))
+    fast = _evaluation_payload(
+        evaluate_placement(problem, points, kernel=kernel)
+    )
+    slow = _evaluation_payload(
+        evaluate_placement(problem, points, kernel="interp")
+    )
+    if fast == slow:
+        return None
+    return _Divergence(
+        kind="fuzz.placement",
+        context={
+            "problem": problem_to_payload(problem),
+            "points": [point_to_payload(p) for p in points],
+            "kernel": kernel,
+        },
+        expected=slow,
+        actual=fast,
+        message=f"{kernel} placement pass disagrees with interpreter",
+        sources=_kernel_sources(circuit, kernel),
     )
 
 
@@ -358,13 +409,15 @@ def _check_dp_vs_exhaustive(
 
 
 def _check_parallel(
-    circuit: Circuit, seed: int, n_patterns: int
+    circuit: Circuit, seed: int, n_patterns: int, kernel: str = "compiled"
 ) -> Optional[_Divergence]:
     from ..sim.parallel import run_parallel
 
     stimulus = _stimulus(circuit, seed, n_patterns)
-    parallel = run_parallel(circuit, stimulus, n_patterns, jobs=2)
-    serial = FaultSimulator(circuit, kernel="compiled").run(
+    parallel = run_parallel(
+        circuit, stimulus, n_patterns, jobs=2, kernel=kernel
+    )
+    serial = FaultSimulator(circuit, kernel=kernel).run(
         stimulus, n_patterns
     )
     fast = {str(f): w for f, w in parallel.detection_word.items()}
@@ -378,11 +431,12 @@ def _check_parallel(
             "n_patterns": n_patterns,
             "jobs": 2,
             "mode": "exact",
+            "kernel": kernel,
         },
         expected=slow,
         actual=fast,
         message="parallel fan-out disagrees with serial fault simulation",
-        sources=_kernel_sources(circuit),
+        sources=_kernel_sources(circuit, kernel),
     )
 
 
@@ -524,6 +578,7 @@ def run_fuzz(
     max_failures: int = 1,
     saboteur: Optional[Saboteur] = None,
     shrink: bool = True,
+    kernel: str = "compiled",
 ) -> FuzzReport:
     """Run a time-budgeted differential fuzzing campaign.
 
@@ -533,7 +588,19 @@ def run_fuzz(
     deterministic for a given ``seed`` (modulo the budget cutting the
     trial sequence short at a machine-dependent point — but any failure
     found is reproducible from its bundle regardless).
+
+    ``kernel`` picks the fast backend under attack (``"compiled"`` or
+    ``"numpy"``); every lane cross-checks it against the interpreted
+    arbiter, and repro bundles record the backend name in their context.
     """
+    from ..sim.compile import resolve_kernel
+
+    kernel = resolve_kernel(kernel)
+    if kernel == "interp":
+        raise ValueError(
+            "fuzz needs a fast backend to attack; kernel='interp' only "
+            "names the arbiter"
+        )
     report = FuzzReport(seed=seed, budget_ms=budget_ms)
     start = time.monotonic()
     deadline = start + budget_ms / 1000.0
@@ -563,10 +630,17 @@ def run_fuzz(
                 circuit = _build_circuit(trial, seed, max_gates)
                 stim_seed = trial * 7919 + seed
                 checks: List[Callable[[Circuit], Optional[_Divergence]]] = [
-                    lambda c: _check_logic_sim(c, stim_seed, n_patterns),
-                    lambda c: _check_fault_sim(c, stim_seed, n_patterns),
-                    lambda c: _check_coverage(c, stim_seed, n_patterns),
-                    lambda c: _check_cop(c, stim_seed),
+                    lambda c: _check_logic_sim(
+                        c, stim_seed, n_patterns, kernel
+                    ),
+                    lambda c: _check_fault_sim(
+                        c, stim_seed, n_patterns, kernel
+                    ),
+                    lambda c: _check_coverage(
+                        c, stim_seed, n_patterns, kernel
+                    ),
+                    lambda c: _check_cop(c, stim_seed, kernel),
+                    lambda c: _check_placement(c, stim_seed, kernel),
                     lambda c: _check_incremental(c, stim_seed),
                 ]
                 if trial % 2 == 0 and circuit.gate_count() <= _DP_MAX_GATES:
@@ -592,7 +666,9 @@ def run_fuzz(
                     # Pool spawn costs seconds; skip it when the budget is
                     # nearly spent so the campaign lands near its deadline.
                     checks.append(
-                        lambda c: _check_parallel(c, stim_seed, n_patterns)
+                        lambda c: _check_parallel(
+                            c, stim_seed, n_patterns, kernel
+                        )
                     )
                 report.trials += 1
                 obs.count("fuzz.trials")

@@ -219,6 +219,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         bundle_dir=args.bundle_dir,
         max_gates=args.max_gates,
+        kernel=args.kernel,
     )
     print(report.describe())
     if report.failures:
@@ -951,6 +952,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--bundle-dir", default="repro_bundles", metavar="DIR",
         help="where failure repro bundles are written",
+    )
+    p.add_argument(
+        "--kernel",
+        choices=[k for k in KERNEL_MODES if k != "interp"],
+        default="compiled",
+        help="fast backend under attack; every lane cross-checks it "
+        "against the interpreted arbiter (default: compiled)",
     )
     add_observability(p)
     p.set_defaults(fn=_cmd_fuzz)

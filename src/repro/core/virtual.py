@@ -27,11 +27,7 @@ from ..circuit.gates import (
     side_input_sensitization_probability,
 )
 from ..circuit.netlist import Circuit
-from ..sim.compile import (
-    generate_placement_source,
-    get_compiled,
-    resolve_kernel,
-)
+from ..sim.backend import get_backend
 from ..sim.faults import Fault, all_stuck_at_faults
 from .problem import (
     TestPoint,
@@ -161,19 +157,19 @@ def evaluate_placement(
 ) -> VirtualEvaluation:
     """Run the COP passes with the placement's semantics layered in.
 
-    ``kernel="compiled"`` (the default) runs both passes through a
-    per-circuit compiled kernel that takes the placement's site state as
-    data — one compile serves every placement on the circuit, and the
-    floats are bit-identical to the interpreted evaluator
-    (``kernel="interp"``), which remains the ground-truth arbiter.
+    ``kernel`` picks the simulation backend: ``"compiled"`` (the
+    default) runs both passes through a per-circuit compiled kernel and
+    ``"numpy"`` through the word-parallel array engine; both take the
+    placement's site state as data — one compile/plan serves every
+    placement on the circuit — and produce floats bit-identical to the
+    interpreted evaluator (``kernel="interp"``), which remains the
+    ground-truth arbiter.
     """
     circuit = problem.circuit
     stem_points, branch_points = split_placement(points)
 
-    if resolve_kernel(kernel) == "compiled":
-        fn = get_compiled(circuit).function(
-            "place", lambda: generate_placement_source(circuit)
-        )
+    fn = get_backend(kernel).placement_runner(circuit)
+    if fn is not None:
         sctl = {}
         sobs = set()
         for site, tps in stem_points.items():

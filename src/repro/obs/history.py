@@ -130,7 +130,8 @@ def entries_from_bench_perf(
                 "ts": ts,
                 "bench": bench,
                 "mode": payload.get("mode", "full"),
-                "kernel": payload.get("kernel", "compiled"),
+                "kernel": bench_payload.get("kernel")
+                or payload.get("kernel", "compiled"),
                 "host": host_fingerprint(),
                 "git_rev": git_rev,
                 "metrics": metrics,

@@ -5,9 +5,17 @@ packed into single arbitrary-precision integers (:mod:`repro.sim.bitops`),
 so a full stimulus set is simulated in one pass over the levelized netlist.
 """
 
+from .backend import (
+    CompiledBackend,
+    InterpBackend,
+    NumpyBackend,
+    SimulationBackend,
+    get_backend,
+)
 from .bitops import (
     bit_get,
     bit_set,
+    ndarray_to_word,
     ones_mask,
     pack_bits,
     pack_patterns,
@@ -17,6 +25,8 @@ from .bitops import (
     unpack_bits,
     unpack_patterns,
     weighted_random_word,
+    word_count,
+    word_to_ndarray,
 )
 from .compile import (
     DEFAULT_KERNEL,
@@ -62,7 +72,15 @@ __all__ = [
     "seed_registry",
     "invalidate",
     "clear_registry",
+    "SimulationBackend",
+    "InterpBackend",
+    "CompiledBackend",
+    "NumpyBackend",
+    "get_backend",
     "ones_mask",
+    "word_count",
+    "word_to_ndarray",
+    "ndarray_to_word",
     "bit_get",
     "bit_set",
     "popcount",

@@ -86,8 +86,8 @@ __all__ = [
     "generate_placement_source",
 ]
 
-#: The two kernel modes every simulation entry point accepts.
-KERNEL_MODES = ("compiled", "interp")
+#: The kernel modes every simulation entry point accepts.
+KERNEL_MODES = ("compiled", "interp", "numpy")
 
 #: Process-wide default used when a ``kernel=None`` argument is passed.
 DEFAULT_KERNEL = "compiled"
@@ -101,6 +101,15 @@ def resolve_kernel(kernel: Optional[str]) -> str:
         raise SimulationError(
             f"unknown kernel mode {kernel!r} (choose from {KERNEL_MODES})"
         )
+    if kernel == "numpy":
+        # Lazy import: the word-parallel backend needs numpy, which the
+        # int-word core deliberately does not.
+        from . import npsim
+
+        if not npsim.HAVE_NUMPY:
+            raise SimulationError(
+                "kernel 'numpy' requires numpy, which is not installed"
+            )
     return kernel
 
 

@@ -36,12 +36,31 @@ from ..circuit.gates import evaluate_gate
 from ..circuit.netlist import Circuit
 from ..errors import SimulationError
 from ..resilience import Budget
-from .bitops import ones_mask, split_word_blocks
+from . import npsim
+from .bitops import (
+    ndarray_to_word,
+    ones_mask,
+    split_word_blocks,
+    word_count,
+)
 from .compile import generate_cone_source, get_compiled, resolve_kernel
 from .faults import CollapsedFaultSet, Fault, collapse_faults
 from .logic_sim import LogicSimulator
 
 __all__ = ["FaultSimResult", "FaultSimulator", "fault_coverage"]
+
+#: Below this many faults the batched numpy sweep's fixed dispatch cost
+#: (one grouped full-circuit pass) is not worth amortizing.
+_NP_BATCH_MIN_FAULTS = 16
+#: Minimum fault machines per memory-budget chunk for the batch to pay:
+#: narrower chunks degenerate toward one full-circuit pass per fault.
+_NP_BATCH_MIN_CAPACITY = 16
+#: Widest pattern width (in 64-bit words) the batch strategy accepts.
+#: The batch trades inflated per-fault work (whole circuit instead of one
+#: cone) for amortized dispatch; past ~1024 patterns the per-word work
+#: dominates dispatch and the inflation makes the sweep a net loss on
+#: shallow circuits, so per-cone walks take over.
+_NP_BATCH_MAX_WORDS = 16
 
 
 @dataclass
@@ -177,6 +196,13 @@ class FaultSimulator:
         self._compiled = (
             get_compiled(circuit) if self.kernel == "compiled" else None
         )
+        self._np_plan = (
+            npsim.get_plan(circuit) if self.kernel == "numpy" else None
+        )
+        # Single-slot identity cache: the packed-array form of the last
+        # good-values mapping seen (parallel workers and dropping blocks
+        # reuse one mapping across thousands of faults).
+        self._np_state_cache: Optional[Tuple[object, int, object]] = None
         # start node -> (kernel fn, gate evals per invocation), one cache
         # per cone-kernel variant.
         self._cone_fns: Dict[str, Tuple[object, int]] = {}
@@ -209,9 +235,10 @@ class FaultSimulator:
         """Gates in the fanout cone of ``start``, levelized (incl. start)."""
         if self._cone_orders is not None:
             return self._cone_orders[start]
-        if self.kernel == "interp":
-            # Interpreted runs walk a cone per collapsed fault — nearly
-            # every site — so the one-pass all-nodes build amortizes.
+        if self.kernel != "compiled":
+            # Interpreted and numpy runs walk a cone per collapsed fault —
+            # nearly every site — so the one-pass all-nodes build
+            # amortizes.
             self._cone_orders = self._build_cone_orders()
             return self._cone_orders[start]
         # Compiled-kernel simulators touch cone orders rarely (guard
@@ -333,16 +360,19 @@ class FaultSimulator:
         Returns the combined detection word; when ``output_diffs`` is a
         dict it is additionally filled with per-output difference words.
         """
-        if self.circuit.revision != self._revision:
-            raise SimulationError(
-                f"circuit {self.circuit.name!r} was structurally modified "
-                f"after this fault simulator was built (revision "
-                f"{self._revision} -> {self.circuit.revision}); "
-                "create a new simulator"
-            )
+        self._check_revision()
         mask = self._masks.get(n_patterns)
         if mask is None:
             mask = self._masks[n_patterns] = ones_mask(n_patterns)
+
+        # numpy path: injection, excitation check and straight-line cone
+        # evaluation all stay in packed-array space — the int-word view is
+        # only materialized when the Guard samples a shadow check.
+        if self._np_plan is not None:
+            return self._np_propagate(
+                fault, good_values, n_patterns, mask, output_diffs
+            )
+
         stuck_word = mask if fault.value else 0
 
         if fault.branch is None:
@@ -392,6 +422,144 @@ class FaultSimulator:
         return self._interp_propagate(
             start, injected, good_values, mask, output_diffs
         )
+
+    def _check_revision(self) -> None:
+        if self.circuit.revision != self._revision:
+            raise SimulationError(
+                f"circuit {self.circuit.name!r} was structurally modified "
+                f"after this fault simulator was built (revision "
+                f"{self._revision} -> {self.circuit.revision}); "
+                "create a new simulator"
+            )
+
+    def _np_state(
+        self, good_values: Mapping[str, int], n_patterns: int
+    ) -> "npsim.PackedState":
+        """Packed-array form of ``good_values`` (identity-cached)."""
+        if (
+            isinstance(good_values, npsim.PackedState)
+            and good_values.plan is self._np_plan
+        ):
+            return good_values
+        cached = self._np_state_cache
+        if (
+            cached is not None
+            and cached[0] is good_values
+            and cached[1] == n_patterns
+        ):
+            return cached[2]
+        state = self._np_plan.state_from_values(good_values, n_patterns)
+        self._np_state_cache = (good_values, n_patterns, state)
+        return state
+
+    def _np_propagate(
+        self,
+        fault: Fault,
+        good_values: Mapping[str, int],
+        n_patterns: int,
+        mask: int,
+        output_diffs: Optional[Dict[str, int]],
+    ) -> int:
+        """Word-parallel propagation through the numpy cone plan."""
+        state = self._np_state(good_values, n_patterns)
+        plan = self._np_plan
+
+        if fault.branch is None:
+            start = fault.node
+            injected = state.stuck_row(fault.value)
+            if npsim.words_equal(state.node_row(start), injected):
+                return 0  # fault never excited anywhere
+        else:
+            start, pin = fault.branch
+            injected = state.inject_branch(
+                start, pin, state.stuck_row(fault.value)
+            )
+            self.gate_evals += 1
+            if npsim.words_equal(injected, state.node_row(start)):
+                return 0
+
+        cone = plan.cone(start, self._cone_order)
+        self.gate_evals += cone.n_gates
+        detect, diffs = npsim.propagate_cone(
+            state, cone, injected, output_diffs is not None
+        )
+        if output_diffs is not None:
+            for po, diff in diffs:
+                output_diffs[po] = diff
+        guard = self._active_guard(self._guard)
+        if guard is not None and guard.should_check():
+            self._shadow_check(
+                guard, fault, start, ndarray_to_word(injected), state,
+                n_patterns, mask, detect,
+                None if output_diffs is None else dict(output_diffs),
+            )
+        return detect
+
+    def _np_batch_ok(self, n_faults: int, n_patterns: int) -> bool:
+        """Whether the fault-parallel batched pass beats per-cone walks.
+
+        The batched sweep re-evaluates the whole circuit per fault, so it
+        pays off only when enough fault machines share each ufunc call:
+        it needs a worthwhile fault count and a pattern width narrow
+        enough that the memory budget still fits a wide chunk.
+        """
+        if self._np_plan is None or n_faults < _NP_BATCH_MIN_FAULTS:
+            return False
+        if word_count(n_patterns) > _NP_BATCH_MAX_WORDS:
+            return False
+        return (
+            npsim.batch_capacity(self._np_plan, n_patterns)
+            >= _NP_BATCH_MIN_CAPACITY
+        )
+
+    def _np_batch_words(
+        self,
+        faults: Sequence[Fault],
+        good_values: Mapping[str, int],
+        n_patterns: int,
+    ) -> List[int]:
+        """Detection words of ``faults`` via one batched circuit sweep.
+
+        Bit-identical to calling :meth:`simulate_fault` per fault (an
+        unexcited fault simply produces a zero column), including the
+        Guard's sampling sequence: shadow checks draw per fault in input
+        order, exactly as the per-fault loop would.
+        """
+        self._check_revision()
+        mask = self._masks.get(n_patterns)
+        if mask is None:
+            mask = self._masks[n_patterns] = ones_mask(n_patterns)
+        state = self._np_state(good_values, n_patterns)
+        plan = self._np_plan
+        sites = []
+        for fault in faults:
+            if fault.branch is None:
+                sites.append(
+                    (plan.row[fault.node], state.stuck_row(fault.value))
+                )
+            else:
+                sink, pin = fault.branch
+                forced = state.inject_branch(
+                    sink, pin, state.stuck_row(fault.value)
+                ).copy()
+                self.gate_evals += 1
+                sites.append((plan.row[sink], forced))
+        detect, evals = npsim.propagate_batch(state, sites)
+        self.gate_evals += evals
+        words = npsim.rows_to_words(detect)
+        guard = self._active_guard(self._guard)
+        if guard is not None:
+            for fault, (_row, forced), word in zip(faults, sites, words):
+                if not guard.should_check():
+                    continue
+                start = (
+                    fault.node if fault.branch is None else fault.branch[0]
+                )
+                self._shadow_check(
+                    guard, fault, start, ndarray_to_word(forced), state,
+                    n_patterns, mask, word, None,
+                )
+        return words
 
     def _interp_propagate(
         self,
@@ -495,9 +663,10 @@ class FaultSimulator:
 
         key = ("cone:" if variant == "detect" else "coneD:") + start
         sources = {}
-        source = self._compiled.sources.get(key)
-        if source is not None:
-            sources[key] = source
+        if self._compiled is not None:
+            source = self._compiled.sources.get(key)
+            if source is not None:
+                sources[key] = source
         guard.checks += 1
         guard.diverge(
             "fault_sim.cone",
@@ -510,11 +679,12 @@ class FaultSimulator:
                 "good_values": dict(good_values),
                 "variant": variant,
                 "start": start,
+                "kernel": self.kernel,
             },
             sources=sources,
             message=(
-                f"compiled cone kernel for {start!r} disagrees with the "
-                f"interpreted walk on fault {fault}"
+                f"{self.kernel} cone propagation for {start!r} disagrees "
+                f"with the interpreted walk on fault {fault}"
             ),
         )
 
@@ -586,17 +756,36 @@ class FaultSimulator:
             result = FaultSimResult(n_patterns=n_patterns)
             detected = 0
             heartbeat = obs.Heartbeat("fault_sim.run")
-            for i, fault in enumerate(faults):
+            if self._np_batch_ok(len(faults), n_patterns):
                 if budget is not None:
-                    budget.charge("patterns", n_patterns, "fault_sim.fault")
+                    for _ in faults:
+                        budget.charge(
+                            "patterns", n_patterns, "fault_sim.fault"
+                        )
+                heartbeat.beat(faults_done=0, faults_total=len(faults))
+                words = self._np_batch_words(faults, good_values, n_patterns)
+                for fault, word in zip(faults, words):
+                    result.detection_word[fault] = word
+                    result.first_detect[fault] = _first_set_bit(word)
+                    if word:
+                        detected += 1
                 heartbeat.beat(
-                    faults_done=i, faults_total=len(faults)
+                    faults_done=len(faults), faults_total=len(faults)
                 )
-                word = self.simulate_fault(fault, good_values, n_patterns)
-                result.detection_word[fault] = word
-                result.first_detect[fault] = _first_set_bit(word)
-                if word:
-                    detected += 1
+            else:
+                for i, fault in enumerate(faults):
+                    if budget is not None:
+                        budget.charge(
+                            "patterns", n_patterns, "fault_sim.fault"
+                        )
+                    heartbeat.beat(
+                        faults_done=i, faults_total=len(faults)
+                    )
+                    word = self.simulate_fault(fault, good_values, n_patterns)
+                    result.detection_word[fault] = word
+                    result.first_detect[fault] = _first_set_bit(word)
+                    if word:
+                        detected += 1
             result._n_detected = detected
             seconds = perf_counter() - start
             evals = self.gate_evals - evals_before
@@ -723,24 +912,49 @@ class FaultSimulator:
                 if not remaining:
                     break
                 survivors: List[Fault] = []
-                for fault in remaining:
+                if self._np_batch_ok(len(remaining), blk_n):
                     if budget is not None:
-                        budget.charge("patterns", blk_n, "fault_sim.block")
-                    sims += 1
+                        for _ in remaining:
+                            budget.charge(
+                                "patterns", blk_n, "fault_sim.block"
+                            )
+                    sims += len(remaining)
                     heartbeat.beat(
                         block_patterns=blk_n,
                         pattern_offset=offset,
                         faults_remaining=len(remaining),
                         fault_block_sims=sims,
                     )
-                    word = self.simulate_fault(fault, good_block, blk_n)
-                    if word:
-                        result.detection_word[fault] = word << offset
-                        result.first_detect[fault] = (
-                            offset + _first_set_bit(word)
+                    words = self._np_batch_words(remaining, good_block, blk_n)
+                    for fault, word in zip(remaining, words):
+                        if word:
+                            result.detection_word[fault] = word << offset
+                            result.first_detect[fault] = (
+                                offset + _first_set_bit(word)
+                            )
+                        else:
+                            survivors.append(fault)
+                else:
+                    for fault in remaining:
+                        if budget is not None:
+                            budget.charge(
+                                "patterns", blk_n, "fault_sim.block"
+                            )
+                        sims += 1
+                        heartbeat.beat(
+                            block_patterns=blk_n,
+                            pattern_offset=offset,
+                            faults_remaining=len(remaining),
+                            fault_block_sims=sims,
                         )
-                    else:
-                        survivors.append(fault)
+                        word = self.simulate_fault(fault, good_block, blk_n)
+                        if word:
+                            result.detection_word[fault] = word << offset
+                            result.first_detect[fault] = (
+                                offset + _first_set_bit(word)
+                            )
+                        else:
+                            survivors.append(fault)
                 remaining = survivors
                 offset += blk_n
             for fault in remaining:

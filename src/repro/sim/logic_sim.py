@@ -15,8 +15,9 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from ..circuit.gates import evaluate_gate
 from ..circuit.netlist import Circuit
 from ..errors import SimulationError
+from .backend import get_backend
 from .bitops import ones_mask
-from .compile import generate_logic_source, get_compiled, resolve_kernel
+from .compile import resolve_kernel
 
 __all__ = ["LogicSimulator", "simulate", "signal_probabilities_by_simulation"]
 
@@ -33,9 +34,10 @@ class LogicSimulator:
     :class:`~repro.errors.SimulationError` instead of returning stale
     values.
 
-    ``kernel="compiled"`` (the default) runs force-free simulations through
-    a per-circuit compiled kernel (see :mod:`repro.sim.compile`);
-    ``kernel="interp"`` keeps the interpreted gate walk, which remains the
+    ``kernel`` picks the simulation backend for force-free runs (see
+    :mod:`repro.sim.backend`): ``"compiled"`` (the default) uses the
+    per-circuit compiled kernel, ``"numpy"`` the word-parallel array
+    engine, and ``"interp"`` the interpreted gate walk, which remains the
     ground-truth arbiter.  Forced-value runs always interpret.
     """
 
@@ -48,10 +50,9 @@ class LogicSimulator:
             name for name in circuit.topological_order() if circuit.node(name).is_gate
         ]
         self._inputs = circuit.inputs
-        self._compiled = (
-            get_compiled(circuit) if self.kernel == "compiled" else None
-        )
-        self._logic_fn = None
+        self._backend = get_backend(self.kernel)
+        self._runner = None
+        self._have_runner = False
 
     def _check_revision(self) -> None:
         if self.circuit.revision != self._revision:
@@ -68,8 +69,13 @@ class LogicSimulator:
         n_patterns: int,
         node_forces: Optional[Mapping[str, int]] = None,
         connection_forces: Optional[Mapping[Connection, int]] = None,
-    ) -> Dict[str, int]:
+    ) -> Mapping[str, int]:
         """Simulate and return the packed value word of every node.
+
+        The result maps node name → packed word.  The numpy backend
+        returns a :class:`~repro.sim.npsim.PackedState` — a mapping that
+        compares equal to the plain dict of the other backends while
+        keeping the packed arrays available to the fault simulator.
 
         Parameters
         ----------
@@ -86,14 +92,12 @@ class LogicSimulator:
             sees the forced word (fanout-branch faults).
         """
         self._check_revision()
-        if not node_forces and not connection_forces and self._compiled is not None:
-            fn = self._logic_fn
-            if fn is None:
-                circuit = self.circuit
-                fn = self._logic_fn = self._compiled.function(
-                    "logic", lambda: generate_logic_source(circuit)
-                )
-            return fn(stimulus, ones_mask(n_patterns))
+        if not node_forces and not connection_forces:
+            if not self._have_runner:
+                self._runner = self._backend.logic_runner(self.circuit)
+                self._have_runner = True
+            if self._runner is not None:
+                return self._runner(stimulus, n_patterns)
         mask = ones_mask(n_patterns)
         values: Dict[str, int] = {}
         node_forces = node_forces or {}

@@ -57,7 +57,8 @@ from ..errors import BudgetExceededError, SimulationError
 from ..resilience import Budget
 from ..resilience.chaos import ChaosSpec
 from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
-from .compile import get_compiled, resolve_kernel, seed_registry
+from .backend import get_backend
+from .compile import resolve_kernel
 from .fault_sim import FaultSimResult, FaultSimulator
 from .faults import Fault
 
@@ -107,8 +108,10 @@ def _init_worker(
     # The parent's recorder (file handles, span stacks) must not be
     # inherited into forked workers — concurrent writes would interleave.
     obs.set_recorder(None)
-    if kernel == "compiled" and kernel_sources:
-        seed_registry(circuit, kernel_sources, kernel_cone_meta)
+    # Backend-specific priming: the compiled backend seeds its registry
+    # from the shipped sources, the numpy backend rebuilds its plan
+    # locally, interp needs nothing.
+    get_backend(kernel).prime_worker(circuit, kernel_sources, kernel_cone_meta)
     _WORKER_STATE = {
         "sim": FaultSimulator(circuit, kernel=kernel),
         "stimulus": stimulus,
@@ -614,15 +617,17 @@ def run_parallel(
     good_values = None
     good_blocks = None
     if mode == "exact":
-        good_values = sim._logic.run(stimulus, n_patterns)
+        # dict() also collapses the numpy backend's PackedState into the
+        # picklable int-word form (ndarrays would ship a redundant copy).
+        good_values = dict(sim._logic.run(stimulus, n_patterns))
     else:
-        good_blocks = list(sim.coverage_blocks(stimulus, n_patterns, block))
-    kernel_sources: Optional[Dict[str, str]] = None
-    kernel_cone_meta: Optional[Dict[str, int]] = None
-    if kernel == "compiled":
-        entry = get_compiled(circuit)
-        kernel_sources = dict(entry.sources)
-        kernel_cone_meta = dict(entry.cone_meta)
+        good_blocks = [
+            (blk_n, dict(gv))
+            for blk_n, gv in sim.coverage_blocks(stimulus, n_patterns, block)
+        ]
+    kernel_sources, kernel_cone_meta = get_backend(kernel).worker_payload(
+        circuit
+    )
     parent_recorder = obs.get_recorder()
     run_id = parent_recorder.run_id if parent_recorder is not None else None
     with obs.span(

@@ -24,12 +24,8 @@ from ..circuit.gates import (
     side_input_sensitization_probability,
 )
 from ..circuit.netlist import Circuit
-from ..sim.compile import (
-    generate_cop_backward_source,
-    generate_cop_forward_source,
-    get_compiled,
-    resolve_kernel,
-)
+from ..sim.backend import get_backend
+from ..sim.compile import get_compiled, resolve_kernel
 
 __all__ = ["COPResult", "signal_probabilities", "observabilities", "cop_measures"]
 
@@ -84,18 +80,17 @@ def signal_probabilities(
         a scan-driven CP forces 0.5, an AND-type CP in test mode forces 0).
         Overrides win over computed values and are propagated downstream.
     kernel:
-        ``"compiled"`` (default) runs the override-free pass through the
-        per-circuit compiled kernel; ``"interp"`` forces the interpreted
-        walk.  Runs with ``overrides`` always interpret.  Both produce
-        bit-identical floats.
+        Simulation backend for the override-free pass — ``"compiled"``
+        (default) or ``"numpy"``; ``"interp"`` forces the interpreted
+        walk.  Runs with ``overrides`` always interpret.  All backends
+        produce bit-identical floats.
     """
     input_probabilities = input_probabilities or {}
     overrides = overrides or {}
-    if resolve_kernel(kernel) == "compiled" and not overrides:
-        fn = get_compiled(circuit).function(
-            "cop_fwd", lambda: generate_cop_forward_source(circuit)
-        )
-        return fn(input_probabilities.get)
+    if not overrides:
+        runner = get_backend(kernel).cop_forward_runner(circuit)
+        if runner is not None:
+            return runner(input_probabilities.get)
     probs: Dict[str, float] = {}
     for name in circuit.topological_order():
         if name in overrides:
@@ -140,18 +135,17 @@ def observabilities(
         the observability of the branch from driver ``d`` into pin ``p`` of
         sink ``s``.
 
-    ``kernel`` selects the compiled backward pass (default) or the
-    interpreted walk; runs with ``observed`` injections always interpret.
+    ``kernel`` selects the simulation backend for the backward pass
+    (compiled kernel or numpy sweep) or the interpreted walk; runs with
+    ``observed`` injections always interpret.
     """
     if stem_combine not in _STEM_COMBINE_MODES:
         raise ValueError(f"stem_combine must be one of {_STEM_COMBINE_MODES}")
     observed = observed or {}
-    if resolve_kernel(kernel) == "compiled" and not observed:
-        fn = get_compiled(circuit).function(
-            f"cop_bwd:{stem_combine}",
-            lambda: generate_cop_backward_source(circuit, stem_combine),
-        )
-        return fn(probability)
+    if not observed:
+        runner = get_backend(kernel).cop_backward_runner(circuit, stem_combine)
+        if runner is not None:
+            return runner(probability)
     out_set = set(circuit.outputs)
     node_obs: Dict[str, float] = {}
     branch_obs: Dict[Tuple[str, str, int], float] = {}
@@ -216,13 +210,14 @@ def cop_measures(
         branch_observability=branch_obs,
     )
     # Overrides / pre-observed maps force the interpreted passes anyway;
-    # only shadow-check when at least one pass actually ran compiled.
-    if resolve_kernel(kernel) == "compiled" and (
+    # only shadow-check when at least one pass actually ran a fast
+    # backend (compiled kernel or numpy sweep).
+    if resolve_kernel(kernel) != "interp" and (
         probability_overrides is None or observed is None
     ):
         _shadow_check_cop(
             circuit, input_probabilities, probability_overrides, observed,
-            stem_combine, result, guard,
+            stem_combine, result, guard, resolve_kernel(kernel),
         )
     return result
 
@@ -235,8 +230,9 @@ def _shadow_check_cop(
     stem_combine: str,
     result: COPResult,
     guard,
+    kernel: str = "compiled",
 ) -> None:
-    """Sampled shadow re-run of a compiled COP result via the interpreter."""
+    """Sampled shadow re-run of a fast-backend COP result via the interpreter."""
     # Runtime-lazy: repro.verify imports this module's package siblings.
     from ..verify.guard import active_guard
 
@@ -259,12 +255,14 @@ def _shadow_check_cop(
             "branch_observability": res.branch_observability,
         }
 
-    entry = get_compiled(circuit)
-    sources = {
-        key: src
-        for key, src in entry.sources.items()
-        if key == "cop_fwd" or key.startswith("cop_bwd:")
-    }
+    sources = {}
+    if kernel == "compiled":
+        entry = get_compiled(circuit)
+        sources = {
+            key: src
+            for key, src in entry.sources.items()
+            if key == "cop_fwd" or key.startswith("cop_bwd:")
+        }
     g.confirm(
         "cop.measures",
         expected=payload(arbiter),
@@ -277,7 +275,8 @@ def _shadow_check_cop(
             "stem_combine": stem_combine,
             "has_overrides": probability_overrides is not None,
             "has_observed": observed is not None,
+            "kernel": kernel,
         },
         sources=sources,
-        message="compiled COP passes disagree with the interpreted passes",
+        message=f"{kernel} COP passes disagree with the interpreted passes",
     )

@@ -68,6 +68,17 @@ def _words(context, key) -> dict:
     return {name: int(word) for name, word in context[key].items()}
 
 
+def _fast_kernel(context) -> str:
+    """Backend the fast path ran on when the bundle was written.
+
+    Compiled divergences replay against the recorded kernel *sources*;
+    numpy divergences have no per-circuit sources, so they replay on the
+    current array engine — only engine bugs (not transient state) will
+    reproduce there.
+    """
+    return context.get("kernel") or "compiled"
+
+
 def _replay_fault_sim(manifest, circuit) -> tuple:
     context = manifest["context"]
     fault = fault_from_payload(context["fault"])
@@ -75,7 +86,8 @@ def _replay_fault_sim(manifest, circuit) -> tuple:
     good_values = _words(context, "good_values")
     variant = context.get("variant", "detect")
     _seed_sources(circuit, manifest)
-    fast_sim = FaultSimulator(circuit, kernel="compiled")
+    kernel = _fast_kernel(context)
+    fast_sim = FaultSimulator(circuit, kernel=kernel)
     arbiter_sim = FaultSimulator(circuit, kernel="interp")
     if variant == "diffs":
         fast = fast_sim.simulate_fault_responses(fault, good_values, n_patterns)
@@ -85,6 +97,15 @@ def _replay_fault_sim(manifest, circuit) -> tuple:
     else:
         fast = fast_sim.simulate_fault(fault, good_values, n_patterns)
         slow = arbiter_sim.simulate_fault(fault, good_values, n_patterns)
+        if fast == slow and kernel == "numpy":
+            # The recorded word may have come from the numpy backend's
+            # batched full-circuit strategy rather than a cone walk; a
+            # batch-only engine bug reproduces only on that path.
+            batched = fast_sim.run(
+                {}, n_patterns, good_values=good_values
+            ).detection_word.get(fault)
+            if batched is not None:
+                fast = batched
     return fast, slow, f"fault {fault} over {n_patterns} patterns"
 
 
@@ -93,9 +114,11 @@ def _replay_logic_sim(manifest, circuit) -> tuple:
     stimulus = _words(context, "stimulus")
     n_patterns = int(context["n_patterns"])
     _seed_sources(circuit, manifest)
-    fast = LogicSimulator(circuit, kernel="compiled").run(stimulus, n_patterns)
+    fast = LogicSimulator(circuit, kernel=_fast_kernel(context)).run(
+        stimulus, n_patterns
+    )
     slow = LogicSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
-    return fast, slow, f"logic sim over {n_patterns} patterns"
+    return dict(fast), dict(slow), f"logic sim over {n_patterns} patterns"
 
 
 def _replay_coverage(manifest, circuit) -> tuple:
@@ -104,7 +127,7 @@ def _replay_coverage(manifest, circuit) -> tuple:
     n_patterns = int(context["n_patterns"])
     block = int(context.get("block", 64))
     _seed_sources(circuit, manifest)
-    sim = FaultSimulator(circuit, kernel="compiled")
+    sim = FaultSimulator(circuit, kernel=_fast_kernel(context))
     exact = sim.run(stimulus, n_patterns)
     dropped = sim.run_coverage(stimulus, n_patterns, block=block)
 
@@ -137,7 +160,7 @@ def _replay_cop(manifest, circuit) -> tuple:
     fast = result_payload(
         cop_measures(
             circuit, input_probabilities, stem_combine=stem_combine,
-            kernel="compiled",
+            kernel=_fast_kernel(context),
         )
     )
     slow = result_payload(
@@ -159,6 +182,20 @@ def _evaluation_payload(evaluation) -> dict:
         "branch_obs": evaluation.branch_obs,
         "stem_post_obs": evaluation.stem_post_obs,
     }
+
+
+def _replay_placement(manifest, circuit) -> tuple:
+    context = manifest["context"]
+    problem = problem_from_payload(circuit, context["problem"])
+    points = [point_from_payload(p) for p in context["points"]]
+    _seed_sources(circuit, manifest)
+    fast = _evaluation_payload(
+        evaluate_placement(problem, points, kernel=_fast_kernel(context))
+    )
+    slow = _evaluation_payload(
+        evaluate_placement(problem, points, kernel="interp")
+    )
+    return fast, slow, f"virtual placement of {len(points)} point(s)"
 
 
 def _replay_incremental(manifest, circuit) -> tuple:
@@ -256,11 +293,12 @@ def _replay_parallel(manifest, circuit) -> tuple:
     n_patterns = int(context["n_patterns"])
     jobs = int(context.get("jobs", 2))
     mode = context.get("mode", "exact")
+    kernel = _fast_kernel(context)
     _seed_sources(circuit, manifest)
     parallel = run_parallel(
-        circuit, stimulus, n_patterns, jobs=jobs, mode=mode
+        circuit, stimulus, n_patterns, jobs=jobs, mode=mode, kernel=kernel
     )
-    serial = FaultSimulator(circuit, kernel="compiled").run(
+    serial = FaultSimulator(circuit, kernel=kernel).run(
         stimulus, n_patterns
     )
     fast = {str(f): w for f, w in parallel.detection_word.items()}
@@ -277,6 +315,7 @@ _REPLAYERS = {
     "fuzz.coverage": _replay_coverage,
     "cop.measures": _replay_cop,
     "fuzz.cop": _replay_cop,
+    "fuzz.placement": _replay_placement,
     "incremental.evaluate": _replay_incremental,
     "fuzz.incremental": _replay_incremental,
     "fuzz.dp_vs_exhaustive": _replay_dp_vs_exhaustive,

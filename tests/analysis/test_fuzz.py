@@ -40,6 +40,72 @@ class TestCleanFuzz:
         assert a != c
 
 
+class TestNumpyKernelFuzz:
+    np = pytest.importorskip("numpy")
+
+    def test_short_clean_campaign_on_numpy(self, tmp_path):
+        report = run_fuzz(
+            budget_ms=3000,
+            seed=0,
+            bundle_dir=str(tmp_path),
+            max_gates=12,
+            kernel="numpy",
+        )
+        assert report.clean, report.describe()
+        assert report.trials >= 1
+
+    def test_interp_kernel_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_fuzz(
+                budget_ms=100,
+                seed=0,
+                bundle_dir=str(tmp_path),
+                kernel="interp",
+            )
+
+    def test_numpy_divergence_bundled_with_kernel(self, tmp_path, monkeypatch):
+        # Corrupt the array engine's cone propagation the way a real
+        # engine bug would: every campaign lane keeps the interpreted
+        # arbiter, so the fault lane must catch it and the bundle must
+        # record which backend diverged.
+        from repro.sim import npsim
+
+        real_cone = npsim.propagate_cone
+        real_batch = npsim.propagate_batch
+
+        def corrupt_cone(state, cone, injected, want_diffs):
+            detect, diffs = real_cone(state, cone, injected, want_diffs)
+            return detect ^ 1, diffs
+
+        def corrupt_batch(state, sites, chunk_bytes=npsim.BATCH_CHUNK_BYTES):
+            detect, evals = real_batch(state, sites, chunk_bytes)
+            detect[:, 0] ^= self.np.uint64(1)
+            return detect, evals
+
+        # Corrupt both propagation strategies the engine picks between,
+        # so the planted bug survives whichever one a trial exercises.
+        monkeypatch.setattr(npsim, "propagate_cone", corrupt_cone)
+        monkeypatch.setattr(npsim, "propagate_batch", corrupt_batch)
+        report = run_fuzz(
+            budget_ms=30_000,
+            seed=3,
+            bundle_dir=str(tmp_path),
+            max_gates=16,
+            kernel="numpy",
+        )
+        assert report.failures, "fuzzer missed the corrupted numpy engine"
+        failure = report.failures[0]
+        manifest, _ = load_bundle(failure.bundle)
+        assert manifest["context"]["kernel"] == "numpy"
+        # While the engine bug is still live the replay runs the numpy
+        # fast path (the recorded kernel) and reproduces; once the
+        # engine is healthy again the divergence correctly goes stale.
+        assert replay_bundle(failure.bundle).reproduced
+        monkeypatch.setattr(npsim, "propagate_cone", real_cone)
+        monkeypatch.setattr(npsim, "propagate_batch", real_batch)
+        assert not replay_bundle(failure.bundle).reproduced
+
+
 class TestSaboteurSelfTest:
     def test_planted_kernel_bug_found_shrunk_and_replayable(self, tmp_path):
         """Acceptance criteria: find the miscompile, shrink to <=10 gates,
