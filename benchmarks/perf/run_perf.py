@@ -23,7 +23,11 @@ Two families, mirroring the performance layer:
   (``kernel="numpy"``) versus compiled cones and the interpreter on a
   gray-code decoder, the adversarial workload for event-driven scalar
   simulation (XOR chains never skip); plus the shadow-guard overhead on
-  that backend at its production sampling fraction.
+  that backend at its production sampling fraction.  Two solver-loop
+  companions gate the batch where the solver actually spends time: a
+  wide-budget dropping coverage run (the word-tiled batch against
+  compiled cones) and a greedy solve driven by the vectorized
+  incremental delta engine against the interpreted dirty-cone walk.
 
 Usage::
 
@@ -31,7 +35,8 @@ Usage::
         [--quick] [--jobs N] [--out FILE] [--history FILE] \
         [--min-t3-speedup X] [--min-greedy-speedup X] [--min-sim-speedup X] \
         [--min-kernel-sim-speedup X] [--min-kernel-cov-speedup X] \
-        [--min-numpy-sim-speedup X] [--max-guard-overhead-pct X]
+        [--min-numpy-sim-speedup X] [--min-numpy-wide-speedup X] \
+        [--min-numpy-incremental-speedup X] [--max-guard-overhead-pct X]
 
 ``--history`` additionally appends one schema-versioned record per
 benchmark to the JSONL history consumed by ``repro-tpi bench-compare``
@@ -65,6 +70,7 @@ from repro import obs  # noqa: E402
 from repro.obs import history as perf_history  # noqa: E402
 from repro.circuit.generators import (  # noqa: E402
     gray_to_binary,
+    random_dag,
     random_tree,
     rpr_mixed,
 )
@@ -76,7 +82,12 @@ from repro.core import (  # noqa: E402
     solve_greedy,
 )
 from repro.ioutil import atomic_write_text  # noqa: E402
-from repro.sim import FaultSimulator, LogicSimulator, run_parallel  # noqa: E402
+from repro.sim import (  # noqa: E402
+    FaultSimulator,
+    LogicSimulator,
+    run_parallel,
+    testable_stuck_at_faults,
+)
 from repro.sim.patterns import UniformRandomSource  # noqa: E402
 from repro.verify import GuardedSession  # noqa: E402
 
@@ -414,6 +425,121 @@ def bench_numpy_fault_sim(repeats: int, quick: bool) -> Dict[str, object]:
     }
 
 
+#: Pattern budget for the wide-coverage bench: far past the 16-word cap
+#: earlier revisions hard-coded on the batched sweep.  With dropping the
+#: bulk of the fault list dies in the narrow leading blocks — the regime
+#: where the batch's dispatch amortization is largest — while the
+#: geometric tail stays eligible at any width because the sweep tiles the
+#: word axis instead of refusing (``BatchPolicy.max_words = None``).
+NUMPY_WIDE_PATTERNS = 65536
+NUMPY_WIDE_PATTERNS_QUICK = 16384
+
+
+def bench_numpy_wide_coverage(repeats: int, quick: bool) -> Dict[str, object]:
+    """Wide-budget ``run_coverage`` with dropping: numpy batch vs compiled.
+
+    The gray-decoder workload at a pattern budget hundreds of words wide.
+    Every dropping block goes through the batched sweep — the word-tiled
+    layout keeps per-chunk capacity useful at any block width, so the
+    eligibility policy no longer caps the pattern axis.  Both kernels are
+    asserted identical down to first-detect indices against the interp
+    arbiter's run.
+    """
+    circuit = gray_to_binary(512)
+    n_patterns = NUMPY_WIDE_PATTERNS_QUICK if quick else NUMPY_WIDE_PATTERNS
+    stimulus = UniformRandomSource(seed=7).generate(circuit.inputs, n_patterns)
+    faults = FaultSimulator(circuit)._resolve_faults(None, True)
+
+    def run(kernel: str):
+        sim = FaultSimulator(circuit, kernel=kernel)
+        return sim.run_coverage(stimulus, n_patterns, faults=faults)
+
+    reference = run("interp")
+    run("compiled")  # warm the kernel cache
+    run("numpy")  # warm the plan registry
+    reps = max(repeats, 3)
+    t_numpy, got_n = _best_of(reps, lambda: run("numpy"))
+    t_compiled, got_c = _best_of(reps, lambda: run("compiled"))
+    for got in (got_n, got_c):
+        assert got.first_detect == reference.first_detect
+        assert list(got.detection_word) == list(reference.detection_word)
+    return {
+        "workload": (
+            f"{circuit.name}, {len(faults)} faults, {n_patterns} patterns "
+            f"({n_patterns // 64} words), run_coverage"
+        ),
+        "kernel": "numpy",
+        "coverage": round(reference.coverage(), 4),
+        "seconds_compiled": round(t_compiled, 4),
+        "seconds_numpy": round(t_numpy, 4),
+        "speedup": round(t_compiled / t_numpy, 2),
+        "identical_coverage_and_first_detect": True,
+    }
+
+
+def _numpy_incremental_workload(quick: bool):
+    """A wide-level DAG where the vectorized delta engine is live.
+
+    ``random_dag`` at this fan-in span levelizes to ~150 rows per level —
+    far past :data:`repro.sim.npsim.DELTA_MIN_MEAN_WIDTH` — so the numpy
+    solve runs :class:`~repro.sim.npsim.PlacementDelta` with no override.
+    The fault stride keeps the greedy candidate loop (the measured
+    region) dominant over the one-off problem setup.
+    """
+    circuit = random_dag(128, 4000, seed=7, fanin_span=400)
+    problem = TPIProblem.from_test_length(
+        circuit, n_patterns=1024, escape_budget=0.001
+    )
+    stride = 48 if quick else 32
+    max_iterations = 4 if quick else 12
+    faults = testable_stuck_at_faults(circuit)[::stride]
+    return circuit, problem, faults, max_iterations
+
+
+def bench_numpy_incremental(repeats: int, quick: bool) -> Dict[str, object]:
+    """Greedy solve, numpy incremental deltas vs interp incremental.
+
+    Both sides run the same :class:`IncrementalEvaluator` bookkeeping;
+    the measured gap is purely the delta re-propagation engine — the
+    level-granular vectorized recompute against the interpreted
+    dirty-cone walk — so this gates tentpole piece (2) end to end on the
+    solver loop it was built for.  Solutions must match exactly.
+    """
+    _circuit, problem, faults, max_iterations = _numpy_incremental_workload(
+        quick
+    )
+
+    def run(kernel: str):
+        return solve_greedy(
+            problem,
+            faults=faults,
+            kernel=kernel,
+            max_iterations=max_iterations,
+        )
+
+    # One timed pass per side: a greedy solve is seconds of work (the
+    # speedup has seconds of margin over the gate), and like the fault
+    # sim benches the solve itself is internally repetition-heavy.
+    del repeats
+    t_interp, got_i = _best_of(1, lambda: run("interp"))
+    t_numpy, got_n = _best_of(1, lambda: run("numpy"))
+    assert _solution_key(got_n) == _solution_key(got_i), (
+        "numpy incremental greedy diverged from interp"
+    )
+    return {
+        "workload": (
+            f"{_circuit.name}, greedy, {len(faults)} faults, "
+            f"{max_iterations} iterations, 1024 patterns"
+        ),
+        "kernel": "numpy",
+        "seconds_interp": round(t_interp, 4),
+        "seconds_numpy": round(t_numpy, 4),
+        "speedup": round(t_interp / t_numpy, 2),
+        "points_placed": len(got_n.points),
+        "identical_solutions": True,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Shadow-verification overhead
 # ---------------------------------------------------------------------------
@@ -618,6 +744,8 @@ def run_all(
             "kernel_logic_sim": bench_kernel_logic_sim(repeats),
             "kernel_fault_sim": bench_kernel_fault_sim(repeats),
             "numpy_fault_sim": bench_numpy_fault_sim(repeats, quick),
+            "numpy_wide_coverage": bench_numpy_wide_coverage(repeats, quick),
+            "numpy_incremental": bench_numpy_incremental(repeats, quick),
             "guard_overhead": bench_guard_overhead(repeats),
             "numpy_guard_overhead": bench_numpy_guard_overhead(
                 repeats, quick
@@ -662,6 +790,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--min-numpy-sim-speedup", type=float, default=None,
                         help="fail unless batched numpy fault-sim speedup "
                         "over interp >= X")
+    parser.add_argument("--min-numpy-wide-speedup", type=float, default=None,
+                        help="fail unless the wide-budget numpy coverage "
+                        "speedup over compiled >= X")
+    parser.add_argument("--min-numpy-incremental-speedup", type=float,
+                        default=None,
+                        help="fail unless greedy with numpy incremental "
+                        "deltas beats interp incremental by >= X")
     parser.add_argument("--max-guard-overhead-pct", type=float, default=None,
                         help="fail if the shadow-guard overhead exceeds X%%")
     parser.add_argument("--history", type=Path, default=None, metavar="FILE",
@@ -709,6 +844,10 @@ def main(argv: Optional[List[str]] = None) -> int:
          benches["kernel_fault_sim"]["speedup"]),
         ("numpy fault sim", args.min_numpy_sim_speedup,
          benches["numpy_fault_sim"]["speedup"]),
+        ("numpy wide coverage", args.min_numpy_wide_speedup,
+         benches["numpy_wide_coverage"]["speedup"]),
+        ("numpy incremental greedy", args.min_numpy_incremental_speedup,
+         benches["numpy_incremental"]["speedup"]),
     ]
     for label, minimum, measured in guards:
         if minimum is not None and measured < minimum:

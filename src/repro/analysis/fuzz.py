@@ -336,13 +336,32 @@ def _evaluation_payload(evaluation) -> dict:
     }
 
 
-def _check_incremental(circuit: Circuit, seed: int) -> Optional[_Divergence]:
+def _check_incremental(
+    circuit: Circuit, seed: int, kernel: Optional[str] = None
+) -> Optional[_Divergence]:
     rng = random.Random(f"fuzz-inc:{seed}")
     problem = TPIProblem.from_test_length(circuit, n_patterns=64)
     points = _random_points(problem, rng, rng.randint(1, 3))
     base = points[: rng.randint(0, len(points))]
-    inc = IncrementalEvaluator(problem, base)
-    fast = _evaluation_payload(inc.evaluate(points))
+    if kernel == "numpy":
+        # Fuzz-sized circuits are narrower than the vectorized delta
+        # engine's adaptive cutoff; force it on so the lane actually
+        # attacks PlacementDelta rather than the interpreted walk.
+        import os
+
+        prior = os.environ.get("REPRO_NP_DELTA_MIN_WIDTH")
+        os.environ["REPRO_NP_DELTA_MIN_WIDTH"] = "0"
+        try:
+            inc = IncrementalEvaluator(problem, base, kernel=kernel)
+            fast = _evaluation_payload(inc.evaluate(points))
+        finally:
+            if prior is None:
+                del os.environ["REPRO_NP_DELTA_MIN_WIDTH"]
+            else:
+                os.environ["REPRO_NP_DELTA_MIN_WIDTH"] = prior
+    else:
+        inc = IncrementalEvaluator(problem, base, kernel=kernel)
+        fast = _evaluation_payload(inc.evaluate(points))
     slow = _evaluation_payload(
         evaluate_placement(problem, points, kernel="interp")
     )
@@ -404,6 +423,55 @@ def _check_dp_vs_exhaustive(
         actual={"cost": dp.cost, "feasible": dp.feasible},
         message="DP optimum disagrees with exhaustive search "
         "under the quantized objective",
+        sources={},
+    )
+
+
+def _check_tiled_batch(
+    circuit: Circuit, seed: int, n_patterns: int
+) -> Optional[_Divergence]:
+    """numpy only: batched sweeps forced through word tiles and chunks.
+
+    A deliberately tiny memory budget makes ``propagate_batch`` split
+    the fault cube along both the word axis (tile seams) and the fault
+    axis (chunk seams) on circuits where the default budget would run a
+    single untiled sweep — the exact seam bookkeeping the wide-pattern
+    coverage path relies on.
+    """
+    from ..sim import npsim
+    from ..sim.fault_sim import BatchPolicy
+
+    stimulus = _stimulus(circuit, seed, n_patterns)
+    plan = npsim.get_plan(circuit)
+    rows = plan.n_rows + npsim.batch_staging_rows(plan)
+    policy = BatchPolicy(
+        min_faults=1, min_capacity=1, chunk_bytes=8 * rows * 2 * 3
+    )
+    fast = FaultSimulator(circuit, kernel="numpy", batch_policy=policy).run(
+        stimulus, n_patterns
+    )
+    slow = FaultSimulator(circuit, kernel="interp").run(stimulus, n_patterns)
+
+    def summary(res):
+        return {
+            str(f): [res.detection_word[f], res.first_detect[f]]
+            for f in res.detection_word
+        }
+
+    if summary(fast) == summary(slow):
+        return None
+    return _Divergence(
+        kind="fuzz.tiled_batch",
+        context={
+            "stimulus": stimulus,
+            "n_patterns": n_patterns,
+            "chunk_bytes": policy.chunk_bytes,
+            "kernel": "numpy",
+        },
+        expected=summary(slow),
+        actual=summary(fast),
+        message="word-tiled batched sweep disagrees with interpreter "
+        "across tile/chunk seams",
         sources={},
     )
 
@@ -641,8 +709,14 @@ def run_fuzz(
                     ),
                     lambda c: _check_cop(c, stim_seed, kernel),
                     lambda c: _check_placement(c, stim_seed, kernel),
-                    lambda c: _check_incremental(c, stim_seed),
+                    lambda c: _check_incremental(c, stim_seed, kernel),
                 ]
+                if kernel == "numpy":
+                    checks.append(
+                        lambda c: _check_tiled_batch(
+                            c, stim_seed, n_patterns
+                        )
+                    )
                 if trial % 2 == 0 and circuit.gate_count() <= _DP_MAX_GATES:
                     checks.append(
                         lambda c: _check_dp_vs_exhaustive(

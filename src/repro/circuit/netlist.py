@@ -311,6 +311,24 @@ class Circuit:
             stack.extend(self._nodes[cur].fanins)
         return seen
 
+    def fanin_cone_union(self, names: Iterable[str]) -> Set[str]:
+        """The union of the fan-in cones of ``names`` in one traversal.
+
+        Equivalent to ``set().union(*(self.fanin_cone(n) for n in names))``
+        but visits each node at most once, so proposing candidates against
+        hundreds of overlapping failing-fault cones stays linear in circuit
+        size instead of quadratic.
+        """
+        seen: Set[str] = set()
+        stack = [name for name in names]
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._nodes[cur].fanins)
+        return seen
+
     def fanout_cone(self, name: str) -> Set[str]:
         """All nodes (inclusive) in the transitive fan-out of ``name``."""
         if self._dirty:

@@ -219,6 +219,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         bundle_dir=args.bundle_dir,
         max_gates=args.max_gates,
+        n_patterns=args.patterns,
         kernel=args.kernel,
     )
     print(report.describe())
@@ -948,6 +949,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-gates", type=int, default=40, metavar="N",
         help="largest random circuit to generate",
+    )
+    p.add_argument(
+        "--patterns", type=int, default=64, metavar="N",
+        help="patterns per simulation lane (default 64; >64 drives the "
+        "numpy kernel's word-tiled batch seams)",
     )
     p.add_argument(
         "--bundle-dir", default="repro_bundles", metavar="DIR",

@@ -70,10 +70,11 @@ def _candidate_points(
             node, branch = _fault_site_point(fault)
             propose(TestPoint(node, TestPointType.OBSERVATION, branch=branch))
 
-    # Control points on skewed nodes in the failing fan-in cones.
-    cone: Set[str] = set()
+    # Control points on skewed nodes in the failing fan-in cones.  A single
+    # multi-source traversal — per-fault cones overlap heavily, so walking
+    # them one by one is quadratic on wide circuits with many failures.
+    cone: Set[str] = set(circuit.fanin_cone_union(f.node for f in failing))
     for fault in failing:
-        cone |= circuit.fanin_cone(fault.node)
         if fault.branch is not None:
             cone.add(fault.branch[0])
     skewed = sorted(
@@ -123,9 +124,12 @@ def solve_greedy(
         equivalence tests assert identical solutions), only slower; kept
         as the ground-truth reference for tests and benchmarks.
     kernel:
-        Evaluation kernel for the COP passes (``"compiled"`` or
-        ``"interp"``); default is the process-wide
-        :data:`~repro.sim.compile.DEFAULT_KERNEL`.
+        Evaluation kernel for the COP passes (``"compiled"``,
+        ``"numpy"`` or ``"interp"``); default is the process-wide
+        :data:`~repro.sim.compile.DEFAULT_KERNEL`.  With ``"numpy"``
+        the incremental candidate scoring also runs its dirty-cone
+        deltas on the array engine
+        (:class:`~repro.sim.npsim.PlacementDelta`).
     """
     if faults is None:
         faults = testable_stuck_at_faults(problem.circuit)

@@ -123,13 +123,21 @@ class IncrementalEvaluator:
         from ..verify.guard import active_guard
 
         self._active_guard = active_guard
-        #: Kernel mode for the from-scratch base passes (``rebase``); the
-        #: delta re-propagation itself is always interpreted — it touches
-        #: only the dirty region, and its early-stop compares against the
-        #: base values, which the compiled pass reproduces bit-identically.
+        #: Kernel mode for the from-scratch base passes (``rebase``) and,
+        #: when the backend offers one, for the delta re-propagation: the
+        #: numpy backend runs the dirty-cone sweeps as level-synchronous
+        #: array subsets (:class:`repro.sim.npsim.PlacementDelta`) while
+        #: the interpreted heap walk stays the shadow-sampled arbiter.
+        #: Other kernels interpret the deltas — they touch only the dirty
+        #: region, and the early-stop compares against base values every
+        #: backend reproduces bit-identically.
         self.kernel = kernel
         self.circuit = problem.circuit
         circuit = self.circuit
+        # Runtime-lazy for the same import-cycle reason as the guard.
+        from ..sim.backend import get_backend
+
+        self._np_delta = get_backend(kernel).placement_delta_engine(circuit)
         self._topo = circuit.topological_order()
         self._level = circuit.levels()
         self._node = {name: circuit.node(name) for name in self._topo}
@@ -167,6 +175,13 @@ class IncrementalEvaluator:
         self.base_points = list(points)
         self.base = evaluate_placement(self.problem, points, kernel=self.kernel)
         self._base_stems, self._base_branches = _site_states(points)
+        if self._np_delta is not None:
+            self._np_delta.rebase(
+                self.base,
+                self._base_stems,
+                self._base_branches,
+                control_observability_factor,
+            )
         theta = self.problem.threshold - 1e-12
         self._failing: Set[Fault] = {
             f
@@ -216,8 +231,75 @@ class IncrementalEvaluator:
 
         Returns patch dictionaries (missing key = base value unchanged)
         for ``stem_pre``, ``stem_post``, ``branch_pre``, ``branch_post``,
-        ``wire_obs``, ``branch_obs`` and ``stem_post_obs``.
+        ``wire_obs``, ``branch_obs`` and ``stem_post_obs``.  Dispatches to
+        the backend's vectorized delta engine when one exists, shadowing
+        a guard-sampled fraction against the interpreted walk.
         """
+        if self._np_delta is None:
+            return self._delta_interp(stem_diff, branch_diff)
+        patches, recomputed = self._np_delta.delta(
+            stem_diff,
+            branch_diff,
+            control_probability_transform,
+            control_observability_factor,
+        )
+        self.stats["deltas"] += 1
+        self.stats["nodes_recomputed"] += recomputed
+        guard = self._active_guard(self._guard)
+        if guard is not None and guard.should_check():
+            self._shadow_delta_check(guard, stem_diff, branch_diff, patches)
+        return patches
+
+    def _shadow_delta_check(
+        self,
+        guard,
+        stem_diff: Dict[str, _SiteState],
+        branch_diff: Dict[_BranchKey, _SiteState],
+        patches,
+    ) -> None:
+        """Compare one vectorized delta against the interpreted walk."""
+        from ..verify.bundle import point_to_payload, problem_to_payload
+
+        saved = dict(self.stats)
+        try:
+            expected = self._delta_interp(stem_diff, branch_diff)
+        finally:
+            self.stats.clear()
+            self.stats.update(saved)
+        names = (
+            "stem_pre", "stem_post", "branch_pre", "branch_post",
+            "wire_obs", "branch_obs", "stem_post_obs",
+        )
+        guard.confirm(
+            "incremental.delta",
+            expected=dict(zip(names, expected)),
+            actual=dict(zip(names, patches)),
+            circuit=self.circuit,
+            context={
+                "problem": problem_to_payload(self.problem),
+                "base_points": [point_to_payload(p) for p in self.base_points],
+                "stem_diff": {
+                    site: [state[0].name if state[0] else None, state[1]]
+                    for site, state in sorted(stem_diff.items())
+                },
+                "branch_diff": {
+                    repr(key): [state[0].name if state[0] else None, state[1]]
+                    for key, state in sorted(branch_diff.items())
+                },
+                "kernel": self.kernel,
+            },
+            message=(
+                "vectorized incremental delta disagrees with the "
+                "interpreted dirty-cone walk"
+            ),
+        )
+
+    def _delta_interp(
+        self,
+        stem_diff: Dict[str, _SiteState],
+        branch_diff: Dict[_BranchKey, _SiteState],
+    ):
+        """The interpreted dirty-cone walk (ground-truth delta arbiter)."""
         base = self.base
         level = self._level
         recomputed = 0

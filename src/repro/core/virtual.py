@@ -20,7 +20,7 @@ wires (post stem-CP, pre branch-CP).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..circuit.gates import (
     output_probability,
@@ -37,7 +37,12 @@ from .problem import (
     control_probability_transform,
 )
 
-__all__ = ["VirtualEvaluation", "evaluate_placement", "split_placement"]
+__all__ = [
+    "VirtualEvaluation",
+    "evaluate_placement",
+    "placement_site_state",
+    "split_placement",
+]
 
 _BranchKey = Tuple[str, str, int]
 
@@ -78,6 +83,43 @@ def _site_observed(tps: Optional[List[TestPoint]]) -> bool:
     if not tps:
         return False
     return any(t.kind is TestPointType.OBSERVATION for t in tps)
+
+
+def placement_site_state(
+    points: Sequence[TestPoint],
+) -> Tuple[
+    Dict[str, TestPointType],
+    Dict[_BranchKey, TestPointType],
+    Set[str],
+    Set[_BranchKey],
+]:
+    """Collapse a placement to the site-state form backend runners take.
+
+    Returns ``(stem_controls, branch_controls, stem_observed,
+    branch_observed)`` — control kind per controlled site plus observed
+    site sets.  This is the calling convention of every placement
+    runner (compiled and numpy): the placement travels as data, so one
+    compiled kernel / one array plan serves every placement on the
+    circuit.
+    """
+    stem_points, branch_points = split_placement(points)
+    sctl: Dict[str, TestPointType] = {}
+    sobs: Set[str] = set()
+    for site, tps in stem_points.items():
+        ctrl = _site_control(tps)
+        if ctrl:
+            sctl[site] = ctrl
+        if _site_observed(tps):
+            sobs.add(site)
+    bctl: Dict[_BranchKey, TestPointType] = {}
+    bobs: Set[_BranchKey] = set()
+    for key, tps in branch_points.items():
+        ctrl = _site_control(tps)
+        if ctrl:
+            bctl[key] = ctrl
+        if _site_observed(tps):
+            bobs.add(key)
+    return sctl, bctl, sobs, bobs
 
 
 @dataclass
@@ -170,22 +212,7 @@ def evaluate_placement(
 
     fn = get_backend(kernel).placement_runner(circuit)
     if fn is not None:
-        sctl = {}
-        sobs = set()
-        for site, tps in stem_points.items():
-            ctrl = _site_control(tps)
-            if ctrl:
-                sctl[site] = ctrl
-            if _site_observed(tps):
-                sobs.add(site)
-        bctl = {}
-        bobs = set()
-        for key, tps in branch_points.items():
-            ctrl = _site_control(tps)
-            if ctrl:
-                bctl[key] = ctrl
-            if _site_observed(tps):
-                bobs.add(key)
+        sctl, bctl, sobs, bobs = placement_site_state(points)
         (
             stem_pre, stem_post, branch_pre, branch_post,
             wire_obs, branch_obs, stem_post_obs,

@@ -78,6 +78,17 @@ class SimulationBackend:
     def placement_runner(self, circuit: Circuit):
         return None
 
+    def placement_delta_engine(self, circuit: Circuit):
+        """A fresh vectorized dirty-cone delta engine for incremental
+        placement evaluation, or ``None`` (interpreted heap walk).
+
+        Unlike the runners above this constructs a *new* engine per call:
+        the engine carries per-base state
+        (:meth:`~repro.sim.npsim.PlacementDelta.rebase`), so each
+        :class:`~repro.core.incremental.IncrementalEvaluator` owns one.
+        """
+        return None
+
     # -- parallel worker priming ----------------------------------------
     def worker_payload(
         self, circuit: Circuit
@@ -173,6 +184,16 @@ class NumpyBackend(SimulationBackend):
 
     def placement_runner(self, circuit: Circuit):
         return npsim.get_plan(circuit).placement
+
+    def placement_delta_engine(self, circuit: Circuit):
+        # Narrow-level circuits pay the engine's fixed per-level cost
+        # without amortizing it over wide slices — hand those back to the
+        # interpreted walk (see npsim.DELTA_MIN_MEAN_WIDTH; the
+        # REPRO_NP_DELTA_MIN_WIDTH env var overrides the cutoff).
+        plan = npsim.get_plan(circuit)
+        if not npsim.delta_profitable(plan):
+            return None
+        return npsim.PlacementDelta(plan)
 
     def prime_worker(self, circuit, sources=None, cone_meta=None):
         # Plans are cheap index arrays — rebuild locally instead of

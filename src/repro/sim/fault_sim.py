@@ -26,6 +26,7 @@ Two run modes:
 from __future__ import annotations
 
 import heapq
+import os
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -40,27 +41,95 @@ from . import npsim
 from .bitops import (
     ndarray_to_word,
     ones_mask,
-    split_word_blocks,
     word_count,
 )
 from .compile import generate_cone_source, get_compiled, resolve_kernel
 from .faults import CollapsedFaultSet, Fault, collapse_faults
 from .logic_sim import LogicSimulator
 
-__all__ = ["FaultSimResult", "FaultSimulator", "fault_coverage"]
+__all__ = [
+    "BatchPolicy",
+    "DEFAULT_BATCH_POLICY",
+    "FaultSimResult",
+    "FaultSimulator",
+    "fault_coverage",
+]
 
-#: Below this many faults the batched numpy sweep's fixed dispatch cost
-#: (one grouped full-circuit pass) is not worth amortizing.
-_NP_BATCH_MIN_FAULTS = 16
-#: Minimum fault machines per memory-budget chunk for the batch to pay:
-#: narrower chunks degenerate toward one full-circuit pass per fault.
-_NP_BATCH_MIN_CAPACITY = 16
-#: Widest pattern width (in 64-bit words) the batch strategy accepts.
-#: The batch trades inflated per-fault work (whole circuit instead of one
-#: cone) for amortized dispatch; past ~1024 patterns the per-word work
-#: dominates dispatch and the inflation makes the sweep a net loss on
-#: shallow circuits, so per-cone walks take over.
-_NP_BATCH_MAX_WORDS = 16
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When and how the numpy kernel batches faults into one sweep.
+
+    The fault-parallel batched pass re-evaluates the *whole circuit* per
+    fault machine, trading inflated per-fault work for ufunc dispatch
+    amortized across the whole batch.  This policy gathers the knobs
+    that decide the trade; :data:`DEFAULT_BATCH_POLICY` (built by
+    :meth:`from_env`) honours ``REPRO_NP_BATCH_*`` environment
+    variables, and tests pin explicit instances instead of
+    monkeypatching module constants.
+
+    Attributes
+    ----------
+    min_faults:
+        Below this many faults the sweep's fixed dispatch cost (one
+        grouped full-circuit pass) is not worth amortizing
+        (``REPRO_NP_BATCH_MIN_FAULTS``).
+    min_capacity:
+        Minimum fault machines per memory-budget chunk for the batch to
+        pay: narrower chunks degenerate toward one full-circuit pass
+        per fault (``REPRO_NP_BATCH_MIN_CAPACITY``).
+    max_words:
+        Widest pattern width (in 64-bit words) the batch accepts, or
+        ``None`` for no cap — the default, since
+        :func:`~repro.sim.npsim.propagate_batch` tiles the pattern axis
+        under its memory budget, so wide-pattern runs keep the chunk
+        capacity of narrow ones (``REPRO_NP_BATCH_MAX_WORDS``; the
+        string ``none`` / ``0`` / empty also means uncapped).
+    chunk_bytes:
+        Memory budget per batched chunk, forwarded to
+        :func:`~repro.sim.npsim.propagate_batch` and
+        :func:`~repro.sim.npsim.batch_capacity`
+        (``REPRO_NP_BATCH_CHUNK_BYTES``).
+    """
+
+    min_faults: int = 16
+    min_capacity: int = 16
+    max_words: Optional[int] = None
+    chunk_bytes: int = npsim.BATCH_CHUNK_BYTES
+
+    @classmethod
+    def from_env(cls) -> "BatchPolicy":
+        """A policy with any ``REPRO_NP_BATCH_*`` overrides applied."""
+
+        def _int(name: str, default: int) -> int:
+            raw = os.environ.get(name)
+            try:
+                return int(raw) if raw else default
+            except ValueError:
+                return default
+
+        raw_words = os.environ.get("REPRO_NP_BATCH_MAX_WORDS", "")
+        max_words: Optional[int] = None
+        if raw_words and raw_words.lower() != "none":
+            try:
+                parsed = int(raw_words)
+                max_words = parsed if parsed > 0 else None
+            except ValueError:
+                max_words = None
+        return cls(
+            min_faults=_int("REPRO_NP_BATCH_MIN_FAULTS", cls.min_faults),
+            min_capacity=_int(
+                "REPRO_NP_BATCH_MIN_CAPACITY", cls.min_capacity
+            ),
+            max_words=max_words,
+            chunk_bytes=_int(
+                "REPRO_NP_BATCH_CHUNK_BYTES", npsim.BATCH_CHUNK_BYTES
+            ),
+        )
+
+
+#: Process-wide default policy (environment overrides applied at import).
+DEFAULT_BATCH_POLICY = BatchPolicy.from_env()
 
 
 @dataclass
@@ -182,11 +251,15 @@ class FaultSimulator:
         circuit: Circuit,
         kernel: Optional[str] = None,
         guard=None,
+        batch_policy: Optional[BatchPolicy] = None,
     ) -> None:
         circuit.validate()
         self.circuit = circuit
         self.kernel = resolve_kernel(kernel)
         self._guard = guard
+        self.batch_policy = (
+            batch_policy if batch_policy is not None else DEFAULT_BATCH_POLICY
+        )
         # Runtime-lazy: repro.verify imports this module.
         from ..verify.guard import active_guard
 
@@ -498,18 +571,24 @@ class FaultSimulator:
     def _np_batch_ok(self, n_faults: int, n_patterns: int) -> bool:
         """Whether the fault-parallel batched pass beats per-cone walks.
 
-        The batched sweep re-evaluates the whole circuit per fault, so it
-        pays off only when enough fault machines share each ufunc call:
-        it needs a worthwhile fault count and a pattern width narrow
-        enough that the memory budget still fits a wide chunk.
+        The batched sweep re-evaluates the whole circuit per fault, so
+        it pays off only when enough fault machines share each ufunc
+        call (see :class:`BatchPolicy`); wide pattern runs stay eligible
+        because the sweep tiles the pattern axis per chunk.
         """
-        if self._np_plan is None or n_faults < _NP_BATCH_MIN_FAULTS:
+        policy = self.batch_policy
+        if self._np_plan is None or n_faults < policy.min_faults:
             return False
-        if word_count(n_patterns) > _NP_BATCH_MAX_WORDS:
+        if (
+            policy.max_words is not None
+            and word_count(n_patterns) > policy.max_words
+        ):
             return False
         return (
-            npsim.batch_capacity(self._np_plan, n_patterns)
-            >= _NP_BATCH_MIN_CAPACITY
+            npsim.batch_capacity(
+                self._np_plan, n_patterns, chunk_bytes=policy.chunk_bytes
+            )
+            >= policy.min_capacity
         )
 
     def _np_batch_words(
@@ -544,7 +623,9 @@ class FaultSimulator:
                 ).copy()
                 self.gate_evals += 1
                 sites.append((plan.row[sink], forced))
-        detect, evals = npsim.propagate_batch(state, sites)
+        detect, evals = npsim.propagate_batch(
+            state, sites, chunk_bytes=self.batch_policy.chunk_bytes
+        )
         self.gate_evals += evals
         words = npsim.rows_to_words(detect)
         guard = self._active_guard(self._guard)
@@ -830,13 +911,20 @@ class FaultSimulator:
             sizes.append(size)
             covered += size
             blk *= 2
-        input_blocks = {
-            name: split_word_blocks(stimulus.get(name, 0), sizes)
-            for name in self.circuit.inputs
+        # Split lazily, block by block: a consumer that drops its whole
+        # fault list early never pays for slicing the unconsumed tail of
+        # the budget (the doubling schedule keeps the total shift work
+        # linear in the bits actually consumed).
+        remaining = {
+            name: stimulus.get(name, 0) for name in self.circuit.inputs
         }
-        for index, blk_n in enumerate(sizes):
+        for blk_n in sizes:
+            lo_mask = (1 << blk_n) - 1
             stim_block = {
-                name: blocks[index] for name, blocks in input_blocks.items()
+                name: word & lo_mask for name, word in remaining.items()
+            }
+            remaining = {
+                name: word >> blk_n for name, word in remaining.items()
             }
             yield blk_n, self._logic.run(stim_block, blk_n)
 
@@ -908,9 +996,15 @@ class FaultSimulator:
                 good_blocks = self.coverage_blocks(stimulus, n_patterns, block)
             offset = 0
             heartbeat = obs.Heartbeat("fault_sim.run_coverage")
-            for blk_n, good_block in good_blocks:
-                if not remaining:
+            block_iter = iter(good_blocks)
+            while remaining:
+                # Checked before drawing the next block: once every fault
+                # has dropped, the good machine for the (wide) tail of the
+                # schedule is never simulated.
+                nxt = next(block_iter, None)
+                if nxt is None:
                     break
+                blk_n, good_block = nxt
                 survivors: List[Fault] = []
                 if self._np_batch_ok(len(remaining), blk_n):
                     if budget is not None:

@@ -44,6 +44,7 @@ the interpreted ground truth the same way they pin the compiled kernels.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -65,10 +66,16 @@ except ImportError:  # pragma: no cover
 __all__ = [
     "HAVE_NUMPY",
     "BATCH_CHUNK_BYTES",
+    "BATCH_TILE_MIN_SITES",
+    "DELTA_MIN_MEAN_WIDTH",
     "CircuitPlan",
     "ConePlan",
     "PackedState",
+    "PlacementDelta",
     "batch_capacity",
+    "batch_staging_rows",
+    "batch_tile_words",
+    "delta_profitable",
     "get_plan",
     "clear_plans",
     "plan_registry_size",
@@ -137,7 +144,17 @@ def _eval_word_group(gate_type, arity, fanin_rows, V, out, mask) -> None:
     ``out`` is the group's contiguous output slice of ``V``.  Folds mirror
     :func:`~repro.circuit.gates.evaluate_gate` (all rows invariantly
     masked, inversions are one xor with the mask array).
+
+    Single-gate groups skip the gather: a chain-shaped circuit (one gate
+    per level) otherwise pays an advanced-indexing copy of every fan-in
+    row per level, which dominates deep-circuit sweeps.
     """
+    if len(fanin_rows) == 1 and gate_type is not GateType.CONST0 \
+            and gate_type is not GateType.CONST1:
+        _eval_word_rows(
+            gate_type, [V[int(r)] for r in fanin_rows[0]], out[0], mask
+        )
+        return
     if gate_type is GateType.CONST0:
         out[:] = 0
         return
@@ -453,15 +470,75 @@ def propagate_cone(
 # ---------------------------------------------------------------------------
 
 #: Memory budget (bytes) for one batched value cube; chunks are sized so a
-#: chunk's ``n_rows × B × n_words`` uint64 matrix stays inside it.
+#: chunk's ``n_rows × B × tile_words`` uint64 matrix — plus its staging
+#: rows, see :func:`batch_staging_rows` — stays inside it.
 BATCH_CHUNK_BYTES = 32 << 20
+
+#: Fewest fault machines a chunk should hold before the word axis tiles:
+#: when the full pattern width would squeeze the chunk below this many
+#: machines, ``propagate_batch`` shrinks the tile width instead so each
+#: ufunc call keeps amortizing dispatch over enough fault columns.
+BATCH_TILE_MIN_SITES = 16
+
+
+def batch_staging_rows(plan: "CircuitPlan") -> int:
+    """Row-equivalents of per-chunk scratch beyond the value cube itself.
+
+    Besides the ``(n_rows, B, tile_words)`` cube, a batched chunk holds
+    the primary-output staging block used to diff faulty outputs against
+    the good matrix (``n_po`` row-equivalents — the diff is computed in
+    place on the staged copy, so the block is charged once) plus O(1)
+    rows for the stacked forced values, the tiled pattern mask, and the
+    per-tile detection reduction.  :func:`batch_capacity` charges these
+    against the memory budget so a chunk's true footprint stays inside
+    ``chunk_bytes``; counting only the faulty cube (as earlier revisions
+    did) let wide-output circuits overshoot the budget by up to 2x.
+    """
+    return len(plan.outputs) + 3
+
+
+def _tile_words_for(
+    plan: "CircuitPlan", n_words: int, chunk_bytes: int
+) -> int:
+    """Word-axis tile width for a batched sweep at ``n_words`` patterns.
+
+    Prefers the untiled layout (one tile spanning the full width)
+    whenever a chunk at full width still fits ``BATCH_TILE_MIN_SITES``
+    fault machines; otherwise the widest tile that does.
+    """
+    rows = plan.n_rows + batch_staging_rows(plan)
+    budget_words = chunk_bytes // (8 * rows * BATCH_TILE_MIN_SITES)
+    return max(1, min(n_words, budget_words))
+
+
+def batch_tile_words(
+    plan: "CircuitPlan", n_patterns: int, chunk_bytes: int = BATCH_CHUNK_BYTES
+) -> int:
+    """Word-axis tile width :func:`propagate_batch` will pick by default."""
+    return _tile_words_for(plan, word_count(n_patterns), chunk_bytes)
 
 
 def batch_capacity(
-    plan: "CircuitPlan", n_patterns: int, chunk_bytes: int = BATCH_CHUNK_BYTES
+    plan: "CircuitPlan",
+    n_patterns: int,
+    chunk_bytes: int = BATCH_CHUNK_BYTES,
+    tile_words: Optional[int] = None,
 ) -> int:
-    """Fault machines one batched chunk can hold under the memory budget."""
-    return chunk_bytes // (8 * plan.n_rows * word_count(n_patterns))
+    """Fault machines one batched chunk can hold under the memory budget.
+
+    Charges the full chunk footprint — value cube plus staging rows (see
+    :func:`batch_staging_rows`) — at the word-axis tile width the batch
+    would actually run (pass ``tile_words`` to pin a different one).
+    Thanks to tiling this stays a useful chunk width at any pattern
+    budget: widening the patterns narrows the tile, not the chunk.
+    """
+    n_words = word_count(n_patterns)
+    if tile_words is None:
+        tile_words = _tile_words_for(plan, n_words, chunk_bytes)
+    else:
+        tile_words = max(1, min(tile_words, n_words))
+    rows = plan.n_rows + batch_staging_rows(plan)
+    return chunk_bytes // (8 * rows * tile_words)
 
 
 def rows_to_words(matrix) -> List[int]:
@@ -479,6 +556,7 @@ def propagate_batch(
     state: PackedState,
     sites: Sequence[Tuple[int, "np.ndarray"]],
     chunk_bytes: int = BATCH_CHUNK_BYTES,
+    tile_words: Optional[int] = None,
 ) -> Tuple["np.ndarray", int]:
     """Propagate many injected faults through the whole circuit at once.
 
@@ -488,25 +566,38 @@ def propagate_batch(
 
     Where :func:`propagate_cone` walks one fault's cone with one ufunc
     call per gate, this pass stacks ``B`` fault machines into a
-    ``(n_rows, B, n_words)`` cube and re-runs the *grouped* full-circuit
-    sweep on it, so each ufunc call covers ``group × B`` gate
-    evaluations.  Every gate outside a fault's cone recomputes its good
-    value from good fan-ins, and the site row is re-pinned after its
+    ``(n_rows, B, tile_words)`` cube and re-runs the *grouped*
+    full-circuit sweep on it, so each ufunc call covers ``group × B``
+    gate evaluations.  Every gate outside a fault's cone recomputes its
+    good value from good fan-ins, and the site row is re-pinned after its
     group evaluates, so each column reproduces exactly the faulty machine
-    the cone walk would build.  The win is dispatch amortization at
-    narrow pattern widths: per-fault work inflates by roughly
-    ``n_gates / mean(|cone|)``, but thousands of Python-level cone steps
-    collapse into one sweep of a few hundred array calls.
+    the cone walk would build.  The win is dispatch amortization: per-
+    fault work inflates by roughly ``n_gates / mean(|cone|)``, but
+    thousands of Python-level cone steps collapse into one sweep of a few
+    hundred array calls.
 
-    Chunks are capped by ``chunk_bytes`` and sites are processed in
-    ascending row order: every row below a chunk's first site is provably
-    fault-free, so it is block-copied from the good matrix instead of
-    re-evaluated.
+    Wide pattern budgets tile along the word axis: when the full width
+    would not fit :data:`BATCH_TILE_MIN_SITES` fault machines inside
+    ``chunk_bytes``, the sweep runs per word-tile — same chunking, same
+    pinning, each tile evaluating words ``[w0, w1)`` of every machine —
+    and ORs each tile's detection columns into its word slice of the
+    result.  Word columns never interact in any gate fold (bitwise folds
+    are per-bit, masks are per-word), so tiling commutes with evaluation
+    and the detection matrix is bit-identical across tile seams.  Pass
+    ``tile_words`` to pin the width (tests pin seams; ``None`` picks
+    :func:`batch_tile_words`).
+
+    Chunks are capped by ``chunk_bytes`` (cube plus staging rows — see
+    :func:`batch_capacity`) and sites are processed in ascending row
+    order: every row below a chunk's first site is provably fault-free,
+    so it is block-copied from the good matrix instead of re-evaluated.
 
     Returns ``(detect, gate_evals)`` — a ``(len(sites), n_words)`` uint64
     detection matrix in input order (row ``i`` packs, per pattern,
     whether fault ``i`` flips any primary output), and the number of
-    gate-machine evaluations performed.
+    gate-machine evaluations performed.  A gate-machine evaluation is
+    word-parallel over the full pattern budget, so tiles are partial
+    evaluations summing to one — the count is tile-invariant.
     """
     plan = state.plan
     V = state.values
@@ -522,45 +613,98 @@ def propagate_batch(
         dtype=np.intp,
         count=len(plan.output_rows),
     )
+    n_po = len(po_rows)
+    # When the output rows form one contiguous band (common: a levelized
+    # plan puts late-level gates last), the staged diff can read the cube
+    # through a slice view instead of a fancy-index gather.
+    po_lo = int(po_rows.min()) if n_po else 0
+    po_contiguous = bool(
+        n_po and np.array_equal(po_rows, np.arange(po_lo, po_lo + n_po))
+    )
     good_po = np.ascontiguousarray(V[po_rows])
     detect = np.zeros((n_sites, n_words), dtype=np.uint64)
-    capacity = max(1, chunk_bytes // (8 * n_rows * n_words))
+    if tile_words is None:
+        tile_words = _tile_words_for(plan, n_words, chunk_bytes)
+    else:
+        tile_words = max(1, min(int(tile_words), n_words))
+    capacity = max(
+        1,
+        chunk_bytes // (8 * (n_rows + batch_staging_rows(plan)) * tile_words),
+    )
     gate_evals = 0
     for c0 in range(0, n_sites, capacity):
         chunk = order[c0 : c0 + capacity]
         B = len(chunk)
         site_rows = rows[chunk]
-        forced = np.stack([sites[i][1] for i in chunk])
+        forced_full = np.stack([sites[i][1] for i in chunk])
         # Rows below the chunk's first site carry no fault effect; copy.
         copy_to = max(n_in, int(site_rows[0]))
-        flat = np.empty((n_rows, B * n_words), dtype=np.uint64)
-        cube = flat.reshape(n_rows, B, n_words)
-        cube[:copy_to] = V[:copy_to, None, :]
         bidx = np.arange(B)
-        pinned = site_rows < copy_to
-        if pinned.any():
-            cube[site_rows[pinned], bidx[pinned]] = forced[pinned]
-        # The flat 2D view evaluates with simple strides; the pattern mask
-        # tiles across fault machines (the cube's inner axis is n_words).
-        flat_mask = mask if n_words == 1 else np.tile(mask, B)
-        for gate_type, arity, lo, hi, fanin_rows in plan.logic_groups:
-            if hi <= copy_to:
-                continue
-            lo_eff = max(lo, copy_to)
-            _eval_word_group(
-                gate_type,
-                arity,
-                fanin_rows[lo_eff - lo :],
-                flat,
-                flat[lo_eff:hi],
-                flat_mask,
+        n_pre = int(np.searchsorted(site_rows, copy_to, side="left"))
+        # Chunk sites are sorted by row, so the machines a logic group
+        # must re-pin form a contiguous slice: two binary searches per
+        # group here replace two full boolean passes per group per tile.
+        group_lo = np.fromiter(
+            (max(g[2], copy_to) for g in plan.logic_groups),
+            dtype=np.intp,
+            count=len(plan.logic_groups),
+        )
+        group_hi = np.fromiter(
+            (g[3] for g in plan.logic_groups),
+            dtype=np.intp,
+            count=len(plan.logic_groups),
+        )
+        bounds_lo = np.searchsorted(site_rows, group_lo, side="left")
+        bounds_hi = np.searchsorted(site_rows, group_hi, side="left")
+        staged = np.empty((n_po, B, tile_words), dtype=np.uint64)
+        for w0 in range(0, n_words, tile_words):
+            w1 = min(w0 + tile_words, n_words)
+            tw = w1 - w0
+            flat = np.empty((n_rows, B * tw), dtype=np.uint64)
+            cube = flat.reshape(n_rows, B, tw)
+            cube[:copy_to] = V[:copy_to, None, w0:w1]
+            forced = forced_full[:, w0:w1]
+            if n_pre:
+                cube[site_rows[:n_pre], bidx[:n_pre]] = forced[:n_pre]
+            # The flat 2D view evaluates with simple strides; the pattern
+            # mask tiles across fault machines (the cube's inner axis is
+            # the tile's words).
+            mask_t = mask[w0:w1]
+            flat_mask = mask_t if tw == 1 else np.tile(mask_t, B)
+            for group, (gate_type, arity, lo, hi, fanin_rows) in enumerate(
+                plan.logic_groups
+            ):
+                if hi <= copy_to:
+                    continue
+                lo_eff = max(lo, copy_to)
+                _eval_word_group(
+                    gate_type,
+                    arity,
+                    fanin_rows[lo_eff - lo :],
+                    flat,
+                    flat[lo_eff:hi],
+                    flat_mask,
+                )
+                p0, p1 = int(bounds_lo[group]), int(bounds_hi[group])
+                if p1 > p0:
+                    cube[site_rows[p0:p1], bidx[p0:p1]] = forced[p0:p1]
+            # Diff faulty outputs against the good matrix in place on one
+            # staged copy (charged in batch_staging_rows), then OR-reduce
+            # into this tile's word slice of the detection matrix.
+            st = staged if tw == tile_words else np.empty(
+                (n_po, B, tw), dtype=np.uint64
             )
-            pinned = (site_rows >= lo_eff) & (site_rows < hi)
-            if pinned.any():
-                cube[site_rows[pinned], bidx[pinned]] = forced[pinned]
+            if po_contiguous:
+                np.bitwise_xor(
+                    cube[po_lo : po_lo + n_po],
+                    good_po[:, None, w0:w1],
+                    out=st,
+                )
+            else:
+                np.take(cube, po_rows, axis=0, out=st)
+                np.bitwise_xor(st, good_po[:, None, w0:w1], out=st)
+            detect[chunk, w0:w1] = np.bitwise_or.reduce(st, axis=0)
         gate_evals += (n_rows - copy_to) * B
-        diff = cube[po_rows] ^ good_po[:, None, :]
-        detect[chunk] = np.bitwise_or.reduce(diff, axis=0)
     return detect, gate_evals
 
 
@@ -840,6 +984,17 @@ class CircuitPlan:
     def _names_of_level(self, entry: _Level) -> List[str]:
         return self._row_names[entry.node_lo : entry.node_hi]
 
+    def delta_aux(self) -> "_DeltaAux":
+        """The (cached) dirty-subset index structures for placement deltas."""
+        aux = getattr(self, "_delta_aux", None)
+        if aux is None:
+            with self._lock:
+                aux = getattr(self, "_delta_aux", None)
+                if aux is None:
+                    aux = _DeltaAux(self)
+                    self._delta_aux = aux
+        return aux
+
     # ------------------------------------------------------------------
     # Logic pass
     # ------------------------------------------------------------------
@@ -1083,6 +1238,392 @@ class CircuitPlan:
             stem_pre, stem_post, branch_pre, branch_post,
             wire_obs, branch_obs, stem_post_obs,
         )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized placement deltas (IncrementalEvaluator's numpy fast path)
+# ---------------------------------------------------------------------------
+
+#: Mean rows-per-level below which the vectorized delta loses to the
+#: interpreted heap walk.  Each dirty level costs the array engine a
+#: fixed ~20µs of slice bookkeeping regardless of width, while the
+#: interpreter pays ~1µs per actually-dirty node; measured break-even
+#: sits near 26 rows/level, and narrow-level circuits (deep multipliers,
+#: RPR corridors) regress well below 1x.  Overridable via the
+#: ``REPRO_NP_DELTA_MIN_WIDTH`` environment variable (``0`` forces the
+#: vectorized path on, which the equivalence suites use to pin tiny
+#: circuits onto it).
+DELTA_MIN_MEAN_WIDTH = 32.0
+
+
+def delta_profitable(plan: "CircuitPlan") -> bool:
+    """Whether :class:`PlacementDelta` is expected to beat the
+    interpreted dirty-cone walk on this plan (see
+    :data:`DELTA_MIN_MEAN_WIDTH`; answers, never raises, without numpy).
+    """
+    raw = os.environ.get("REPRO_NP_DELTA_MIN_WIDTH")
+    try:
+        min_width = DELTA_MIN_MEAN_WIDTH if not raw else float(raw)
+    except ValueError:
+        min_width = DELTA_MIN_MEAN_WIDTH
+    if min_width <= 0:
+        return True
+    return plan.n_rows / max(len(plan.levels), 1) >= min_width
+
+
+#: Per-site (control-kind, observed) summary meaning "no point here".
+_NO_SITE = (None, False)
+
+
+def _take_ranges(data, starts, counts):
+    """Concatenated ``data[starts[i] : starts[i] + counts[i]]`` slices."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=data.dtype)
+    offsets = np.arange(total) - np.repeat(counts.cumsum() - counts, counts)
+    return data[np.repeat(starts, counts) + offsets]
+
+
+class _DeltaAux:
+    """Plan-level index structures for dirty-level re-propagation.
+
+    Built once per plan (see :meth:`CircuitPlan.delta_aux`) and shared by
+    every :class:`PlacementDelta`: the level-entry index of every row and
+    CSR sink/fan-in adjacency in row space, which is all the delta sweeps
+    need on top of the plan's own level tables.
+    """
+
+    def __init__(self, plan: "CircuitPlan") -> None:
+        n_rows, n_edges = plan.n_rows, plan.n_edges
+        row = plan.row
+        # index into plan.levels (descending order) of every row
+        entry_of_row = np.empty(n_rows, dtype=np.intp)
+        for j, entry in enumerate(plan.levels):
+            entry_of_row[entry.node_lo : entry.node_hi] = j
+        self.entry_of_row = entry_of_row
+        self.edge_sink_rows = np.fromiter(
+            (row[key[1]] for key in plan.edge_keys),
+            dtype=np.intp,
+            count=n_edges,
+        )
+        # CSR fan-in rows per gate row (inputs have none)
+        fcounts = np.zeros(n_rows + 1, dtype=np.intp)
+        for name, fins in plan.fanins.items():
+            fcounts[row[name] + 1] = len(fins)
+        self.fanin_indptr = fcounts.cumsum()
+        fanin_rows = np.empty(int(self.fanin_indptr[-1]), dtype=np.intp)
+        for name, fins in plan.fanins.items():
+            base = self.fanin_indptr[row[name]]
+            for k, fi in enumerate(fins):
+                fanin_rows[base + k] = row[fi]
+        self.fanin_rows = fanin_rows
+
+
+class PlacementDelta:
+    """Vectorized dirty-cone re-propagation against a cached base.
+
+    The incremental evaluator re-propagates the placement passes from a
+    few dirty sites, stopping the moment a recomputed value equals the
+    cached base (exact float equality).  This class runs those deltas at
+    *level granularity*: a level whose inputs moved is recomputed with
+    the exact per-level slice code of :meth:`CircuitPlan.placement`
+    (contiguous array sweeps, no per-row bookkeeping), and a level no
+    dirt reaches is skipped entirely — its work-array slices still hold
+    the base values.
+
+    Bit-identity: recomputing a *clean* row of a dirty level reads the
+    same finalized inputs as the base pass and applies the same grouped
+    formulas in the same fold order, so it reproduces the base value to
+    the last ulp (evaluation is elementwise; columns never interact).
+    Changed values are therefore exactly the rows the interpreter's
+    event-driven walk would have patched, and the patch dicts — built by
+    comparing recomputed slices against the base — match the interpreted
+    delta verbatim.  The property and fuzz suites pin this.
+
+    Between deltas the work arrays equal the base: each call recomputes
+    only dirty-level slices and restores them from the base copies
+    before returning, so a delta costs O(dirty levels), not O(circuit).
+    """
+
+    def __init__(self, plan: "CircuitPlan") -> None:
+        _require_numpy()
+        self.plan = plan
+        self.aux = plan.delta_aux()
+
+    # ------------------------------------------------------------------
+    def rebase(self, base, base_stems, base_branches, cof) -> None:
+        """Capture one placement evaluation as the delta base.
+
+        ``base`` carries the seven dicts of a
+        :class:`~repro.core.virtual.VirtualEvaluation`; ``base_stems`` /
+        ``base_branches`` map sites to (control-kind, observed) summaries
+        of the base placement; ``cof`` is the control observability
+        factor function.
+        """
+        plan = self.plan
+        n_rows, n_edges = plan.n_rows, plan.n_edges
+        row, edge_id = plan.row, plan.edge_id
+        self.Qb = plan.float_rows(base.stem_pre)
+        self.Sb = plan.float_rows(base.stem_post)
+        self.WOb = plan.float_rows(base.wire_obs)
+        self.POb = plan.float_rows(base.stem_post_obs)
+        Tb = np.empty(n_edges, dtype=np.float64)
+        OBb = np.empty(n_edges, dtype=np.float64)
+        bpost, bobs = base.branch_post, base.branch_obs
+        for i, key in enumerate(plan.edge_keys):
+            Tb[i] = bpost[key]
+            OBb[i] = bobs[key]
+        self.Tb, self.OBb = Tb, OBb
+        # factor / zero-multiplier arrays of the base placement (same
+        # IEEE-identity convention as the full placement pass)
+        Fs = np.ones(n_rows, dtype=np.float64)
+        Zms = np.ones(n_rows, dtype=np.float64)
+        Fe = np.ones(n_edges, dtype=np.float64)
+        Zme = np.ones(n_edges, dtype=np.float64)
+        sctl: Dict[int, object] = {}
+        bctl: Dict[int, object] = {}
+        for name, (ctrl, observed) in base_stems.items():
+            r = row[name]
+            if ctrl is not None:
+                Fs[r] = cof(ctrl)
+                sctl[r] = ctrl
+            if observed:
+                Zms[r] = 1.0 - 1.0
+        for key, (ctrl, observed) in base_branches.items():
+            e = edge_id[key]
+            if ctrl is not None:
+                Fe[e] = cof(ctrl)
+                bctl[e] = ctrl
+            if observed:
+                Zme[e] = 1.0 - 1.0
+        self.Fsb, self.Zmsb, self.Feb, self.Zmeb = Fs, Zms, Fe, Zme
+        self._sctl_base = sctl
+        self._bctl_base = bctl
+        self._base_stems = dict(base_stems)
+        self._base_branches = dict(base_branches)
+        self.Qw, self.Sw = self.Qb.copy(), self.Sb.copy()
+        self.Tw = self.Tb.copy()
+        self.WOw, self.POw = self.WOb.copy(), self.POb.copy()
+        self.OBw = self.OBb.copy()
+        self.Fsw, self.Zmsw = Fs.copy(), Zms.copy()
+        self.Few, self.Zmew = Fe.copy(), Zme.copy()
+
+    # ------------------------------------------------------------------
+    def delta(self, stem_diff, branch_diff, cpt, cof):
+        """Patch dicts and recompute count for a dirty-site overlay.
+
+        ``stem_diff`` / ``branch_diff`` map changed sites to their new
+        (control-kind, observed) summaries; ``cpt`` / ``cof`` are the
+        control probability transform and observability factor.  Returns
+        ``(patches, recomputed)`` where ``patches`` is the seven-tuple of
+        patch dicts the interpreted delta produces (missing key = base
+        value unchanged).
+        """
+        plan, aux = self.plan, self.aux
+        row, edge_id = plan.row, plan.edge_id
+        names = plan._row_names
+        edge_keys = plan.edge_keys
+        levels = plan.levels
+        n_entries = len(levels)
+        edge_driver_rows = plan.edge_driver_rows
+        Qw, Sw, Tw = self.Qw, self.Sw, self.Tw
+        WOw, POw, OBw = self.WOw, self.POw, self.OBw
+
+        # -- overlay the dirty sites onto the work factor arrays
+        sctl = dict(self._sctl_base)
+        bctl = dict(self._bctl_base)
+        dirty_rows: List[int] = []
+        dirty_edges: List[int] = []
+        for site, (ctrl, observed) in stem_diff.items():
+            r = row[site]
+            dirty_rows.append(r)
+            self.Fsw[r] = cof(ctrl) if ctrl is not None else 1.0
+            self.Zmsw[r] = 1.0 - 1.0 if observed else 1.0
+            if ctrl is not None:
+                sctl[r] = ctrl
+            else:
+                sctl.pop(r, None)
+        for key, (ctrl, observed) in branch_diff.items():
+            e = edge_id[key]
+            dirty_edges.append(e)
+            self.Few[e] = cof(ctrl) if ctrl is not None else 1.0
+            self.Zmew[e] = 1.0 - 1.0 if observed else 1.0
+            if ctrl is not None:
+                bctl[e] = ctrl
+            else:
+                bctl.pop(e, None)
+        sctl_items = list(sctl.items())
+        bctl_items = list(bctl.items())
+
+        # -- forward: mark the levels of control-relevant dirty sites,
+        # sweep ascending, re-marking a sink's level only when some
+        # in-edge branch-post moved (the heap walk's trigger rule)
+        fwd_dirty = np.zeros(n_entries, dtype=bool)
+        for site, state in stem_diff.items():
+            if (
+                state[0] is not None
+                or self._base_stems.get(site, _NO_SITE)[0] is not None
+            ):
+                fwd_dirty[aux.entry_of_row[row[site]]] = True
+        for key, state in branch_diff.items():
+            if (
+                state[0] is not None
+                or self._base_branches.get(key, _NO_SITE)[0] is not None
+            ):
+                fwd_dirty[aux.entry_of_row[row[key[0]]]] = True
+        f_touched: List[int] = []
+        changed_T: List["np.ndarray"] = []
+        for j in range(n_entries - 1, -1, -1):  # ascending level
+            if not fwd_dirty[j]:
+                continue
+            entry = levels[j]
+            f_touched.append(j)
+            # inputs (level 0) keep their base probabilities
+            for gi in entry.fwd_groups:
+                gate_type, arity, lo, hi, _f = plan.logic_groups[gi]
+                in_edges = plan.place_in_edges[gi]
+                cols = (
+                    Tw[in_edges]
+                    if in_edges is not None
+                    else np.empty((hi - lo, 0), dtype=np.float64)
+                )
+                _eval_prob_group(gate_type, arity, cols, Qw[lo:hi])
+            nlo, nhi = entry.node_lo, entry.node_hi
+            Sw[nlo:nhi] = Qw[nlo:nhi]
+            for r, ctl in sctl_items:
+                if nlo <= r < nhi:
+                    Sw[r] = cpt(ctl, float(Qw[r]))
+            elo, ehi = entry.edge_lo, entry.edge_hi
+            if ehi > elo:
+                Tw[elo:ehi] = Sw[edge_driver_rows[elo:ehi]]
+                for e, ctl in bctl_items:
+                    if elo <= e < ehi:
+                        Tw[e] = cpt(ctl, float(Tw[e]))
+                moved = Tw[elo:ehi] != self.Tb[elo:ehi]
+                if moved.any():
+                    ch = np.nonzero(moved)[0] + elo
+                    changed_T.append(ch)
+                    fwd_dirty[
+                        aux.entry_of_row[aux.edge_sink_rows[ch]]
+                    ] = True
+
+        # -- backward: mark the levels of dirty sites, of branch-diff
+        # drivers, and of the fan-ins of every sink whose branch-post
+        # moved; sweep descending, re-marking fan-in levels whenever a
+        # wire observability moves
+        bwd_dirty = np.zeros(n_entries, dtype=bool)
+        for site in stem_diff:
+            bwd_dirty[aux.entry_of_row[row[site]]] = True
+        for key in branch_diff:
+            bwd_dirty[aux.entry_of_row[row[key[0]]]] = True
+        if changed_T:
+            sinks = np.unique(
+                aux.edge_sink_rows[np.concatenate(changed_T)]
+            )
+            fstarts = aux.fanin_indptr[sinks]
+            fcnt = aux.fanin_indptr[sinks + 1] - fstarts
+            fans = _take_ranges(aux.fanin_rows, fstarts, fcnt)
+            bwd_dirty[aux.entry_of_row[fans]] = True
+        b_touched: List[int] = []
+        for j in range(n_entries):  # descending level
+            if not bwd_dirty[j]:
+                continue
+            entry = levels[j]
+            b_touched.append(j)
+            for grp in entry.edge_groups:
+                if grp.kind == "one":
+                    x = WOw[grp.sink_rows] * 1.0
+                else:
+                    x = WOw[grp.sink_rows] * _sens_fold(
+                        grp.kind, Tw[grp.side_edges]
+                    )
+                z = 1.0 - self.Few[grp.lo : grp.hi] * x
+                z *= self.Zmew[grp.lo : grp.hi]
+                np.subtract(1.0, z, out=OBw[grp.lo : grp.hi])
+            for grp in entry.stem_groups:
+                esc = np.ones(len(grp.node_rows), dtype=np.float64)
+                if grp.is_out:
+                    esc *= 1.0 - 1.0
+                for jj in range(grp.contribs.shape[1]):
+                    esc *= 1.0 - OBw[grp.contribs[:, jj]]
+                POw[grp.node_rows] = 1.0 - esc
+            nlo, nhi = entry.node_lo, entry.node_hi
+            z2 = 1.0 - self.Fsw[nlo:nhi] * POw[nlo:nhi]
+            z2 *= self.Zmsw[nlo:nhi]
+            np.subtract(1.0, z2, out=WOw[nlo:nhi])
+            moved = WOw[nlo:nhi] != self.WOb[nlo:nhi]
+            if moved.any():
+                mrows = np.nonzero(moved)[0] + nlo
+                fstarts = aux.fanin_indptr[mrows]
+                fcnt = aux.fanin_indptr[mrows + 1] - fstarts
+                fans = _take_ranges(aux.fanin_rows, fstarts, fcnt)
+                bwd_dirty[aux.entry_of_row[fans]] = True
+
+        # -- extract patches (changed-vs-base only), restore work arrays
+        stem_pre: Dict[str, float] = {}
+        stem_post: Dict[str, float] = {}
+        branch_pre: Dict[tuple, float] = {}
+        branch_post: Dict[tuple, float] = {}
+        wire_obs: Dict[str, float] = {}
+        branch_obs: Dict[tuple, float] = {}
+        stem_post_obs: Dict[str, float] = {}
+        recomputed = 0
+        for j in f_touched:
+            entry = levels[j]
+            nlo, nhi = entry.node_lo, entry.node_hi
+            recomputed += nhi - nlo
+            for off in np.nonzero(Qw[nlo:nhi] != self.Qb[nlo:nhi])[0]:
+                r = nlo + off
+                stem_pre[names[r]] = float(Qw[r])
+            for off in np.nonzero(Sw[nlo:nhi] != self.Sb[nlo:nhi])[0]:
+                r = nlo + off
+                stem_post[names[r]] = float(Sw[r])
+            elo, ehi = entry.edge_lo, entry.edge_hi
+            if ehi > elo:
+                drv = edge_driver_rows[elo:ehi]
+                for off in np.nonzero(Sw[drv] != self.Sb[drv])[0]:
+                    branch_pre[edge_keys[elo + off]] = float(Sw[drv[off]])
+                for off in np.nonzero(
+                    Tw[elo:ehi] != self.Tb[elo:ehi]
+                )[0]:
+                    e = elo + off
+                    branch_post[edge_keys[e]] = float(Tw[e])
+            Qw[nlo:nhi] = self.Qb[nlo:nhi]
+            Sw[nlo:nhi] = self.Sb[nlo:nhi]
+            Tw[elo:ehi] = self.Tb[elo:ehi]
+        for j in b_touched:
+            entry = levels[j]
+            nlo, nhi = entry.node_lo, entry.node_hi
+            recomputed += nhi - nlo
+            for off in np.nonzero(WOw[nlo:nhi] != self.WOb[nlo:nhi])[0]:
+                r = nlo + off
+                wire_obs[names[r]] = float(WOw[r])
+            for off in np.nonzero(POw[nlo:nhi] != self.POb[nlo:nhi])[0]:
+                r = nlo + off
+                stem_post_obs[names[r]] = float(POw[r])
+            elo, ehi = entry.edge_lo, entry.edge_hi
+            if ehi > elo:
+                for off in np.nonzero(
+                    OBw[elo:ehi] != self.OBb[elo:ehi]
+                )[0]:
+                    e = elo + off
+                    branch_obs[edge_keys[e]] = float(OBw[e])
+            WOw[nlo:nhi] = self.WOb[nlo:nhi]
+            POw[nlo:nhi] = self.POb[nlo:nhi]
+            OBw[elo:ehi] = self.OBb[elo:ehi]
+        if dirty_rows:
+            dr = np.asarray(dirty_rows, dtype=np.intp)
+            self.Fsw[dr] = self.Fsb[dr]
+            self.Zmsw[dr] = self.Zmsb[dr]
+        if dirty_edges:
+            de = np.asarray(dirty_edges, dtype=np.intp)
+            self.Few[de] = self.Feb[de]
+            self.Zmew[de] = self.Zmeb[de]
+        patches = (
+            stem_pre, stem_post, branch_pre, branch_post,
+            wire_obs, branch_obs, stem_post_obs,
+        )
+        return patches, recomputed
 
 
 # ---------------------------------------------------------------------------

@@ -14,7 +14,10 @@ Design notes:
 
 * workers are primed once (per pool) with the circuit, the stimulus, and —
   in exact mode — the parent's good-circuit words, so each worker replays
-  the same fault-free state instead of re-deriving it per chunk;
+  the same fault-free state instead of re-deriving it per chunk; under the
+  numpy kernel the words ship as the parent's packed ``(n_rows, n_words)``
+  matrices and each contiguous fault chunk becomes a B-axis shard of the
+  batched fault cube, propagated straight off the shared arrays;
 * cooperative budgets are honored *inside* workers: each chunk gets a
   fresh-clock budget whose ``max_patterns`` share is proportional to its
   chunk size.  :class:`~repro.errors.BudgetExceededError` does not survive
@@ -57,6 +60,7 @@ from ..errors import BudgetExceededError, SimulationError
 from ..resilience import Budget
 from ..resilience.chaos import ChaosSpec
 from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from . import npsim
 from .backend import get_backend
 from .compile import resolve_kernel
 from .fault_sim import FaultSimResult, FaultSimulator
@@ -93,6 +97,8 @@ def _init_worker(
     kernel_cone_meta: Optional[Dict[str, int]] = None,
     chaos: Optional[ChaosSpec] = None,
     run_id: Optional[str] = None,
+    good_matrix=None,
+    good_block_matrices: Optional[List[Tuple[int, object]]] = None,
 ) -> None:
     """Prime one worker process with the shared simulation state.
 
@@ -103,6 +109,15 @@ def _init_worker(
     paid for.  ``run_id`` is the parent recorder's run identifier — it
     rides back in every chunk's telemetry so worker-side activity can be
     attributed to the parent trace.
+
+    ``good_matrix`` / ``good_block_matrices`` are the numpy kernel's
+    cube-shard priming: the parent's packed good matrix (its
+    ``(n_rows, n_words)`` uint64 array — plans themselves hold locks and
+    don't pickle) or its per-dropping-block equivalents.  The worker
+    wraps them in :class:`~repro.sim.npsim.PackedState` against its
+    locally-rebuilt plan, so every fault chunk — one B-axis shard of the
+    batched fault cube — propagates straight off the shared arrays with
+    no per-worker int-word repacking.
     """
     global _WORKER_STATE
     # The parent's recorder (file handles, span stacks) must not be
@@ -112,6 +127,15 @@ def _init_worker(
     # from the shipped sources, the numpy backend rebuilds its plan
     # locally, interp needs nothing.
     get_backend(kernel).prime_worker(circuit, kernel_sources, kernel_cone_meta)
+    if good_matrix is not None:
+        plan = npsim.get_plan(circuit)
+        good_values = npsim.PackedState(plan, good_matrix, n_patterns)
+    if good_block_matrices is not None:
+        plan = npsim.get_plan(circuit)
+        good_blocks = [
+            (blk_n, npsim.PackedState(plan, matrix, blk_n))
+            for blk_n, matrix in good_block_matrices
+        ]
     _WORKER_STATE = {
         "sim": FaultSimulator(circuit, kernel=kernel),
         "stimulus": stimulus,
@@ -559,9 +583,12 @@ def run_parallel(
         :class:`BudgetExceededError` in the parent (first chunk in fault
         order wins, for determinism).
     kernel:
-        ``"compiled"`` (default) or ``"interp"``; forwarded to every
-        worker's simulator.  Workers receive the parent's generated
-        kernel sources and rebuild the code objects on first use.
+        ``"compiled"``, ``"numpy"`` or ``"interp"``; forwarded to every
+        worker's simulator.  Compiled workers receive the parent's
+        generated kernel sources and rebuild the code objects on first
+        use; numpy workers receive the parent's packed good matrices
+        (cube-shard priming — each fault chunk is a B-axis shard of the
+        batched fault cube over the shared arrays).
     chaos:
         Optional deterministic fault-injection plan
         (:class:`~repro.resilience.chaos.ChaosSpec`) — test-only; makes
@@ -613,18 +640,38 @@ def run_parallel(
     chunks = split_chunks(faults, jobs)
     specs = _chunk_budget_specs(budget, chunks)
     # The good machine is simulated once, in the parent; workers replay
-    # the shared words (free under fork, one pickle under spawn).
+    # the shared words (free under fork, one pickle under spawn).  The
+    # numpy kernel ships its packed matrices instead of int-word dicts:
+    # each worker wraps the raw arrays against its own plan (see
+    # ``_init_worker``) and its fault chunks run as B-axis shards of the
+    # batched fault cube, skipping the per-worker repacking the dict
+    # round-trip used to cost.
     good_values = None
     good_blocks = None
+    good_matrix = None
+    good_block_matrices = None
+    ship_good_values = None
+    ship_good_blocks = None
     if mode == "exact":
-        # dict() also collapses the numpy backend's PackedState into the
-        # picklable int-word form (ndarrays would ship a redundant copy).
-        good_values = dict(sim._logic.run(stimulus, n_patterns))
+        good = sim._logic.run(stimulus, n_patterns)
+        if kernel == "numpy" and isinstance(good, npsim.PackedState):
+            good_values = good
+            good_matrix = good.values
+        else:
+            good_values = ship_good_values = dict(good)
     else:
-        good_blocks = [
-            (blk_n, dict(gv))
-            for blk_n, gv in sim.coverage_blocks(stimulus, n_patterns, block)
-        ]
+        blocks = list(sim.coverage_blocks(stimulus, n_patterns, block))
+        if kernel == "numpy" and all(
+            isinstance(gv, npsim.PackedState) for _n, gv in blocks
+        ):
+            good_blocks = blocks
+            good_block_matrices = [
+                (blk_n, gv.values) for blk_n, gv in blocks
+            ]
+        else:
+            good_blocks = ship_good_blocks = [
+                (blk_n, dict(gv)) for blk_n, gv in blocks
+            ]
     kernel_sources, kernel_cone_meta = get_backend(kernel).worker_payload(
         circuit
     )
@@ -721,13 +768,15 @@ def run_parallel(
                     n_patterns,
                     mode,
                     block,
-                    good_values,
-                    good_blocks,
+                    ship_good_values,
+                    ship_good_blocks,
                     kernel,
                     kernel_sources,
                     kernel_cone_meta,
                     chaos,
                     run_id,
+                    good_matrix,
+                    good_block_matrices,
                 ),
                 chunk_timeout=chunk_timeout,
                 retry_policy=retry_policy,

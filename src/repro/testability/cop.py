@@ -211,9 +211,10 @@ def cop_measures(
     )
     # Overrides / pre-observed maps force the interpreted passes anyway;
     # only shadow-check when at least one pass actually ran a fast
-    # backend (compiled kernel or numpy sweep).
+    # backend (compiled kernel or numpy sweep).  Falsiness, not None:
+    # an *empty* override map still takes the fast path.
     if resolve_kernel(kernel) != "interp" and (
-        probability_overrides is None or observed is None
+        not probability_overrides or not observed
     ):
         _shadow_check_cop(
             circuit, input_probabilities, probability_overrides, observed,

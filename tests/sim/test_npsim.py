@@ -317,6 +317,81 @@ class TestBatchedFaultSim:
         # splitting can only shed evaluations, never add them.
         assert 0 < evals_tiny <= evals_full
 
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 50),
+        tile=st.sampled_from([1, 2, 3, 5]),
+        n_patterns=st.sampled_from([130, 192, 323]),
+    )
+    def test_tile_seams_bit_identical(self, seed, tile, n_patterns):
+        # Word-axis tiling must commute with evaluation: any tile width
+        # (including widths that straddle the last partial word) yields
+        # the untiled detection matrix and gate-eval count exactly.
+        circuit = generators.random_dag(5, 40, seed=seed)
+        plan = get_plan(circuit)
+        stim = _stim(circuit, n_patterns, seed=seed + 1)
+        state = LogicSimulator(circuit, kernel="numpy").run(stim, n_patterns)
+        sites = self._sites(plan, state, all_stuck_at_faults(circuit))
+        # Pin the per-chunk fault capacity so tiling is the only thing
+        # that varies (capacity is per-tile-footprint by default).
+        rows = plan.n_rows + npsim.batch_staging_rows(plan)
+        budget = 8 * rows * tile * 24
+        full, evals_full = npsim.propagate_batch(
+            state, sites, chunk_bytes=budget * max(state.values.shape[1], 1),
+            tile_words=state.values.shape[1],
+        )
+        tiled, evals_tiled = npsim.propagate_batch(
+            state, sites, chunk_bytes=budget, tile_words=tile
+        )
+        assert np.array_equal(full, tiled)
+
+    def test_tiled_run_matches_interp_end_to_end(self):
+        # Force tiles *and* chunks through a tiny memory budget and the
+        # fault simulator must still reproduce the interpreted run and
+        # coverage results exactly, first-detects included.
+        from repro.sim.fault_sim import BatchPolicy
+
+        circuit = generators.random_dag(5, 40, seed=13)
+        plan = get_plan(circuit)
+        n_patterns = 300
+        stim = _stim(circuit, n_patterns, seed=4)
+        rows = plan.n_rows + npsim.batch_staging_rows(plan)
+        policy = BatchPolicy(
+            min_faults=1, min_capacity=1, chunk_bytes=8 * rows * 2 * 5
+        )
+        ref = FaultSimulator(circuit, kernel="interp")
+        sim = FaultSimulator(circuit, kernel="numpy", batch_policy=policy)
+        res = sim.run(stim, n_patterns)
+        exact = ref.run(stim, n_patterns)
+        assert res.detection_word == exact.detection_word
+        assert res.first_detect == exact.first_detect
+        cov = FaultSimulator(
+            circuit, kernel="numpy", batch_policy=policy
+        ).run_coverage(stim, n_patterns, block=64)
+        ref_cov = ref.run_coverage(stim, n_patterns, block=64)
+        assert cov.first_detect == ref_cov.first_detect
+        assert cov.detection_word == ref_cov.detection_word
+
+    def test_capacity_charges_staging_rows(self):
+        # Regression: capacity once counted only the faulty value cube,
+        # letting wide-output circuits overshoot the memory budget by
+        # the staged output block.  Pin the exact boundary: a budget of
+        # precisely K machines' full footprint holds K, one byte less
+        # holds K - 1, and cube-only accounting would still claim K fit.
+        circuit = generators.random_dag(5, 40, seed=3)
+        plan = get_plan(circuit)
+        staging = npsim.batch_staging_rows(plan)
+        assert staging == len(plan.outputs) + 3
+        words, K = 4, 7
+        n_patterns = words * 64
+        footprint = 8 * (plan.n_rows + staging) * words
+        capacity = lambda budget: npsim.batch_capacity(
+            plan, n_patterns, chunk_bytes=budget, tile_words=words
+        )
+        assert capacity(footprint * K) == K
+        assert capacity(footprint * K - 1) == K - 1
+        assert 8 * plan.n_rows * words * K <= footprint * K - 1
+
     def test_strategy_picked_only_for_wide_fault_lists(self, monkeypatch):
         circuit = generators.c17()
         stim = _stim(circuit, 64)
@@ -340,10 +415,43 @@ class TestBatchedFaultSim:
         assert sim._np_batch_ok(1000, 64)
         assert sim._np_batch_ok(1000, 1024)
         assert not sim._np_batch_ok(8, 64)  # too few faults
-        # Wide patterns: per-word work dominates dispatch, so the sweep's
-        # whole-circuit inflation loses to per-cone walks.
-        assert not sim._np_batch_ok(1000, 65536)
-        assert not sim._np_batch_ok(1000, 1 << 26)
+        # Wide patterns stay eligible: the sweep tiles the word axis, so
+        # chunk capacity no longer collapses with the pattern budget.
+        assert sim._np_batch_ok(1000, 65536)
+        assert sim._np_batch_ok(1000, 1 << 26)
+
+    def test_batch_policy_pins_the_decision(self):
+        from repro.sim.fault_sim import BatchPolicy
+
+        circuit = generators.c17()
+        # The old fixed-width regime: cap the batch at 16 words and wide
+        # pattern runs fall back to per-cone walks again.
+        capped = FaultSimulator(
+            circuit, kernel="numpy", batch_policy=BatchPolicy(max_words=16)
+        )
+        assert capped._np_batch_ok(1000, 1024)
+        assert not capped._np_batch_ok(1000, 65536)
+        # A higher fault floor declines lists the default accepts.
+        picky = FaultSimulator(
+            circuit, kernel="numpy", batch_policy=BatchPolicy(min_faults=64)
+        )
+        assert not picky._np_batch_ok(32, 64)
+        assert picky._np_batch_ok(64, 64)
+
+    def test_batch_policy_from_env(self, monkeypatch):
+        from repro.sim.fault_sim import BatchPolicy
+
+        monkeypatch.setenv("REPRO_NP_BATCH_MIN_FAULTS", "5")
+        monkeypatch.setenv("REPRO_NP_BATCH_MAX_WORDS", "8")
+        monkeypatch.setenv("REPRO_NP_BATCH_CHUNK_BYTES", str(1 << 20))
+        policy = BatchPolicy.from_env()
+        assert policy.min_faults == 5
+        assert policy.max_words == 8
+        assert policy.chunk_bytes == 1 << 20
+        monkeypatch.setenv("REPRO_NP_BATCH_MAX_WORDS", "none")
+        assert BatchPolicy.from_env().max_words is None
+        monkeypatch.setenv("REPRO_NP_BATCH_MAX_WORDS", "0")
+        assert BatchPolicy.from_env().max_words is None
 
 
 class TestCopEquality:

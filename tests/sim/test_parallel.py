@@ -147,6 +147,66 @@ class TestParallelEquivalence:
         assert err.value.resource == "patterns"
 
 
+class TestCubeShardedNumpy:
+    """The numpy kernel's B-axis cube sharding across worker processes."""
+
+    @pytest.mark.parametrize("mode", ["exact", "coverage"])
+    def test_bit_identical_to_interp_serial(self, mode):
+        pytest.importorskip("numpy")
+        circuit, stimulus, n = _workload(8, n_gates=60, n_patterns=256)
+        serial = FaultSimulator(circuit, kernel="interp").run(stimulus, n)
+        parallel = run_parallel(
+            circuit, stimulus, n, jobs=3, mode=mode, kernel="numpy"
+        )
+        assert parallel.first_detect == serial.first_detect
+        assert list(parallel.detection_word) == list(serial.detection_word)
+        if mode == "exact":
+            assert parallel.detection_word == serial.detection_word
+
+    def test_worker_priming_wraps_shipped_matrices(self):
+        np = pytest.importorskip("numpy")
+        from repro.sim import npsim
+        from repro.sim import parallel as par_mod
+        from repro.sim.parallel import _init_worker
+
+        circuit, stimulus, n = _workload(9)
+        sim = FaultSimulator(circuit, kernel="numpy")
+        state = sim._logic.run(stimulus, n)
+        assert isinstance(state, npsim.PackedState)
+        saved = par_mod._WORKER_STATE
+        try:
+            _init_worker(
+                circuit, stimulus, n, "exact", 64, None, None,
+                kernel="numpy", good_matrix=state.values,
+            )
+            primed = par_mod._WORKER_STATE["good_values"]
+            # The worker wraps the shipped array directly — same buffer,
+            # no int-word repacking.
+            assert isinstance(primed, npsim.PackedState)
+            assert primed.values is state.values
+            assert primed.plan is npsim.get_plan(circuit)
+        finally:
+            par_mod._WORKER_STATE = saved
+
+    def test_chaos_churn_keeps_result_identical(self):
+        pytest.importorskip("numpy")
+        from repro.resilience.chaos import ChaosSpec
+
+        circuit, stimulus, n = _workload(10, n_gates=60, n_patterns=256)
+        serial = FaultSimulator(circuit, kernel="numpy").run(stimulus, n)
+        churned = run_parallel(
+            circuit,
+            stimulus,
+            n,
+            jobs=4,
+            mode="exact",
+            kernel="numpy",
+            chaos=ChaosSpec(seed=5, crash=0.3, corrupt=0.3),
+        )
+        assert churned.detection_word == serial.detection_word
+        assert churned.first_detect == serial.first_detect
+
+
 class TestSplitChunks:
     @settings(max_examples=25, deadline=None)
     @given(n_items=st.integers(0, 50), n_chunks=st.integers(1, 9))
