@@ -17,10 +17,20 @@ Any violation leaves the journal and quarantine artifacts in
 round index perturbs the chaos seed), so a failing campaign replays
 exactly.
 
+With ``--store`` every round shares one content-addressed result store
+and the fault mix gains the four store faults (torn entry, bit flip,
+stale schema, double publish) that strike the published entry *after*
+its journal commit.  After the budget runs out a final chaos-free pass
+re-runs the sweep against the battered store with a fresh journal and
+asserts the caching bar: results still bit-identical to serial, every
+cache hit served from the store, and the only misses are the entries
+the integrity envelope quarantined as corrupt (``misses == corrupt``)
+— i.e. zero recomputation beyond what corruption forced.
+
 Usage (CI runs this as the chaos-smoke job)::
 
     python benchmarks/chaos/run_chaos.py --seed 0 --budget-ms 60000 \
-        --out-dir chaos-artifacts
+        --out-dir chaos-artifacts --store
 """
 
 from __future__ import annotations
@@ -49,6 +59,22 @@ CHAOS_MIX = dict(
     spurious=0.12,
     enospc=0.12,
     duplicate=0.12,
+)
+
+#: With ``--store``: the worker faults make room for a store fault band.
+#: Store faults only fire when a result store is attached, striking the
+#: published entry after its journal commit.
+STORE_CHAOS_MIX = dict(
+    crash=0.10,
+    stall=0.05,
+    corrupt=0.10,
+    spurious=0.10,
+    enospc=0.10,
+    duplicate=0.10,
+    store_torn=0.08,
+    store_bitflip=0.08,
+    store_stale=0.07,
+    store_double=0.07,
 )
 
 
@@ -83,11 +109,28 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--max-rounds", type=int, default=1_000)
     parser.add_argument("--out-dir", type=Path, default=Path("chaos-artifacts"))
+    parser.add_argument(
+        "--store",
+        action="store_true",
+        help=(
+            "share a content-addressed result store across rounds, add "
+            "the four store faults to the mix, and finish with a "
+            "chaos-free zero-recomputation verification pass"
+        ),
+    )
     args = parser.parse_args(argv)
 
     out_dir: Path = args.out_dir
     out_dir.mkdir(parents=True, exist_ok=True)
     paths = _make_circuits(out_dir, args.seed)
+
+    mix = STORE_CHAOS_MIX if args.store else CHAOS_MIX
+    store_dir = out_dir / "store" if args.store else None
+    store_kwargs = (
+        dict(store=store_dir, store_verify_fraction=0.1)
+        if args.store
+        else {}
+    )
 
     serial = [
         asdict(o)
@@ -108,7 +151,7 @@ def main(argv=None) -> int:
         chaos = FabricChaosSpec(
             seed=args.seed * 100_003 + rounds,
             stall_seconds=3.0,
-            **CHAOS_MIX,
+            **mix,
         )
         journal = out_dir / f"round{rounds:03d}.journal"
         fabric = [
@@ -122,6 +165,7 @@ def main(argv=None) -> int:
                 workers=args.workers,
                 lease_timeout_s=1.0,
                 chaos=chaos,
+                **store_kwargs,
             )
         ]
         counts = _commit_counts(journal)
@@ -158,6 +202,58 @@ def main(argv=None) -> int:
         # their journal and quarantine dirs behind as artifacts.
         journal.unlink()
         shutil.rmtree(quarantine_dir_for(journal), ignore_errors=True)
+
+    if args.store and rounds and not failures:
+        # The caching bar: a chaos-free pass against the store every
+        # round battered must serve every job from cache — the only
+        # legal misses are entries a store fault corrupted (quarantined
+        # by the integrity envelope, then recomputed).
+        from repro import obs
+
+        recorder = obs.RunRecorder(None)
+        with obs.recording(recorder):
+            final = [
+                asdict(o)
+                for o in run_circuit_sweep(
+                    paths,
+                    out_dir / "final-verify.journal",
+                    n_patterns=N_PATTERNS,
+                    measure_coverage=True,
+                    fabric=True,
+                    workers=args.workers,
+                    lease_timeout_s=1.0,
+                    store=store_dir,
+                    store_verify_fraction=0.0,
+                )
+            ]
+        counters = recorder.metrics.snapshot()["counters"]
+        hits = int(counters.get("fabric.store.hits", 0))
+        misses = int(counters.get("fabric.store.misses", 0))
+        corrupt = int(counters.get("fabric.store.corrupt", 0))
+        problems = []
+        if final != serial:
+            problems.append("store-served results differ from serial")
+        if hits + misses != N_CIRCUITS:
+            problems.append(
+                f"expected {N_CIRCUITS} store lookups, saw "
+                f"hits={hits} misses={misses}"
+            )
+        if misses != corrupt:
+            problems.append(
+                f"recomputation without corruption: misses={misses} "
+                f"corrupt={corrupt}"
+            )
+        if problems:
+            failures.append(("final", args.seed, problems))
+            print(
+                f"final verify: FAIL ({'; '.join(problems)})", flush=True
+            )
+        else:
+            print(
+                f"final verify: ok ({hits} cache hits, {misses} "
+                f"corruption-forced recomputes, bit-identical to serial)",
+                flush=True,
+            )
 
     print(
         f"chaos campaign: {rounds} round(s), {len(failures)} failure(s), "

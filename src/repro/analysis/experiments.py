@@ -953,6 +953,8 @@ def run_circuit_sweep(
     lease_timeout_s: float = 30.0,
     chaos=None,
     interrupt=None,
+    store: Union[str, Path, None] = None,
+    store_verify_fraction: float = 0.05,
 ) -> List[SweepOutcome]:
     """Plan test points for every circuit file, surviving bad apples.
 
@@ -1003,12 +1005,25 @@ def run_circuit_sweep(
         when it reports SIGTERM/SIGINT the sweep stops at the next item
         boundary (checkpoint already flushed) by raising
         :class:`~repro.errors.SweepInterrupted`.
+    store:
+        Optional directory of a cross-campaign
+        :class:`~repro.fabric.store.ResultStore` (fabric mode only).
+        Jobs with a verified store entry commit without recomputation;
+        fresh commits are published back for future campaigns.
+    store_verify_fraction:
+        Seeded fraction of store hits re-executed and compared bit-exact
+        (cache-poisoning audit); only meaningful with ``store``.
 
     Returns the outcomes for all circuits in ``paths`` that have run so
     far, recorded-or-fresh, in ``paths`` order.
     """
     results_path = Path(results_path)
     file_paths = [Path(p) for p in paths]
+    if store is not None and not fabric:
+        raise ValueError(
+            "store= requires fabric=True (the result store is keyed by "
+            "fabric job ids)"
+        )
     if fabric:
         return _run_sweep_fabric(
             file_paths,
@@ -1024,6 +1039,8 @@ def run_circuit_sweep(
             lease_timeout_s=lease_timeout_s,
             chaos=chaos,
             interrupt=interrupt,
+            store=store,
+            store_verify_fraction=store_verify_fraction,
         )
     completed: Dict[str, SweepOutcome] = {}
     if resume and results_path.exists():
@@ -1114,6 +1131,8 @@ def _run_sweep_fabric(
     lease_timeout_s: float,
     chaos,
     interrupt,
+    store: Union[str, Path, None] = None,
+    store_verify_fraction: float = 0.05,
 ) -> List[SweepOutcome]:
     """Sweep as a fabric campaign: dedup, leases, exactly-once commits.
 
@@ -1124,7 +1143,7 @@ def _run_sweep_fabric(
     order.  Quarantined (poison) jobs surface as ``status="quarantined"``
     outcomes carrying their last fabric error.
     """
-    from ..fabric import FabricSupervisor, ResultJournal
+    from ..fabric import FabricSupervisor, ResultJournal, ResultStore
     from ..fabric.jobs import Job
 
     if results_path.parent != Path(""):
@@ -1180,6 +1199,8 @@ def _run_sweep_fabric(
             lease_timeout_s=lease_timeout_s,
             chaos=chaos,
             interrupt=interrupt,
+            store=ResultStore(Path(store)) if store is not None else None,
+            store_verify_fraction=store_verify_fraction,
         )
         results = supervisor.run(campaign)
         outcomes: List[SweepOutcome] = []
@@ -1245,6 +1266,8 @@ def run_experiments_checkpointed(
     lease_timeout_s: float = 30.0,
     chaos=None,
     interrupt=None,
+    store: Union[str, Path, None] = None,
+    store_verify_fraction: float = 0.05,
 ) -> List[dict]:
     """Run experiments with per-experiment crash isolation and resume.
 
@@ -1265,6 +1288,11 @@ def run_experiments_checkpointed(
             f"unknown experiments {unknown} (choose from {list(runners)})"
         )
     results_path = Path(results_path)
+    if store is not None and not fabric:
+        raise ValueError(
+            "store= requires fabric=True (the result store is keyed by "
+            "fabric job ids)"
+        )
     if fabric:
         return _run_experiments_fabric(
             list(keys),
@@ -1273,6 +1301,8 @@ def run_experiments_checkpointed(
             lease_timeout_s=lease_timeout_s,
             chaos=chaos,
             interrupt=interrupt,
+            store=store,
+            store_verify_fraction=store_verify_fraction,
         )
     done: Dict[str, dict] = {}
     if resume and results_path.exists():
@@ -1308,9 +1338,11 @@ def _run_experiments_fabric(
     lease_timeout_s: float,
     chaos,
     interrupt,
+    store: Union[str, Path, None] = None,
+    store_verify_fraction: float = 0.05,
 ) -> List[dict]:
     """Experiment campaign on the fabric; records in ``keys`` order."""
-    from ..fabric import FabricSupervisor, ResultJournal
+    from ..fabric import FabricSupervisor, ResultJournal, ResultStore
     from ..fabric.jobs import Job
 
     if results_path.parent != Path(""):
@@ -1338,6 +1370,8 @@ def _run_experiments_fabric(
             lease_timeout_s=lease_timeout_s,
             chaos=chaos,
             interrupt=interrupt,
+            store=ResultStore(Path(store)) if store is not None else None,
+            store_verify_fraction=store_verify_fraction,
         )
         results = supervisor.run(campaign)
         records: List[dict] = []

@@ -620,6 +620,91 @@ def shrink_circuit(
     return best
 
 
+def _check_store(
+    circuit: Circuit, seed: int, n_patterns: int
+) -> Optional[_Divergence]:
+    """Cached-vs-recomputed equality through the result store.
+
+    Runs the real sweep executor on the circuit, publishes the result to
+    a throwaway :class:`~repro.fabric.store.ResultStore`, reads it back
+    through the full integrity envelope, recomputes, and requires all
+    three (fresh, cached, recomputed) to be JSON-bit-identical.  Attacks
+    both store round-tripping (digest over exactly what a reader
+    re-parses) and executor determinism (a nondeterministic executor
+    would poison any cache built on it).
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from ..circuit import write_bench_file
+    from ..fabric.jobs import Job
+    from ..fabric.store import ResultStore
+    from .experiments import _sweep_content_key, execute_sweep_job
+
+    def normal(result: dict) -> dict:
+        return json.loads(json.dumps(result))
+
+    with tempfile.TemporaryDirectory(prefix="fuzz-store-") as tmp:
+        bench = Path(tmp) / "circuit.bench"
+        write_bench_file(circuit, bench)
+        config = {
+            "schema": "sweep-job/1",
+            "n_patterns": int(n_patterns),
+            "escape_budget": 0.05,
+            "budget": None,
+            "solvers": ["greedy"],
+            "measure_coverage": True,
+        }
+        payload = {
+            **{k: v for k, v in config.items() if k != "schema"},
+            "path": str(bench),
+            "jobs": 1,
+        }
+        job = Job.build(
+            "sweep_circuit", _sweep_content_key(bench), config, payload
+        )
+        context = {
+            "job_id": job.job_id,
+            "content_key": job.content_key,
+            "n_patterns": n_patterns,
+        }
+        first = normal(execute_sweep_job(dict(payload)))
+        store = ResultStore(Path(tmp) / "store")
+        store.put(job, first)
+        record = store.get(job.job_id)
+        if record is None:
+            return _Divergence(
+                kind="fuzz.store",
+                context=context,
+                expected=first,
+                actual=None,
+                message=(
+                    "store rejected (quarantined) the entry it just "
+                    "published"
+                ),
+                sources={"store": "ResultStore.put/get round-trip"},
+            )
+        cached = record.get("result")
+        second = normal(execute_sweep_job(dict(payload)))
+        if first == cached == second:
+            return None
+        return _Divergence(
+            kind="fuzz.store",
+            context=context,
+            expected=first,
+            actual={"cached": cached, "recomputed": second},
+            message=(
+                "cached sweep result is not bit-identical to "
+                "recomputation"
+            ),
+            sources={
+                "expected": "execute_sweep_job (fresh)",
+                "actual": "store round-trip + re-execution",
+            },
+        )
+
+
 # ---------------------------------------------------------------------------
 # The campaign loop.
 # ---------------------------------------------------------------------------
@@ -647,6 +732,7 @@ def run_fuzz(
     saboteur: Optional[Saboteur] = None,
     shrink: bool = True,
     kernel: str = "compiled",
+    store: bool = False,
 ) -> FuzzReport:
     """Run a time-budgeted differential fuzzing campaign.
 
@@ -660,6 +746,11 @@ def run_fuzz(
     ``kernel`` picks the fast backend under attack (``"compiled"`` or
     ``"numpy"``); every lane cross-checks it against the interpreted
     arbiter, and repro bundles record the backend name in their context.
+
+    ``store=True`` adds the result-store lane: each circuit's sweep
+    result is published to a throwaway content-addressed store, read
+    back through the integrity envelope, and required to be
+    bit-identical to a fresh recomputation.
     """
     from ..sim.compile import resolve_kernel
 
@@ -716,6 +807,10 @@ def run_fuzz(
                         lambda c: _check_tiled_batch(
                             c, stim_seed, n_patterns
                         )
+                    )
+                if store:
+                    checks.append(
+                        lambda c: _check_store(c, stim_seed, n_patterns)
                     )
                 if trial % 2 == 0 and circuit.gate_count() <= _DP_MAX_GATES:
                     checks.append(

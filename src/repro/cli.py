@@ -14,7 +14,15 @@ Subcommands:
   processes, content-addressed dedup, exactly-once journal commits,
   poison-job quarantine) with bit-identical results;
 * ``fabric-status <journal>`` — inspect a fabric journal: commits,
-  quarantined jobs, crash evidence (torn lines);
+  quarantined jobs, crash evidence (torn lines); ``--store DIR`` adds
+  result-store statistics (entries, bytes, hits/misses/corrupt);
+* ``pack <journal> --out DIR`` — export an evidence pack (journal,
+  verified store entries, quarantine artifacts, ``--include`` extras)
+  under a SHA-256 manifest; ``pack <dir> --verify`` re-hashes a pack
+  and exits 1 on any mismatch, missing, or unlisted file;
+* ``store-gc <store>`` — prune least-recently-used result-store entries
+  under ``--max-bytes`` / ``--max-age-days`` caps (leased entries are
+  never deleted);
 * ``fuzz`` — time-budgeted differential fuzzer over random circuits,
   cross-checking interp vs compiled vs parallel vs incremental engines
   and DP vs exhaustive solvers; failures are shrunk and written as
@@ -221,6 +229,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         max_gates=args.max_gates,
         n_patterns=args.patterns,
         kernel=args.kernel,
+        store=args.store,
     )
     print(report.describe())
     if report.failures:
@@ -369,6 +378,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             "--no-resume is meaningless with --fabric: the journal is "
             "content-addressed (delete the journal file to start over)"
         )
+    if args.store is not None and not args.fabric:
+        raise _usage_exit(
+            "--store needs --fabric (the result store is keyed by "
+            "fabric job ids)"
+        )
     if args.results is not None:
         # Checkpointed mode: crash-isolated, resumable per experiment.
         with GracefulInterrupt() as stop:
@@ -379,6 +393,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 fabric=args.fabric,
                 workers=args.workers,
                 interrupt=stop,
+                store=args.store,
+                store_verify_fraction=args.store_verify,
             )
         failures = 0
         for record in records:
@@ -429,6 +445,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--no-resume is meaningless with --fabric: the journal is "
             "content-addressed (delete the journal file to start over)"
         )
+    if args.store is not None and not args.fabric:
+        raise _usage_exit(
+            "--store needs --fabric (the result store is keyed by "
+            "fabric job ids)"
+        )
     with GracefulInterrupt() as stop:
         outcomes = exps.run_circuit_sweep(
             paths,
@@ -445,6 +466,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             lease_timeout_s=args.lease_timeout,
             interrupt=stop,
+            store=args.store,
+            store_verify_fraction=args.store_verify,
         )
     for outcome in outcomes:
         print(outcome.describe())
@@ -464,7 +487,7 @@ def _cmd_fabric_status(args: argparse.Namespace) -> int:
     from .fabric import format_status, journal_status
 
     try:
-        status = journal_status(args.journal)
+        status = journal_status(args.journal, store=args.store)
     except FileNotFoundError as exc:
         raise _usage_exit(str(exc))
     if args.json:
@@ -473,6 +496,71 @@ def _cmd_fabric_status(args: argparse.Namespace) -> int:
         print(json.dumps(status, sort_keys=True, indent=2))
     else:
         print(format_status(status))
+    return EXIT_OK
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    import json
+
+    from .fabric.pack import build_pack, pack_status_line, verify_pack
+
+    if args.verify:
+        if args.out or args.store or args.include:
+            raise _usage_exit(
+                "--verify takes only a pack directory (build options "
+                "--out/--store/--include do not apply)"
+            )
+        report = verify_pack(args.target)
+        if args.json:
+            print(json.dumps(report.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(report.describe())
+        return EXIT_OK if report.ok else EXIT_INFEASIBLE
+    if not args.out:
+        raise _usage_exit("pack needs --out DIR (or --verify on a pack)")
+    try:
+        manifest = build_pack(
+            args.target,
+            args.out,
+            store=args.store,
+            include=args.include or (),
+        )
+    except (FileNotFoundError, FileExistsError) as exc:
+        raise _usage_exit(str(exc))
+    if args.json:
+        print(json.dumps(manifest, sort_keys=True, indent=2))
+    else:
+        print(f"evidence pack   {args.out}")
+        print(f"  {pack_status_line(manifest)}")
+        print(f"  manifest      {Path(args.out) / 'MANIFEST.json'}")
+    return EXIT_OK
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    import json
+
+    from .fabric import ResultStore
+
+    if args.max_bytes is None and args.max_age_days is None:
+        raise _usage_exit(
+            "store-gc needs at least one cap: --max-bytes and/or "
+            "--max-age-days"
+        )
+    store_dir = Path(args.store)
+    if not store_dir.is_dir():
+        raise _usage_exit(f"no result store at {store_dir}")
+    report = ResultStore(store_dir).gc(
+        max_bytes=args.max_bytes, max_age_days=args.max_age_days
+    )
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(
+            f"store-gc {store_dir}: deleted {report['deleted']} of "
+            f"{report['scanned']} entries ({report['freed_bytes']} bytes "
+            f"freed, {report['protected']} lease-protected, "
+            f"{report['kept']} kept / {report['kept_bytes']} bytes)"
+        )
     return EXIT_OK
 
 
@@ -718,6 +806,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: repro_bundles/)",
         )
 
+    def add_store(g) -> None:
+        g.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="cross-campaign result store: verified cache hits skip "
+            "recomputation, fresh commits are published back "
+            "(requires --fabric)",
+        )
+        g.add_argument(
+            "--store-verify", type=float, default=0.05, metavar="FRACTION",
+            help="seeded fraction of store hits re-executed and compared "
+            "bit-exact against the cache (default 0.05; a mismatch "
+            "aborts with a repro bundle)",
+        )
+
     def add_budget(p: argparse.ArgumentParser) -> None:
         g = p.add_argument_group(
             "solve budget",
@@ -827,6 +929,7 @@ def build_parser() -> argparse.ArgumentParser:
         "heartbeating this long is declared dead and its job "
         "re-dispatched (default 30)",
     )
+    add_store(g)
     add_observability(p)
     add_profile(p)
     add_budget(p)
@@ -839,10 +942,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("journal", help="fabric journal file (sweep --fabric --results)")
     p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="also report this result store's statistics (entries, "
+        "bytes, hits/misses/corrupt-quarantined)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="machine-readable JSON instead of the human summary",
     )
     p.set_defaults(fn=_cmd_fabric_status)
+
+    p = sub.add_parser(
+        "pack",
+        help="export a campaign evidence pack under a SHA-256 manifest, "
+        "or --verify an existing pack (exit 1 on any mismatch)",
+    )
+    p.add_argument(
+        "target",
+        help="fabric journal to pack, or (with --verify) a pack directory",
+    )
+    p.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="target directory for the new pack (must be empty)",
+    )
+    p.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="result store whose verified entries back the journal's "
+        "commits (corrupt entries are skipped, never vouched for)",
+    )
+    p.add_argument(
+        "--include", nargs="*", metavar="PATH", default=None,
+        help="extra files/directories (traces, BENCH artifacts) copied "
+        "under extra/",
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="re-hash an existing pack against its manifest instead of "
+        "building one (exit 0 clean, 1 on mismatch/missing/unlisted)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON (manifest or verification report)",
+    )
+    p.set_defaults(fn=_cmd_pack)
+
+    p = sub.add_parser(
+        "store-gc",
+        help="prune least-recently-used result-store entries under "
+        "--max-bytes/--max-age-days caps (leased entries survive)",
+    )
+    p.add_argument("store", help="result store directory (sweep --store)")
+    p.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="prune oldest-recency entries until the store fits N bytes",
+    )
+    p.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="prune entries not read or written in DAYS days",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON report",
+    )
+    p.set_defaults(fn=_cmd_store_gc)
 
     p = sub.add_parser(
         "report",
@@ -933,6 +1095,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="fabric pool width (default 1: serial in-process)",
     )
+    add_store(g)
     add_observability(p)
     p.set_defaults(fn=_cmd_experiments)
 
@@ -965,6 +1128,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="compiled",
         help="fast backend under attack; every lane cross-checks it "
         "against the interpreted arbiter (default: compiled)",
+    )
+    p.add_argument(
+        "--store", action="store_true",
+        help="add the result-store lane: publish each circuit's sweep "
+        "result to a throwaway store, read it back through the "
+        "integrity envelope, and assert cached == recomputed",
     )
     add_observability(p)
     p.set_defaults(fn=_cmd_fuzz)

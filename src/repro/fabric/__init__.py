@@ -14,6 +14,10 @@ crash-consistent result journal.  The moving parts:
   and structured errors;
 * :mod:`repro.fabric.supervisor` — the loop tying them together, with
   lease expiry, pool respawn, circuit breaking, and serial degradation;
+* :mod:`repro.fabric.store` — the cross-campaign content-addressed
+  result store: integrity-verified cache entries, quarantine, GC;
+* :mod:`repro.fabric.pack` — evidence packs: journal + store entries +
+  artifacts under a SHA-256 manifest, with offline verification;
 * :mod:`repro.fabric.status` — read-only journal inspection for the CLI.
 
 The drivers in :mod:`repro.analysis.experiments` build jobs and feed
@@ -22,8 +26,10 @@ them through a supervisor; nothing else needs to know the fabric exists.
 
 from .jobs import Job, config_digest, job_id_for
 from .journal import JOURNAL_SCHEMA, ResultJournal
+from .pack import PACK_SCHEMA, build_pack, verify_pack
 from .queue import Lease, WorkQueue
 from .status import format_status, journal_status
+from .store import STORE_SCHEMA, ResultStore, StoreLease
 from .supervisor import FabricSupervisor, quarantine_dir_for
 from .worker import execute_job, init_fabric_worker
 
@@ -32,8 +38,13 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "Job",
     "Lease",
+    "PACK_SCHEMA",
     "ResultJournal",
+    "ResultStore",
+    "STORE_SCHEMA",
+    "StoreLease",
     "WorkQueue",
+    "build_pack",
     "config_digest",
     "execute_job",
     "format_status",
@@ -41,4 +52,5 @@ __all__ = [
     "job_id_for",
     "journal_status",
     "quarantine_dir_for",
+    "verify_pack",
 ]

@@ -1,0 +1,317 @@
+"""Evidence packs: a campaign's artifacts under one SHA-256 manifest.
+
+A reviewer handed a results table has to take it on faith; a reviewer
+handed an *evidence pack* does not.  ``build_pack`` collects everything
+a fabric campaign produced — the journal (durable truth), the verified
+result-store entries behind its commits, quarantine artifacts for its
+poison jobs, and any extra files the operator names (traces, BENCH
+outputs, netlists) — into one directory, then writes a manifest mapping
+every file to its SHA-256 digest and byte size.  ``verify_pack``
+re-hashes the directory against the manifest and reports every
+mismatched, missing, or *unlisted* file, so any post-hoc tampering —
+edits, deletions, additions — is detectable offline with nothing but
+the pack itself.
+
+The manifest is written **last**, atomically: a crash mid-build leaves
+a pack without a manifest, which verifies as invalid — never a manifest
+vouching for files that are not there.  Files are copied byte-for-byte
+(hashes are taken from the copies), so the pack stands alone even after
+the source journal or store moves on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .. import ioutil
+from .store import ResultStore, producer_fingerprint
+from .supervisor import quarantine_dir_for
+
+__all__ = [
+    "MANIFEST_NAME",
+    "PACK_SCHEMA",
+    "PackReport",
+    "build_pack",
+    "verify_pack",
+]
+
+#: Pack manifest format identifier.
+PACK_SCHEMA = "evidence-pack/1"
+
+#: The manifest's file name inside a pack.
+MANIFEST_NAME = "MANIFEST.json"
+
+_CHUNK = 1 << 20
+
+
+def _sha256_file(path: Path) -> Tuple[str, int]:
+    h = hashlib.sha256()
+    size = 0
+    with path.open("rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            h.update(chunk)
+            size += len(chunk)
+    return h.hexdigest(), size
+
+
+def _copy_into(
+    source: Path, target: Path, files: Dict[str, dict], root: Path
+) -> None:
+    """Copy one file, record its digest under its pack-relative path."""
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(source, target)
+    digest, size = _sha256_file(target)
+    files[target.relative_to(root).as_posix()] = {
+        "sha256": digest,
+        "bytes": size,
+    }
+
+
+def _unique_name(directory: Path, name: str) -> Path:
+    """A non-colliding target path for an extra file."""
+    target = directory / name
+    n = 0
+    while target.exists():
+        n += 1
+        target = directory / f"{Path(name).stem}.{n}{Path(name).suffix}"
+    return target
+
+
+def build_pack(
+    journal_path: Union[str, Path],
+    out_dir: Union[str, Path],
+    store: Union[str, Path, ResultStore, None] = None,
+    include: Iterable[Union[str, Path]] = (),
+) -> dict:
+    """Assemble an evidence pack; return the manifest that was written.
+
+    Parameters
+    ----------
+    journal_path:
+        The campaign journal.  Copied verbatim (its hash covers torn
+        lines too — they are evidence) and parsed read-only to learn
+        which jobs committed and which were quarantined.
+    out_dir:
+        Target directory; must not already contain files.
+    store:
+        Optional result store (path or instance).  Every committed
+        job's entry that passes integrity verification is copied into
+        the pack; corrupt or missing entries are counted in the
+        manifest (``counts.store_skipped``), never silently vouched for.
+    include:
+        Extra files or directories (traces, BENCH artifacts, netlists)
+        copied under ``extra/``.
+    """
+    journal_path = Path(journal_path)
+    if not journal_path.is_file():
+        raise FileNotFoundError(f"journal not found: {journal_path}")
+    out = Path(out_dir)
+    if out.exists() and any(out.iterdir()):
+        raise FileExistsError(
+            f"evidence pack target {out} is not empty; refusing to mix "
+            f"packs"
+        )
+    out.mkdir(parents=True, exist_ok=True)
+    files: Dict[str, dict] = {}
+
+    _copy_into(journal_path, out / "journal" / journal_path.name, files, out)
+    records, _good, bad = ioutil.read_jsonl_tolerant(journal_path)
+    commits = [
+        r
+        for r in records
+        if r.get("type") == "commit" and isinstance(r.get("job_id"), str)
+    ]
+    quarantines = [
+        r
+        for r in records
+        if r.get("type") == "quarantine"
+        and isinstance(r.get("job_id"), str)
+    ]
+
+    # Quarantine artifacts: the replayable remains of every poison job.
+    qdir = quarantine_dir_for(journal_path)
+    quarantine_files = 0
+    if qdir.is_dir():
+        for source in sorted(p for p in qdir.rglob("*") if p.is_file()):
+            rel = source.relative_to(qdir)
+            _copy_into(source, out / "quarantine" / rel, files, out)
+            quarantine_files += 1
+
+    # Store entries behind the commits — verified before inclusion; a
+    # pack must never vouch for an entry the store itself would reject.
+    store_entries = 0
+    store_skipped = 0
+    if store is not None:
+        cas = store if isinstance(store, ResultStore) else ResultStore(store)
+        for record in commits:
+            job_id = str(record["job_id"])
+            entry = cas.entry_path(job_id)
+            if not entry.is_file():
+                store_skipped += 1
+                continue
+            verified, _why = ResultStore._load_verified(entry, job_id)
+            if verified is None:
+                store_skipped += 1
+                continue
+            _copy_into(entry, out / "store" / entry.name, files, out)
+            store_entries += 1
+
+    # Operator-named extras: traces, BENCH outputs, whatever closes the
+    # loop for this campaign.  Directories are taken whole.
+    extra_files = 0
+    for item in include:
+        source = Path(item)
+        if source.is_dir():
+            for sub in sorted(p for p in source.rglob("*") if p.is_file()):
+                rel = Path(source.name) / sub.relative_to(source)
+                _copy_into(sub, out / "extra" / rel, files, out)
+                extra_files += 1
+        elif source.is_file():
+            target = _unique_name(out / "extra", source.name)
+            _copy_into(source, target, files, out)
+            extra_files += 1
+        else:
+            raise FileNotFoundError(f"include target not found: {source}")
+
+    manifest = {
+        "schema": PACK_SCHEMA,
+        "journal": journal_path.name,
+        "files": dict(sorted(files.items())),
+        "counts": {
+            "files": len(files),
+            "bytes": sum(int(f["bytes"]) for f in files.values()),
+            "commits": len(commits),
+            "quarantined": len(quarantines),
+            "torn_lines": len(bad),
+            "quarantine_files": quarantine_files,
+            "store_entries": store_entries,
+            "store_skipped": store_skipped,
+            "extra_files": extra_files,
+        },
+        "producer": producer_fingerprint(),
+    }
+    # Written last, atomically: no manifest ever names a file that was
+    # not fully copied first.
+    ioutil.atomic_write_json(out / MANIFEST_NAME, manifest)
+    return manifest
+
+
+@dataclass
+class PackReport:
+    """Outcome of :func:`verify_pack` — empty lists mean a clean pack."""
+
+    pack: str
+    checked: int = 0
+    #: Files whose bytes no longer hash to the manifest's digest.
+    mismatched: List[str] = field(default_factory=list)
+    #: Files the manifest names that are gone from disk.
+    missing: List[str] = field(default_factory=list)
+    #: Files on disk the manifest never vouched for (additions are
+    #: tampering too: an unlisted file could shadow a listed one).
+    unlisted: List[str] = field(default_factory=list)
+    #: Structural problems (no manifest, unreadable manifest, ...).
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.mismatched or self.missing or self.unlisted or self.problems
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pack": self.pack,
+            "ok": self.ok,
+            "checked": self.checked,
+            "mismatched": list(self.mismatched),
+            "missing": list(self.missing),
+            "unlisted": list(self.unlisted),
+            "problems": list(self.problems),
+        }
+
+    def describe(self) -> str:
+        lines = [f"evidence pack  {self.pack}"]
+        lines.append(f"  files checked  {self.checked}")
+        if self.ok:
+            lines.append("  integrity      OK (every hash matches)")
+            return "\n".join(lines)
+        for label, paths in (
+            ("mismatched", self.mismatched),
+            ("missing", self.missing),
+            ("unlisted", self.unlisted),
+        ):
+            for path in paths:
+                lines.append(f"  {label:<14} {path}")
+        for problem in self.problems:
+            lines.append(f"  problem        {problem}")
+        return "\n".join(lines)
+
+
+def verify_pack(pack_dir: Union[str, Path]) -> PackReport:
+    """Re-hash a pack against its manifest; report every discrepancy.
+
+    Checks all three tampering directions: modified files (digest
+    mismatch), deleted files (in the manifest, not on disk), and added
+    files (on disk, not in the manifest).  Exit-code mapping is the
+    CLI's job; this returns the full report either way.
+    """
+    pack = Path(pack_dir)
+    report = PackReport(pack=str(pack))
+    manifest_path = pack / MANIFEST_NAME
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        report.problems.append(f"no {MANIFEST_NAME} in {pack}")
+        return report
+    except (OSError, ValueError) as exc:
+        report.problems.append(f"unreadable manifest: {exc}")
+        return report
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("schema") != PACK_SCHEMA
+        or not isinstance(manifest.get("files"), dict)
+    ):
+        report.problems.append(
+            f"manifest is not an {PACK_SCHEMA} manifest"
+        )
+        return report
+    listed: Dict[str, dict] = manifest["files"]
+    for rel in sorted(listed):
+        expected = listed[rel]
+        path = pack / Path(rel)
+        if not path.is_file():
+            report.missing.append(rel)
+            continue
+        digest, size = _sha256_file(path)
+        report.checked += 1
+        if digest != expected.get("sha256") or size != expected.get("bytes"):
+            report.mismatched.append(rel)
+    on_disk = {
+        p.relative_to(pack).as_posix()
+        for p in pack.rglob("*")
+        if p.is_file()
+    }
+    on_disk.discard(MANIFEST_NAME)
+    report.unlisted.extend(sorted(on_disk - set(listed)))
+    return report
+
+
+def pack_status_line(manifest: dict) -> str:
+    """One human line summarizing a freshly built pack."""
+    counts = manifest.get("counts", {})
+    return (
+        f"packed {counts.get('files', 0)} files "
+        f"({counts.get('bytes', 0)} bytes): "
+        f"{counts.get('commits', 0)} commits, "
+        f"{counts.get('store_entries', 0)} store entries, "
+        f"{counts.get('quarantine_files', 0)} quarantine files, "
+        f"{counts.get('extra_files', 0)} extras"
+    )

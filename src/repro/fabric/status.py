@@ -10,16 +10,25 @@ journal replays it (tail repair included) but writes nothing new.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from .journal import ResultJournal
+from .store import ResultStore
 from .supervisor import quarantine_dir_for
 
 __all__ = ["format_status", "journal_status"]
 
 
-def journal_status(path: Union[str, Path]) -> Dict[str, object]:
-    """Summarize one fabric journal as a JSON-able dict."""
+def journal_status(
+    path: Union[str, Path],
+    store: Union[str, Path, None] = None,
+) -> Dict[str, object]:
+    """Summarize one fabric journal (and optionally its result store).
+
+    With ``store`` the summary gains a ``store`` sub-dict: entry count,
+    total bytes, quarantined-corrupt count, and the lifetime
+    hit/miss/corrupt/publish counters from the store's ``stats.json``.
+    """
     journal_path = Path(path)
     if not journal_path.exists():
         raise FileNotFoundError(f"no fabric journal at {journal_path}")
@@ -48,7 +57,7 @@ def journal_status(path: Union[str, Path]) -> Dict[str, object]:
                     ),
                 }
             )
-        return {
+        status: Dict[str, object] = {
             "journal": str(journal_path),
             "commits": len(journal.committed),
             "quarantined": len(journal.quarantined),
@@ -58,8 +67,17 @@ def journal_status(path: Union[str, Path]) -> Dict[str, object]:
             "quarantine_dir": str(quarantine_dir_for(journal_path)),
             "quarantine": quarantined,
         }
+        if store is not None:
+            status["store"] = store_status(store)
+        return status
     finally:
         journal.close()
+
+
+def store_status(store: Union[str, Path, ResultStore]) -> Dict[str, object]:
+    """Summarize one result store as a JSON-able dict (read-only)."""
+    cas = store if isinstance(store, ResultStore) else ResultStore(store)
+    return cas.stats()
 
 
 def format_status(status: Dict[str, object]) -> str:
@@ -89,4 +107,16 @@ def format_status(status: Dict[str, object]) -> str:
         )
         if entry["artifact"]:
             lines.append(f"             artifact: {entry['artifact']}")
+    store: Optional[Dict[str, object]] = status.get("store")  # type: ignore[assignment]
+    if store:
+        lines.append(f"result store    {store['path']}")
+        lines.append(f"  entries       {store['entries']}")
+        lines.append(f"  bytes         {store['bytes']}")
+        lines.append(f"  hits          {store['hits']}")
+        lines.append(f"  misses        {store['misses']}")
+        lines.append(
+            f"  corrupt       {store['corrupt']}  "
+            f"(quarantined: {store['quarantined']})"
+        )
+        lines.append(f"  publishes     {store['publishes']}")
     return "\n".join(lines)

@@ -48,6 +48,8 @@ change scheduling, never results.
 from __future__ import annotations
 
 import errno
+import json
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -63,6 +65,7 @@ from ..resilience.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .jobs import Job
 from .journal import ResultJournal
 from .queue import Lease, WorkQueue
+from .store import ResultStore
 from .worker import execute_job, init_fabric_worker
 
 __all__ = ["FabricSupervisor", "quarantine_dir_for"]
@@ -74,6 +77,15 @@ _MAX_WAIT_SLICE_S = 0.25
 #: Journal-append retries (ENOSPC, EIO) before the supervisor gives up
 #: and lets the error propagate — durability failures are not hidable.
 _JOURNAL_APPEND_ATTEMPTS = 3
+
+#: Chaos actions that strike the result store (supervisor-side, after the
+#: journal commit); workers check actions by name and ignore these.
+_STORE_CHAOS_ACTIONS = (
+    "store_torn",
+    "store_bitflip",
+    "store_stale",
+    "store_double",
+)
 
 
 def quarantine_dir_for(journal_path: Path) -> Path:
@@ -110,6 +122,22 @@ class FabricSupervisor:
         Optional :class:`GracefulInterrupt`; when it reports a signal the
         supervisor stops leasing, shuts the pool down, and raises
         :class:`SweepInterrupted` with the journal already durable.
+    store:
+        Optional cross-campaign :class:`~repro.fabric.store.ResultStore`.
+        When given, jobs not already in this journal are looked up in the
+        store before dispatch (a verified hit commits without
+        recomputation), and every fresh commit is published back exactly
+        once.  The campaign holds a store lease over its job ids for its
+        whole run, so concurrent ``store-gc`` cannot evict its entries.
+    store_verify_fraction:
+        Seeded fraction of store hits that are re-executed in-process and
+        compared bit-exact against the cached result (via
+        :class:`~repro.verify.Guard`); a mismatch raises
+        :class:`~repro.errors.DivergenceError` — cache poisoning fails
+        the campaign loudly instead of contaminating results.
+    store_verify_seed:
+        Seed of the per-job verification draw (a pure function of seed
+        and job id, so the audited subset is order-independent).
     """
 
     def __init__(
@@ -123,6 +151,9 @@ class FabricSupervisor:
         chaos: Optional[FabricChaosSpec] = None,
         breaker: Optional[CircuitBreaker] = None,
         interrupt: Optional[GracefulInterrupt] = None,
+        store: Optional[ResultStore] = None,
+        store_verify_fraction: float = 0.0,
+        store_verify_seed: int = 0,
     ) -> None:
         self.journal = journal
         self.workers = max(1, int(workers))
@@ -143,6 +174,11 @@ class FabricSupervisor:
         self.chaos = chaos
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.interrupt = interrupt
+        self.store = store
+        self.store_verify_fraction = float(store_verify_fraction)
+        self.store_verify_seed = int(store_verify_seed)
+        if not 0.0 <= self.store_verify_fraction <= 1.0:
+            raise ValueError("store_verify_fraction must lie in [0, 1]")
         self.stats: Dict[str, int] = {
             "jobs": 0,
             "cached": 0,
@@ -153,6 +189,9 @@ class FabricSupervisor:
             "duplicates": 0,
             "pool_breaks": 0,
             "parent_runs": 0,
+            "store_hits": 0,
+            "store_misses": 0,
+            "store_verified": 0,
         }
         self._errors: Dict[str, List[dict]] = {}
         self._enospc_armed: set = set()
@@ -185,6 +224,26 @@ class FabricSupervisor:
             elif job_id in self.journal.quarantined:
                 queue.mark_done(job_id, "quarantined")
                 self.stats["cached"] += 1
+        store_lease = None
+        if self.store is not None:
+            # The lease pins this campaign's working set against a
+            # concurrent store-gc for the whole run, hits and misses
+            # alike (a miss becomes an entry the moment it commits).
+            store_lease = self.store.acquire_lease(queue.job_ids())
+        try:
+            if self.store is not None and queue.unfinished:
+                self._resolve_from_store(queue)
+            self._drive(queue)
+        finally:
+            if store_lease is not None:
+                store_lease.release()
+            if self.store is not None:
+                self.store.persist_stats()
+        return {
+            job_id: self.journal.result_for(job_id) for job_id in requested
+        }
+
+    def _drive(self, queue: WorkQueue) -> None:
         with obs.span(
             "fabric.run",
             jobs=self.stats["jobs"],
@@ -209,9 +268,180 @@ class FabricSupervisor:
                 **{k: v for k, v in self.stats.items()},
                 breaker_tripped=self.breaker.tripped,
             )
-        return {
-            job_id: self.journal.result_for(job_id) for job_id in requested
-        }
+
+    # ------------------------------------------------------------------
+    # Result-store integration
+    # ------------------------------------------------------------------
+    def _resolve_from_store(self, queue: WorkQueue) -> None:
+        """Settle every job the store can vouch for, before any dispatch.
+
+        A verified store hit commits through the same journal gate as a
+        computed result — bit-identity and exactly-once hold regardless
+        of which campaign originally computed the value.  Corrupt
+        entries were already quarantined (and counted) by the store's
+        own read path; they surface here as misses and recompute.
+        """
+        for job_id in queue.job_ids():
+            if self.journal.is_done(job_id):
+                continue
+            job = queue.job(job_id)
+            record = self.store.get(job_id)
+            if record is None:
+                self.stats["store_misses"] += 1
+                continue
+            cached = record.get("result")
+            verified = False
+            if self._store_verify_due(job_id):
+                if not self._verify_store_hit(job, cached):
+                    # Could not re-execute (not a mismatch — that
+                    # raises): fall through to normal dispatch.
+                    self.stats["store_misses"] += 1
+                    continue
+                verified = True
+                self.stats["store_verified"] += 1
+            self._commit_durable(job, cached, attempt=0)
+            queue.mark_done(job_id, "committed")
+            self.stats["store_hits"] += 1
+            obs.event(
+                "fabric.store.hit_committed",
+                job=job.describe(),
+                verified=verified,
+            )
+
+    def _store_verify_due(self, job_id: str) -> bool:
+        """Seeded, order-independent audit draw for one store hit."""
+        if self.store_verify_fraction >= 1.0:
+            return True
+        if self.store_verify_fraction <= 0.0:
+            return False
+        roll = random.Random(
+            f"store-verify:{self.store_verify_seed}:{job_id}"
+        ).random()
+        return roll < self.store_verify_fraction
+
+    def _verify_store_hit(self, job: Job, cached: object) -> bool:
+        """Re-execute one hit and compare bit-exact; raise on mismatch.
+
+        Returns False when the re-execution itself errors (the hit is
+        then treated as a miss and dispatched normally); a successful
+        re-execution that *disagrees* with the cached result raises
+        :class:`~repro.errors.DivergenceError` through the Guard, with a
+        repro bundle when the job's circuit can be reloaded.
+        """
+        from ..verify import Guard
+        from .worker import _dispatch
+
+        capture = obs.RunRecorder(None)
+        previous = obs.set_recorder(capture)
+        try:
+            recomputed = _dispatch(job.kind, dict(job.payload))
+        except Exception as exc:
+            obs.event(
+                "fabric.store.verify_error",
+                job=job.describe(),
+                error=type(exc).__name__,
+                message=str(exc)[:200],
+            )
+            return False
+        finally:
+            obs.set_recorder(previous)
+        # Same normalization the store applied before digesting: the
+        # comparison must see exactly what a JSON reader would.
+        recomputed = json.loads(json.dumps(recomputed))
+        obs.count("fabric.store.verifications")
+        guard = Guard(fraction=1.0, certify=False)
+        guard.confirm(
+            "fabric.store_hit",
+            expected=recomputed,
+            actual=cached,
+            circuit=self._bundle_circuit(job),
+            context={
+                "job": job.describe(),
+                "store": str(self.store.root),
+                "entry": str(self.store.entry_path(job.job_id)),
+            },
+            sources={
+                "expected": "re-executed in supervisor",
+                "actual": "result-store entry",
+            },
+            message=(
+                "stored result differs from bit-exact re-execution "
+                "(cache poisoning or nondeterministic executor)"
+            ),
+        )
+        return True
+
+    def _bundle_circuit(self, job: Job):
+        """Best-effort circuit reload for divergence repro bundles."""
+        path = dict(job.payload).get("path")
+        if not path:
+            return None
+        try:
+            from ..analysis.experiments import _load_netlist_file
+
+            return _load_netlist_file(Path(str(path)))
+        except Exception:
+            return None
+
+    def _publish_store(self, job: Job, result: dict, attempt: int) -> None:
+        """Publish one fresh commit to the store (exactly once, then chaos).
+
+        Called only from the winning commit in :meth:`_settle_ok` —
+        store hits settle in :meth:`_resolve_from_store` and never
+        republish, and :meth:`~repro.fabric.store.ResultStore.put` is
+        first-write-wins besides.  A store write failure is logged and
+        swallowed: the journal is the campaign's durable truth, the
+        store is an accelerator.
+        """
+        try:
+            self.store.put(job, result)
+        except (ArtifactWriteError, OSError) as exc:
+            obs.event(
+                "fabric.store.publish_failed",
+                job=job.describe(),
+                error=type(exc).__name__,
+            )
+            return
+        action = (
+            self.chaos.action(job.index, attempt)
+            if self.chaos is not None
+            else None
+        )
+        if action in _STORE_CHAOS_ACTIONS:
+            self._inflict_store_chaos(action, job, result)
+
+    def _inflict_store_chaos(
+        self, action: str, job: Job, result: dict
+    ) -> None:
+        """Damage the just-published entry the way real storage would."""
+        path = self.store.entry_path(job.job_id)
+        if action == "store_double":
+            # A racing second publish: first write must win, silently.
+            again = self.store.put(job, result)
+            assert not again, "store accepted a second publish"
+        elif path.exists():
+            if action == "store_torn":
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            elif action == "store_stale":
+                record = json.loads(path.read_text(encoding="utf-8"))
+                record["schema"] = "fabric-store/0"
+                ioutil.atomic_write_json(path, record)
+            elif action == "store_bitflip":
+                data = bytearray(path.read_bytes())
+                rng = random.Random(f"store-bitflip:{job.job_id}")
+                while True:
+                    # Keep flipping until the envelope actually rejects
+                    # the entry — a flip inside e.g. the producer block
+                    # can leave a still-valid record.
+                    data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+                    path.write_bytes(bytes(data))
+                    rec, _why = ResultStore._load_verified(path, job.job_id)
+                    if rec is None:
+                        break
+        obs.event(
+            "fabric.store.chaos", action=action, job=job.describe()
+        )
 
     # ------------------------------------------------------------------
     # Pool mode
@@ -555,6 +785,8 @@ class FabricSupervisor:
         self.stats["committed"] += 1
         if telem:
             self._merge_telemetry(job, telem)
+        if self.store is not None:
+            self._publish_store(job, result, attempt)
         if (
             self.chaos is not None
             and self.chaos.action(job.index, attempt) == "duplicate"

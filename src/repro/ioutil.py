@@ -184,13 +184,24 @@ def repair_jsonl_tail(path: Union[str, Path]) -> bool:
     ``\\n``, a newline is appended (the torn fragment becomes its own
     undecodable line, which tolerant readers already skip).  Returns
     True when a repair was made.
+
+    Missing and zero-length files need no repair and return False — the
+    size is measured on the open handle (not stat-then-seek), so a file
+    shrinking between checks can never turn into a seek error.  A
+    whitespace-only tail (e.g. a lone space) is still a tail without a
+    newline and is terminated like any other torn fragment.
     """
     path = Path(path)
     try:
-        if not path.exists() or path.stat().st_size == 0:
+        try:
+            handle = path.open("rb")
+        except FileNotFoundError:
             return False
-        with path.open("rb") as handle:
-            handle.seek(-1, os.SEEK_END)
+        with handle:
+            size = handle.seek(0, os.SEEK_END)
+            if size == 0:
+                return False
+            handle.seek(size - 1)
             last = handle.read(1)
         if last == b"\n":
             return False

@@ -140,6 +140,12 @@ FABRIC_CHAOS_ACTIONS = (
     "spurious",   # worker raises an unexpected exception
     "enospc",     # the journal append for this job's commit fails once
     "duplicate",  # a second completion for the job races the commit
+    # Result-store faults (strike the published store entry after the
+    # journal commit; workers ignore them — they check actions by name):
+    "store_torn",     # the entry file is truncated mid-record
+    "store_bitflip",  # one bit of the entry payload is flipped
+    "store_stale",    # the entry is rewritten under an old schema tag
+    "store_double",   # a concurrent second publish races the first
 )
 
 
@@ -165,7 +171,21 @@ class FabricChaosSpec:
       commit exactly once);
     * ``duplicate`` — a duplicate completion for the job is offered to
       the journal after the real commit (must be rejected, not
-      double-counted).
+      double-counted);
+    * ``store_torn`` — the result-store entry published for this job is
+      truncated mid-record (a torn write; the next read must quarantine
+      it and recompute, never serve a partial record);
+    * ``store_bitflip`` — one bit of the published entry is flipped
+      (silent media corruption; the payload sha256 must catch it);
+    * ``store_stale`` — the published entry is rewritten under an
+      outdated schema tag (a leftover from an older store format; it
+      must be quarantined, not parsed on faith);
+    * ``store_double`` — a second publish for the job races the first
+      (must be a no-op: first write wins, entry content unchanged).
+
+    The ``store_*`` faults only fire when the campaign runs with a
+    result store attached; without one the supervisor has nothing to
+    corrupt and ignores them.
     """
 
     seed: int = 0
@@ -175,6 +195,10 @@ class FabricChaosSpec:
     spurious: float = 0.0
     enospc: float = 0.0
     duplicate: float = 0.0
+    store_torn: float = 0.0
+    store_bitflip: float = 0.0
+    store_stale: float = 0.0
+    store_double: float = 0.0
     #: How long a stalled worker sleeps (keep well above the
     #: supervisor's ``lease_timeout_s`` so the lease actually expires).
     stall_seconds: float = 30.0
@@ -187,6 +211,8 @@ class FabricChaosSpec:
         total = (
             self.crash + self.stall + self.corrupt
             + self.spurious + self.enospc + self.duplicate
+            + self.store_torn + self.store_bitflip
+            + self.store_stale + self.store_double
         )
         if total > 1.0 + 1e-12:
             raise ValueError(f"chaos probabilities sum to {total:g} > 1")
@@ -216,6 +242,10 @@ class FabricChaosSpec:
             ("spurious", self.spurious),
             ("enospc", self.enospc),
             ("duplicate", self.duplicate),
+            ("store_torn", self.store_torn),
+            ("store_bitflip", self.store_bitflip),
+            ("store_stale", self.store_stale),
+            ("store_double", self.store_double),
         )
         return _banded_roll(
             f"fabric-chaos:{self.seed}:{job_index}:{attempt}", bands

@@ -106,6 +106,48 @@ class TestNumpyKernelFuzz:
         assert not replay_bundle(failure.bundle).reproduced
 
 
+class TestStoreLane:
+    def test_clean_circuit_round_trips(self):
+        from repro.analysis.fuzz import _check_store
+
+        circuit = generators.random_dag(4, 10, seed=5)
+        assert _check_store(circuit, seed=0, n_patterns=32) is None
+
+    def test_short_clean_campaign_with_store(self, tmp_path):
+        report = run_fuzz(
+            budget_ms=3000,
+            seed=0,
+            bundle_dir=str(tmp_path),
+            max_gates=10,
+            store=True,
+        )
+        assert report.clean, report.describe()
+        assert report.trials >= 1
+
+    def test_nondeterministic_executor_is_caught(self, monkeypatch):
+        # A cache built on a nondeterministic executor is poison; the
+        # lane must flag it even though each run looks self-consistent.
+        from repro.analysis import experiments as exps
+        from repro.analysis.fuzz import _check_store
+
+        real = exps.execute_sweep_job
+        calls = {"n": 0}
+
+        def flaky(payload):
+            calls["n"] += 1
+            result = real(payload)
+            result = dict(result)
+            result["cost"] = calls["n"]  # drifts between executions
+            return result
+
+        monkeypatch.setattr(exps, "execute_sweep_job", flaky)
+        circuit = generators.random_dag(4, 10, seed=6)
+        divergence = _check_store(circuit, seed=0, n_patterns=32)
+        assert divergence is not None
+        assert divergence.kind == "fuzz.store"
+        assert "bit-identical" in divergence.message
+
+
 class TestSaboteurSelfTest:
     def test_planted_kernel_bug_found_shrunk_and_replayable(self, tmp_path):
         """Acceptance criteria: find the miscompile, shrink to <=10 gates,

@@ -1,4 +1,4 @@
-"""The fabric's CLI surface: sweep --fabric and fabric-status."""
+"""The fabric's CLI surface: sweep --fabric, fabric-status, pack, store-gc."""
 
 from __future__ import annotations
 
@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.cli import EXIT_OK, EXIT_USAGE, main
+from repro.cli import EXIT_INFEASIBLE, EXIT_OK, EXIT_USAGE, main
 from repro.resilience.chaos import FabricChaosSpec
 
 
@@ -128,3 +128,173 @@ class TestFabricStatus:
             main(["fabric-status", str(tmp_path / "nope.journal")])
         assert ei.value.code == EXIT_USAGE
         assert "no fabric journal" in capsys.readouterr().err
+
+
+@pytest.fixture
+def store_campaign(tmp_path, bench_paths):
+    """One finished --store sweep: (journal, store_dir)."""
+    journal = tmp_path / "sweep.journal"
+    store = tmp_path / "store"
+    assert (
+        main(
+            [
+                "sweep",
+                str(bench_paths[0].parent),
+                "--results",
+                str(journal),
+                "--patterns",
+                "64",
+                "--fabric",
+                "--workers",
+                "1",
+                "--store",
+                str(store),
+            ]
+        )
+        == EXIT_OK
+    )
+    return journal, store
+
+
+class TestStoreCli:
+    def test_store_without_fabric_is_a_usage_error(
+        self, tmp_path, bench_paths, capsys
+    ):
+        for command in (
+            [
+                "sweep",
+                str(bench_paths[0].parent),
+                "--results",
+                str(tmp_path / "r.jsonl"),
+                "--store",
+                str(tmp_path / "store"),
+            ],
+            [
+                "experiments",
+                "--only",
+                "t2",
+                "--results",
+                str(tmp_path / "e.jsonl"),
+                "--store",
+                str(tmp_path / "store"),
+            ],
+        ):
+            with pytest.raises(SystemExit) as ei:
+                main(command)
+            assert ei.value.code == EXIT_USAGE
+            assert "--fabric" in capsys.readouterr().err
+
+    def test_fabric_status_reports_store(
+        self, bench_paths, store_campaign, capsys
+    ):
+        journal, store = store_campaign
+        capsys.readouterr()
+        argv = ["fabric-status", str(journal), "--store", str(store)]
+        assert main(argv) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "result store" in out
+        assert f"entries       {len(bench_paths)}" in out
+        assert main(argv + ["--json"]) == EXIT_OK
+        status = json.loads(capsys.readouterr().out)
+        assert status["store"]["entries"] == len(bench_paths)
+        assert status["store"]["publishes"] == len(bench_paths)
+        assert status["store"]["corrupt"] == 0
+
+    def test_store_gc_needs_a_cap(self, store_campaign, capsys):
+        _journal, store = store_campaign
+        with pytest.raises(SystemExit) as ei:
+            main(["store-gc", str(store)])
+        assert ei.value.code == EXIT_USAGE
+        assert "cap" in capsys.readouterr().err
+
+    def test_store_gc_missing_store_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(["store-gc", str(tmp_path / "nope"), "--max-bytes", "1"])
+        assert ei.value.code == EXIT_USAGE
+        assert "no result store" in capsys.readouterr().err
+
+    def test_store_gc_prunes_and_reports(
+        self, bench_paths, store_campaign, capsys
+    ):
+        _journal, store = store_campaign
+        capsys.readouterr()
+        argv = ["store-gc", str(store), "--max-bytes", "0", "--json"]
+        assert main(argv) == EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["deleted"] == len(bench_paths)
+        assert report["kept"] == 0
+
+
+class TestPackCli:
+    def test_build_verify_and_tamper(
+        self, tmp_path, store_campaign, capsys
+    ):
+        journal, store = store_campaign
+        pack = tmp_path / "pack"
+        assert (
+            main(
+                [
+                    "pack",
+                    str(journal),
+                    "--out",
+                    str(pack),
+                    "--store",
+                    str(store),
+                ]
+            )
+            == EXIT_OK
+        )
+        assert "evidence pack" in capsys.readouterr().out
+        assert main(["pack", str(pack), "--verify"]) == EXIT_OK
+        assert "OK" in capsys.readouterr().out
+
+        victim = sorted((pack / "store").glob("*.json"))[0]
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0x40
+        victim.write_bytes(bytes(data))
+        assert main(["pack", str(pack), "--verify"]) == EXIT_INFEASIBLE
+        assert "mismatched" in capsys.readouterr().out
+
+        assert main(["pack", str(pack), "--verify", "--json"]) \
+            == EXIT_INFEASIBLE
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is False
+        assert report["mismatched"] == [f"store/{victim.name}"]
+
+    def test_build_without_out_is_a_usage_error(
+        self, store_campaign, capsys
+    ):
+        journal, _store = store_campaign
+        with pytest.raises(SystemExit) as ei:
+            main(["pack", str(journal)])
+        assert ei.value.code == EXIT_USAGE
+        assert "--out" in capsys.readouterr().err
+
+    def test_verify_refuses_build_options(
+        self, tmp_path, store_campaign, capsys
+    ):
+        _journal, store = store_campaign
+        with pytest.raises(SystemExit) as ei:
+            main(
+                [
+                    "pack",
+                    str(tmp_path / "pack"),
+                    "--verify",
+                    "--store",
+                    str(store),
+                ]
+            )
+        assert ei.value.code == EXIT_USAGE
+
+    def test_missing_journal_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as ei:
+            main(
+                [
+                    "pack",
+                    str(tmp_path / "nope.journal"),
+                    "--out",
+                    str(tmp_path / "pack"),
+                ]
+            )
+        assert ei.value.code == EXIT_USAGE
+        assert "journal not found" in capsys.readouterr().err

@@ -1,0 +1,303 @@
+"""The result store's integrity bar: never serve a byte it can't prove.
+
+Every test attacks one promise from ``repro.fabric.store``: round-trip
+fidelity, idempotent first-write-wins publishing, quarantine (not
+silent service) for every corruption class, LRU recency on hits,
+lease-protected eviction, and additive lifetime statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.fabric.jobs import Job
+from repro.fabric.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    payload_digest,
+    producer_fingerprint,
+)
+
+
+def _job(n: int = 0, config: dict | None = None) -> Job:
+    return Job.build(
+        "sweep_circuit",
+        f"content{n:04d}",
+        config or {"n_patterns": 64, "solvers": ["greedy"]},
+        {"path": f"/tmp/c{n}.bench"},
+        index=n,
+    )
+
+
+def _result(n: int = 0) -> dict:
+    return {"circuit": f"c{n}", "cost": n, "points": [f"g{n}", "g9"]}
+
+
+class TestRoundTrip:
+    def test_put_get_returns_bit_identical_result(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        job = _job()
+        assert store.put(job, _result()) is True
+        record = store.get(job.job_id)
+        assert record is not None
+        assert record["result"] == _result()
+        assert store.hits == 1 and store.misses == 0
+
+    def test_record_carries_full_integrity_envelope(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, _result())
+        record = json.loads(
+            store.entry_path(job.job_id).read_text(encoding="utf-8")
+        )
+        assert record["schema"] == STORE_SCHEMA
+        assert record["job_id"] == job.job_id
+        assert record["kind"] == job.kind
+        assert record["content_key"] == job.content_key
+        assert record["config_digest"] == job.config_digest
+        assert record["payload_sha256"] == payload_digest(_result())
+        fingerprint = record["producer"]
+        for key in ("package", "package_version", "kernel", "python"):
+            assert fingerprint[key] == producer_fingerprint()[key]
+
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("0" * 32) is None
+        assert store.misses == 1 and store.corrupt == 0
+
+    def test_digest_covers_what_a_reader_reparses(self, tmp_path):
+        # Tuples serialize as JSON arrays; the digest must be taken
+        # after that normalization or every tuple-bearing result would
+        # quarantine itself on first read.
+        store = ResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, {"points": ("a", "b"), "cost": 2})
+        record = store.get(job.job_id)
+        assert record is not None
+        assert record["result"]["points"] == ["a", "b"]
+
+
+class TestIdempotentPublish:
+    def test_second_put_is_a_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        job = _job()
+        assert store.put(job, _result()) is True
+        before = store.entry_path(job.job_id).read_bytes()
+        assert store.put(job, {"different": "payload"}) is False
+        assert store.entry_path(job.job_id).read_bytes() == before
+        assert store.publishes == 1
+
+    def test_distinct_configs_are_distinct_entries(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        a = _job(0, {"n_patterns": 64})
+        b = _job(0, {"n_patterns": 128})
+        assert a.job_id != b.job_id
+        store.put(a, _result(0))
+        store.put(b, _result(1))
+        assert store.get(a.job_id)["result"] == _result(0)
+        assert store.get(b.job_id)["result"] == _result(1)
+
+
+class TestQuarantine:
+    """Each corruption class must quarantine + miss, never serve."""
+
+    def _published(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        job = _job()
+        store.put(job, _result())
+        return store, job, store.entry_path(job.job_id)
+
+    def _assert_quarantined(self, store, job):
+        assert store.get(job.job_id) is None
+        assert store.corrupt == 1 and store.misses == 1
+        assert not store.entry_path(job.job_id).exists()
+        corpses = list(store.quarantine_dir.glob("*.json"))
+        assert len(corpses) == 1
+
+    def test_torn_entry(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        self._assert_quarantined(store, job)
+
+    def test_bit_flip_in_payload(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["result"]["cost"] = 999  # envelope digest now stale
+        path.write_text(json.dumps(record), encoding="utf-8")
+        self._assert_quarantined(store, job)
+
+    def test_stale_schema(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["schema"] = "fabric-store/0"
+        path.write_text(json.dumps(record), encoding="utf-8")
+        self._assert_quarantined(store, job)
+
+    def test_job_id_mismatch(self, tmp_path):
+        # An entry renamed (or hard-linked) into the wrong slot must not
+        # be served under the borrowed identity.
+        store, job, path = self._published(tmp_path)
+        other = "f" * 32
+        target = store.entry_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, target)
+        assert store.get(other) is None
+        assert store.corrupt == 1
+
+    def test_non_object_record(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        path.write_text('["not", "a", "record"]', encoding="utf-8")
+        self._assert_quarantined(store, job)
+
+    def test_missing_result_key(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        del record["result"]
+        path.write_text(json.dumps(record), encoding="utf-8")
+        self._assert_quarantined(store, job)
+
+    def test_fresh_publish_lands_after_quarantine(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        path.write_bytes(b"garbage")
+        assert store.get(job.job_id) is None
+        assert store.put(job, _result()) is True
+        assert store.get(job.job_id)["result"] == _result()
+
+    def test_repeat_corpses_all_kept(self, tmp_path):
+        store, job, path = self._published(tmp_path)
+        path.write_bytes(b"garbage one")
+        store.get(job.job_id)
+        store.put(job, _result())
+        store.entry_path(job.job_id).write_bytes(b"garbage two")
+        store.get(job.job_id)
+        assert len(list(store.quarantine_dir.glob("*.json"))) == 2
+
+
+class TestEviction:
+    def _filled(self, tmp_path, n=4):
+        store = ResultStore(tmp_path / "store")
+        jobs = [_job(i) for i in range(n)]
+        for i, job in enumerate(jobs):
+            store.put(job, _result(i))
+            # Deterministic recency: job i last used at t=1000+i.
+            os.utime(store.entry_path(job.job_id), times=(1000 + i, 1000 + i))
+        return store, jobs
+
+    def test_byte_cap_prunes_oldest_first(self, tmp_path):
+        store, jobs = self._filled(tmp_path)
+        sizes = {
+            e.job_id: e.size for e in store.entries()
+        }
+        keep_bytes = sizes[jobs[2].job_id] + sizes[jobs[3].job_id]
+        report = store.gc(max_bytes=keep_bytes)
+        assert report["deleted"] == 2
+        assert report["kept"] == 2
+        assert report["kept_bytes"] <= keep_bytes
+        survivors = {e.job_id for e in store.entries()}
+        assert survivors == {jobs[2].job_id, jobs[3].job_id}
+
+    def test_age_cap_prunes_stale_entries(self, tmp_path):
+        store, jobs = self._filled(tmp_path)
+        # "Now" is 10 days after t=1000; entries 0 and 1 are older than
+        # the cap once we shift entries 2 and 3 within it.
+        now = 1000.0 + 10 * 86_400
+        for job in jobs[2:]:
+            os.utime(store.entry_path(job.job_id), times=(now - 60, now - 60))
+        report = store.gc(max_age_days=5.0, now=now)
+        assert report["deleted"] == 2
+        survivors = {e.job_id for e in store.entries()}
+        assert survivors == {jobs[2].job_id, jobs[3].job_id}
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        store, jobs = self._filled(tmp_path)
+        store.get(jobs[0].job_id)  # oldest entry becomes the newest
+        report = store.gc(max_bytes=0)
+        assert report["deleted"] == 4  # cap 0 still deletes everything
+        store2, jobs2 = self._filled(tmp_path / "again")
+        store2.get(jobs2[0].job_id)
+        sizes = {e.job_id: e.size for e in store2.entries()}
+        keep = sizes[jobs2[0].job_id]
+        store2.gc(max_bytes=keep)
+        survivors = {e.job_id for e in store2.entries()}
+        assert jobs2[0].job_id in survivors
+
+    def test_lease_protects_entries(self, tmp_path):
+        store, jobs = self._filled(tmp_path)
+        lease = store.acquire_lease([jobs[0].job_id, jobs[1].job_id])
+        report = store.gc(max_bytes=0)
+        assert report["protected"] == 2
+        assert report["deleted"] == 2
+        survivors = {e.job_id for e in store.entries()}
+        assert survivors == {jobs[0].job_id, jobs[1].job_id}
+        lease.release()
+        report = store.gc(max_bytes=0)
+        assert report["deleted"] == 2
+        assert list(store.entries()) == []
+
+    def test_torn_lease_file_protects_nothing(self, tmp_path):
+        store, jobs = self._filled(tmp_path)
+        store.lease_dir.mkdir(parents=True, exist_ok=True)
+        (store.lease_dir / "torn.json").write_bytes(b'{"schema": "fab')
+        assert store.leased_job_ids() == set()
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        lease = store.acquire_lease(["a" * 32])
+        lease.release()
+        lease.release()  # second release must not raise
+        assert store.leased_job_ids() == set()
+
+
+class TestStats:
+    def test_stats_reflect_disk_and_session(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        for i in range(3):
+            store.put(_job(i), _result(i))
+        store.get(_job(0).job_id)
+        store.get("0" * 32)
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] > 0
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["publishes"] == 3
+        assert stats["quarantined"] == 0
+
+    def test_persist_is_additive_across_sessions(self, tmp_path):
+        root = tmp_path / "store"
+        first = ResultStore(root)
+        first.put(_job(0), _result(0))
+        first.get(_job(0).job_id)
+        first.persist_stats()
+        second = ResultStore(root)
+        second.get(_job(0).job_id)
+        second.get("0" * 32)
+        second.persist_stats()
+        fresh = ResultStore(root)
+        stats = fresh.stats()
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+        assert stats["publishes"] == 1
+
+    def test_double_persist_does_not_double_count(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(_job(0), _result(0))
+        store.get(_job(0).job_id)
+        store.persist_stats()
+        store.persist_stats()
+        assert ResultStore(tmp_path / "store").stats()["hits"] == 1
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [{"a": 1}, {"b": [1, 2, {"c": None}]}, {}],
+)
+def test_payload_digest_is_canonical(payload):
+    reordered = json.loads(
+        json.dumps(payload, sort_keys=True)
+    )
+    assert payload_digest(payload) == payload_digest(reordered)

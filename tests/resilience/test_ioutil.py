@@ -87,9 +87,43 @@ class TestTailRepair:
         target.write_text('{"a": 1}\n')
         assert ioutil.repair_jsonl_tail(target) is False
         assert ioutil.repair_jsonl_tail(tmp_path / "missing.jsonl") is False
+
+    def test_zero_length_file_returns_false_without_raising(self, tmp_path):
+        # Regression: the old stat-then-seek recipe could race a file
+        # shrinking to zero and blow up with "cannot seek before start";
+        # the size is now measured on the open handle.
         empty = tmp_path / "empty.jsonl"
-        empty.write_text("")
+        empty.write_bytes(b"")
         assert ioutil.repair_jsonl_tail(empty) is False
+        assert empty.read_bytes() == b""
+
+    @pytest.mark.parametrize("tail", [" ", "   ", "\t"])
+    def test_whitespace_only_tail_is_terminated(self, tmp_path, tail):
+        # A lone space is still a tail without its newline: terminate it
+        # so the next append starts on a fresh line.
+        target = tmp_path / "log.jsonl"
+        target.write_text(tail)
+        assert ioutil.repair_jsonl_tail(target) is True
+        assert target.read_text() == tail + "\n"
+        assert ioutil.repair_jsonl_tail(target) is False
+        records, _good, bad = ioutil.read_jsonl_tolerant(target)
+        assert records == [] and bad == []  # blank line: skipped, no casualty
+
+    def test_whitespace_after_records_is_terminated(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"a": 1}\n ')
+        assert ioutil.repair_jsonl_tail(target) is True
+        records, _good, _bad = ioutil.read_jsonl_tolerant(target)
+        assert records == [{"a": 1}]
+
+    def test_repair_failure_is_structured(self, tmp_path):
+        target = tmp_path / "log.jsonl"
+        target.write_text('{"torn": ')
+        with ioutil.inject_faults(_fail_on("append")):
+            with pytest.raises(ArtifactWriteError) as ei:
+                ioutil.repair_jsonl_tail(target)
+        assert ei.value.op == "append"
+        assert target.read_text() == '{"torn": '  # untouched on failure
 
 
 class TestTolerantReader:
